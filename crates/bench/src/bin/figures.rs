@@ -1,0 +1,55 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--verbose] <id>... | all
+//! ```
+//!
+//! Ids: table1, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig12,
+//! fig14, fig15, fig16, fig17, fig18, fig19, fig20, fig21, fig22.
+
+use std::time::Instant;
+
+use netcrafter_bench::{figures, Runner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let big = args.iter().any(|a| a == "--big");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = figures::all_ids().iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !figures::all_ids().contains(&id.as_str()) {
+            eprintln!("unknown figure id {id:?}; known: {:?}", figures::all_ids());
+            std::process::exit(2);
+        }
+    }
+
+    let mut runner = if quick { Runner::quick() } else { Runner::paper() };
+    if big {
+        // Closer to the paper's 64-CU GPUs: 16 CUs with doubled inputs.
+        // Expect a full `all` pass to take tens of minutes.
+        runner.base_cfg.cus_per_gpu = 16;
+        runner.scale.ctas *= 2;
+        runner.scale.mem_ops_per_wave *= 2;
+    }
+    runner.verbose = verbose;
+    println!(
+        "# NetCrafter figure regeneration ({} scale)\n",
+        if quick { "quick" } else if big { "big" } else { "paper" }
+    );
+    let t0 = Instant::now();
+    for id in &ids {
+        let t = Instant::now();
+        let table = figures::generate(id, &runner);
+        println!("{table}");
+        eprintln!("[{id} done in {:.1?}; {} runs cached]", t.elapsed(), runner.runs_completed());
+    }
+    eprintln!("[total {:.1?}]", t0.elapsed());
+}

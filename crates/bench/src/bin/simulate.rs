@@ -1,0 +1,133 @@
+//! General-purpose simulator CLI: run any workload on any configuration
+//! and dump the metrics.
+//!
+//! ```text
+//! simulate [--workload GUPS] [--variant netcrafter] [--cus 8]
+//!          [--clusters 2] [--gpus-per-cluster 2]
+//!          [--intra 128] [--inter 16] [--flit 16]
+//!          [--scale tiny|small|paper] [--seed N]
+//!          [--pool-window N] [--trim-granularity 4|8|16]
+//!          [--dump-metrics] [--csv FILE]
+//! ```
+
+use netcrafter_multigpu::{Experiment, SystemVariant};
+use netcrafter_proto::SystemConfig;
+use netcrafter_workloads::{Scale, Workload};
+
+fn parse_variant(s: &str) -> Option<SystemVariant> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" => SystemVariant::Baseline,
+        "ideal" => SystemVariant::Ideal,
+        "netcrafter" => SystemVariant::NetCrafter,
+        "stitch" | "stitching" => SystemVariant::StitchOnly,
+        "trim" | "trimming" => SystemVariant::TrimOnly,
+        "seq" | "sequencing" => SystemVariant::SeqOnly,
+        "sector" | "sectorcache" => SystemVariant::SectorCache,
+        "stitchtrim" => SystemVariant::StitchTrim,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let usage = || -> ! {
+        eprintln!(
+            "usage: simulate [--workload NAME] [--variant V] [--cus N] [--clusters N] \
+             [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
+             [--scale tiny|small|paper] [--seed N] [--pool-window N] \
+             [--trim-granularity N] [--dump-metrics]\n\
+             workloads: {:?}\n\
+             variants: baseline ideal netcrafter stitch trim seq sector stitchtrim",
+            Workload::ALL.map(|w| w.abbrev())
+        );
+        std::process::exit(2);
+    };
+
+    let workload_name = get("--workload").unwrap_or_else(|| "GUPS".into());
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.abbrev().eq_ignore_ascii_case(&workload_name))
+        .unwrap_or_else(|| usage());
+    let variant = parse_variant(&get("--variant").unwrap_or_else(|| "baseline".into()))
+        .unwrap_or_else(|| usage());
+
+    let mut cfg = SystemConfig::small(
+        get("--cus").and_then(|v| v.parse().ok()).unwrap_or(8),
+    );
+    if let Some(v) = get("--clusters") {
+        cfg.topology.clusters = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = get("--gpus-per-cluster") {
+        cfg.topology.gpus_per_cluster = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = get("--intra") {
+        cfg.topology.intra_gbps = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = get("--inter") {
+        cfg.topology.inter_gbps = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = get("--flit") {
+        cfg.flit_bytes = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = get("--pool-window") {
+        cfg.netcrafter.pooling_window = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = get("--trim-granularity") {
+        cfg.trim_granularity = v.parse().unwrap_or_else(|_| usage());
+    }
+    let scale = match get("--scale").as_deref() {
+        None | Some("small") => Scale::small(),
+        Some("tiny") => Scale::tiny(),
+        Some("paper") => Scale::paper(),
+        Some(_) => usage(),
+    };
+    let seed = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xC0FFEE);
+
+    let exp = Experiment {
+        workload,
+        variant,
+        base_cfg: cfg,
+        scale,
+        seed,
+        max_cycles: 1_000_000_000,
+    };
+    eprintln!(
+        "simulating {workload} / {} on {} clusters x {} GPUs x {} CUs …",
+        variant.label(),
+        exp.base_cfg.topology.clusters,
+        exp.base_cfg.topology.gpus_per_cluster,
+        exp.base_cfg.cus_per_gpu,
+    );
+    let r = exp.run();
+
+    println!("workload             : {workload} ({})", workload.description());
+    println!("variant              : {}", variant.label());
+    println!("execution cycles     : {}", r.exec_cycles);
+    println!("instructions         : {}", r.metrics.counter("total.cu.instructions"));
+    println!("memory ops           : {}", r.metrics.counter("total.cu.mem_ops"));
+    println!("inter-cluster flits  : {}", r.metrics.counter("net.inter.flits"));
+    println!("inter link util      : {:.1}%", 100.0 * r.inter_utilization());
+    println!("inter read latency   : {:.0} cycles", r.inter_read_latency());
+    println!("PTW byte share       : {:.1}%", 100.0 * r.ptw_byte_share());
+    println!("L1 MPKI              : {:.2}", r.l1_mpki());
+    println!("stitched-away flits  : {:.1}%", 100.0 * r.stitched_fraction());
+    println!("trimmed responses    : {}", r.metrics.counter("total.trim.trimmed"));
+    println!("page-table walks     : {}", r.metrics.counter("total.gmmu.walks"));
+
+    if args.iter().any(|a| a == "--dump-metrics") {
+        println!("\n--- all metrics ---\n{}", r.metrics);
+    }
+    if let Some(path) = get("--csv") {
+        std::fs::write(&path, r.metrics.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics written to {path}");
+    }
+}

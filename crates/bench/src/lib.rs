@@ -1,0 +1,235 @@
+//! Benchmark harness: regenerates every table and figure of the
+//! NetCrafter paper's evaluation (§5) from the simulator.
+//!
+//! * [`Runner`] — memoizing experiment executor (most figures share the
+//!   per-workload baseline runs, so results are cached by configuration).
+//! * [`Table`] — plain-text/markdown table renderer.
+//! * [`figures`] — one generator per paper artifact (`table1`, `fig3` …
+//!   `fig22`, `table3`), each returning a [`Table`] whose rows match the
+//!   series the paper plots.
+//!
+//! The `figures` binary drives this library from the command line:
+//!
+//! ```text
+//! cargo run -p netcrafter-bench --release --bin figures -- all
+//! cargo run -p netcrafter-bench --release --bin figures -- fig14 fig18
+//! cargo run -p netcrafter-bench --release --bin figures -- --quick fig3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use netcrafter_multigpu::{Experiment, RunResult, SystemVariant};
+use netcrafter_proto::SystemConfig;
+use netcrafter_workloads::{Scale, Workload};
+
+/// Geometric mean of strictly positive values (0.0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// A renderable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption, e.g. `"Figure 14: overall speedup"`.
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub header: Vec<String>,
+    /// Row cells (first cell is the label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            header: header.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+}
+
+/// Formats a ratio/speedup.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "### {}\n", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:>w$} |", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Memoizing experiment executor shared by all figure generators.
+pub struct Runner {
+    /// Base system configuration (before variant application).
+    pub base_cfg: SystemConfig,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+    /// Print one progress line per fresh run to stderr.
+    pub verbose: bool,
+    cache: RefCell<HashMap<String, Rc<RunResult>>>,
+}
+
+impl Runner {
+    /// Full experiment configuration: 4 GPUs × 8 CUs, paper-scale
+    /// workloads. A complete `figures all` pass takes minutes.
+    pub fn paper() -> Self {
+        Self {
+            base_cfg: SystemConfig::small(8),
+            scale: Scale::paper(),
+            seed: 0xC0FFEE,
+            verbose: false,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Scaled-down configuration for smoke tests and criterion benches:
+    /// 2 CUs per GPU, tiny workloads.
+    pub fn quick() -> Self {
+        Self {
+            base_cfg: SystemConfig::small(2),
+            scale: Scale::tiny(),
+            seed: 0xC0FFEE,
+            verbose: false,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Runs (or replays) `workload` under `variant` on the base config.
+    pub fn run(&self, workload: Workload, variant: SystemVariant) -> Rc<RunResult> {
+        self.run_with(workload, variant, self.base_cfg, "")
+    }
+
+    /// Runs with an alternate base configuration; `tag` must uniquely
+    /// name the alteration for the memo cache.
+    pub fn run_with(
+        &self,
+        workload: Workload,
+        variant: SystemVariant,
+        base_cfg: SystemConfig,
+        tag: &str,
+    ) -> Rc<RunResult> {
+        let key = format!("{workload}|{}|{tag}", variant.label());
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        if self.verbose {
+            eprintln!("  running {key} …");
+        }
+        let result = Rc::new(
+            Experiment {
+                workload,
+                variant,
+                base_cfg,
+                scale: self.scale,
+                seed: self.seed,
+                max_cycles: 300_000_000,
+            }
+            .run(),
+        );
+        self.cache.borrow_mut().insert(key, Rc::clone(&result));
+        result
+    }
+
+    /// Number of completed (cached) runs.
+    pub fn runs_completed(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("Demo", vec!["Workload", "Speedup"]);
+        t.row(vec!["GUPS".into(), f2(1.5)]);
+        let s = t.to_string();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("GUPS |"), "cells are right-aligned: {s}");
+        assert!(s.contains("1.50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("Demo", vec!["A", "B"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn runner_memoizes() {
+        let r = Runner::quick();
+        let a = r.run(Workload::Gups, SystemVariant::Baseline);
+        let b = r.run(Workload::Gups, SystemVariant::Baseline);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(r.runs_completed(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! **NetCrafter** — the paper's contribution: a switch-resident controller
+//! that tailors the flit stream of the lower-bandwidth inter-GPU-cluster
+//! links (§4).
+//!
+//! The controller combines three mechanisms:
+//!
+//! * **Stitching** ([`ClusterQueue`]) — merges partly-empty flits heading
+//!   to the same destination cluster into single flits, reclaiming the
+//!   padding bytes of Table 1 / Figure 6. *Flit Pooling* optionally delays
+//!   a flit that found no stitch candidate for a bounded window so one can
+//!   arrive; *Selective Flit Pooling* exempts latency-critical PTW flits
+//!   from that delay.
+//! * **Trimming** ([`TrimEngine`]) — read responses crossing clusters
+//!   whose requester needs at most one sector carry only that sector
+//!   (20 wire bytes instead of 68), cutting a 5-flit response to 2 flits.
+//! * **Sequencing** — the Cluster Queue's scheduler serves the partitions
+//!   holding page-table (PTW) flits first, keeping translation traffic —
+//!   which averages only ~13% of inter-cluster bytes but sits on the
+//!   critical path of reads — from queueing behind bulk data.
+//!
+//! The [`ClusterQueue`] plugs into a cluster switch's inter-cluster egress
+//! port via the [`netcrafter_net::EgressQueue`] trait; un-stitching at the
+//! receiving cluster switch is performed by
+//! [`netcrafter_net::Switch`]'s routing stage, mirroring the receiver-side
+//! Stitching Engine of §4.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cq;
+pub mod overhead;
+pub mod trim;
+
+pub use cq::{ClusterQueue, ClusterQueueStats};
+pub use overhead::{controller_sram_bytes, overhead_fraction};
+pub use trim::{TrimEngine, TrimStats};

@@ -1,0 +1,58 @@
+//! Hardware cost model of the NetCrafter controller (§4.5).
+//!
+//! Each GPU cluster's switch hosts one controller. Its SRAM cost is the
+//! Cluster Queue (1024 entries × one flit each in the Table 2
+//! configuration) plus the Stitching Engine's single-flit working buffer.
+//! The paper reports 16.02 KB per cluster — 0.098% of an AMD Instinct
+//! MI250X's 16 MB L2, or 0.024% of an Intel Tofino switch's 64 MB SRAM.
+
+/// SRAM footprint of one NetCrafter controller, in bytes.
+///
+/// * `cq_entries` — Cluster Queue capacity in flits (Table 2: 1024).
+/// * `flit_bytes` — flit size (16 B baseline), which is both the CQ entry
+///   width and the Stitching Engine's working-buffer size.
+pub fn controller_sram_bytes(cq_entries: u32, flit_bytes: u32) -> u64 {
+    cq_entries as u64 * flit_bytes as u64 + flit_bytes as u64
+}
+
+/// The controller's SRAM as a fraction of a host memory of `host_bytes`
+/// (e.g. the cluster GPU's L2 capacity).
+pub fn overhead_fraction(cq_entries: u32, flit_bytes: u32, host_bytes: u64) -> f64 {
+    controller_sram_bytes(cq_entries, flit_bytes) as f64 / host_bytes as f64
+}
+
+/// AMD Instinct MI250X L2 capacity, the paper's reference host (16 MB).
+pub const MI250X_L2_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Intel Tofino programmable-switch SRAM, the paper's alternative host
+/// (64 MB).
+pub const TOFINO_SRAM_BYTES: u64 = 64 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the §4.5 numbers exactly.
+    #[test]
+    fn paper_overhead_numbers() {
+        let bytes = controller_sram_bytes(1024, 16);
+        // 16 KB cluster queue + 16 B stitch buffer = 16.02 KB (paper).
+        assert_eq!(bytes, 16 * 1024 + 16);
+        assert!((bytes as f64 / 1024.0 - 16.015_625).abs() < 1e-9);
+
+        // "about 0.098% of the L2 cache size (16MB) of the MI250X".
+        let frac = overhead_fraction(1024, 16, MI250X_L2_BYTES);
+        assert!((frac * 100.0 - 0.0977).abs() < 0.001, "{}", frac * 100.0);
+
+        // "with ... Tofino (64MB SRAM), the overhead drops to 0.024%".
+        let frac = overhead_fraction(1024, 16, TOFINO_SRAM_BYTES);
+        assert!((frac * 100.0 - 0.0244).abs() < 0.001, "{}", frac * 100.0);
+    }
+
+    #[test]
+    fn scales_with_configuration() {
+        // 8 B flits halve the SRAM; doubling entries doubles it.
+        assert_eq!(controller_sram_bytes(1024, 8), 8 * 1024 + 8);
+        assert_eq!(controller_sram_bytes(2048, 16), 32 * 1024 + 16);
+    }
+}

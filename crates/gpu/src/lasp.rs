@@ -1,0 +1,261 @@
+//! LASP — Locality-Aware Scheduling and Placement (Khairy et al. \[42\]),
+//! plus the paper's PTE-page co-location extension (§2.2–§2.3).
+//!
+//! LASP uses compile-time classification of each buffer's access pattern
+//! to (a) assign CTAs to GPUs in locality-preserving blocks and (b) place
+//! each buffer's pages so the CTAs that touch them find them locally
+//! where the pattern allows. Patterns that defy locality (Random,
+//! Gather/Scatter over shared structures) get interleaved placement,
+//! which is where remote — and in particular inter-cluster — traffic
+//! comes from. The PTE extension places each leaf page-table page on the
+//! GPU holding the first data page of its 2 MiB region, which
+//! [`netcrafter_vm::PageTable::map`] implements directly.
+
+use std::collections::BTreeMap;
+
+use netcrafter_proto::kernel::{AccessPattern, KernelSpec};
+use netcrafter_proto::{CtaId, GpuId, Metrics, WavefrontOp};
+use netcrafter_vm::PageTable;
+
+/// The result of the placement pass: a fully populated page table and the
+/// CTA→GPU schedule.
+#[derive(Debug)]
+pub struct Placement {
+    /// The node's shared page table, with every touched page mapped and
+    /// every page-table page placed.
+    pub page_table: PageTable,
+    /// CTA → executing GPU.
+    pub cta_gpu: BTreeMap<CtaId, GpuId>,
+    /// Data pages placed on each GPU.
+    pub pages_per_gpu: Vec<u64>,
+}
+
+impl Placement {
+    /// GPU executing `cta`.
+    pub fn gpu_of(&self, cta: CtaId) -> GpuId {
+        self.cta_gpu[&cta]
+    }
+
+    /// Dumps placement statistics under `prefix`.
+    pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
+        for (g, pages) in self.pages_per_gpu.iter().enumerate() {
+            metrics.add(&format!("{prefix}.gpu{g}.pages"), *pages);
+        }
+        metrics.add(&format!("{prefix}.pt_nodes"), self.page_table.node_count() as u64);
+    }
+}
+
+/// Runs LASP for `kernel` over `total_gpus` GPUs whose physical
+/// partitions hold `frames_per_gpu` frames each.
+///
+/// CTA scheduling: a CTA with a `home_hint` goes to that GPU; the rest
+/// are block-partitioned by CTA position (contiguous CTAs share a GPU,
+/// the locality LASP's index analysis extracts).
+///
+/// Page placement per pattern:
+/// * `Partitioned` / `Adjacent` / `Gather` / `Scatter` — block-partition
+///   the buffer's pages across GPUs in order, aligning slice `g` with the
+///   CTAs scheduled on GPU `g`.
+/// * `Random` — interleave pages round-robin across GPUs (no locality to
+///   exploit; matches LASP's fallback for irregular structures).
+///
+/// # Panics
+///
+/// Panics if a trace touches a virtual page outside every declared
+/// buffer — generators must declare their footprints.
+pub fn place(kernel: &KernelSpec, total_gpus: u16, frames_per_gpu: u64) -> Placement {
+    let mut placer = Placer::new(total_gpus, frames_per_gpu);
+    let cta_gpu = placer.place_kernel(kernel);
+    let (page_table, pages_per_gpu) = placer.finish();
+    Placement { page_table, cta_gpu, pages_per_gpu }
+}
+
+/// Incremental LASP placement across a *sequence* of kernels sharing one
+/// virtual address space: buffers already placed by an earlier kernel
+/// keep their pages (first placement wins, as with first-touch).
+pub struct Placer {
+    total_gpus: u16,
+    frames_per_gpu: u64,
+    page_table: PageTable,
+    next_frame: Vec<u64>,
+    pages_per_gpu: Vec<u64>,
+}
+
+impl Placer {
+    /// Creates a placer for a node of `total_gpus` GPUs.
+    pub fn new(total_gpus: u16, frames_per_gpu: u64) -> Self {
+        assert!(total_gpus > 0);
+        Self {
+            total_gpus,
+            frames_per_gpu,
+            page_table: PageTable::new(frames_per_gpu),
+            next_frame: vec![0; total_gpus as usize],
+            pages_per_gpu: vec![0; total_gpus as usize],
+        }
+    }
+
+    /// Schedules one kernel's CTAs and places its (not-yet-placed) pages.
+    /// Returns the CTA→GPU schedule for this kernel.
+    pub fn place_kernel(&mut self, kernel: &KernelSpec) -> BTreeMap<CtaId, GpuId> {
+        let g = self.total_gpus as u64;
+        // CTA schedule.
+        let n_ctas = kernel.ctas.len().max(1) as u64;
+        let mut cta_gpu = BTreeMap::new();
+        for (pos, cta) in kernel.ctas.iter().enumerate() {
+            let gpu = cta
+                .home_hint
+                .unwrap_or_else(|| GpuId((pos as u64 * g / n_ctas) as u16));
+            assert!(gpu.raw() < self.total_gpus, "home hint {gpu} out of range");
+            cta_gpu.insert(cta.id, gpu);
+        }
+
+        // Page placement (first placement wins across kernels).
+        for buffer in &kernel.buffers {
+            let pages = buffer.pages();
+            let base_vpn = buffer.base_vpn();
+            for p in 0..pages {
+                if self.page_table.translate(base_vpn + p).is_some() {
+                    continue;
+                }
+                let gpu = match buffer.pattern {
+                    AccessPattern::Random => GpuId((p % g) as u16),
+                    AccessPattern::Partitioned
+                    | AccessPattern::Adjacent
+                    | AccessPattern::Gather
+                    | AccessPattern::Scatter => GpuId((p * g / pages.max(1)) as u16),
+                };
+                let frame =
+                    gpu.raw() as u64 * self.frames_per_gpu + self.next_frame[gpu.index()];
+                self.next_frame[gpu.index()] += 1;
+                self.pages_per_gpu[gpu.index()] += 1;
+                self.page_table.map(base_vpn + p, frame, gpu);
+            }
+        }
+
+        // Audit: every touched page must be mapped.
+        for cta in &kernel.ctas {
+            for wave in &cta.waves {
+                for op in &wave.ops {
+                    if let WavefrontOp::Mem(acc) = op {
+                        assert!(
+                            self.page_table.translate(acc.vaddr.vpn()).is_some(),
+                            "kernel {}: {:?} touches unmapped page (vpn {:#x}); declare the buffer",
+                            kernel.name,
+                            acc.vaddr,
+                            acc.vaddr.vpn()
+                        );
+                    }
+                }
+            }
+        }
+        cta_gpu
+    }
+
+    /// Consumes the placer, yielding the populated page table and the
+    /// per-GPU data-page counts.
+    pub fn finish(self) -> (PageTable, Vec<u64>) {
+        (self.page_table, self.pages_per_gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcrafter_proto::access::{CoalescedAccess, WavefrontTrace};
+    use netcrafter_proto::kernel::{BufferSpec, CtaSpec};
+    use netcrafter_proto::{VAddr, WavefrontId, PAGE_BYTES};
+
+    const FRAMES: u64 = 1 << 24;
+
+    fn kernel(n_ctas: u32, pattern: AccessPattern, pages: u64) -> KernelSpec {
+        let buffer = BufferSpec {
+            name: "data".into(),
+            base: VAddr(0x100_0000),
+            bytes: pages * PAGE_BYTES,
+            pattern,
+        };
+        let ctas = (0..n_ctas)
+            .map(|i| CtaSpec {
+                id: CtaId(i),
+                waves: vec![WavefrontTrace {
+                    id: WavefrontId(i),
+                    cta: CtaId(i),
+                    ops: vec![netcrafter_proto::WavefrontOp::Mem(CoalescedAccess::read(
+                        VAddr(0x100_0000 + (i as u64 % pages) * PAGE_BYTES),
+                        8,
+                    ))],
+                }],
+                home_hint: None,
+            })
+            .collect();
+        KernelSpec { name: "test".into(), ctas, buffers: vec![buffer] }
+    }
+
+    #[test]
+    fn ctas_block_partitioned() {
+        let p = place(&kernel(8, AccessPattern::Partitioned, 8), 4, FRAMES);
+        // 8 CTAs over 4 GPUs: two per GPU, contiguous.
+        assert_eq!(p.gpu_of(CtaId(0)), GpuId(0));
+        assert_eq!(p.gpu_of(CtaId(1)), GpuId(0));
+        assert_eq!(p.gpu_of(CtaId(2)), GpuId(1));
+        assert_eq!(p.gpu_of(CtaId(7)), GpuId(3));
+    }
+
+    #[test]
+    fn home_hints_override_blocking() {
+        let mut k = kernel(4, AccessPattern::Partitioned, 4);
+        k.ctas[0].home_hint = Some(GpuId(3));
+        let p = place(&k, 4, FRAMES);
+        assert_eq!(p.gpu_of(CtaId(0)), GpuId(3));
+    }
+
+    #[test]
+    fn partitioned_pages_align_with_cta_blocks() {
+        let p = place(&kernel(8, AccessPattern::Partitioned, 8), 4, FRAMES);
+        // Page p of the buffer lives on gpu p*4/8: two pages per GPU.
+        assert_eq!(p.pages_per_gpu, vec![2, 2, 2, 2]);
+        // CTA 0 (gpu0) touches page 0, which is on gpu0: local.
+        let vpn0 = VAddr(0x100_0000).vpn();
+        let pfn0 = p.page_table.translate(vpn0).unwrap();
+        assert_eq!(pfn0 / FRAMES, 0);
+        // Page 7 is on gpu3.
+        let pfn7 = p.page_table.translate(vpn0 + 7).unwrap();
+        assert_eq!(pfn7 / FRAMES, 3);
+    }
+
+    #[test]
+    fn random_pages_interleave() {
+        let p = place(&kernel(4, AccessPattern::Random, 8), 4, FRAMES);
+        let vpn0 = VAddr(0x100_0000).vpn();
+        for page in 0..8u64 {
+            let pfn = p.page_table.translate(vpn0 + page).unwrap();
+            assert_eq!(pfn / FRAMES, page % 4, "page {page} interleaved");
+        }
+    }
+
+    #[test]
+    fn pte_pages_colocated_with_first_data_page() {
+        let p = place(&kernel(4, AccessPattern::Random, 8), 4, FRAMES);
+        let vpn0 = VAddr(0x100_0000).vpn();
+        // All 8 pages share one 2 MiB region; the first page went to
+        // gpu0, so the leaf PT node lives on gpu0.
+        assert_eq!(p.page_table.node_owner(vpn0 + 5, 4), Some(GpuId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped page")]
+    fn undeclared_touch_panics() {
+        let mut k = kernel(1, AccessPattern::Random, 1);
+        k.buffers.clear();
+        let _ = place(&k, 4, FRAMES);
+    }
+
+    #[test]
+    fn placement_report() {
+        let p = place(&kernel(4, AccessPattern::Random, 8), 4, FRAMES);
+        let mut m = Metrics::new();
+        p.report(&mut m, "lasp");
+        assert_eq!(m.counter("lasp.gpu0.pages"), 2);
+        assert!(m.counter("lasp.pt_nodes") >= 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Memory hierarchy models: the per-CU sectored L1 vector cache, the
+//! banked shared L2, and HBM/DRAM — the Table 2 memory system.
+//!
+//! Design notes mirroring the paper's baseline (§2.1, Table 2):
+//!
+//! * The **L1** is a 64 KB write-through vector cache with a 20-cycle
+//!   lookup and a 32-entry MSHR. It supports three fill policies
+//!   ([`netcrafter_proto::SectorFillPolicy`]): classic full-line fills,
+//!   NetCrafter's Trimming-aware fills (partial lines arrive only from
+//!   trimmed inter-cluster responses), and the all-sectored comparison
+//!   baseline of §5.3. Lines track per-sector validity.
+//! * The **L2** is 4 MB per GPU, 16 banks, 16-way, 100-cycle lookup,
+//!   write-back with write-allocate, shared by all GPUs in the node
+//!   (remote GPUs reach it through their RDMA engines). Remote data is
+//!   never cached in the local L2 partition — only in L1 — per §2.1.
+//! * **DRAM** sustains 1 TB/s with 100 ns access latency.
+//!
+//! The L1 is a passive structure driven by its CU's tick (it shares the
+//! CU's component); the L2 and DRAM are engine components.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dram;
+pub mod l1;
+pub mod l2;
+pub mod mshr;
+pub mod tagstore;
+
+pub use dram::Dram;
+pub use l1::{L1Access, L1Cache, L1Stats};
+pub use l2::{L2Cache, L2Stats};
+pub use mshr::{Mshr, MshrOutcome};
+pub use tagstore::TagStore;

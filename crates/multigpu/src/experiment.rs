@@ -1,0 +1,374 @@
+//! Experiment configurations and derived measures — the vocabulary of
+//! the paper's evaluation section (§5).
+
+use netcrafter_proto::{Metrics, NetCrafterConfig, SectorFillPolicy, SystemConfig};
+use netcrafter_workloads::{Scale, Workload};
+
+use crate::system::System;
+
+/// The system configurations the evaluation compares (§5.2–§5.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SystemVariant {
+    /// The non-uniform bandwidth baseline (Table 2), everything off.
+    Baseline,
+    /// The impractical *ideal*: inter-cluster links run at intra-cluster
+    /// bandwidth (Figure 3).
+    Ideal,
+    /// Full NetCrafter: Stitching + 32-cycle Selective Flit Pooling +
+    /// Trimming + Sequencing (the rightmost Figure 14 bar).
+    NetCrafter,
+    /// Stitching alone, no pooling (Figures 12/18/19 leftmost).
+    StitchOnly,
+    /// Stitching with (optionally selective) Flit Pooling of the given
+    /// window (Figures 18/19 sweeps).
+    StitchPool {
+        /// Pooling window in cycles.
+        window: u32,
+        /// Exempt PTW flits from pooling.
+        selective: bool,
+    },
+    /// Stitching + Selective Pooling + Trimming (the cumulative middle
+    /// bar of Figure 14).
+    StitchTrim,
+    /// Trimming alone (with its sectored L1 fills).
+    TrimOnly,
+    /// Sequencing alone (PTW prioritization).
+    SeqOnly,
+    /// Figure 8's counterfactual: prioritize data-read flits instead of
+    /// PTW flits.
+    DataPrio,
+    /// The §5.3 comparison baseline: 16 B sectored L1 everywhere,
+    /// NetCrafter off.
+    SectorCache,
+}
+
+impl SystemVariant {
+    /// Applies the variant to a base configuration.
+    pub fn apply(self, mut cfg: SystemConfig) -> SystemConfig {
+        match self {
+            SystemVariant::Baseline => {
+                cfg.netcrafter = NetCrafterConfig::disabled();
+                cfg.sector_fill = SectorFillPolicy::FullLine;
+            }
+            SystemVariant::Ideal => {
+                cfg = cfg.idealized();
+                cfg.netcrafter = NetCrafterConfig::disabled();
+                cfg.sector_fill = SectorFillPolicy::FullLine;
+            }
+            SystemVariant::NetCrafter => {
+                cfg = cfg.with_netcrafter();
+            }
+            SystemVariant::StitchOnly => {
+                cfg.netcrafter = NetCrafterConfig::stitching_only();
+                cfg.sector_fill = SectorFillPolicy::FullLine;
+            }
+            SystemVariant::StitchPool { window, selective } => {
+                cfg.netcrafter = NetCrafterConfig {
+                    stitching: true,
+                    pooling_window: window,
+                    selective_pooling: selective,
+                    ..NetCrafterConfig::disabled()
+                };
+                cfg.sector_fill = SectorFillPolicy::FullLine;
+            }
+            SystemVariant::StitchTrim => {
+                cfg.netcrafter = NetCrafterConfig {
+                    stitching: true,
+                    pooling_window: 32,
+                    selective_pooling: true,
+                    trimming: true,
+                    ..NetCrafterConfig::disabled()
+                };
+                cfg.sector_fill = SectorFillPolicy::OnTrim;
+            }
+            SystemVariant::TrimOnly => {
+                cfg.netcrafter = NetCrafterConfig {
+                    trimming: true,
+                    ..NetCrafterConfig::disabled()
+                };
+                cfg.sector_fill = SectorFillPolicy::OnTrim;
+            }
+            SystemVariant::SeqOnly => {
+                cfg.netcrafter = NetCrafterConfig {
+                    sequencing: true,
+                    ..NetCrafterConfig::disabled()
+                };
+                cfg.sector_fill = SectorFillPolicy::FullLine;
+            }
+            SystemVariant::DataPrio => {
+                cfg.netcrafter = NetCrafterConfig {
+                    sequencing: true,
+                    prioritize_data_instead: true,
+                    ..NetCrafterConfig::disabled()
+                };
+                cfg.sector_fill = SectorFillPolicy::FullLine;
+            }
+            SystemVariant::SectorCache => {
+                cfg = cfg.with_sector_cache();
+            }
+        }
+        cfg
+    }
+
+    /// Display label for tables.
+    pub fn label(self) -> String {
+        match self {
+            SystemVariant::Baseline => "Baseline".into(),
+            SystemVariant::Ideal => "Ideal".into(),
+            SystemVariant::NetCrafter => "NetCrafter".into(),
+            SystemVariant::StitchOnly => "Stitching".into(),
+            SystemVariant::StitchPool { window, selective } => {
+                if selective {
+                    format!("Stitch+SelPool{window}")
+                } else {
+                    format!("Stitch+Pool{window}")
+                }
+            }
+            SystemVariant::StitchTrim => "Stitch+Trim".into(),
+            SystemVariant::TrimOnly => "Trimming".into(),
+            SystemVariant::SeqOnly => "Sequencing".into(),
+            SystemVariant::DataPrio => "DataPrio".into(),
+            SystemVariant::SectorCache => "SectorCache(16B)".into(),
+        }
+    }
+}
+
+/// The outcome of one run: execution time plus harvested metrics, with
+/// accessors for every figure's derived measure.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// End-to-end execution time in cycles.
+    pub exec_cycles: u64,
+    /// All harvested counters/histograms/latencies.
+    pub metrics: Metrics,
+}
+
+impl RunResult {
+    /// Inter-cluster link utilization in [0, 1] (Figure 4).
+    pub fn inter_utilization(&self) -> f64 {
+        self.metrics.ratio("net.inter.flits", "net.inter.capacity_flits")
+    }
+
+    /// Mean inter-cluster read latency in cycles (Figures 5 and 15).
+    pub fn inter_read_latency(&self) -> f64 {
+        self.metrics.latency("total.cu.inter_cluster_read_latency").mean()
+    }
+
+    /// Fraction of inter-cluster flits with the given padding percentage
+    /// bucket (0, 25, 50 or 75) — Figure 6.
+    pub fn padding_fraction(&self, pct: u32) -> f64 {
+        let total = self.metrics.counter("net.inter.flits");
+        if total == 0 {
+            return 0.0;
+        }
+        self.metrics.counter(&format!("net.inter.padding{pct}")) as f64 / total as f64
+    }
+
+    /// Distribution of inter-cluster reads by bytes required (Figure 7):
+    /// fractions for 16/32/48/64 B.
+    pub fn fig7_fractions(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        let total: u64 = (1..=4)
+            .map(|i| self.metrics.counter(&format!("total.cu.fig7_{}B", i * 16)))
+            .sum();
+        if total == 0 {
+            return out;
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.metrics.counter(&format!("total.cu.fig7_{}B", (i + 1) * 16)) as f64
+                / total as f64;
+        }
+        out
+    }
+
+    /// PTW-related share of inter-cluster bytes (Figure 9).
+    pub fn ptw_byte_share(&self) -> f64 {
+        let ptw = self.metrics.counter("net.inter.ptw_bytes");
+        let data = self.metrics.counter("net.inter.data_bytes");
+        if ptw + data == 0 {
+            0.0
+        } else {
+            ptw as f64 / (ptw + data) as f64
+        }
+    }
+
+    /// Fraction of would-be inter-cluster flits that were stitched away
+    /// into parents (Figure 12): absorbed / (transmitted + absorbed).
+    pub fn stitched_fraction(&self) -> f64 {
+        let absorbed = self.metrics.counter("net.inter.cq.absorbed");
+        let popped = self.metrics.counter("net.inter.cq.popped");
+        if absorbed + popped == 0 {
+            0.0
+        } else {
+            absorbed as f64 / (absorbed + popped) as f64
+        }
+    }
+
+    /// Bytes that crossed inter-cluster links, counting each transmitted
+    /// flit at full flit size (Figure 20's currency).
+    pub fn inter_link_bytes(&self) -> u64 {
+        self.metrics.counter("net.inter.flits") * self.metrics.counter("net.inter.flit_bytes")
+    }
+
+    /// L1 misses per kilo-instruction (Figures 16/17).
+    pub fn l1_mpki(&self) -> f64 {
+        1000.0 * self.metrics.counter("total.l1.misses") as f64
+            / self.metrics.counter("total.cu.instructions").max(1) as f64
+    }
+}
+
+/// One configured run: workload × variant × scale × base config.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Workload to run.
+    pub workload: Workload,
+    /// System variant.
+    pub variant: SystemVariant,
+    /// Base configuration (topology, CU count, flit size, …); the
+    /// variant is applied on top at [`Experiment::run`].
+    pub base_cfg: SystemConfig,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+    /// Watchdog limit.
+    pub max_cycles: u64,
+}
+
+impl Experiment {
+    /// A standard experiment: 4 GPUs × 8 CUs, small scale.
+    pub fn new(workload: Workload, variant: SystemVariant) -> Self {
+        Self {
+            workload,
+            variant,
+            base_cfg: SystemConfig::small(8),
+            scale: Scale::small(),
+            seed: 0xC0FFEE,
+            max_cycles: 80_000_000,
+        }
+    }
+
+    /// A minimal configuration for doc tests and smoke tests: 2 CUs per
+    /// GPU, tiny workloads — runs in milliseconds.
+    pub fn quick(workload: Workload, variant: SystemVariant) -> Self {
+        Self {
+            workload,
+            variant,
+            base_cfg: SystemConfig::small(2),
+            scale: Scale::tiny(),
+            seed: 0xC0FFEE,
+            max_cycles: 20_000_000,
+        }
+    }
+
+    /// Replaces the workload scale.
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Replaces the base configuration.
+    pub fn with_base_cfg(mut self, cfg: SystemConfig) -> Self {
+        self.base_cfg = cfg;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the system, runs the workload to completion and harvests.
+    pub fn run(&self) -> RunResult {
+        let cfg = self.variant.apply(self.base_cfg);
+        let kernel = self
+            .workload
+            .generate(&self.scale, cfg.total_gpus(), self.seed);
+        let mut sys = System::build(cfg, &kernel);
+        let exec_cycles = sys.run(self.max_cycles);
+        RunResult { exec_cycles, metrics: sys.harvest() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_produce_expected_configs() {
+        let base = SystemConfig::paper_baseline();
+        let ideal = SystemVariant::Ideal.apply(base);
+        assert_eq!(ideal.topology.inter_gbps, ideal.topology.intra_gbps);
+
+        let nc = SystemVariant::NetCrafter.apply(base);
+        assert!(nc.netcrafter.stitching && nc.netcrafter.trimming && nc.netcrafter.sequencing);
+        assert_eq!(nc.sector_fill, SectorFillPolicy::OnTrim);
+
+        let so = SystemVariant::StitchOnly.apply(base);
+        assert!(so.netcrafter.stitching);
+        assert_eq!(so.netcrafter.pooling_window, 0);
+
+        let sp = SystemVariant::StitchPool { window: 64, selective: true }.apply(base);
+        assert_eq!(sp.netcrafter.pooling_window, 64);
+        assert!(sp.netcrafter.selective_pooling);
+
+        let sc = SystemVariant::SectorCache.apply(base);
+        assert_eq!(sc.sector_fill, SectorFillPolicy::Always);
+        assert!(!sc.netcrafter.any_enabled());
+
+        let seq = SystemVariant::SeqOnly.apply(base);
+        assert!(seq.netcrafter.sequencing && !seq.netcrafter.stitching);
+        assert!(seq.validate().is_ok());
+    }
+
+    #[test]
+    fn quick_experiment_runs_gups() {
+        let r = Experiment::quick(Workload::Gups, SystemVariant::Baseline).run();
+        assert!(r.exec_cycles > 0);
+        assert!(r.metrics.counter("total.cu.mem_ops") > 0);
+        assert!(r.inter_utilization() > 0.0, "GUPS loads the slow link");
+        let fig7 = r.fig7_fractions();
+        assert!(fig7[0] > 0.9, "GUPS needs <=16 B nearly always: {fig7:?}");
+    }
+
+    #[test]
+    fn ideal_beats_baseline_on_network_bound_workload() {
+        let base = Experiment::quick(Workload::Gups, SystemVariant::Baseline).run();
+        let ideal = Experiment::quick(Workload::Gups, SystemVariant::Ideal).run();
+        assert!(
+            ideal.exec_cycles <= base.exec_cycles,
+            "ideal {} vs base {}",
+            ideal.exec_cycles,
+            base.exec_cycles
+        );
+    }
+
+    #[test]
+    fn netcrafter_stitches_on_quick_run() {
+        let r = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter).run();
+        assert!(r.stitched_fraction() > 0.0, "some flits must stitch");
+        assert!(r.metrics.counter("total.trim.trimmed") > 0, "trimming engages");
+    }
+
+    #[test]
+    fn variant_labels_are_unique() {
+        let labels: Vec<String> = [
+            SystemVariant::Baseline,
+            SystemVariant::Ideal,
+            SystemVariant::NetCrafter,
+            SystemVariant::StitchOnly,
+            SystemVariant::StitchPool { window: 32, selective: false },
+            SystemVariant::StitchPool { window: 32, selective: true },
+            SystemVariant::StitchTrim,
+            SystemVariant::TrimOnly,
+            SystemVariant::SeqOnly,
+            SystemVariant::SectorCache,
+        ]
+        .iter()
+        .map(|v| v.label())
+        .collect();
+        let unique: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

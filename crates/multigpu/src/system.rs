@@ -1,0 +1,608 @@
+//! Node assembly: instantiates and wires every component of the
+//! non-uniform bandwidth multi-GPU system (Figure 2 / Table 2).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use netcrafter_core::ClusterQueue;
+use netcrafter_gpu::{lasp, Cu, CuWiring, Rdma, RdmaWiring};
+use netcrafter_proto::WavefrontTrace;
+use netcrafter_mem::l2::{L2Cache, L2Wiring};
+use netcrafter_mem::Dram;
+use netcrafter_net::{FifoQueue, Switch, SwitchPortSpec, Topology};
+use netcrafter_proto::config::PA_GPU_REGION_BITS;
+use netcrafter_proto::{GpuId, KernelSpec, Metrics, SystemConfig};
+use netcrafter_sim::{ComponentId, Cycle, Engine, EngineBuilder};
+use netcrafter_vm::{TranslationUnit, TranslationWiring};
+
+/// Component ids of everything in the node, for stats harvesting.
+#[derive(Debug, Clone)]
+pub struct SystemIds {
+    /// CUs, indexed `[gpu][cu]`.
+    pub cus: Vec<Vec<ComponentId>>,
+    /// L2 caches per GPU.
+    pub l2s: Vec<ComponentId>,
+    /// DRAM stacks per GPU.
+    pub drams: Vec<ComponentId>,
+    /// Translation units per GPU.
+    pub gmmus: Vec<ComponentId>,
+    /// RDMA engines per GPU.
+    pub rdmas: Vec<ComponentId>,
+    /// Cluster switches per cluster.
+    pub switches: Vec<ComponentId>,
+}
+
+/// Per-CU wavefront batches for one kernel: `[gpu][cu] -> waves`.
+type Dispatch = Vec<Vec<Vec<WavefrontTrace>>>;
+
+/// The assembled multi-GPU node.
+pub struct System {
+    /// The simulation engine holding every component.
+    pub engine: Engine,
+    /// Component directory.
+    pub ids: SystemIds,
+    cfg: SystemConfig,
+    kernel_name: String,
+    pages_per_gpu: Vec<u64>,
+    /// Kernels awaiting their global barrier (name, dispatch).
+    pending_kernels: std::collections::VecDeque<(String, Dispatch)>,
+    /// Per-kernel execution times recorded by [`System::run_all`].
+    pub kernel_cycles: Vec<(String, Cycle)>,
+}
+
+impl System {
+    /// Builds the node described by `cfg` and loads `kernel` onto it:
+    /// LASP places CTAs and pages (including PTE pages), wavefronts are
+    /// dispatched to CUs, and every component is wired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or the kernel touches undeclared
+    /// memory.
+    pub fn build(cfg: SystemConfig, kernel: &KernelSpec) -> Self {
+        Self::build_multi(cfg, std::slice::from_ref(kernel))
+    }
+
+    /// Dispatch for one kernel: a CTA runs entirely on one CU; a GPU's
+    /// CTAs round-robin over its CUs.
+    fn dispatch(
+        kernel: &KernelSpec,
+        cta_gpu: &BTreeMap<netcrafter_proto::CtaId, GpuId>,
+        total_gpus: u16,
+        cus_per_gpu: u16,
+    ) -> Dispatch {
+        let mut cu_waves: Dispatch = (0..total_gpus)
+            .map(|_| (0..cus_per_gpu).map(|_| Vec::new()).collect())
+            .collect();
+        let mut next_cu = vec![0usize; total_gpus as usize];
+        for cta in &kernel.ctas {
+            let gpu = cta_gpu[&cta.id];
+            let cu = next_cu[gpu.index()] % cus_per_gpu as usize;
+            next_cu[gpu.index()] += 1;
+            cu_waves[gpu.index()][cu].extend(cta.waves.iter().cloned());
+        }
+        cu_waves
+    }
+
+    /// Builds the node and loads a *sequence* of kernels separated by
+    /// global kernel barriers (§2.2's serial kernel launches): LASP
+    /// places all kernels' pages up front (first placement wins, like
+    /// first-touch across launches), kernel 0 is dispatched immediately,
+    /// and [`System::run_all`] launches each subsequent kernel when the
+    /// previous one drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation, `kernels` is empty, or any
+    /// kernel touches undeclared memory.
+    pub fn build_multi(cfg: SystemConfig, kernels: &[KernelSpec]) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        assert!(!kernels.is_empty(), "need at least one kernel");
+        let topo = Topology::new(&cfg.topology);
+        let total_gpus = topo.total_gpus();
+        let frames_per_gpu = 1u64 << (PA_GPU_REGION_BITS - 12);
+
+        // LASP: CTA schedules + data/PTE placement across all kernels.
+        let mut placer = lasp::Placer::new(total_gpus, frames_per_gpu);
+        let mut dispatches: std::collections::VecDeque<(String, Dispatch)> = kernels
+            .iter()
+            .map(|k| {
+                let cta_gpu = placer.place_kernel(k);
+                (
+                    k.name.clone(),
+                    Self::dispatch(k, &cta_gpu, total_gpus, cfg.cus_per_gpu),
+                )
+            })
+            .collect();
+        let (page_table, pages_per_gpu) = placer.finish();
+        let page_table = Rc::new(page_table);
+        let (kernel_name, mut cu_waves) = dispatches.pop_front().expect("non-empty");
+
+        // Reserve ids: per GPU (cus…, gmmu, l2, dram, rdma), then switches.
+        let mut b = EngineBuilder::new();
+        let mut ids = SystemIds {
+            cus: Vec::new(),
+            l2s: Vec::new(),
+            drams: Vec::new(),
+            gmmus: Vec::new(),
+            rdmas: Vec::new(),
+            switches: Vec::new(),
+        };
+        for _g in 0..total_gpus {
+            let cus: Vec<ComponentId> = (0..cfg.cus_per_gpu).map(|_| b.reserve()).collect();
+            ids.cus.push(cus);
+            ids.gmmus.push(b.reserve());
+            ids.l2s.push(b.reserve());
+            ids.drams.push(b.reserve());
+            ids.rdmas.push(b.reserve());
+        }
+        for _c in 0..topo.clusters() {
+            ids.switches.push(b.reserve());
+        }
+
+        let flit = cfg.flit_bytes as f64;
+        let intra_fpc = cfg.topology.intra_bytes_per_cycle() / flit;
+        let inter_fpc = cfg.topology.inter_bytes_per_cycle() / flit;
+        let buf = cfg.switch.buffer_entries;
+
+        // Install per-GPU components.
+        for g in 0..total_gpus {
+            let gpu = GpuId(g);
+            let gix = gpu.index();
+            let cluster = topo.gpu_cluster(gpu);
+            let switch_comp = ids.switches[cluster.index()];
+            let switch_node = topo.switch_node(cluster);
+
+            for (c, &cu_id) in ids.cus[gix].iter().enumerate() {
+                let waves = std::mem::take(&mut cu_waves[gix][c]);
+                b.install(
+                    cu_id,
+                    Box::new(Cu::new(
+                        gpu,
+                        netcrafter_proto::CuId(c as u16),
+                        &cfg,
+                        waves,
+                        CuWiring {
+                            gmmu: ids.gmmus[gix],
+                            l2: ids.l2s[gix],
+                            rdma: ids.rdmas[gix],
+                        },
+                    )),
+                );
+            }
+            b.install(
+                ids.gmmus[gix],
+                Box::new(TranslationUnit::new(
+                    gpu,
+                    &cfg.l2_tlb,
+                    &cfg.gmmu,
+                    cfg.on_chip_hop_cycles,
+                    Rc::clone(&page_table),
+                    TranslationWiring {
+                        cus: ids.cus[gix].clone(),
+                        l2: ids.l2s[gix],
+                        rdma: ids.rdmas[gix],
+                    },
+                )),
+            );
+            b.install(
+                ids.l2s[gix],
+                Box::new(L2Cache::new(
+                    gpu,
+                    &cfg.l2,
+                    cfg.full_sector_mask(),
+                    cfg.on_chip_hop_cycles,
+                    L2Wiring {
+                        cus: ids.cus[gix].clone(),
+                        gmmu: ids.gmmus[gix],
+                        rdma: ids.rdmas[gix],
+                        dram: ids.drams[gix],
+                    },
+                )),
+            );
+            b.install(
+                ids.drams[gix],
+                Box::new(Dram::new(gpu, &cfg.dram, ids.l2s[gix])),
+            );
+            b.install(
+                ids.rdmas[gix],
+                Box::new(Rdma::new(
+                    gpu,
+                    topo.gpu_node(gpu),
+                    &cfg,
+                    RdmaWiring {
+                        switch: switch_comp,
+                        switch_node,
+                        switch_credits: buf,
+                        l2: ids.l2s[gix],
+                        gmmu: ids.gmmus[gix],
+                        cus: ids.cus[gix].clone(),
+                    },
+                )),
+            );
+        }
+
+        // Install cluster switches.
+        for cluster in topo.all_clusters() {
+            let node = topo.switch_node(cluster);
+            let mut specs = Vec::new();
+            let mut route = BTreeMap::new();
+            // Ports to local GPUs.
+            for gpu in topo.cluster_gpus(cluster) {
+                route.insert(topo.gpu_node(gpu), specs.len());
+                specs.push(SwitchPortSpec {
+                    peer: ids.rdmas[gpu.index()],
+                    peer_node: topo.gpu_node(gpu),
+                    flits_per_cycle: intra_fpc,
+                    initial_credits: buf,
+                    input_capacity: buf as usize,
+                    output_capacity: buf as usize,
+                    queue: Box::new(FifoQueue::new()),
+                    wire_latency: 1,
+                    is_inter: false,
+                });
+            }
+            // Ports to the other cluster switches (full mesh).
+            for other in topo.all_clusters() {
+                if other == cluster {
+                    continue;
+                }
+                let port = specs.len();
+                route.insert(topo.switch_node(other), port);
+                for gpu in topo.cluster_gpus(other) {
+                    route.insert(topo.gpu_node(gpu), port);
+                }
+                let queue: Box<dyn netcrafter_net::EgressQueue> =
+                    if cfg.netcrafter.any_enabled() {
+                        Box::new(ClusterQueue::new(cfg.netcrafter, topo.switch_node(other)))
+                    } else {
+                        Box::new(FifoQueue::new())
+                    };
+                specs.push(SwitchPortSpec {
+                    peer: ids.switches[other.index()],
+                    peer_node: topo.switch_node(other),
+                    flits_per_cycle: inter_fpc,
+                    initial_credits: buf,
+                    input_capacity: buf as usize,
+                    output_capacity: buf as usize,
+                    queue,
+                    wire_latency: 1,
+                    is_inter: true,
+                });
+            }
+            b.install(
+                ids.switches[cluster.index()],
+                Box::new(Switch::new(
+                    node,
+                    format!("{cluster}.switch"),
+                    cfg.switch.pipeline_cycles,
+                    specs,
+                    route,
+                )),
+            );
+        }
+
+        Self {
+            engine: b.build(),
+            ids,
+            cfg,
+            kernel_name,
+            pages_per_gpu,
+            pending_kernels: dispatches,
+            kernel_cycles: Vec::new(),
+        }
+    }
+
+    /// Runs every loaded kernel to completion, honouring global kernel
+    /// barriers: the next kernel launches only when the node is fully
+    /// drained. Returns the total execution time; per-kernel times are in
+    /// [`System::kernel_cycles`].
+    pub fn run_all(&mut self, max_cycles_per_kernel: Cycle) -> Cycle {
+        let mut started = self.engine.cycle();
+        let mut end = self.engine.run_to_quiescence(max_cycles_per_kernel);
+        self.kernel_cycles.push((self.kernel_name.clone(), end - started));
+        while let Some((name, dispatch)) = self.pending_kernels.pop_front() {
+            self.kernel_name = name;
+            for (g, per_cu) in dispatch.into_iter().enumerate() {
+                for (c, waves) in per_cu.into_iter().enumerate() {
+                    if waves.is_empty() {
+                        continue;
+                    }
+                    let cu_id = self.ids.cus[g][c];
+                    self.engine
+                        .get_mut::<Cu>(cu_id)
+                        .expect("cu installed")
+                        .load_waves(waves);
+                }
+            }
+            started = end;
+            end = self.engine.run_to_quiescence(max_cycles_per_kernel);
+            self.kernel_cycles.push((self.kernel_name.clone(), end - started));
+        }
+        end
+    }
+
+    /// The configuration the node was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Kernel loaded on the node.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// Runs the loaded kernel to completion (quiescence). Returns the
+    /// execution time in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce within `max_cycles` — a
+    /// deadlock or livelock in the model.
+    pub fn run(&mut self, max_cycles: Cycle) -> Cycle {
+        self.engine.run_to_quiescence(max_cycles)
+    }
+
+    /// Total flits transmitted so far on inter-cluster egress ports.
+    fn inter_flits_now(&self) -> u64 {
+        self.ids
+            .switches
+            .iter()
+            .map(|&sw| {
+                let sw: &Switch = self.engine.get(sw).expect("switch installed");
+                sw.port_stats()
+                    .filter(|(_, is_inter, _)| *is_inter)
+                    .map(|(_, _, stats)| stats.flits)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Runs like [`System::run`] but samples the inter-cluster links every
+    /// `interval` cycles, returning a `(cycle, flits_in_interval)` series —
+    /// the utilization-over-time view (flits per interval divided by the
+    /// links' flit capacity gives instantaneous utilization).
+    pub fn run_sampled(
+        &mut self,
+        max_cycles: Cycle,
+        interval: Cycle,
+    ) -> Vec<(Cycle, u64)> {
+        assert!(interval > 0);
+        let limit = self.engine.cycle() + max_cycles;
+        let mut samples = Vec::new();
+        let mut last = self.inter_flits_now();
+        while !self.engine.quiescent() {
+            assert!(self.engine.cycle() < limit, "simulation did not quiesce");
+            let until = self.engine.cycle() + interval;
+            self.engine.run_while(interval, |e| e.cycle() < until);
+            let now_flits = self.inter_flits_now();
+            samples.push((self.engine.cycle(), now_flits - last));
+            last = now_flits;
+        }
+        samples
+    }
+
+    /// Collects every component's statistics plus system-level derived
+    /// counters into one registry.
+    pub fn harvest(&self) -> Metrics {
+        let mut m = Metrics::new();
+        let cycles = self.engine.cycle();
+        m.set("sys.cycles", cycles);
+        m.set("sys.messages", self.engine.messages_delivered());
+        for (g, pages) in self.pages_per_gpu.iter().enumerate() {
+            m.set(&format!("lasp.gpu{g}.pages"), *pages);
+        }
+
+        for (g, cu_ids) in self.ids.cus.iter().enumerate() {
+            for &cu_id in cu_ids {
+                let cu: &Cu = self.engine.get(cu_id).expect("cu installed");
+                cu.stats.report(&mut m, &format!("gpu{g}.cu"));
+                cu.stats.report(&mut m, "total.cu");
+                cu.l1.stats.report(&mut m, &format!("gpu{g}.l1"));
+                cu.l1.stats.report(&mut m, "total.l1");
+                cu.l1_tlb.stats.report(&mut m, &format!("gpu{g}.l1tlb"));
+                cu.l1_tlb.stats.report(&mut m, "total.l1tlb");
+            }
+            let tu: &TranslationUnit =
+                self.engine.get(self.ids.gmmus[g]).expect("gmmu installed");
+            tu.stats.report(&mut m, &format!("gpu{g}.gmmu"));
+            tu.stats.report(&mut m, "total.gmmu");
+            tu.l2_tlb.stats.report(&mut m, &format!("gpu{g}.l2tlb"));
+            tu.l2_tlb.stats.report(&mut m, "total.l2tlb");
+            let l2: &L2Cache = self.engine.get(self.ids.l2s[g]).expect("l2 installed");
+            l2.stats.report(&mut m, &format!("gpu{g}.l2"));
+            l2.stats.report(&mut m, "total.l2");
+            let dram: &Dram = self.engine.get(self.ids.drams[g]).expect("dram installed");
+            dram.stats.report(&mut m, &format!("gpu{g}.dram"));
+            dram.stats.report(&mut m, "total.dram");
+            let rdma: &Rdma = self.engine.get(self.ids.rdmas[g]).expect("rdma installed");
+            rdma.stats.report(&mut m, &format!("gpu{g}.rdma"));
+            rdma.stats.report(&mut m, "total.rdma");
+            rdma.trim.stats.report(&mut m, &format!("gpu{g}.trim"));
+            rdma.trim.stats.report(&mut m, "total.trim");
+        }
+
+        let topo = Topology::new(&self.cfg.topology);
+        for (c, &sw_id) in self.ids.switches.iter().enumerate() {
+            let sw: &Switch = self.engine.get(sw_id).expect("switch installed");
+            sw.report(&mut m, &format!("switch{c}"));
+            sw.report(&mut m, "net");
+        }
+        // Inter-cluster link capacity over the run, for utilization.
+        let inter_ports = (topo.clusters() as u64) * (topo.clusters() as u64 - 1);
+        let inter_fpc =
+            self.cfg.topology.inter_bytes_per_cycle() / self.cfg.flit_bytes as f64;
+        m.set(
+            "net.inter.capacity_flits",
+            (cycles as f64 * inter_fpc * inter_ports as f64) as u64,
+        );
+        m.set("net.inter.flit_bytes", self.cfg.flit_bytes as u64);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcrafter_proto::access::{CoalescedAccess, WavefrontOp, WavefrontTrace};
+    use netcrafter_proto::kernel::{AccessPattern, BufferSpec, CtaSpec};
+    use netcrafter_proto::{CtaId, VAddr, WavefrontId, PAGE_BYTES};
+
+    /// A minimal 2-CTA kernel over an interleaved buffer: guaranteed to
+    /// generate remote and inter-cluster traffic on a 2×2 node.
+    fn tiny_kernel() -> KernelSpec {
+        let base = 0x4000_0000u64;
+        let pages = 8u64;
+        let buffer = BufferSpec {
+            name: "data".into(),
+            base: VAddr(base),
+            bytes: pages * PAGE_BYTES,
+            pattern: AccessPattern::Random,
+        };
+        let mut ctas = Vec::new();
+        for c in 0..2u32 {
+            let mut ops = Vec::new();
+            for i in 0..12u64 {
+                // Touch every page: pages interleave across 4 GPUs.
+                let page = (i + c as u64 * 3) % pages;
+                ops.push(WavefrontOp::Mem(CoalescedAccess::read(
+                    VAddr(base + page * PAGE_BYTES + (i % 8) * 64),
+                    8,
+                )));
+                ops.push(WavefrontOp::Compute(2));
+            }
+            ops.push(WavefrontOp::Mem(CoalescedAccess::write(
+                VAddr(base + c as u64 * PAGE_BYTES),
+                64,
+            )));
+            ctas.push(CtaSpec {
+                id: CtaId(c),
+                waves: vec![WavefrontTrace { id: WavefrontId(c), cta: CtaId(c), ops }],
+                home_hint: None,
+            });
+        }
+        KernelSpec { name: "tiny".into(), ctas, buffers: vec![buffer] }
+    }
+
+    #[test]
+    fn baseline_system_runs_to_completion() {
+        let cfg = SystemConfig::small(2);
+        let mut sys = System::build(cfg, &tiny_kernel());
+        let cycles = sys.run(1_000_000);
+        assert!(cycles > 0);
+        let m = sys.harvest();
+        assert_eq!(m.counter("sys.cycles"), cycles);
+        assert!(m.counter("total.cu.instructions") > 0);
+        assert!(m.counter("total.l1.reads") > 0);
+        assert!(
+            m.counter("net.inter.flits") > 0,
+            "interleaved pages must cross clusters"
+        );
+        assert!(m.counter("total.gmmu.walks") > 0, "cold TLBs must walk");
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let cfg = SystemConfig::small(2);
+        let run = || {
+            let mut sys = System::build(cfg, &tiny_kernel());
+            let cycles = sys.run(1_000_000);
+            (cycles, sys.engine.messages_delivered())
+        };
+        assert_eq!(run(), run(), "simulation must be deterministic");
+    }
+
+    #[test]
+    fn netcrafter_system_runs_and_stitches_or_trims() {
+        let cfg = SystemConfig::small(2).with_netcrafter();
+        let mut sys = System::build(cfg, &tiny_kernel());
+        sys.run(1_000_000);
+        let m = sys.harvest();
+        // 8 B random reads across clusters: trimming must engage.
+        assert!(m.counter("total.trim.trimmed") > 0, "trimming engages");
+    }
+
+    #[test]
+    fn ideal_config_is_faster_than_baseline() {
+        // Use a heavier kernel so the slow link actually congests.
+        let mut kernel = tiny_kernel();
+        for cta in &mut kernel.ctas {
+            let ops = cta.waves[0].ops.clone();
+            for _ in 0..8 {
+                cta.waves[0].ops.extend(ops.clone());
+            }
+        }
+        let base = {
+            let mut sys = System::build(SystemConfig::small(2), &kernel);
+            sys.run(4_000_000)
+        };
+        let ideal = {
+            let mut sys = System::build(SystemConfig::small(2).idealized(), &kernel);
+            sys.run(4_000_000)
+        };
+        assert!(
+            ideal <= base,
+            "uniform high bandwidth cannot be slower: ideal {ideal} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn sampling_tracks_traffic_phases() {
+        let mut sys = System::build(SystemConfig::small(2), &tiny_kernel());
+        let samples = sys.run_sampled(1_000_000, 200);
+        assert!(!samples.is_empty());
+        let total: u64 = samples.iter().map(|(_, f)| f).sum();
+        let m = sys.harvest();
+        assert_eq!(total, m.counter("net.inter.flits"), "samples sum to the total");
+        // Cycles are monotonically increasing interval ends.
+        for w in samples.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn multi_kernel_runs_with_barriers() {
+        // Two launches of the tiny kernel back to back: the second must
+        // start only after the first drains, and both complete.
+        let k1 = tiny_kernel();
+        let mut k2 = tiny_kernel();
+        k2.name = "tiny-2".into();
+        let total_mem = (k1.total_mem_ops() + k2.total_mem_ops()) as u64;
+        let mut sys = System::build_multi(SystemConfig::small(2), &[k1, k2]);
+        let end = sys.run_all(1_000_000);
+        assert!(end > 0);
+        assert_eq!(sys.kernel_cycles.len(), 2);
+        assert_eq!(sys.kernel_cycles[0].0, "tiny");
+        assert_eq!(sys.kernel_cycles[1].0, "tiny-2");
+        assert!(sys.kernel_cycles[1].1 > 0, "second kernel does real work");
+        let m = sys.harvest();
+        assert_eq!(m.counter("total.cu.mem_ops"), total_mem);
+        // The second launch re-touches the same pages: warm TLBs and
+        // caches make it cheaper than the first.
+        assert!(
+            sys.kernel_cycles[1].1 <= sys.kernel_cycles[0].1,
+            "warm second launch: {:?}",
+            sys.kernel_cycles
+        );
+    }
+
+    #[test]
+    fn multi_kernel_shares_first_placement() {
+        let k1 = tiny_kernel();
+        let k2 = tiny_kernel();
+        let single = System::build(SystemConfig::small(2), &tiny_kernel());
+        let multi = System::build_multi(SystemConfig::small(2), &[k1, k2]);
+        // Same buffer ⇒ same pages placed once, not twice.
+        assert_eq!(single.pages_per_gpu, multi.pages_per_gpu);
+    }
+
+    #[test]
+    fn all_accesses_complete_exactly_once() {
+        let kernel = tiny_kernel();
+        let total_mem: u64 = kernel.total_mem_ops() as u64;
+        let mut sys = System::build(SystemConfig::small(2), &kernel);
+        sys.run(1_000_000);
+        let m = sys.harvest();
+        assert_eq!(m.counter("total.cu.mem_ops"), total_mem);
+    }
+}

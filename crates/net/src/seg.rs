@@ -1,0 +1,285 @@
+//! Packet ⇄ flit conversion: segmentation at the sending RDMA engine
+//! (access-flow step 4b of Figure 2) and reassembly at the receiver
+//! (step 4e).
+//!
+//! The reassembler is deliberately order-insensitive: it counts received
+//! bytes per packet id. This matters because Stitching may deliver a
+//! packet's *tail* flit ahead of its body — the tail rides inside an
+//! earlier parent flit — and the paper's un-stitching engine likewise
+//! "reunites each extracted flit with the remaining portion of its
+//! original packet" by id.
+
+use std::collections::HashMap;
+
+use netcrafter_proto::{Chunk, Flit, Packet, PacketId};
+
+/// Segments packets into fixed-size flits.
+#[derive(Debug, Clone)]
+pub struct Segmenter {
+    flit_bytes: u32,
+}
+
+impl Segmenter {
+    /// Creates a segmenter for `flit_bytes`-sized flits (16 in the
+    /// baseline, 8 in the Figure 21 study).
+    pub fn new(flit_bytes: u32) -> Self {
+        assert!(flit_bytes > 0, "flit size must be positive");
+        Self { flit_bytes }
+    }
+
+    /// Configured flit size.
+    pub fn flit_bytes(&self) -> u32 {
+        self.flit_bytes
+    }
+
+    /// Splits `packet` into its wire flits. The first flit carries the
+    /// header; the last carries the packet descriptor for reassembly.
+    pub fn segment(&self, packet: Packet) -> Vec<Flit> {
+        let wire = packet.wire_bytes();
+        let n = packet.flit_count(self.flit_bytes).max(1);
+        let class = packet.class();
+        let mut flits = Vec::with_capacity(n as usize);
+        let mut remaining = wire;
+        let dst = packet.dst;
+        let id = packet.id;
+        let kind = packet.kind;
+        for seq in 0..n {
+            let bytes = remaining.min(self.flit_bytes);
+            remaining -= bytes;
+            let is_tail = seq == n - 1;
+            let chunk = Chunk {
+                packet: id,
+                kind,
+                bytes,
+                meta_bytes: 0,
+                has_header: seq == 0,
+                is_tail,
+                seq,
+                dst,
+                class,
+                packet_info: is_tail.then(|| Box::new(packet.clone())),
+            };
+            flits.push(Flit::single(self.flit_bytes, chunk));
+        }
+        debug_assert_eq!(remaining, 0);
+        flits
+    }
+}
+
+/// Progress record for one partially received packet.
+#[derive(Debug, Default)]
+struct Partial {
+    received_bytes: u32,
+    info: Option<Box<Packet>>,
+}
+
+/// Rebuilds packets from arriving flits, tolerating out-of-order chunk
+/// arrival (tails may overtake bodies when stitched).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: HashMap<PacketId, Partial>,
+    completed: u64,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one flit; returns every packet it completes. A stitched
+    /// flit (normally un-stitched by the cluster switch before reaching an
+    /// endpoint) is handled chunk-by-chunk, so endpoint behaviour is
+    /// correct even for same-destination stitches that skip un-stitching.
+    pub fn accept(&mut self, flit: Flit) -> Vec<Packet> {
+        let mut done = Vec::new();
+        for chunk in flit.chunks {
+            let entry = self.pending.entry(chunk.packet).or_default();
+            entry.received_bytes += chunk.bytes;
+            if let Some(info) = chunk.packet_info {
+                debug_assert!(entry.info.is_none(), "duplicate tail for {}", chunk.packet);
+                entry.info = Some(info);
+            }
+            let complete = entry
+                .info
+                .as_ref()
+                .is_some_and(|p| entry.received_bytes >= p.wire_bytes());
+            if complete {
+                let entry = self.pending.remove(&chunk.packet).expect("entry exists");
+                let info = entry.info.expect("checked above");
+                debug_assert_eq!(
+                    entry.received_bytes,
+                    info.wire_bytes(),
+                    "byte over-run while reassembling {}",
+                    info.id
+                );
+                self.completed += 1;
+                done.push(*info);
+            }
+        }
+        done
+    }
+
+    /// Packets still awaiting flits.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Packets completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcrafter_proto::{
+        AccessId, GpuId, LineAddr, LineMask, MemReq, NodeId, PacketKind, PacketPayload,
+        TrafficClass,
+    };
+
+    fn packet(id: u64, kind: PacketKind, payload: u32) -> Packet {
+        Packet {
+            id: PacketId(id),
+            kind,
+            src: NodeId(1),
+            dst: NodeId(3),
+            payload_bytes: payload,
+            trim: None,
+            inner: PacketPayload::Req(MemReq {
+                access: AccessId(id),
+                line: LineAddr(0x40 * id),
+                write: false,
+                mask: LineMask::span(0, 8),
+                sectors: 0b1111,
+                class: TrafficClass::Data,
+                requester: GpuId(1),
+                owner: GpuId(3),
+                origin: netcrafter_proto::message::Origin::Cu(0),
+            }),
+        }
+    }
+
+    #[test]
+    fn read_rsp_segments_into_five_flits() {
+        let seg = Segmenter::new(16);
+        let flits = seg.segment(packet(1, PacketKind::ReadRsp, 64));
+        assert_eq!(flits.len(), 5);
+        assert!(flits[0].chunks[0].has_header);
+        assert!(!flits[0].chunks[0].is_tail);
+        assert!(flits[4].chunks[0].is_tail);
+        assert!(flits[4].chunks[0].packet_info.is_some());
+        // First four flits are full; the tail holds the 4 spare bytes.
+        for f in &flits[..4] {
+            assert_eq!(f.used_bytes(), 16);
+        }
+        assert_eq!(flits[4].used_bytes(), 4);
+        assert_eq!(flits[4].empty_bytes(), 12);
+    }
+
+    #[test]
+    fn single_flit_packet_has_header_and_tail() {
+        let seg = Segmenter::new(16);
+        let flits = seg.segment(packet(2, PacketKind::ReadReq, 0));
+        assert_eq!(flits.len(), 1);
+        let c = &flits[0].chunks[0];
+        assert!(c.has_header && c.is_tail);
+        assert!(c.is_whole_packet());
+        assert_eq!(c.bytes, 12);
+        assert_eq!(flits[0].empty_bytes(), 4);
+    }
+
+    #[test]
+    fn eight_byte_flits_produce_more_fragments() {
+        let seg = Segmenter::new(8);
+        let flits = seg.segment(packet(3, PacketKind::WriteReq, 64));
+        assert_eq!(flits.len(), 10); // 76 bytes / 8
+        assert_eq!(flits[9].used_bytes(), 4);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let seg = Segmenter::new(16);
+        let p = packet(4, PacketKind::ReadRsp, 64);
+        let mut r = Reassembler::new();
+        let flits = seg.segment(p.clone());
+        let n = flits.len();
+        for (i, f) in flits.into_iter().enumerate() {
+            let done = r.accept(f);
+            if i + 1 == n {
+                assert_eq!(done, vec![p.clone()]);
+            } else {
+                assert!(done.is_empty());
+                assert_eq!(r.in_flight(), 1);
+            }
+        }
+        assert_eq!(r.in_flight(), 0);
+        assert_eq!(r.completed(), 1);
+    }
+
+    #[test]
+    fn reassembly_tolerates_tail_first() {
+        let seg = Segmenter::new(16);
+        let p = packet(5, PacketKind::ReadRsp, 64);
+        let mut flits = seg.segment(p.clone());
+        let tail = flits.pop().unwrap();
+        let mut r = Reassembler::new();
+        assert!(r.accept(tail).is_empty(), "tail alone is not complete");
+        let n = flits.len();
+        for (i, f) in flits.into_iter().enumerate() {
+            let done = r.accept(f);
+            if i + 1 == n {
+                assert_eq!(done, vec![p.clone()]);
+            } else {
+                assert!(done.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_packets_reassemble_independently() {
+        let seg = Segmenter::new(16);
+        let a = packet(6, PacketKind::ReadRsp, 64);
+        let b = packet(7, PacketKind::WriteReq, 64);
+        let fa = seg.segment(a.clone());
+        let fb = seg.segment(b.clone());
+        let mut r = Reassembler::new();
+        let mut done = Vec::new();
+        for (x, y) in fa.into_iter().zip(fb) {
+            done.extend(r.accept(x));
+            done.extend(r.accept(y));
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a));
+        assert!(done.contains(&b));
+    }
+
+    #[test]
+    fn stitched_flit_completes_multiple_packets_at_endpoint() {
+        let seg = Segmenter::new(16);
+        // Two whole single-flit packets stitched together.
+        let a = packet(8, PacketKind::ReadReq, 0);
+        let b = packet(9, PacketKind::WriteRsp, 0);
+        let mut fa = seg.segment(a.clone()).remove(0);
+        let fb = seg.segment(b.clone()).remove(0);
+        assert!(fa.stitch_cost(&fb).is_some());
+        fa.stitch(fb);
+        let mut r = Reassembler::new();
+        let done = r.accept(fa);
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a));
+        assert!(done.contains(&b));
+    }
+
+    #[test]
+    fn trimmed_response_reassembles_from_two_flits() {
+        let seg = Segmenter::new(16);
+        let p = packet(10, PacketKind::ReadRsp, 16); // trimmed to one sector
+        let flits = seg.segment(p.clone());
+        assert_eq!(flits.len(), 2);
+        let mut r = Reassembler::new();
+        assert!(r.accept(flits[0].clone()).is_empty());
+        assert_eq!(r.accept(flits[1].clone()), vec![p]);
+    }
+}

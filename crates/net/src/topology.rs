@@ -1,0 +1,176 @@
+//! Node naming and routing geometry for the hierarchical topology of
+//! Figure 2: clusters of GPUs behind per-cluster switches, with the
+//! cluster switches fully meshed over lower-bandwidth links.
+
+use netcrafter_proto::{ClusterId, GpuId, NodeId, TopologyConfig};
+
+/// The static shape of the interconnect: which node ids exist and how they
+/// map to GPUs, clusters and switches.
+///
+/// Node numbering: GPUs occupy `0..total_gpus`, cluster switches occupy
+/// `total_gpus..total_gpus + clusters`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    clusters: u16,
+    gpus_per_cluster: u16,
+}
+
+impl Topology {
+    /// Builds the topology geometry from a configuration.
+    pub fn new(cfg: &TopologyConfig) -> Self {
+        assert!(cfg.clusters > 0 && cfg.gpus_per_cluster > 0);
+        Self {
+            clusters: cfg.clusters,
+            gpus_per_cluster: cfg.gpus_per_cluster,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> u16 {
+        self.clusters
+    }
+
+    /// GPUs per cluster.
+    pub fn gpus_per_cluster(&self) -> u16 {
+        self.gpus_per_cluster
+    }
+
+    /// Total GPUs in the node.
+    pub fn total_gpus(&self) -> u16 {
+        self.clusters * self.gpus_per_cluster
+    }
+
+    /// Network node of a GPU's RDMA engine.
+    pub fn gpu_node(&self, gpu: GpuId) -> NodeId {
+        assert!(gpu.raw() < self.total_gpus(), "unknown {gpu}");
+        NodeId(gpu.raw())
+    }
+
+    /// Network node of a cluster's switch.
+    pub fn switch_node(&self, cluster: ClusterId) -> NodeId {
+        assert!(cluster.raw() < self.clusters, "unknown {cluster}");
+        NodeId(self.total_gpus() + cluster.raw())
+    }
+
+    /// True if `node` is a cluster switch.
+    pub fn is_switch(&self, node: NodeId) -> bool {
+        node.raw() >= self.total_gpus() && node.raw() < self.total_gpus() + self.clusters
+    }
+
+    /// The GPU behind an endpoint node, if it is one.
+    pub fn node_gpu(&self, node: NodeId) -> Option<GpuId> {
+        (node.raw() < self.total_gpus()).then(|| GpuId(node.raw()))
+    }
+
+    /// Cluster a node belongs to (a GPU's cluster, or a switch's own).
+    pub fn node_cluster(&self, node: NodeId) -> ClusterId {
+        if let Some(gpu) = self.node_gpu(node) {
+            gpu.cluster(self.gpus_per_cluster)
+        } else {
+            assert!(self.is_switch(node), "unknown {node}");
+            ClusterId(node.raw() - self.total_gpus())
+        }
+    }
+
+    /// Cluster of a GPU.
+    pub fn gpu_cluster(&self, gpu: GpuId) -> ClusterId {
+        gpu.cluster(self.gpus_per_cluster)
+    }
+
+    /// True if traffic between the two endpoints crosses the
+    /// lower-bandwidth inter-cluster network.
+    pub fn crosses_clusters(&self, a: GpuId, b: GpuId) -> bool {
+        self.gpu_cluster(a) != self.gpu_cluster(b)
+    }
+
+    /// GPUs belonging to `cluster`, in id order.
+    pub fn cluster_gpus(&self, cluster: ClusterId) -> impl Iterator<Item = GpuId> + '_ {
+        let base = cluster.raw() * self.gpus_per_cluster;
+        (base..base + self.gpus_per_cluster).map(GpuId)
+    }
+
+    /// All GPUs in the node, in id order.
+    pub fn all_gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        (0..self.total_gpus()).map(GpuId)
+    }
+
+    /// All clusters, in id order.
+    pub fn all_clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.clusters).map(ClusterId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frontier() -> Topology {
+        Topology::new(&TopologyConfig {
+            clusters: 2,
+            gpus_per_cluster: 2,
+            intra_gbps: 128.0,
+            inter_gbps: 16.0,
+        })
+    }
+
+    #[test]
+    fn node_numbering() {
+        let t = frontier();
+        assert_eq!(t.total_gpus(), 4);
+        assert_eq!(t.gpu_node(GpuId(0)), NodeId(0));
+        assert_eq!(t.gpu_node(GpuId(3)), NodeId(3));
+        assert_eq!(t.switch_node(ClusterId(0)), NodeId(4));
+        assert_eq!(t.switch_node(ClusterId(1)), NodeId(5));
+    }
+
+    #[test]
+    fn switch_detection() {
+        let t = frontier();
+        assert!(!t.is_switch(NodeId(3)));
+        assert!(t.is_switch(NodeId(4)));
+        assert!(t.is_switch(NodeId(5)));
+        assert!(!t.is_switch(NodeId(6)));
+    }
+
+    #[test]
+    fn node_to_gpu_and_cluster() {
+        let t = frontier();
+        assert_eq!(t.node_gpu(NodeId(2)), Some(GpuId(2)));
+        assert_eq!(t.node_gpu(NodeId(4)), None);
+        assert_eq!(t.node_cluster(NodeId(1)), ClusterId(0));
+        assert_eq!(t.node_cluster(NodeId(2)), ClusterId(1));
+        assert_eq!(t.node_cluster(NodeId(5)), ClusterId(1));
+    }
+
+    #[test]
+    fn cluster_membership() {
+        let t = frontier();
+        let c0: Vec<_> = t.cluster_gpus(ClusterId(0)).collect();
+        assert_eq!(c0, vec![GpuId(0), GpuId(1)]);
+        let c1: Vec<_> = t.cluster_gpus(ClusterId(1)).collect();
+        assert_eq!(c1, vec![GpuId(2), GpuId(3)]);
+        assert!(t.crosses_clusters(GpuId(0), GpuId(2)));
+        assert!(!t.crosses_clusters(GpuId(2), GpuId(3)));
+    }
+
+    #[test]
+    fn bigger_topology() {
+        let t = Topology::new(&TopologyConfig {
+            clusters: 4,
+            gpus_per_cluster: 2,
+            intra_gbps: 128.0,
+            inter_gbps: 16.0,
+        });
+        assert_eq!(t.total_gpus(), 8);
+        assert_eq!(t.switch_node(ClusterId(3)), NodeId(11));
+        assert_eq!(t.node_cluster(NodeId(7)), ClusterId(3));
+        assert_eq!(t.all_gpus().count(), 8);
+        assert_eq!(t.all_clusters().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown gpu")]
+    fn unknown_gpu_panics() {
+        frontier().gpu_node(GpuId(9));
+    }
+}

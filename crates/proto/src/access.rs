@@ -1,0 +1,181 @@
+//! Coalesced memory accesses — the unit of work flowing from wavefronts
+//! into the memory hierarchy.
+//!
+//! MGPUSim (and real GCN hardware) coalesces the per-thread addresses of a
+//! 64-thread wavefront into per-cache-line requests before they reach the
+//! L1 vector cache (§2.1). The workload generators in `netcrafter-workloads`
+//! emit streams of already-coalesced accesses; each records *which bytes* of
+//! the 64 B line the wavefront actually needs, the information that drives
+//! the paper's Figure 7 characterization and the Trimming mechanism.
+
+use crate::addr::{LineMask, VAddr};
+use crate::ids::{CtaId, WavefrontId};
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A coalesced load.
+    Read,
+    /// A coalesced store. The L1 is write-through (Table 2), so stores
+    /// always propagate to the owning L2.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One coalesced wavefront access to a single 64 B cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescedAccess {
+    /// Virtual address of the first byte touched.
+    pub vaddr: VAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Exactly which bytes of the line the wavefront needs.
+    pub mask: LineMask,
+}
+
+impl CoalescedAccess {
+    /// Convenience constructor for a read of `len` bytes at `vaddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span would cross a cache-line boundary; coalescing
+    /// never produces such accesses.
+    pub fn read(vaddr: VAddr, len: u64) -> Self {
+        Self::new(vaddr, len, AccessKind::Read)
+    }
+
+    /// Convenience constructor for a write of `len` bytes at `vaddr`.
+    pub fn write(vaddr: VAddr, len: u64) -> Self {
+        Self::new(vaddr, len, AccessKind::Write)
+    }
+
+    fn new(vaddr: VAddr, len: u64, kind: AccessKind) -> Self {
+        let off = vaddr.line_offset();
+        assert!(
+            off + len <= crate::addr::LINE_BYTES,
+            "coalesced access must not cross a line boundary: offset {off} + len {len}"
+        );
+        Self {
+            vaddr,
+            kind,
+            mask: LineMask::span(off, len),
+        }
+    }
+
+    /// Constructs an access with an explicit byte mask (for strided
+    /// patterns where a wavefront touches scattered bytes of one line).
+    pub fn with_mask(vaddr: VAddr, kind: AccessKind, mask: LineMask) -> Self {
+        assert!(!mask.is_empty(), "access mask must cover at least one byte");
+        Self { vaddr, kind, mask }
+    }
+
+    /// Number of line bytes the wavefront needs.
+    #[inline]
+    pub fn bytes_required(&self) -> u32 {
+        self.mask.bytes()
+    }
+}
+
+/// One operation in a wavefront's instruction stream, as produced by a
+/// workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WavefrontOp {
+    /// A coalesced memory access.
+    Mem(CoalescedAccess),
+    /// `cycles` of computation with no memory traffic. Models arithmetic
+    /// between memory instructions; the CU keeps the wavefront busy for
+    /// this long before issuing its next op.
+    Compute(u32),
+}
+
+/// A wavefront's identity and its full op stream.
+///
+/// Workload generators produce these; the LASP scheduler maps their parent
+/// CTAs onto GPUs and the per-GPU dispatcher feeds them to CUs.
+#[derive(Debug, Clone)]
+pub struct WavefrontTrace {
+    /// Unique id within the kernel.
+    pub id: WavefrontId,
+    /// The CTA this wavefront belongs to.
+    pub cta: CtaId,
+    /// Ops in program order.
+    pub ops: Vec<WavefrontOp>,
+}
+
+impl WavefrontTrace {
+    /// Total number of memory operations in the trace.
+    pub fn mem_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, WavefrontOp::Mem(_)))
+            .count()
+    }
+
+    /// Total "instructions" for MPKI purposes: every op counts as one
+    /// dynamic instruction.
+    pub fn instructions(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_constructor_sets_mask() {
+        let a = CoalescedAccess::read(VAddr(0x100), 8);
+        assert_eq!(a.bytes_required(), 8);
+        assert_eq!(a.kind, AccessKind::Read);
+        assert!(!a.kind.is_write());
+    }
+
+    #[test]
+    fn write_constructor() {
+        let a = CoalescedAccess::write(VAddr(0x140), 64);
+        assert!(a.kind.is_write());
+        assert_eq!(a.bytes_required(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross a line boundary")]
+    fn access_may_not_cross_line() {
+        let _ = CoalescedAccess::read(VAddr(0x13c), 8);
+    }
+
+    #[test]
+    fn with_mask_accepts_scattered_bytes() {
+        let mask = LineMask::span(0, 4).union(LineMask::span(32, 4));
+        let a = CoalescedAccess::with_mask(VAddr(0x200), AccessKind::Read, mask);
+        assert_eq!(a.bytes_required(), 8);
+        assert!(!a.mask.fits_one_sector(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn with_mask_rejects_empty() {
+        let _ = CoalescedAccess::with_mask(VAddr(0), AccessKind::Read, LineMask::EMPTY);
+    }
+
+    #[test]
+    fn trace_counts() {
+        let t = WavefrontTrace {
+            id: WavefrontId(0),
+            cta: CtaId(0),
+            ops: vec![
+                WavefrontOp::Compute(10),
+                WavefrontOp::Mem(CoalescedAccess::read(VAddr(0), 4)),
+                WavefrontOp::Mem(CoalescedAccess::write(VAddr(64), 4)),
+            ],
+        };
+        assert_eq!(t.mem_ops(), 2);
+        assert_eq!(t.instructions(), 3);
+    }
+}

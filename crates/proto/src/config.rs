@@ -1,0 +1,522 @@
+//! System configuration: the paper's Table 2 baseline plus the NetCrafter
+//! mechanism knobs and every sensitivity-study parameter.
+//!
+//! All components take their parameters from [`SystemConfig`]; the
+//! experiment harness builds variants of the paper's baseline
+//! ([`SystemConfig::paper_baseline`]) by toggling fields, exactly as the
+//! evaluation section varies them (flit size, pooling window, bandwidth
+//! ratios, sector policies).
+
+use crate::addr::SECTOR_BYTES;
+use crate::ids::{ClusterId, GpuId};
+
+/// Simulated core clock: 1 GHz (Table 2), so 1 GB/s of link bandwidth is
+/// exactly 1 byte per cycle.
+pub const CLOCK_GHZ: f64 = 1.0;
+
+/// Bits of physical address space owned by each GPU's memory partition
+/// (64 GiB per GPU). The GPU owning a physical address is
+/// `pa >> PA_GPU_REGION_BITS`.
+pub const PA_GPU_REGION_BITS: u32 = 36;
+
+/// How the L1 vector cache fills lines from remote responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorFillPolicy {
+    /// Baseline: every fill brings the whole 64 B line.
+    FullLine,
+    /// NetCrafter Trimming (§4.3): fills arriving from *inter-cluster*
+    /// responses may carry a single sector; everything else is full-line.
+    OnTrim,
+    /// The sector-cache comparison baseline of §5.3: every fill, local or
+    /// remote, brings only the requested sectors.
+    Always,
+}
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Lookup latency in cycles.
+    pub lookup_cycles: u32,
+    /// Miss-status-holding-register entries.
+    pub mshr_entries: u32,
+    /// Number of independent banks (1 for the L1).
+    pub banks: u32,
+}
+
+/// Configuration of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity; `u32::MAX` means fully associative.
+    pub ways: u32,
+    /// Lookup latency in cycles.
+    pub lookup_cycles: u32,
+    /// MSHR entries for outstanding misses.
+    pub mshr_entries: u32,
+}
+
+/// DRAM timing/bandwidth model (Table 2: 1 TB/s, 100 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Sustained bandwidth in bytes per cycle (1 TB/s at 1 GHz = 1000 B).
+    pub bytes_per_cycle: u32,
+    /// Access latency in cycles (100 ns at 1 GHz = 100 cycles).
+    pub latency_cycles: u32,
+}
+
+/// Network switch parameters (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchConfig {
+    /// Data-processing pipeline depth in cycles.
+    pub pipeline_cycles: u32,
+    /// Per-port I/O buffer capacity in flits.
+    pub buffer_entries: u32,
+}
+
+/// GMMU parameters: page-walk cache and parallel walkers (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GmmuConfig {
+    /// Page-walk-cache entries (fully associative).
+    pub pwc_entries: u32,
+    /// Page-walk-cache lookup latency in cycles.
+    pub pwc_lookup_cycles: u32,
+    /// Number of parallel page-table walkers.
+    pub walkers: u32,
+}
+
+/// Shape and bandwidths of the hierarchical interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyConfig {
+    /// Number of GPU clusters (2 in the Frontier-inspired baseline).
+    pub clusters: u16,
+    /// GPUs per cluster (2 in the baseline).
+    pub gpus_per_cluster: u16,
+    /// Intra-cluster (higher-bandwidth) link rate in GB/s — bytes/cycle at
+    /// the 1 GHz clock. Baseline: 128.
+    pub intra_gbps: f64,
+    /// Inter-cluster (lower-bandwidth) link rate in GB/s. Baseline: 16.
+    pub inter_gbps: f64,
+}
+
+impl TopologyConfig {
+    /// Total number of GPUs in the node.
+    #[inline]
+    pub fn total_gpus(&self) -> u16 {
+        self.clusters * self.gpus_per_cluster
+    }
+
+    /// Cluster of a GPU.
+    #[inline]
+    pub fn cluster_of(&self, gpu: GpuId) -> ClusterId {
+        gpu.cluster(self.gpus_per_cluster)
+    }
+
+    /// True if `a` and `b` are in different clusters, i.e. traffic between
+    /// them crosses the lower-bandwidth inter-cluster network.
+    #[inline]
+    pub fn crosses_clusters(&self, a: GpuId, b: GpuId) -> bool {
+        self.cluster_of(a) != self.cluster_of(b)
+    }
+
+    /// Intra-cluster link bandwidth in bytes per cycle.
+    #[inline]
+    pub fn intra_bytes_per_cycle(&self) -> f64 {
+        self.intra_gbps * CLOCK_GHZ
+    }
+
+    /// Inter-cluster link bandwidth in bytes per cycle.
+    #[inline]
+    pub fn inter_bytes_per_cycle(&self) -> f64 {
+        self.inter_gbps * CLOCK_GHZ
+    }
+}
+
+/// Per-mechanism NetCrafter configuration (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetCrafterConfig {
+    /// Enable the Stitching Engine (§4.2).
+    pub stitching: bool,
+    /// Flit Pooling window in cycles; 0 disables pooling. The paper sweeps
+    /// 32–128 and picks 32 as the sweet spot (Figure 18/19).
+    pub pooling_window: u32,
+    /// Selective Flit Pooling: exempt latency-critical (PTW) flits from
+    /// the pooling delay (§4.2, Optimization II).
+    pub selective_pooling: bool,
+    /// Enable Trimming of inter-cluster read responses (§4.3).
+    pub trimming: bool,
+    /// Enable Sequencing: prioritize PTW flits at the Cluster Queue (§4.3).
+    pub sequencing: bool,
+    /// Figure 8 characterization support: when set (with `sequencing`),
+    /// the Cluster Queue prioritizes *data read* partitions instead of the
+    /// PTW partitions — the "prioritize the same fraction of data
+    /// accesses" comparison the paper uses to show PTW traffic is the
+    /// latency-critical class.
+    pub prioritize_data_instead: bool,
+    /// How deep into each Cluster Queue partition the Stitching Engine
+    /// searches for candidates — the width of the controller's candidate
+    /// CAM. The paper does not specify this; 16 is our default and the
+    /// ablation harness sweeps it.
+    pub stitch_search_depth: u32,
+}
+
+impl NetCrafterConfig {
+    /// Everything off: the plain non-uniform baseline.
+    pub const fn disabled() -> Self {
+        Self {
+            stitching: false,
+            pooling_window: 0,
+            selective_pooling: false,
+            trimming: false,
+            sequencing: false,
+            prioritize_data_instead: false,
+            stitch_search_depth: 16,
+        }
+    }
+
+    /// The full NetCrafter design evaluated in Figure 14: Stitching with
+    /// 32-cycle Selective Flit Pooling, Trimming, and Sequencing.
+    pub const fn full() -> Self {
+        Self {
+            stitching: true,
+            pooling_window: 32,
+            selective_pooling: true,
+            trimming: true,
+            sequencing: true,
+            prioritize_data_instead: false,
+            stitch_search_depth: 16,
+        }
+    }
+
+    /// Stitching only (no pooling) — the leftmost NetCrafter bar of
+    /// Figures 12/18/19.
+    pub const fn stitching_only() -> Self {
+        Self {
+            stitching: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// True if any mechanism is active (a controller must be instantiated).
+    pub const fn any_enabled(&self) -> bool {
+        self.stitching || self.trimming || self.sequencing
+    }
+}
+
+/// Complete system configuration (Table 2 + NetCrafter + study knobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Interconnect shape and bandwidths.
+    pub topology: TopologyConfig,
+    /// Compute units per GPU (Table 2: 64; tests and fast experiments use
+    /// scaled-down counts with proportionally scaled workloads).
+    pub cus_per_gpu: u16,
+    /// Maximum wavefronts resident per CU (latency hiding depth).
+    pub max_waves_per_cu: u16,
+    /// Maximum outstanding memory accesses per CU.
+    pub max_outstanding_per_cu: u32,
+    /// Maximum outstanding loads per *wavefront* before it stalls waiting
+    /// for data — models non-blocking loads up to the first use (GPU ISAs
+    /// issue several independent loads back to back). 1 reproduces a
+    /// strictly blocking wavefront.
+    pub max_loads_per_wave: u16,
+    /// L1 vector cache (per CU): 64 KB, 20-cycle lookup, 32-entry MSHR.
+    pub l1: CacheConfig,
+    /// Shared L2: 4 MB/GPU, 16 banks, 16-way, 100-cycle lookup, 64 MSHRs.
+    pub l2: CacheConfig,
+    /// L1 TLB (per CU): 32-entry fully associative, 1-cycle.
+    pub l1_tlb: TlbConfig,
+    /// L2 TLB (per GPU): 512-entry, 8-way, 10-cycle, 64-entry MSHR.
+    pub l2_tlb: TlbConfig,
+    /// GMMU: 32-entry PWC (10-cycle), 16 parallel walkers.
+    pub gmmu: GmmuConfig,
+    /// DRAM: 1 TB/s, 100 ns.
+    pub dram: DramConfig,
+    /// Network switch: 30-cycle pipeline, 1024-entry buffers.
+    pub switch: SwitchConfig,
+    /// Flit size in bytes (16 baseline, 8 in Figure 21).
+    pub flit_bytes: u32,
+    /// NetCrafter mechanisms.
+    pub netcrafter: NetCrafterConfig,
+    /// L1 fill policy (baseline / Trimming / sector-cache comparison).
+    pub sector_fill: SectorFillPolicy,
+    /// Trimming / sector granularity in bytes (16 default; 4 and 8 in
+    /// Figure 17).
+    pub trim_granularity: u32,
+    /// Fixed intra-GPU latencies: CU↔L1↔L2 hop latency in cycles.
+    pub on_chip_hop_cycles: u32,
+    /// RNG seed for the whole simulation (workload generation and any
+    /// randomized tie-breaking) — runs are fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 baseline: 2 clusters × 2 GPUs, 128/16 GB/s,
+    /// 64 CUs per GPU, NetCrafter disabled.
+    pub fn paper_baseline() -> Self {
+        Self {
+            topology: TopologyConfig {
+                clusters: 2,
+                gpus_per_cluster: 2,
+                intra_gbps: 128.0,
+                inter_gbps: 16.0,
+            },
+            cus_per_gpu: 64,
+            max_waves_per_cu: 40,
+            max_outstanding_per_cu: 32,
+            max_loads_per_wave: 4,
+            l1: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                lookup_cycles: 20,
+                mshr_entries: 32,
+                banks: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                ways: 16,
+                lookup_cycles: 100,
+                mshr_entries: 64,
+                banks: 16,
+            },
+            l1_tlb: TlbConfig {
+                entries: 32,
+                ways: u32::MAX,
+                lookup_cycles: 1,
+                mshr_entries: 8,
+            },
+            l2_tlb: TlbConfig {
+                entries: 512,
+                ways: 8,
+                lookup_cycles: 10,
+                mshr_entries: 64,
+            },
+            gmmu: GmmuConfig {
+                pwc_entries: 32,
+                pwc_lookup_cycles: 10,
+                walkers: 16,
+            },
+            dram: DramConfig {
+                bytes_per_cycle: 1000,
+                latency_cycles: 100,
+            },
+            switch: SwitchConfig {
+                pipeline_cycles: 30,
+                buffer_entries: 1024,
+            },
+            flit_bytes: 16,
+            netcrafter: NetCrafterConfig::disabled(),
+            sector_fill: SectorFillPolicy::FullLine,
+            trim_granularity: SECTOR_BYTES as u32,
+            on_chip_hop_cycles: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A scaled-down configuration for unit/integration tests and fast
+    /// experiments: same ratios and latencies as the paper baseline but
+    /// fewer CUs. Workload footprints must be scaled accordingly.
+    pub fn small(cus_per_gpu: u16) -> Self {
+        Self {
+            cus_per_gpu,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// The *ideal* configuration of Figure 3: every link runs at the
+    /// intra-cluster bandwidth, removing the non-uniformity.
+    pub fn idealized(mut self) -> Self {
+        self.topology.inter_gbps = self.topology.intra_gbps;
+        self
+    }
+
+    /// Enables the full NetCrafter design (§5.2) with the paper's chosen
+    /// parameters and the Trimming-aware L1 fill policy.
+    pub fn with_netcrafter(mut self) -> Self {
+        self.netcrafter = NetCrafterConfig::full();
+        self.sector_fill = SectorFillPolicy::OnTrim;
+        self
+    }
+
+    /// The sector-cache comparison baseline of §5.3: 16 B sectored L1
+    /// fills everywhere, NetCrafter itself disabled.
+    pub fn with_sector_cache(mut self) -> Self {
+        self.netcrafter = NetCrafterConfig::disabled();
+        self.sector_fill = SectorFillPolicy::Always;
+        self
+    }
+
+    /// Total GPUs in the node.
+    #[inline]
+    pub fn total_gpus(&self) -> u16 {
+        self.topology.total_gpus()
+    }
+
+    /// The GPU whose HBM partition owns physical address `pa`.
+    #[inline]
+    pub fn pa_owner(&self, pa: u64) -> GpuId {
+        GpuId((pa >> PA_GPU_REGION_BITS) as u16)
+    }
+
+    /// First physical frame number of `gpu`'s memory partition.
+    #[inline]
+    pub fn gpu_frame_base(&self, gpu: GpuId) -> u64 {
+        (gpu.raw() as u64) << (PA_GPU_REGION_BITS - 12)
+    }
+
+    /// Sectors per 64 B line at the configured trim granularity.
+    #[inline]
+    pub fn sectors_per_line(&self) -> u32 {
+        (crate::addr::LINE_BYTES as u32) / self.trim_granularity
+    }
+
+    /// All-sectors mask for the configured granularity.
+    #[inline]
+    pub fn full_sector_mask(&self) -> u16 {
+        ((1u32 << self.sectors_per_line()) - 1) as u16
+    }
+
+    /// Validates internal consistency; called by the system builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.flit_bytes == 0 || !self.flit_bytes.is_power_of_two() {
+            return Err(format!("flit size must be a power of two, got {}", self.flit_bytes));
+        }
+        if self.trim_granularity == 0 || 64 % self.trim_granularity != 0 {
+            return Err(format!(
+                "trim granularity must divide the 64 B line, got {}",
+                self.trim_granularity
+            ));
+        }
+        if self.topology.clusters == 0 || self.topology.gpus_per_cluster == 0 {
+            return Err("topology must contain at least one GPU".into());
+        }
+        if self.cus_per_gpu == 0 {
+            return Err("need at least one CU per GPU".into());
+        }
+        if self.netcrafter.trimming && self.sector_fill == SectorFillPolicy::FullLine {
+            return Err("Trimming requires a sectored L1 fill policy (OnTrim or Always)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.cus_per_gpu, 64);
+        assert_eq!(c.l1.size_bytes, 64 * 1024);
+        assert_eq!(c.l1.lookup_cycles, 20);
+        assert_eq!(c.l1.mshr_entries, 32);
+        assert_eq!(c.l1_tlb.entries, 32);
+        assert_eq!(c.l1_tlb.lookup_cycles, 1);
+        assert_eq!(c.l2_tlb.entries, 512);
+        assert_eq!(c.l2_tlb.ways, 8);
+        assert_eq!(c.l2_tlb.lookup_cycles, 10);
+        assert_eq!(c.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.banks, 16);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.l2.lookup_cycles, 100);
+        assert_eq!(c.dram.bytes_per_cycle, 1000);
+        assert_eq!(c.dram.latency_cycles, 100);
+        assert_eq!(c.gmmu.walkers, 16);
+        assert_eq!(c.gmmu.pwc_entries, 32);
+        assert_eq!(c.switch.pipeline_cycles, 30);
+        assert_eq!(c.switch.buffer_entries, 1024);
+        assert_eq!(c.topology.inter_gbps, 16.0);
+        assert_eq!(c.topology.intra_gbps, 128.0);
+        assert_eq!(c.flit_bytes, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bandwidth_ratio_is_8_to_1() {
+        let t = SystemConfig::paper_baseline().topology;
+        assert_eq!(t.intra_bytes_per_cycle() / t.inter_bytes_per_cycle(), 8.0);
+        // 16 GB/s at 16 B flits = exactly 1 flit/cycle on the slow link.
+        assert_eq!(t.inter_bytes_per_cycle(), 16.0);
+    }
+
+    #[test]
+    fn idealized_removes_nonuniformity() {
+        let c = SystemConfig::paper_baseline().idealized();
+        assert_eq!(c.topology.inter_gbps, c.topology.intra_gbps);
+    }
+
+    #[test]
+    fn cluster_crossing() {
+        let t = SystemConfig::paper_baseline().topology;
+        assert_eq!(t.total_gpus(), 4);
+        assert!(!t.crosses_clusters(GpuId(0), GpuId(1)));
+        assert!(t.crosses_clusters(GpuId(1), GpuId(2)));
+        assert!(t.crosses_clusters(GpuId(0), GpuId(3)));
+    }
+
+    #[test]
+    fn pa_partitioning() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.pa_owner(0), GpuId(0));
+        assert_eq!(c.pa_owner(1 << PA_GPU_REGION_BITS), GpuId(1));
+        assert_eq!(c.pa_owner((3 << PA_GPU_REGION_BITS) + 0x123456), GpuId(3));
+        assert_eq!(c.gpu_frame_base(GpuId(1)) * 4096, 1 << PA_GPU_REGION_BITS);
+    }
+
+    #[test]
+    fn netcrafter_presets() {
+        assert!(!NetCrafterConfig::disabled().any_enabled());
+        let full = NetCrafterConfig::full();
+        assert!(full.stitching && full.trimming && full.sequencing);
+        assert_eq!(full.pooling_window, 32);
+        assert!(full.selective_pooling);
+        let s = NetCrafterConfig::stitching_only();
+        assert!(s.stitching && !s.trimming && !s.sequencing);
+        assert_eq!(s.pooling_window, 0);
+    }
+
+    #[test]
+    fn sector_masks() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.sectors_per_line(), 4);
+        assert_eq!(c.full_sector_mask(), 0b1111);
+        let mut c4 = c;
+        c4.trim_granularity = 4;
+        assert_eq!(c4.sectors_per_line(), 16);
+        assert_eq!(c4.full_sector_mask(), 0xffff);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = SystemConfig::paper_baseline();
+        c.flit_bytes = 12;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.trim_granularity = 24;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.netcrafter.trimming = true; // without sectored fill policy
+        assert!(c.validate().is_err());
+        assert!(SystemConfig::paper_baseline().with_netcrafter().validate().is_ok());
+    }
+
+    #[test]
+    fn sector_cache_preset() {
+        let c = SystemConfig::paper_baseline().with_sector_cache();
+        assert_eq!(c.sector_fill, SectorFillPolicy::Always);
+        assert!(!c.netcrafter.any_enabled());
+    }
+}

@@ -1,0 +1,159 @@
+//! Kernel descriptors: what a workload generator hands to the system —
+//! CTAs with their wavefront traces, and the data buffers they touch with
+//! their access-pattern classification.
+//!
+//! The pattern classification is what LASP's compile-time static index
+//! analysis produces in the paper (§2.2, \[42\]): it drives both CTA→GPU
+//! scheduling and page placement. Workload generators know their own
+//! access patterns exactly, so they play the role of the compiler pass.
+
+use crate::access::WavefrontTrace;
+use crate::ids::{CtaId, GpuId};
+use crate::VAddr;
+
+/// Data-access pattern classes used by LASP for placement (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Each CTA block touches a disjoint slice (e.g. BlackScholes):
+    /// block-partition pages to co-locate with the CTAs.
+    Partitioned,
+    /// Neighbouring CTAs touch neighbouring data (e.g. SYR2K, IM2COL).
+    Adjacent,
+    /// CTAs gather from a shared structure (e.g. matrix multiply reads).
+    Gather,
+    /// CTAs scatter writes across a shared structure (e.g. ATAX, MVT).
+    Scatter,
+    /// Unpredictable accesses (GUPS, SPMV, PageRank, MIS): interleave
+    /// pages across GPUs.
+    Random,
+}
+
+/// A virtual-address-space data buffer of a kernel.
+#[derive(Debug, Clone)]
+pub struct BufferSpec {
+    /// Human-readable name (for placement audits).
+    pub name: String,
+    /// First virtual address (page-aligned).
+    pub base: VAddr,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Pattern classification for LASP.
+    pub pattern: AccessPattern,
+}
+
+impl BufferSpec {
+    /// Number of pages the buffer spans.
+    pub fn pages(&self) -> u64 {
+        self.bytes.div_ceil(crate::PAGE_BYTES)
+    }
+
+    /// First virtual page number.
+    pub fn base_vpn(&self) -> u64 {
+        assert_eq!(self.base.0 % crate::PAGE_BYTES, 0, "buffers are page-aligned");
+        self.base.vpn()
+    }
+}
+
+/// One CTA: its wavefronts and an optional placement hint from the
+/// generator (the GPU whose data slice it predominantly touches).
+#[derive(Debug, Clone)]
+pub struct CtaSpec {
+    /// CTA id, unique within the kernel.
+    pub id: CtaId,
+    /// The CTA's wavefronts, in dispatch order.
+    pub waves: Vec<WavefrontTrace>,
+    /// Preferred GPU (from the generator's own locality knowledge);
+    /// `None` lets LASP block-partition by CTA id.
+    pub home_hint: Option<GpuId>,
+}
+
+/// A complete kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name (workload + kernel index).
+    pub name: String,
+    /// All CTAs of the launch.
+    pub ctas: Vec<CtaSpec>,
+    /// The buffers the kernel touches.
+    pub buffers: Vec<BufferSpec>,
+}
+
+impl KernelSpec {
+    /// Total wavefronts across all CTAs.
+    pub fn total_waves(&self) -> usize {
+        self.ctas.iter().map(|c| c.waves.len()).sum()
+    }
+
+    /// Total dynamic operations across all wavefront traces.
+    pub fn total_ops(&self) -> usize {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.waves)
+            .map(|w| w.ops.len())
+            .sum()
+    }
+
+    /// Total memory operations.
+    pub fn total_mem_ops(&self) -> usize {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.waves)
+            .map(|w| w.mem_ops())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{CoalescedAccess, WavefrontOp};
+    use crate::ids::WavefrontId;
+
+    #[test]
+    fn buffer_geometry() {
+        let b = BufferSpec {
+            name: "a".into(),
+            base: VAddr(0x10_000),
+            bytes: 5000,
+            pattern: AccessPattern::Random,
+        };
+        assert_eq!(b.pages(), 2);
+        assert_eq!(b.base_vpn(), 0x10);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_buffer_panics() {
+        let b = BufferSpec {
+            name: "a".into(),
+            base: VAddr(0x10_100),
+            bytes: 64,
+            pattern: AccessPattern::Random,
+        };
+        let _ = b.base_vpn();
+    }
+
+    #[test]
+    fn kernel_counts() {
+        let wave = |id: u32| WavefrontTrace {
+            id: WavefrontId(id),
+            cta: CtaId(0),
+            ops: vec![
+                WavefrontOp::Compute(5),
+                WavefrontOp::Mem(CoalescedAccess::read(VAddr(0), 8)),
+            ],
+        };
+        let k = KernelSpec {
+            name: "k".into(),
+            ctas: vec![CtaSpec {
+                id: CtaId(0),
+                waves: vec![wave(0), wave(1)],
+                home_hint: Some(GpuId(1)),
+            }],
+            buffers: vec![],
+        };
+        assert_eq!(k.total_waves(), 2);
+        assert_eq!(k.total_ops(), 4);
+        assert_eq!(k.total_mem_ops(), 2);
+    }
+}

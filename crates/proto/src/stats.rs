@@ -1,0 +1,338 @@
+//! Measurement infrastructure: named counters, histograms and latency
+//! accumulators harvested by the experiment harness.
+//!
+//! Components keep their own cheap plain-struct counters on the hot path;
+//! at the end of a run the system assembles everything into a [`Metrics`]
+//! registry, which the figure generators query by name. Keys are dotted
+//! paths such as `"net.inter.flits"` or `"gpu0.l1.misses"`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Accumulates latency samples: count, sum, max.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStat {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (cycles).
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStat {
+    /// Records one latency sample.
+    pub fn record(&mut self, cycles: u64) {
+        self.count += 1;
+        self.sum += cycles;
+        self.max = self.max.max(cycles);
+    }
+
+    /// Arithmetic mean, or 0.0 if no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A sparse integer histogram (bucket → count).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` observations to `bucket`.
+    pub fn add(&mut self, bucket: u64, n: u64) {
+        *self.buckets.entry(bucket).or_insert(0) += n;
+    }
+
+    /// Records one observation of `bucket`.
+    pub fn record(&mut self, bucket: u64) {
+        self.add(bucket, 1);
+    }
+
+    /// Count in one bucket.
+    pub fn get(&self, bucket: u64) -> u64 {
+        self.buckets.get(&bucket).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Fraction of observations in `bucket` (0.0 if empty).
+    pub fn fraction(&self, bucket: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(bucket) as f64 / total as f64
+        }
+    }
+
+    /// Iterates `(bucket, count)` in ascending bucket order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, c) in other.iter() {
+            self.add(b, c);
+        }
+    }
+}
+
+/// The harvested metrics of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    latencies: BTreeMap<String, LatencyStat>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `key` (creating it at zero).
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Sets counter `key` to `n`, overwriting any prior value.
+    pub fn set(&mut self, key: &str, n: u64) {
+        self.counters.insert(key.to_owned(), n);
+    }
+
+    /// Reads counter `key` (0 if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Returns a mutable histogram for `key`.
+    pub fn histogram_mut(&mut self, key: &str) -> &mut Histogram {
+        self.histograms.entry(key.to_owned()).or_default()
+    }
+
+    /// Reads histogram `key`, if present.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Returns a mutable latency accumulator for `key`.
+    pub fn latency_mut(&mut self, key: &str) -> &mut LatencyStat {
+        self.latencies.entry(key.to_owned()).or_default()
+    }
+
+    /// Reads latency accumulator `key` (zeroed default if absent).
+    pub fn latency(&self, key: &str) -> LatencyStat {
+        self.latencies.get(key).copied().unwrap_or_default()
+    }
+
+    /// Ratio of two counters, or 0.0 when the denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let d = self.counter(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.counter(num) as f64 / d as f64
+        }
+    }
+
+    /// Iterates all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates counters whose key starts with `prefix`.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders all counters as two-column CSV (`key,value`), with latency
+    /// accumulators flattened to `key.mean` / `key.max` / `key.count` rows
+    /// — the export format for spreadsheet post-processing of runs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("key,value\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+        for (k, l) in &self.latencies {
+            out.push_str(&format!("{k}.mean,{:.2}\n", l.mean()));
+            out.push_str(&format!("{k}.max,{}\n", l.max));
+            out.push_str(&format!("{k}.count,{}\n", l.count));
+        }
+        for (k, h) in &self.histograms {
+            for (bucket, count) in h.iter() {
+                out.push_str(&format!("{k}.bucket{bucket},{count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Merges another registry into this one (counters add, histograms and
+    /// latencies merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, l) in &other.latencies {
+            self.latencies.entry(k.clone()).or_default().merge(l);
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, l) in &self.latencies {
+            writeln!(f, "{k} = mean {:.1} / max {} ({} samples)", l.mean(), l.max, l.count)?;
+        }
+        for (k, h) in &self.histograms {
+            write!(f, "{k} = {{")?;
+            for (i, (b, c)) in h.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}: {c}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stat_accumulates() {
+        let mut l = LatencyStat::default();
+        assert_eq!(l.mean(), 0.0);
+        l.record(10);
+        l.record(30);
+        assert_eq!(l.count, 2);
+        assert_eq!(l.mean(), 20.0);
+        assert_eq!(l.max, 30);
+
+        let mut other = LatencyStat::default();
+        other.record(100);
+        l.merge(&other);
+        assert_eq!(l.count, 3);
+        assert_eq!(l.max, 100);
+    }
+
+    #[test]
+    fn histogram_fractions() {
+        let mut h = Histogram::new();
+        h.record(16);
+        h.record(16);
+        h.record(64);
+        h.add(32, 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.get(16), 2);
+        assert_eq!(h.fraction(16), 0.5);
+        assert_eq!(h.fraction(48), 0.0);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(16, 2), (32, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn metrics_counters_and_ratio() {
+        let mut m = Metrics::new();
+        m.add("net.inter.flits", 10);
+        m.add("net.inter.flits", 5);
+        m.set("net.inter.cycles", 30);
+        assert_eq!(m.counter("net.inter.flits"), 15);
+        assert_eq!(m.ratio("net.inter.flits", "net.inter.cycles"), 0.5);
+        assert_eq!(m.ratio("x", "missing"), 0.0);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let mut m = Metrics::new();
+        m.add("gpu0.l1.hits", 1);
+        m.add("gpu0.l1.misses", 2);
+        m.add("gpu1.l1.hits", 3);
+        let gpu0: Vec<_> = m.counters_with_prefix("gpu0.").collect();
+        assert_eq!(gpu0.len(), 2);
+        assert!(gpu0.iter().all(|(k, _)| k.starts_with("gpu0.")));
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Metrics::new();
+        a.add("c", 1);
+        a.latency_mut("l").record(10);
+        a.histogram_mut("h").record(1);
+
+        let mut b = Metrics::new();
+        b.add("c", 2);
+        b.latency_mut("l").record(20);
+        b.histogram_mut("h").record(1);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.latency("l").count, 2);
+        assert_eq!(a.histogram("h").unwrap().get(1), 2);
+    }
+
+    #[test]
+    fn csv_export_flattens_everything() {
+        let mut m = Metrics::new();
+        m.add("a.count", 7);
+        m.latency_mut("a.lat").record(4);
+        m.histogram_mut("a.hist").record(2);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("key,value\n"));
+        assert!(csv.contains("a.count,7\n"));
+        assert!(csv.contains("a.lat.mean,4.00\n"));
+        assert!(csv.contains("a.lat.count,1\n"));
+        assert!(csv.contains("a.hist.bucket2,1\n"));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let mut m = Metrics::new();
+        m.add("a.count", 7);
+        m.latency_mut("a.lat").record(4);
+        m.histogram_mut("a.hist").record(2);
+        let s = m.to_string();
+        assert!(s.contains("a.count = 7"));
+        assert!(s.contains("a.lat"));
+        assert!(s.contains("a.hist"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic cycle-level simulation engine.
+//!
+//! The engine follows the Akita execution model that MGPUSim is built on:
+//! a set of components advances in lock-step, one tick per cycle, and
+//! communicates exclusively through messages with explicit cycle delays.
+//! Two properties are guaranteed:
+//!
+//! * **Determinism** — components tick in a fixed order and messages are
+//!   delivered in send order per cycle, so the same configuration and seed
+//!   always produce bit-identical results.
+//! * **Cheap idle** — a component with an empty mailbox and no internal
+//!   work returns from `tick` immediately, so large mostly-idle systems
+//!   stay fast.
+//!
+//! The crate also provides the small timing utilities every hardware model
+//! needs: [`DelayQueue`] (fixed-latency pipelines), [`RateLimiter`]
+//! (bandwidth modelling with fractional bytes/cycle), and [`Ticker`]
+//! (periodic events).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod timing;
+
+pub use engine::{Component, ComponentId, Ctx, Engine, EngineBuilder, TraceEvent};
+pub use timing::{DelayQueue, RateLimiter, Ticker};
+
+/// Simulation time in core clock cycles (1 GHz).
+pub type Cycle = u64;

@@ -1,0 +1,255 @@
+//! Timing utilities shared by all hardware models: fixed-latency
+//! pipelines, fractional-rate bandwidth limiters, and periodic tickers.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A fixed- or variable-latency pipeline: items pushed at cycle `t` with
+/// latency `d` become available at cycle `t + d`, in push order.
+///
+/// This models lookup pipelines (the 20-cycle L1, the 100-cycle L2, the
+/// 30-cycle switch pipeline) without per-cycle shifting: entries store
+/// their ready cycle and are popped lazily.
+///
+/// # Examples
+///
+/// ```
+/// use netcrafter_sim::DelayQueue;
+///
+/// let mut q = DelayQueue::new();
+/// q.push(10, "a"); // ready at cycle 10
+/// q.push(12, "b");
+/// assert_eq!(q.pop_ready(9), None);
+/// assert_eq!(q.pop_ready(10), Some("a"));
+/// assert_eq!(q.pop_ready(10), None);
+/// assert_eq!(q.pop_ready(15), Some("b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayQueue<T> {
+    items: VecDeque<(Cycle, T)>,
+}
+
+impl<T> DelayQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { items: VecDeque::new() }
+    }
+
+    /// Enqueues `item`, ready at cycle `ready_at`.
+    ///
+    /// Ready cycles must be non-decreasing in push order (true for any
+    /// fixed-latency pipeline); this is asserted in debug builds.
+    pub fn push(&mut self, ready_at: Cycle, item: T) {
+        debug_assert!(
+            self.items.back().is_none_or(|(r, _)| *r <= ready_at),
+            "DelayQueue requires non-decreasing ready cycles"
+        );
+        self.items.push_back((ready_at, item));
+    }
+
+    /// Pops the front item if it is ready at `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.items.front().is_some_and(|(r, _)| *r <= now) {
+            self.items.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Peeks at the front item if it is ready at `now`.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        self.items
+            .front()
+            .filter(|(r, _)| *r <= now)
+            .map(|(_, item)| item)
+    }
+
+    /// Number of queued items (ready or not).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over all queued items.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, item)| item)
+    }
+}
+
+impl<T> Default for DelayQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A token-bucket rate limiter supporting fractional rates, used to model
+/// link and DRAM bandwidth.
+///
+/// Each cycle [`RateLimiter::accrue`] adds `rate` tokens (bytes); an
+/// operation consuming `n` bytes proceeds only when `n` tokens are
+/// available. Accumulation is capped at one burst window so an idle link
+/// cannot bank unlimited credit.
+///
+/// # Examples
+///
+/// ```
+/// use netcrafter_sim::RateLimiter;
+///
+/// // A 16 GB/s link at 1 GHz moves 16 B/cycle: exactly one 16 B flit.
+/// let mut link = RateLimiter::new(16.0, 16.0);
+/// link.accrue();
+/// assert!(link.try_consume(16.0));
+/// assert!(!link.try_consume(16.0)); // budget spent this cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter adding `rate` tokens per cycle, capped at `burst`.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(burst >= rate, "burst must cover at least one cycle of rate");
+        Self { rate, burst, tokens: 0.0 }
+    }
+
+    /// Adds one cycle's worth of tokens.
+    pub fn accrue(&mut self) {
+        self.tokens = (self.tokens + self.rate).min(self.burst);
+    }
+
+    /// Consumes `n` tokens if available.
+    pub fn try_consume(&mut self, n: f64) -> bool {
+        if self.tokens + 1e-9 >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+
+    /// The configured rate in tokens per cycle.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Fires every `period` cycles, for round-robin scheduling epochs and
+/// periodic statistics sampling.
+#[derive(Debug, Clone)]
+pub struct Ticker {
+    period: Cycle,
+    next: Cycle,
+}
+
+impl Ticker {
+    /// Creates a ticker firing first at cycle `period`.
+    pub fn new(period: Cycle) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self { period, next: period }
+    }
+
+    /// Returns true (once) when `now` reaches the next firing point, then
+    /// re-arms.
+    pub fn fired(&mut self, now: Cycle) -> bool {
+        if now >= self.next {
+            self.next += self.period * ((now - self.next) / self.period + 1);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_queue_orders_by_readiness() {
+        let mut q = DelayQueue::new();
+        assert!(q.is_empty());
+        q.push(5, 'x');
+        q.push(5, 'y');
+        q.push(9, 'z');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_ready(4), None);
+        assert_eq!(q.peek_ready(5), Some(&'x'));
+        assert_eq!(q.pop_ready(5), Some('x'));
+        assert_eq!(q.pop_ready(5), Some('y'));
+        assert_eq!(q.pop_ready(5), None);
+        assert_eq!(q.pop_ready(100), Some('z'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delay_queue_iterates_contents() {
+        let mut q = DelayQueue::new();
+        q.push(1, 10);
+        q.push(2, 20);
+        let all: Vec<_> = q.iter().copied().collect();
+        assert_eq!(all, vec![10, 20]);
+    }
+
+    #[test]
+    fn rate_limiter_integer_rate() {
+        let mut r = RateLimiter::new(2.0, 4.0);
+        assert!(!r.try_consume(1.0), "no tokens before first accrue");
+        r.accrue();
+        assert!(r.try_consume(2.0));
+        assert!(!r.try_consume(1.0));
+    }
+
+    #[test]
+    fn rate_limiter_fractional_rate_accumulates() {
+        // 0.5 flits/cycle: one flit every two cycles.
+        let mut r = RateLimiter::new(0.5, 1.0);
+        r.accrue();
+        assert!(!r.try_consume(1.0));
+        r.accrue();
+        assert!(r.try_consume(1.0));
+    }
+
+    #[test]
+    fn rate_limiter_caps_at_burst() {
+        let mut r = RateLimiter::new(10.0, 15.0);
+        for _ in 0..100 {
+            r.accrue();
+        }
+        assert!(r.available() <= 15.0);
+        assert!(r.try_consume(15.0));
+        assert!(!r.try_consume(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = RateLimiter::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn ticker_fires_periodically() {
+        let mut t = Ticker::new(10);
+        assert!(!t.fired(5));
+        assert!(t.fired(10));
+        assert!(!t.fired(11));
+        assert!(t.fired(20));
+        // Skipping ahead re-arms relative to the period grid.
+        assert!(t.fired(55));
+        assert!(!t.fired(59));
+        assert!(t.fired(60));
+    }
+}

@@ -1,0 +1,530 @@
+//! The shared translation unit of one GPU: L2 TLB, GMMU page-walk cache,
+//! and parallel page-table walkers (§2.3, Table 2).
+//!
+//! This component receives [`TransReq`]s from the GPU's CUs (after their
+//! private L1 TLBs missed), and emits [`TransRsp`]s. Page-table reads it
+//! issues are ordinary memory requests with
+//! [`TrafficClass::Ptw`](netcrafter_proto::TrafficClass): local ones go to
+//! the GPU's L2 cache, remote ones to the RDMA engine, where they become
+//! the Page Table Req/Rsp packets whose latency the paper's Sequencing
+//! mechanism protects.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netcrafter_proto::config::{GmmuConfig, TlbConfig};
+use netcrafter_proto::ids::IdAlloc;
+use netcrafter_proto::{
+    AccessId, GpuId, LatencyStat, LineMask, MemReq, Message, Metrics, Origin, TrafficClass,
+    TransReq, TransRsp,
+};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue};
+
+use crate::pagetable::PageTable;
+use crate::tlb::Tlb;
+
+use std::rc::Rc;
+
+/// Where the translation unit's outputs go.
+#[derive(Debug, Clone)]
+pub struct TranslationWiring {
+    /// Component of each local CU, indexed by GPU-local CU id.
+    pub cus: Vec<ComponentId>,
+    /// The GPU's L2 cache (local page-table reads).
+    pub l2: ComponentId,
+    /// The GPU's RDMA engine (remote page-table reads).
+    pub rdma: ComponentId,
+}
+
+/// Translation-unit statistics.
+#[derive(Debug, Clone, Default)]
+pub struct GmmuStats {
+    /// Translation requests received.
+    pub requests: u64,
+    /// Page-table walks performed.
+    pub walks: u64,
+    /// Walks by number of memory reads (index 0 unused; 1–4 used).
+    pub walk_reads_hist: [u64; 5],
+    /// Page-table reads served by the local L2 path.
+    pub local_pt_reads: u64,
+    /// Page-table reads that crossed to another GPU.
+    pub remote_pt_reads: u64,
+    /// End-to-end walk latency (PWC decision to final read).
+    pub walk_latency: LatencyStat,
+    /// Walks that had to queue for a free walker.
+    pub walker_queue_events: u64,
+}
+
+impl GmmuStats {
+    /// Dumps counters under `prefix`.
+    pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
+        metrics.add(&format!("{prefix}.requests"), self.requests);
+        metrics.add(&format!("{prefix}.walks"), self.walks);
+        for reads in 1..5 {
+            metrics.add(
+                &format!("{prefix}.walks_{reads}reads"),
+                self.walk_reads_hist[reads],
+            );
+        }
+        metrics.add(&format!("{prefix}.local_pt_reads"), self.local_pt_reads);
+        metrics.add(&format!("{prefix}.remote_pt_reads"), self.remote_pt_reads);
+        metrics.add(&format!("{prefix}.walker_queue_events"), self.walker_queue_events);
+        metrics.latency_mut(&format!("{prefix}.walk_latency")).merge(&self.walk_latency);
+    }
+}
+
+#[derive(Debug)]
+struct Walk {
+    #[allow(dead_code)]
+    vpn: u64,
+    reads: Vec<(GpuId, netcrafter_proto::LineAddr)>,
+    next_read: usize,
+    started: Cycle,
+}
+
+/// The per-GPU shared L2 TLB + GMMU component.
+pub struct TranslationUnit {
+    gpu: GpuId,
+    name: String,
+    /// Shared L2 TLB (hit path).
+    pub l2_tlb: Tlb,
+    pwc: netcrafter_mem::TagStore<()>,
+    pwc_cycles: u32,
+    max_walkers: usize,
+    hop_cycles: u32,
+    page_table: Rc<PageTable>,
+    wiring: TranslationWiring,
+
+    tlb_pipe: DelayQueue<TransReq>,
+    pwc_pipe: DelayQueue<u64>,
+    retry: VecDeque<TransReq>,
+    waiters: BTreeMap<u64, Vec<TransReq>>,
+    waiter_cap: usize,
+    active: BTreeMap<u64, Walk>,
+    pending_walks: VecDeque<(u64, Vec<(GpuId, netcrafter_proto::LineAddr)>, Cycle)>,
+    inflight_reads: BTreeMap<AccessId, u64>,
+    read_ids: IdAlloc<AccessId>,
+    /// Statistics.
+    pub stats: GmmuStats,
+}
+
+impl TranslationUnit {
+    /// Builds the translation unit of `gpu`.
+    pub fn new(
+        gpu: GpuId,
+        l2_tlb_cfg: &TlbConfig,
+        gmmu_cfg: &GmmuConfig,
+        hop_cycles: u32,
+        page_table: Rc<PageTable>,
+        wiring: TranslationWiring,
+    ) -> Self {
+        Self {
+            gpu,
+            name: format!("{gpu}.gmmu"),
+            l2_tlb: Tlb::new(l2_tlb_cfg),
+            pwc: netcrafter_mem::TagStore::with_entries(
+                gmmu_cfg.pwc_entries as usize,
+                gmmu_cfg.pwc_entries as usize,
+            ),
+            pwc_cycles: gmmu_cfg.pwc_lookup_cycles,
+            max_walkers: gmmu_cfg.walkers as usize,
+            hop_cycles,
+            page_table,
+            wiring,
+            tlb_pipe: DelayQueue::new(),
+            pwc_pipe: DelayQueue::new(),
+            retry: VecDeque::new(),
+            waiters: BTreeMap::new(),
+            waiter_cap: l2_tlb_cfg.mshr_entries as usize,
+            active: BTreeMap::new(),
+            pending_walks: VecDeque::new(),
+            inflight_reads: BTreeMap::new(),
+            read_ids: IdAlloc::new(),
+            stats: GmmuStats::default(),
+        }
+    }
+
+    #[inline]
+    fn pwc_key(level: u8, prefix: u64) -> u64 {
+        ((level as u64) << 60) | prefix
+    }
+
+    fn pwc_start_level(&mut self, vpn: u64, now: Cycle) -> u8 {
+        for level in [3u8, 2, 1] {
+            let shift = 9 * (4 - level) as u32;
+            let prefix = vpn >> shift;
+            if self.pwc.lookup(Self::pwc_key(level, prefix), now).is_some() {
+                return level + 1;
+            }
+        }
+        1
+    }
+
+    fn pwc_fill(&mut self, vpn: u64, now: Cycle) {
+        for level in [1u8, 2, 3] {
+            let shift = 9 * (4 - level) as u32;
+            self.pwc.insert(Self::pwc_key(level, vpn >> shift), (), now);
+        }
+    }
+
+    fn respond(&mut self, ctx: &mut Ctx<'_>, req: &TransReq, pfn: u64) {
+        let rsp = TransRsp { access: req.access, vpn: req.vpn, pfn, cu: req.cu };
+        ctx.send(
+            self.wiring.cus[req.cu as usize],
+            Message::TransRsp(rsp),
+            self.hop_cycles as u64,
+        );
+    }
+
+    fn issue_read(&mut self, ctx: &mut Ctx<'_>, vpn: u64) {
+        let walk = self.active.get(&vpn).expect("walk active");
+        let (owner, line) = walk.reads[walk.next_read];
+        let access = self.read_ids.next();
+        self.inflight_reads.insert(access, vpn);
+        let req = MemReq {
+            access,
+            line,
+            write: false,
+            mask: LineMask::span(line.base().0 % 64, 8),
+            sectors: u16::MAX, // PT responses travel as header-only packets
+            class: TrafficClass::Ptw,
+            requester: self.gpu,
+            owner,
+            origin: Origin::Gmmu,
+        };
+        let target = if owner == self.gpu {
+            self.stats.local_pt_reads += 1;
+            self.wiring.l2
+        } else {
+            self.stats.remote_pt_reads += 1;
+            self.wiring.rdma
+        };
+        ctx.send(target, Message::MemReq(req), self.hop_cycles as u64);
+    }
+
+    fn start_walk(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vpn: u64,
+        reads: Vec<(GpuId, netcrafter_proto::LineAddr)>,
+        queued_at: Cycle,
+    ) {
+        debug_assert!(self.active.len() < self.max_walkers);
+        self.stats.walks += 1;
+        self.stats.walk_reads_hist[reads.len().min(4)] += 1;
+        self.active.insert(vpn, Walk { vpn, reads, next_read: 0, started: queued_at });
+        self.issue_read(ctx, vpn);
+    }
+
+    fn complete_walk(&mut self, ctx: &mut Ctx<'_>, vpn: u64, now: Cycle) {
+        let walk = self.active.remove(&vpn).expect("walk active");
+        self.stats.walk_latency.record(now - walk.started);
+        let pfn = self
+            .page_table
+            .translate(vpn)
+            .unwrap_or_else(|| panic!("{}: walk of unmapped vpn {vpn:#x}", self.name));
+        self.l2_tlb.insert(vpn, pfn, now);
+        self.pwc_fill(vpn, now);
+        for req in self.waiters.remove(&vpn).unwrap_or_default() {
+            self.respond(ctx, &req, pfn);
+        }
+        // A queued walk can now take the freed walker.
+        if let Some((vpn, reads, queued_at)) = self.pending_walks.pop_front() {
+            self.start_walk(ctx, vpn, reads, queued_at);
+        }
+    }
+
+    fn handle_lookup(&mut self, ctx: &mut Ctx<'_>, req: TransReq, now: Cycle) {
+        if let Some(pfn) = self.l2_tlb.lookup(req.vpn, now) {
+            self.respond(ctx, &req, pfn);
+            return;
+        }
+        if let Some(list) = self.waiters.get_mut(&req.vpn) {
+            list.push(req); // walk already underway for this vpn
+            return;
+        }
+        if self.waiters.len() >= self.waiter_cap {
+            self.retry.push_back(req); // TLB MSHR full: retry next cycle
+            return;
+        }
+        self.waiters.insert(req.vpn, vec![req]);
+        self.pwc_pipe.push(now + self.pwc_cycles as Cycle, req.vpn);
+    }
+}
+
+impl Component for TranslationUnit {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.cycle();
+        while let Some(msg) = ctx.recv() {
+            match msg {
+                Message::TransReq(req) => {
+                    self.stats.requests += 1;
+                    self.tlb_pipe
+                        .push(now + self.l2_tlb.lookup_cycles() as Cycle, req);
+                }
+                Message::MemRsp(rsp) => {
+                    let vpn = self
+                        .inflight_reads
+                        .remove(&rsp.access)
+                        .unwrap_or_else(|| panic!("{}: stray PT read response", self.name));
+                    let walk = self.active.get_mut(&vpn).expect("walk active");
+                    walk.next_read += 1;
+                    if walk.next_read < walk.reads.len() {
+                        self.issue_read(ctx, vpn);
+                    } else {
+                        self.complete_walk(ctx, vpn, now);
+                    }
+                }
+                other => panic!("{}: unexpected {}", self.name, other.label()),
+            }
+        }
+
+        // Retries (TLB-MSHR-full) get first claim on this cycle.
+        for _ in 0..self.retry.len() {
+            let req = self.retry.pop_front().expect("len checked");
+            self.handle_lookup(ctx, req, now);
+        }
+        while let Some(req) = self.tlb_pipe.pop_ready(now) {
+            self.handle_lookup(ctx, req, now);
+        }
+        while let Some(vpn) = self.pwc_pipe.pop_ready(now) {
+            let start = self.pwc_start_level(vpn, now);
+            let reads = self.page_table.walk_reads(vpn, start);
+            if self.active.len() < self.max_walkers {
+                self.start_walk(ctx, vpn, reads, now);
+            } else {
+                self.stats.walker_queue_events += 1;
+                self.pending_walks.push_back((vpn, reads, now));
+            }
+        }
+    }
+
+    fn busy(&self) -> bool {
+        !self.tlb_pipe.is_empty()
+            || !self.pwc_pipe.is_empty()
+            || !self.retry.is_empty()
+            || !self.active.is_empty()
+            || !self.pending_walks.is_empty()
+            || !self.waiters.is_empty()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcrafter_proto::MemRsp;
+    use netcrafter_sim::EngineBuilder;
+    use std::cell::RefCell;
+
+    /// Stub CU: records TransRsp arrivals.
+    struct CuStub {
+        got: Rc<RefCell<Vec<(Cycle, TransRsp)>>>,
+    }
+    impl Component for CuStub {
+        fn tick(&mut self, ctx: &mut Ctx<'_>) {
+            while let Some(msg) = ctx.recv() {
+                if let Message::TransRsp(r) = msg {
+                    self.got.borrow_mut().push((ctx.cycle(), r));
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "cu-stub"
+        }
+    }
+
+    /// Stub memory: answers every MemReq after `latency`, recording it.
+    struct MemStub {
+        reply_to: ComponentId,
+        latency: u64,
+        seen: Rc<RefCell<Vec<MemReq>>>,
+    }
+    impl Component for MemStub {
+        fn tick(&mut self, ctx: &mut Ctx<'_>) {
+            while let Some(msg) = ctx.recv() {
+                if let Message::MemReq(req) = msg {
+                    self.seen.borrow_mut().push(req);
+                    ctx.send(
+                        self.reply_to,
+                        Message::MemRsp(MemRsp::for_req(&req, req.sectors)),
+                        self.latency,
+                    );
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "mem-stub"
+        }
+    }
+
+    struct H {
+        engine: netcrafter_sim::Engine,
+        tu: ComponentId,
+        rsp: Rc<RefCell<Vec<(Cycle, TransRsp)>>>,
+        local_reads: Rc<RefCell<Vec<MemReq>>>,
+        remote_reads: Rc<RefCell<Vec<MemReq>>>,
+    }
+
+    fn harness(pt: PageTable, walkers: u32) -> H {
+        let mut b = EngineBuilder::new();
+        let cu = b.reserve();
+        let l2 = b.reserve();
+        let rdma = b.reserve();
+        let tu = b.reserve();
+        let rsp = Rc::new(RefCell::new(Vec::new()));
+        let local_reads = Rc::new(RefCell::new(Vec::new()));
+        let remote_reads = Rc::new(RefCell::new(Vec::new()));
+        b.install(cu, Box::new(CuStub { got: Rc::clone(&rsp) }));
+        b.install(
+            l2,
+            Box::new(MemStub { reply_to: tu, latency: 50, seen: Rc::clone(&local_reads) }),
+        );
+        b.install(
+            rdma,
+            Box::new(MemStub { reply_to: tu, latency: 400, seen: Rc::clone(&remote_reads) }),
+        );
+        b.install(
+            tu,
+            Box::new(TranslationUnit::new(
+                GpuId(0),
+                &TlbConfig { entries: 512, ways: 8, lookup_cycles: 10, mshr_entries: 4 },
+                &GmmuConfig { pwc_entries: 32, pwc_lookup_cycles: 10, walkers },
+                2,
+                Rc::new(pt),
+                TranslationWiring { cus: vec![cu], l2, rdma },
+            )),
+        );
+        H { engine: b.build(), tu, rsp, local_reads, remote_reads }
+    }
+
+    fn treq(vpn: u64) -> Message {
+        Message::TransReq(TransReq { access: AccessId(vpn), vpn, cu: 0 })
+    }
+
+    #[test]
+    fn cold_walk_reads_four_levels_locally() {
+        let mut pt = PageTable::new(1 << 24);
+        pt.map(0x42, 0x7, GpuId(0));
+        let mut h = harness(pt, 16);
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.run_to_quiescence(5000);
+        assert_eq!(h.rsp.borrow().len(), 1);
+        assert_eq!(h.rsp.borrow()[0].1.pfn, 0x7);
+        assert_eq!(h.local_reads.borrow().len(), 4, "4-level walk");
+        assert!(h.remote_reads.borrow().is_empty());
+        // Latency: 10 (TLB) + 10 (PWC) + 4 sequential reads of ~52 each.
+        let t = h.rsp.borrow()[0].0;
+        assert!(t > 220, "sequential walk latency, got {t}");
+    }
+
+    #[test]
+    fn pwc_accelerates_neighbouring_walks() {
+        let mut pt = PageTable::new(1 << 24);
+        pt.map(0x42, 0x7, GpuId(0));
+        pt.map(0x43, 0x8, GpuId(0)); // same leaf table
+        let mut h = harness(pt, 16);
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.run_to_quiescence(5000);
+        assert_eq!(h.local_reads.borrow().len(), 4);
+        // Second walk: PWC has levels 1-3 cached -> only the leaf read.
+        h.engine.inject(h.tu, treq(0x43), 1);
+        h.engine.run_to_quiescence(5000);
+        assert_eq!(h.local_reads.borrow().len(), 5, "only 1 extra read");
+    }
+
+    #[test]
+    fn l2_tlb_hit_skips_walk() {
+        let mut pt = PageTable::new(1 << 24);
+        pt.map(0x42, 0x7, GpuId(0));
+        let mut h = harness(pt, 16);
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.run_to_quiescence(5000);
+        let reads_after_first = h.local_reads.borrow().len();
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.run_to_quiescence(5000);
+        assert_eq!(h.rsp.borrow().len(), 2);
+        assert_eq!(h.local_reads.borrow().len(), reads_after_first, "no new reads");
+    }
+
+    #[test]
+    fn concurrent_same_vpn_requests_share_one_walk() {
+        let mut pt = PageTable::new(1 << 24);
+        pt.map(0x42, 0x7, GpuId(0));
+        let mut h = harness(pt, 16);
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.inject(h.tu, treq(0x42), 2);
+        h.engine.inject(h.tu, treq(0x42), 3);
+        h.engine.run_to_quiescence(5000);
+        assert_eq!(h.rsp.borrow().len(), 3, "all requesters answered");
+        assert_eq!(h.local_reads.borrow().len(), 4, "single walk");
+    }
+
+    #[test]
+    fn remote_pte_reads_go_to_rdma() {
+        let mut pt = PageTable::new(1 << 24);
+        pt.map(0x42, 0x7, GpuId(2)); // PT nodes placed on gpu2
+        let mut h = harness(pt, 16);
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.run_to_quiescence(10_000);
+        assert_eq!(h.rsp.borrow().len(), 1);
+        assert_eq!(h.remote_reads.borrow().len(), 4);
+        assert!(h.local_reads.borrow().is_empty());
+        assert!(h.remote_reads.borrow().iter().all(|r| r.class == TrafficClass::Ptw));
+        assert!(h.remote_reads.borrow().iter().all(|r| r.owner == GpuId(2)));
+    }
+
+    #[test]
+    fn tlb_mshr_cap_retries_instead_of_dropping() {
+        // waiter_cap is 4 (mshr_entries in the harness config); issue 6
+        // distinct vpns at once — all must still complete.
+        let mut pt = PageTable::new(1 << 24);
+        for i in 0..6u64 {
+            pt.map(0x100 + i * (1 << 12), 0x10 + i, GpuId(0));
+        }
+        let mut h = harness(pt, 16);
+        for i in 0..6u64 {
+            h.engine.inject(h.tu, treq(0x100 + i * (1 << 12)), 1);
+        }
+        h.engine.run_to_quiescence(50_000);
+        assert_eq!(h.rsp.borrow().len(), 6, "capped MSHR retries, never drops");
+    }
+
+    #[test]
+    fn walk_latency_statistics_recorded() {
+        let mut pt = PageTable::new(1 << 24);
+        pt.map(0x42, 0x7, GpuId(0));
+        let mut h = harness(pt, 16);
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.run_to_quiescence(5_000);
+        let tu: &TranslationUnit = h.engine.get(h.tu).expect("tu");
+        assert_eq!(tu.stats.walks, 1);
+        assert_eq!(tu.stats.walk_reads_hist[4], 1, "cold walk reads 4 levels");
+        assert!(tu.stats.walk_latency.mean() > 100.0, "4 sequential reads");
+        let mut m = Metrics::new();
+        tu.stats.report(&mut m, "g");
+        assert_eq!(m.counter("g.walks"), 1);
+        assert_eq!(m.counter("g.local_pt_reads"), 4);
+    }
+
+    #[test]
+    fn walker_limit_queues_walks() {
+        let mut pt = PageTable::new(1 << 24);
+        // Two far-apart vpns -> distinct walks.
+        pt.map(0x42, 0x7, GpuId(0));
+        pt.map(0x42 + (1 << 18), 0x8, GpuId(0));
+        let mut h = harness(pt, 1); // single walker
+        h.engine.inject(h.tu, treq(0x42), 1);
+        h.engine.inject(h.tu, treq(0x42 + (1 << 18)), 1);
+        h.engine.run_to_quiescence(10_000);
+        assert_eq!(h.rsp.borrow().len(), 2, "both walks complete eventually");
+    }
+}

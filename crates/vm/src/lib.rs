@@ -1,0 +1,35 @@
+//! GPU virtual memory: TLBs, the GMMU with its page-walk cache and
+//! parallel page-table walkers, and the 4-level radix page table —
+//! the translation machinery of §2.3.
+//!
+//! Translation flow on a CU load/store:
+//!
+//! 1. The CU's private **L1 TLB** (32-entry, fully associative, 1-cycle)
+//!    is checked; a hit translates immediately.
+//! 2. On a miss the request goes to the GPU's shared **L2 TLB**
+//!    (512-entry, 8-way, 10-cycle, 64-entry MSHR).
+//! 3. On an L2 TLB miss the **GMMU** performs a longest-prefix match in
+//!    its **page-walk cache** (32-entry, 10-cycle), which caches levels
+//!    1–3 of the radix tree and decides how many of the 4 levels the walk
+//!    must actually read (1–4 memory accesses).
+//! 4. One of 16 parallel **page-table walkers** issues those reads. PTEs
+//!    are placed by the paper's extension of LASP: each leaf page-table
+//!    page (mapping a 2 MiB region) lives on the GPU holding the region's
+//!    first data page, so PTE reads may cross the inter-cluster network —
+//!    that is exactly the PTW traffic NetCrafter's Sequencing prioritizes.
+//! 5. The completed translation is inserted into both TLBs and returned.
+//!
+//! The [`PageTable`] is a functional model shared by all GPUs (unified
+//! virtual memory): walks consult it to learn which physical lines to
+//! read; timing comes from the real memory traffic those reads generate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gmmu;
+pub mod pagetable;
+pub mod tlb;
+
+pub use gmmu::{TranslationUnit, TranslationWiring};
+pub use pagetable::{PageTable, PtLevelAddrs};
+pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,200 @@
+//! Data-parallel DNN training workloads (DNNMark-derived: VGG16, LeNet,
+//! ResNet-18), modelled as layer graphs.
+//!
+//! The paper trains these networks with data parallelism (§5.1): each GPU
+//! holds a full model replica, computes forward/backward passes over its
+//! minibatch shard, then exchanges weight gradients with its peers. The
+//! trace model reproduces that structure per layer:
+//!
+//! 1. a compute phase proportional to the layer's FLOP share;
+//! 2. local reads of the layer's activations and weights (the replica is
+//!    partition-placed with CTA home hints, so these stay on-GPU);
+//! 3. a gradient-synchronization phase: full-line reads of the shared
+//!    gradient buffer, whose pages interleave across GPUs, plus local
+//!    accumulation writes — the all-reduce traffic that crosses clusters.
+//!
+//! Layer tables are the real network shapes scaled to the requested
+//! [`Scale`]: VGG16's enormous fully-connected layers make it the most
+//! network-hungry; LeNet is tiny and compute-bound; ResNet-18 sits in
+//! between.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netcrafter_proto::kernel::{AccessPattern, CtaSpec, KernelSpec};
+use netcrafter_proto::{CtaId, GpuId};
+
+use crate::gen::{rand_addr, slice_line, BufAlloc, Tb};
+use crate::Scale;
+
+/// One layer of the modelled network.
+struct Layer {
+    /// Relative compute weight (arbitrary units, normalized later).
+    compute: u32,
+    /// Relative parameter (gradient) volume.
+    params: u32,
+}
+
+/// Builds a data-parallel training trace for the given layer table.
+fn dnn_kernel(
+    name: &str,
+    layers: &[Layer],
+    sync_intensity: u32,
+    scale: &Scale,
+    gpus: u16,
+    seed: u64,
+) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let acts = alloc.buffer("activations", scale.footprint_pages / 2, AccessPattern::Partitioned);
+    let weights = alloc.buffer("weights", scale.footprint_pages / 4, AccessPattern::Partitioned);
+    let grads = alloc.buffer("gradients", scale.footprint_pages / 4, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x444e4e);
+
+    let total_params: u32 = layers.iter().map(|l| l.params).sum::<u32>().max(1);
+    let n_ctas = scale.ctas;
+    // Total sync reads available per wavefront, distributed across layers
+    // by parameter share.
+    let sync_budget = (scale.mem_ops_per_wave * sync_intensity / 8).max(layers.len() as u32);
+
+    let mut ctas = Vec::with_capacity(n_ctas as usize);
+    let mut wf_id = 0u32;
+    for c in 0..n_ctas {
+        let hint = GpuId((c as u64 * gpus as u64 / n_ctas as u64) as u16);
+        let mut waves = Vec::with_capacity(scale.waves_per_cta as usize);
+        for w in 0..scale.waves_per_cta {
+            let mut tb = Tb::new();
+            for (li, layer) in layers.iter().enumerate() {
+                // Forward/backward compute with local operand streaming.
+                tb.compute(layer.compute);
+                let idx = (w as u64) * 256 + li as u64 * 8;
+                tb.read(slice_line(&acts, c, n_ctas, idx), 64);
+                tb.read(slice_line(&weights, c, n_ctas, idx), 64);
+                tb.write(slice_line(&acts, c, n_ctas, idx + 1), 64);
+                // Gradient all-reduce share of this layer.
+                let syncs = (sync_budget * layer.params / total_params).max(1);
+                for _ in 0..syncs {
+                    tb.read(rand_addr(&mut rng, &grads, 64, 64), 64);
+                    tb.compute(2);
+                }
+                tb.write(rand_addr(&mut rng, &grads, 64, 64), 64);
+            }
+            waves.push(tb.finish(wf_id, c));
+            wf_id += 1;
+        }
+        ctas.push(CtaSpec { id: CtaId(c), waves, home_hint: Some(hint) });
+    }
+    KernelSpec {
+        name: name.into(),
+        ctas,
+        buffers: vec![acts, weights, grads],
+    }
+}
+
+/// VGG16: 13 convolutional + 3 fully-connected layers. The FC layers
+/// hold ~90% of the 138 M parameters, so gradient exchange dominates —
+/// the most bandwidth-bound of the three DNNs.
+pub fn vgg16(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
+    let mut layers = Vec::new();
+    // Conv blocks (compute-heavy, few parameters).
+    for (count, compute, params) in
+        [(2u32, 20u32, 1u32), (2, 18, 2), (3, 16, 4), (3, 14, 8), (3, 12, 8)]
+    {
+        for _ in 0..count {
+            layers.push(Layer { compute, params });
+        }
+    }
+    // FC layers: parameter giants.
+    layers.push(Layer { compute: 8, params: 120 });
+    layers.push(Layer { compute: 6, params: 20 });
+    layers.push(Layer { compute: 4, params: 5 });
+    dnn_kernel("vgg16", &layers, 12, scale, gpus, seed)
+}
+
+/// LeNet-5: two tiny conv layers and two small FC layers (~60 K
+/// parameters). Almost no gradient traffic: compute-bound, little to
+/// gain from any network optimization.
+pub fn lenet(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
+    let layers = [
+        Layer { compute: 120, params: 1 },
+        Layer { compute: 120, params: 2 },
+        Layer { compute: 80, params: 4 },
+        Layer { compute: 60, params: 1 },
+    ];
+    dnn_kernel("lenet", &layers, 1, scale, gpus, seed)
+}
+
+/// ResNet-18: 17 conv layers + 1 FC (~11 M parameters spread evenly) —
+/// moderate, steady gradient traffic.
+pub fn rnet18(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
+    let mut layers = vec![Layer { compute: 54, params: 2 }];
+    for stage in 0..4u32 {
+        for _ in 0..4 {
+            layers.push(Layer { compute: 42 - 6 * stage, params: 2 + 2 * stage });
+        }
+    }
+    layers.push(Layer { compute: 12, params: 4 });
+    dnn_kernel("resnet18", &layers, 2, scale, gpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcrafter_proto::WavefrontOp;
+
+    fn mem_and_compute(k: &KernelSpec) -> (u64, u64) {
+        let mut mem = 0u64;
+        let mut compute = 0u64;
+        for cta in &k.ctas {
+            for wave in &cta.waves {
+                for op in &wave.ops {
+                    match op {
+                        WavefrontOp::Mem(_) => mem += 1,
+                        WavefrontOp::Compute(c) => compute += *c as u64,
+                    }
+                }
+            }
+        }
+        (mem, compute)
+    }
+
+    #[test]
+    fn vgg_has_more_sync_traffic_than_lenet() {
+        let scale = Scale::tiny();
+        let vgg = vgg16(&scale, 4, 1);
+        let lenet_k = lenet(&scale, 4, 1);
+        let (vgg_mem, vgg_comp) = mem_and_compute(&vgg);
+        let (ln_mem, ln_comp) = mem_and_compute(&lenet_k);
+        // Per unit of compute, VGG16 moves far more memory.
+        let vgg_intensity = vgg_mem as f64 / vgg_comp as f64;
+        let ln_intensity = ln_mem as f64 / ln_comp as f64;
+        assert!(
+            vgg_intensity > 2.0 * ln_intensity,
+            "VGG {vgg_intensity:.3} vs LeNet {ln_intensity:.3}"
+        );
+    }
+
+    #[test]
+    fn resnet_sits_between() {
+        let scale = Scale::tiny();
+        let intensity = |k: &KernelSpec| {
+            let (m, c) = mem_and_compute(k);
+            m as f64 / c as f64
+        };
+        let vgg = intensity(&vgg16(&scale, 4, 1));
+        let rn = intensity(&rnet18(&scale, 4, 1));
+        let ln = intensity(&lenet(&scale, 4, 1));
+        assert!(vgg > rn && rn > ln, "vgg {vgg:.3} rn {rn:.3} ln {ln:.3}");
+    }
+
+    #[test]
+    fn dnn_ctas_carry_home_hints() {
+        let k = rnet18(&Scale::tiny(), 4, 1);
+        assert!(k.ctas.iter().all(|c| c.home_hint.is_some()));
+        // Hints spread across all four GPUs.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &k.ctas {
+            seen.insert(c.home_hint.unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

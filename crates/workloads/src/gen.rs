@@ -1,0 +1,443 @@
+//! Trace generators for the twelve classic (non-DNN) workloads of
+//! Table 3. Each function documents which properties of the original
+//! application it reproduces; see the crate docs for the methodology.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netcrafter_proto::access::{CoalescedAccess, WavefrontOp, WavefrontTrace};
+use netcrafter_proto::kernel::{AccessPattern, BufferSpec, CtaSpec, KernelSpec};
+use netcrafter_proto::{CtaId, GpuId, VAddr, WavefrontId, PAGE_BYTES};
+
+use crate::Scale;
+
+/// 2 MiB, the leaf-page-table region size buffers are aligned to.
+const REGION: u64 = 1 << 21;
+
+/// Virtual-address allocator handing out 2 MiB-aligned buffers.
+pub(crate) struct BufAlloc {
+    next: u64,
+}
+
+impl BufAlloc {
+    pub(crate) fn new() -> Self {
+        Self { next: 0x4000_0000 }
+    }
+
+    pub(crate) fn buffer(&mut self, name: &str, pages: u64, pattern: AccessPattern) -> BufferSpec {
+        let pages = pages.max(1);
+        let base = self.next;
+        let bytes = pages * PAGE_BYTES;
+        self.next += bytes.div_ceil(REGION) * REGION;
+        BufferSpec { name: name.into(), base: VAddr(base), bytes, pattern }
+    }
+}
+
+/// Builds one wavefront's op stream.
+pub(crate) struct Tb {
+    ops: Vec<WavefrontOp>,
+}
+
+impl Tb {
+    pub(crate) fn new() -> Self {
+        Self { ops: Vec::new() }
+    }
+
+    pub(crate) fn compute(&mut self, cycles: u32) {
+        if cycles > 0 {
+            self.ops.push(WavefrontOp::Compute(cycles));
+        }
+    }
+
+    pub(crate) fn read(&mut self, va: u64, len: u64) {
+        self.ops.push(WavefrontOp::Mem(CoalescedAccess::read(VAddr(va), len)));
+    }
+
+    pub(crate) fn write(&mut self, va: u64, len: u64) {
+        self.ops
+            .push(WavefrontOp::Mem(CoalescedAccess::write(VAddr(va), len)));
+    }
+
+    pub(crate) fn finish(self, id: u32, cta: u32) -> WavefrontTrace {
+        WavefrontTrace { id: WavefrontId(id), cta: CtaId(cta), ops: self.ops }
+    }
+}
+
+/// A random address inside `buf`, aligned to `align` and at least `len`
+/// bytes before a line boundary.
+pub(crate) fn rand_addr(rng: &mut StdRng, buf: &BufferSpec, align: u64, len: u64) -> u64 {
+    let lines = buf.bytes / 64;
+    let line = rng.gen_range(0..lines);
+    let max_off = (64 - len) / align;
+    let off = if max_off == 0 { 0 } else { rng.gen_range(0..=max_off) * align };
+    buf.base.0 + line * 64 + off
+}
+
+/// Sequential line `i` (mod size) of `buf`, offset by the CTA's slice.
+pub(crate) fn slice_line(buf: &BufferSpec, cta: u32, n_ctas: u32, i: u64) -> u64 {
+    let lines = buf.bytes / 64;
+    let slice = lines / n_ctas as u64;
+    let base_line = cta as u64 * slice;
+    buf.base.0 + ((base_line + i) % lines) * 64
+}
+
+fn assemble(
+    name: &str,
+    scale: &Scale,
+    buffers: Vec<BufferSpec>,
+    hints: Option<&dyn Fn(u32) -> GpuId>,
+    mut wave_gen: impl FnMut(u32, u32, &mut Tb),
+) -> KernelSpec {
+    let mut ctas = Vec::with_capacity(scale.ctas as usize);
+    let mut wf_id = 0u32;
+    for c in 0..scale.ctas {
+        let mut waves = Vec::with_capacity(scale.waves_per_cta as usize);
+        for w in 0..scale.waves_per_cta {
+            let mut tb = Tb::new();
+            wave_gen(c, w, &mut tb);
+            waves.push(tb.finish(wf_id, c));
+            wf_id += 1;
+        }
+        ctas.push(CtaSpec {
+            id: CtaId(c),
+            waves,
+            home_hint: hints.map(|h| h(c)),
+        });
+    }
+    KernelSpec { name: name.into(), ctas, buffers }
+}
+
+/// GUPS: random 8-byte read-modify-update over a giant table. Nearly all
+/// accesses need ≤16 B of their line (Figure 7's leftmost bars) and pages
+/// interleave across GPUs, so most traffic is remote and trim-friendly.
+pub fn gups(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let table = alloc.buffer("table", scale.footprint_pages, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x675053);
+    let buffers = vec![table.clone()];
+    assemble("gups", scale, buffers, None, |_c, _w, tb| {
+        for _ in 0..scale.mem_ops_per_wave / 2 {
+            let a = rand_addr(&mut rng, &table, 8, 8);
+            tb.read(a, 8);
+            tb.compute(2);
+            tb.write(a, 8);
+        }
+    })
+}
+
+/// MT: matrix transpose. Each CTA writes its own row slice of the
+/// destination but *gathers* the corresponding column of the source —
+/// column-major reads stride across the whole matrix, so most reads are
+/// remote while writes stay local (Table 3 classifies MT as Gather).
+pub fn mt(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let pages = scale.footprint_pages;
+    let src = alloc.buffer("src", pages / 2, AccessPattern::Gather);
+    let dst = alloc.buffer("dst", pages / 2, AccessPattern::Gather);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d54);
+    let buffers = vec![src.clone(), dst.clone()];
+    let n_ctas = scale.ctas;
+    let src_lines = src.bytes / 64;
+    // Column stride: a large, footprint-spanning stride models reading
+    // down a matrix column (one 8-16 B element per line touched).
+    let stride = (src_lines / 97).max(1) * 64;
+    assemble("mt", scale, buffers, None, |c, w, tb| {
+        let mut col = (c as u64 * 131 + w as u64 * 17) * 64 % src.bytes;
+        for i in 0..scale.mem_ops_per_wave as u64 / 3 {
+            let width = if rng.gen_ratio(1, 4) { 16 } else { 8 };
+            tb.read(src.base.0 + col, width);
+            col = ((col + stride) % src.bytes) & !63;
+            tb.compute(2);
+            // Row-major destination write in the CTA's own slice.
+            tb.write(slice_line(&dst, c, n_ctas, w as u64 * 32 + i), 64);
+        }
+    })
+}
+
+/// MIS: maximal independent set over an irregular graph. Random small
+/// reads of node/edge state with occasional status writes.
+pub fn mis(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let nodes = alloc.buffer("nodes", scale.footprint_pages / 2, AccessPattern::Random);
+    let state = alloc.buffer("state", scale.footprint_pages / 2, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4953);
+    let buffers = vec![nodes.clone(), state.clone()];
+    assemble("mis", scale, buffers, None, |_c, _w, tb| {
+        // Adjacency lists give MIS sub-line spatial locality: a node's
+        // neighbours often sit in other sectors of a recently read line.
+        let mut recent: Vec<u64> = Vec::new();
+        for i in 0..scale.mem_ops_per_wave {
+            if !recent.is_empty() && rng.gen_ratio(1, 3) {
+                let line = recent[rng.gen_range(0..recent.len())];
+                let sector = rng.gen_range(0..4u64);
+                tb.read(line + sector * 16 + 8, 8);
+            } else {
+                let a = rand_addr(&mut rng, &nodes, 8, 8);
+                recent.push(a & !63);
+                if recent.len() > 8 {
+                    recent.remove(0);
+                }
+                tb.read(a, 8);
+            }
+            tb.compute(4);
+            if i % 4 == 0 {
+                tb.write(rand_addr(&mut rng, &state, 4, 4), 4);
+            }
+        }
+    })
+}
+
+/// IM2COL: image-to-column reshaping. Streaming full-line reads and
+/// writes with high spatial locality; occasional halo reads cross slice
+/// boundaries.
+pub fn im2col(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let src = alloc.buffer("image", scale.footprint_pages / 2, AccessPattern::Adjacent);
+    let dst = alloc.buffer("column", scale.footprint_pages / 2, AccessPattern::Adjacent);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x494d32);
+    let buffers = vec![src.clone(), dst.clone()];
+    let n_ctas = scale.ctas;
+    assemble("im2col", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 2 {
+            let idx = w as u64 * 128 + i;
+            if rng.gen_ratio(1, 8) {
+                // Halo: neighbouring CTA's slice.
+                tb.read(slice_line(&src, (c + 1) % n_ctas, n_ctas, idx), 64);
+            } else {
+                tb.read(slice_line(&src, c, n_ctas, idx), 64);
+            }
+            tb.compute(4);
+            tb.write(slice_line(&dst, c, n_ctas, idx), 64);
+        }
+    })
+}
+
+/// ATAX: y = Aᵀ(Ax). Row-streaming reads of A, gathered reads of x, and
+/// scattered small writes of y.
+pub fn atax(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let a = alloc.buffer("A", scale.footprint_pages * 3 / 4, AccessPattern::Scatter);
+    let x = alloc.buffer("x", scale.footprint_pages / 8, AccessPattern::Random);
+    let y = alloc.buffer("y", scale.footprint_pages / 8, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x41544158);
+    let buffers = vec![a.clone(), x.clone(), y.clone()];
+    let n_ctas = scale.ctas;
+    assemble("atax", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 3 {
+            tb.read(slice_line(&a, c, n_ctas, w as u64 * 64 + i), 64);
+            tb.read(rand_addr(&mut rng, &x, 8, 8), 8);
+            tb.compute(4);
+            tb.write(rand_addr(&mut rng, &y, 8, 8), 8);
+        }
+    })
+}
+
+/// BS: BlackScholes option pricing. Perfectly partitioned slices with
+/// heavy per-element compute — the workload LASP keeps almost entirely
+/// local, and the least network-sensitive of the suite.
+pub fn bs(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let input = alloc.buffer("options", scale.footprint_pages / 2, AccessPattern::Partitioned);
+    let out = alloc.buffer("prices", scale.footprint_pages / 2, AccessPattern::Partitioned);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4253);
+    let buffers = vec![input.clone(), out.clone()];
+    let n_ctas = scale.ctas;
+    let hints = move |c: u32| GpuId((c as u64 * gpus as u64 / n_ctas as u64) as u16);
+    assemble("bs", scale, buffers, Some(&hints), |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 2 {
+            let idx = w as u64 * 64 + i;
+            tb.read(slice_line(&input, c, n_ctas, idx), 32);
+            tb.compute(40);
+            if rng.gen_ratio(1, 16) {
+                // Rare shared-parameter read outside the slice.
+                tb.read(rand_addr(&mut rng, &input, 32, 32), 32);
+            }
+            tb.write(slice_line(&out, c, n_ctas, idx), 32);
+        }
+    })
+}
+
+/// MM2: two dense matrix multiplies. Row-major streaming of A, strided
+/// 16 B column reads of B, compute-dominated inner loops, periodic
+/// full-line writes of C.
+pub fn mm2(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let a = alloc.buffer("A", scale.footprint_pages / 3, AccessPattern::Gather);
+    let b = alloc.buffer("B", scale.footprint_pages / 3, AccessPattern::Gather);
+    let c_buf = alloc.buffer("C", scale.footprint_pages / 3, AccessPattern::Gather);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4d32);
+    let buffers = vec![a.clone(), b.clone(), c_buf.clone()];
+    let n_ctas = scale.ctas;
+    assemble("mm2", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 3 {
+            tb.read(slice_line(&a, c, n_ctas, w as u64 * 64 + i), 64);
+            tb.read(rand_addr(&mut rng, &b, 16, 16), 16);
+            tb.compute(20);
+            if i % 4 == 3 {
+                tb.write(slice_line(&c_buf, c, n_ctas, w as u64 * 16 + i / 4), 64);
+            }
+        }
+    })
+}
+
+/// MVT: matrix-vector product and transpose: streaming matrix reads,
+/// gathered vector reads, scattered vector writes.
+pub fn mvt(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let a = alloc.buffer("A", scale.footprint_pages * 3 / 4, AccessPattern::Scatter);
+    let x = alloc.buffer("x", scale.footprint_pages / 8, AccessPattern::Random);
+    let y = alloc.buffer("y", scale.footprint_pages / 8, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d5654);
+    let buffers = vec![a.clone(), x.clone(), y.clone()];
+    let n_ctas = scale.ctas;
+    assemble("mvt", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 3 {
+            tb.read(slice_line(&a, c, n_ctas, w as u64 * 64 + i), 64);
+            tb.read(rand_addr(&mut rng, &x, 8, 8), 8);
+            tb.compute(4);
+            if i % 2 == 0 {
+                tb.write(rand_addr(&mut rng, &y, 8, 8), 8);
+            }
+        }
+    })
+}
+
+/// SPMV: sparse matrix-vector multiply (CSR). Sequential index reads mix
+/// with random 8 B gathers of `x[col]` — the classic trim-friendly
+/// pattern.
+pub fn spmv(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let vals = alloc.buffer("vals", scale.footprint_pages / 4, AccessPattern::Random);
+    let cols = alloc.buffer("cols", scale.footprint_pages / 4, AccessPattern::Random);
+    let x = alloc.buffer("x", scale.footprint_pages / 4, AccessPattern::Random);
+    let y = alloc.buffer("y", scale.footprint_pages / 4, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x53504d56);
+    let buffers = vec![vals.clone(), cols.clone(), x.clone(), y.clone()];
+    let n_ctas = scale.ctas;
+    assemble("spmv", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 3 {
+            tb.read(slice_line(&cols, c, n_ctas, w as u64 * 64 + i), 16);
+            tb.read(rand_addr(&mut rng, &x, 8, 8), 8);
+            tb.compute(4);
+            if i % 8 == 7 {
+                tb.read(slice_line(&vals, c, n_ctas, w as u64 * 8 + i / 8), 16);
+                tb.write(slice_line(&y, c, n_ctas, w as u64 * 8 + i / 8), 8);
+            }
+        }
+    })
+}
+
+/// PR: PageRank. Random reads of neighbour ranks, periodic rank writes.
+pub fn pr(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let links = alloc.buffer("links", scale.footprint_pages / 2, AccessPattern::Random);
+    let ranks = alloc.buffer("ranks", scale.footprint_pages / 2, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5052);
+    let buffers = vec![links.clone(), ranks.clone()];
+    let n_ctas = scale.ctas;
+    assemble("pr", scale, buffers, None, |c, w, tb| {
+        // Neighbour ranks cluster: revisiting other sectors of a recent
+        // rank line is common (graph vertices are renumbered for
+        // locality), so sector caches pay for their finer fills here —
+        // the paper calls PR out as degrading under 16 B sectors.
+        let mut recent: Vec<u64> = Vec::new();
+        for i in 0..scale.mem_ops_per_wave {
+            if i % 6 == 5 {
+                tb.write(slice_line(&ranks, c, n_ctas, w as u64 * 16 + i as u64 / 6), 8);
+            } else if i % 3 == 0 {
+                tb.read(slice_line(&links, c, n_ctas, w as u64 * 64 + i as u64), 16);
+            } else if !recent.is_empty() && rng.gen_ratio(1, 2) {
+                let line = recent[rng.gen_range(0..recent.len())];
+                tb.read(line + rng.gen_range(0..8u64) * 8, 8);
+            } else {
+                let a = rand_addr(&mut rng, &ranks, 8, 8);
+                recent.push(a & !63);
+                if recent.len() > 8 {
+                    recent.remove(0);
+                }
+                tb.read(a, 8);
+            }
+            tb.compute(6);
+        }
+    })
+}
+
+/// SR: SHOC reduction. Streaming full-line reads feeding a tree
+/// reduction with sparse partial-sum writes.
+pub fn sr(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let data = alloc.buffer("data", scale.footprint_pages * 7 / 8, AccessPattern::Gather);
+    let partial = alloc.buffer("partials", scale.footprint_pages / 8, AccessPattern::Random);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5352);
+    let buffers = vec![data.clone(), partial.clone()];
+    let n_ctas = scale.ctas;
+    assemble("sr", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 {
+            tb.read(slice_line(&data, c, n_ctas, w as u64 * 128 + i), 64);
+            tb.compute(6);
+            if i % 8 == 7 {
+                tb.write(rand_addr(&mut rng, &partial, 8, 8), 8);
+            }
+        }
+        // Tree-reduction tail: combine partial sums produced by other
+        // CTAs — small gathered reads, many of them remote.
+        for _ in 0..scale.mem_ops_per_wave / 8 {
+            tb.read(rand_addr(&mut rng, &partial, 8, 8), 8);
+            tb.compute(4);
+        }
+    })
+}
+
+/// SYR2K: symmetric rank-2k update. Dense adjacent streaming of A and B
+/// with compute-heavy inner loops and regular C writes.
+pub fn syr2k(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let a = alloc.buffer("A", scale.footprint_pages / 3, AccessPattern::Adjacent);
+    let b = alloc.buffer("B", scale.footprint_pages / 3, AccessPattern::Adjacent);
+    let c_buf = alloc.buffer("C", scale.footprint_pages / 3, AccessPattern::Adjacent);
+    let buffers = vec![a.clone(), b.clone(), c_buf.clone()];
+    let n_ctas = scale.ctas;
+    let _ = seed;
+    assemble("syr2k", scale, buffers, None, |c, w, tb| {
+        for i in 0..scale.mem_ops_per_wave as u64 / 3 {
+            let idx = w as u64 * 64 + i;
+            tb.read(slice_line(&a, c, n_ctas, idx), 64);
+            tb.read(slice_line(&b, c, n_ctas, idx), 64);
+            tb.compute(16);
+            if i % 4 == 3 {
+                tb.write(slice_line(&c_buf, c, n_ctas, w as u64 * 16 + i / 4), 64);
+            }
+        }
+    })
+}
+
+/// A large dense GEMM used by the Figure 17 trimming-granularity study
+/// ("Large GEMM Kernels"). Wide (full-line) streaming reads with a tail
+/// of narrow strided column reads, so the best sector size is non-trivial.
+pub fn large_gemm(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
+    let mut alloc = BufAlloc::new();
+    let a = alloc.buffer("A", scale.footprint_pages / 2, AccessPattern::Gather);
+    let b = alloc.buffer("B", scale.footprint_pages / 2, AccessPattern::Gather);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x47454d4d);
+    let buffers = vec![a.clone(), b.clone()];
+    let n_ctas = scale.ctas;
+    assemble("large-gemm", scale, buffers, None, |c, w, tb| {
+        // The B column walk revisits neighbouring elements of the same
+        // line before moving on — classic blocked-GEMM sub-line locality.
+        // Finer trimming/sector granularities discard exactly the bytes
+        // the next iteration needs, which is what Figure 17 measures.
+        let mut b_line = rand_addr(&mut rng, &b, 64, 64) & !63;
+        let mut off = 0u64;
+        for i in 0..scale.mem_ops_per_wave as u64 / 2 {
+            tb.read(slice_line(&a, c, n_ctas, w as u64 * 64 + i), 64);
+            let width = [4u64, 8, 8, 16][rng.gen_range(0..4)];
+            if off + width > 64 || rng.gen_ratio(1, 4) {
+                b_line = rand_addr(&mut rng, &b, 64, 64) & !63;
+                off = 0;
+            }
+            tb.read(b_line + off, width);
+            off += width;
+            tb.compute(12);
+        }
+    })
+}

@@ -1,0 +1,94 @@
+//! Workload scale knobs.
+//!
+//! The paper simulates full-size benchmark inputs on 64-CU GPUs; a test
+//! suite cannot. `Scale` lets the same generators produce anything from
+//! seconds-long experiment runs to millisecond unit-test kernels while
+//! keeping every *relative* property (pattern, bytes-required mix,
+//! footprint-to-TLB-reach ratio) intact.
+
+/// Size knobs for the workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// CTAs in the kernel launch.
+    pub ctas: u32,
+    /// Wavefronts per CTA.
+    pub waves_per_cta: u32,
+    /// Approximate memory operations per wavefront.
+    pub mem_ops_per_wave: u32,
+    /// Data footprint in 4 KiB pages (split across the kernel's buffers).
+    /// Drives TLB pressure: the per-GPU L2 TLB reaches 512 pages.
+    pub footprint_pages: u64,
+}
+
+impl Scale {
+    /// Unit-test scale: a few hundred accesses, fits every TLB.
+    pub fn tiny() -> Self {
+        Self {
+            ctas: 8,
+            waves_per_cta: 2,
+            mem_ops_per_wave: 16,
+            footprint_pages: 64,
+        }
+    }
+
+    /// Integration-test scale: a few thousand accesses with real TLB
+    /// pressure.
+    pub fn small() -> Self {
+        Self {
+            ctas: 32,
+            waves_per_cta: 8,
+            mem_ops_per_wave: 48,
+            footprint_pages: 1024,
+        }
+    }
+
+    /// Experiment scale used by the figure harness: enough traffic to
+    /// saturate the inter-cluster link and miss the TLBs, while keeping a
+    /// full 15-workload × many-configuration sweep tractable.
+    pub fn paper() -> Self {
+        Self {
+            ctas: 64,
+            waves_per_cta: 8,
+            mem_ops_per_wave: 64,
+            footprint_pages: 4096,
+        }
+    }
+
+    /// Total wavefronts.
+    pub fn total_waves(&self) -> u64 {
+        self.ctas as u64 * self.waves_per_cta as u64
+    }
+
+    /// Approximate total memory operations.
+    pub fn approx_mem_ops(&self) -> u64 {
+        self.total_waves() * self.mem_ops_per_wave as u64
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let t = Scale::tiny();
+        let s = Scale::small();
+        let p = Scale::paper();
+        assert!(t.approx_mem_ops() < s.approx_mem_ops());
+        assert!(s.approx_mem_ops() < p.approx_mem_ops());
+        assert!(t.footprint_pages < p.footprint_pages);
+    }
+
+    #[test]
+    fn totals() {
+        let t = Scale::tiny();
+        assert_eq!(t.total_waves(), 16);
+        assert_eq!(t.approx_mem_ops(), 256);
+    }
+}

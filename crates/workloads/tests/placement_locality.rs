@@ -1,0 +1,119 @@
+//! Cross-crate behavioural tests: do the generated access patterns,
+//! after LASP placement, actually produce the locality structure Table 3
+//! promises? (Partitioned ≫ local, Random ≈ interleaved, Gather reads
+//! remote, …)
+
+use netcrafter_gpu::lasp;
+use netcrafter_proto::{AccessKind, GpuId, WavefrontOp};
+use netcrafter_workloads::{Scale, Workload};
+
+const FRAMES: u64 = 1 << 24;
+const GPUS: u16 = 4;
+
+/// Fraction of (reads, writes) that land on the issuing CTA's own GPU.
+fn local_fractions(w: Workload) -> (f64, f64) {
+    let kernel = w.generate(&Scale::small(), GPUS, 42);
+    let placement = lasp::place(&kernel, GPUS, FRAMES);
+    let (mut r_local, mut r_total, mut w_local, mut w_total) = (0u64, 0u64, 0u64, 0u64);
+    for cta in &kernel.ctas {
+        let home = placement.gpu_of(cta.id);
+        for wave in &cta.waves {
+            for op in &wave.ops {
+                if let WavefrontOp::Mem(acc) = op {
+                    let pfn = placement
+                        .page_table
+                        .translate(acc.vaddr.vpn())
+                        .expect("mapped");
+                    let owner = GpuId((pfn / FRAMES) as u16);
+                    match acc.kind {
+                        AccessKind::Read => {
+                            r_total += 1;
+                            r_local += u64::from(owner == home);
+                        }
+                        AccessKind::Write => {
+                            w_total += 1;
+                            w_local += u64::from(owner == home);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        r_local as f64 / r_total.max(1) as f64,
+        w_local as f64 / w_total.max(1) as f64,
+    )
+}
+
+#[test]
+fn partitioned_blackscholes_is_mostly_local() {
+    let (reads, writes) = local_fractions(Workload::Bs);
+    assert!(reads > 0.8, "BS reads local: {reads:.2}");
+    assert!(writes > 0.8, "BS writes local: {writes:.2}");
+}
+
+#[test]
+fn random_gups_is_interleaved() {
+    let (reads, _) = local_fractions(Workload::Gups);
+    // 4 GPUs: uniform random => ~25% local.
+    assert!(
+        (0.15..0.40).contains(&reads),
+        "GUPS reads interleave across GPUs: {reads:.2}"
+    );
+}
+
+#[test]
+fn gather_mt_reads_remote_writes_local() {
+    let (reads, writes) = local_fractions(Workload::Mt);
+    assert!(reads < 0.6, "MT column gathers cross GPUs: {reads:.2}");
+    assert!(writes > 0.7, "MT row writes stay in the CTA slice: {writes:.2}");
+}
+
+#[test]
+fn adjacent_im2col_is_mostly_local_with_halo() {
+    let (reads, writes) = local_fractions(Workload::Im2col);
+    assert!(reads > 0.6, "IM2COL reads mostly local: {reads:.2}");
+    assert!(reads < 1.0, "…but halos leak: {reads:.2}");
+    assert!(writes > 0.8, "IM2COL writes local: {writes:.2}");
+}
+
+#[test]
+fn dnn_replicas_are_local_gradients_interleaved() {
+    for w in [Workload::Vgg16, Workload::Lenet, Workload::Rnet18] {
+        let (reads, _) = local_fractions(w);
+        // Mix of local weights/activations and interleaved gradients.
+        assert!(
+            (0.25..0.95).contains(&reads),
+            "{w}: mixed locality expected, got {reads:.2}"
+        );
+    }
+}
+
+#[test]
+fn footprint_exceeds_l2_tlb_reach_at_paper_scale() {
+    // The paper's PTW traffic exists because footprints out-run the
+    // 512-entry L2 TLB; verify the generators keep that property.
+    for w in [Workload::Gups, Workload::Spmv, Workload::Pr, Workload::Mis] {
+        let kernel = w.generate(&Scale::paper(), GPUS, 1);
+        let placement = lasp::place(&kernel, GPUS, FRAMES);
+        assert!(
+            placement.page_table.mapped_pages() > 512,
+            "{w}: footprint must exceed TLB reach, got {} pages",
+            placement.page_table.mapped_pages()
+        );
+    }
+}
+
+#[test]
+fn cta_home_hints_match_partitioned_pages() {
+    // For BS, the CTA's hinted GPU must own the CTA's slice pages.
+    let kernel = Workload::Bs.generate(&Scale::small(), GPUS, 9);
+    let placement = lasp::place(&kernel, GPUS, FRAMES);
+    for cta in &kernel.ctas {
+        assert_eq!(
+            placement.gpu_of(cta.id),
+            cta.home_hint.expect("BS hints"),
+            "LASP honours generator hints"
+        );
+    }
+}

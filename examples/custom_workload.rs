@@ -1,0 +1,94 @@
+//! Bring your own kernel: drive the simulator with a hand-built workload
+//! through the public API — the path a downstream user takes to study
+//! their own application's traffic on a non-uniform multi-GPU node.
+//!
+//! The example models a halo-exchange stencil: each CTA sweeps its own
+//! tile (local after LASP placement) and reads one-line halos from the
+//! neighbouring tiles, some of which land on GPUs in the other cluster.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use netcrafter::multigpu::{System, SystemVariant};
+use netcrafter::proto::access::{CoalescedAccess, WavefrontOp, WavefrontTrace};
+use netcrafter::proto::kernel::{AccessPattern, BufferSpec, CtaSpec, KernelSpec};
+use netcrafter::proto::{CtaId, SystemConfig, VAddr, WavefrontId, PAGE_BYTES};
+
+/// Builds the stencil kernel: `n_ctas` tiles over one grid buffer.
+fn stencil_kernel(n_ctas: u32, tile_pages: u64, iterations: u32) -> KernelSpec {
+    let base = 0x4000_0000u64;
+    let total_pages = n_ctas as u64 * tile_pages;
+    let grid = BufferSpec {
+        name: "grid".into(),
+        base: VAddr(base),
+        bytes: total_pages * PAGE_BYTES,
+        pattern: AccessPattern::Adjacent, // LASP block-partitions the tiles
+    };
+    let tile_bytes = tile_pages * PAGE_BYTES;
+    let lines_per_tile = tile_bytes / 64;
+
+    let mut ctas = Vec::new();
+    let mut wf_id = 0u32;
+    for c in 0..n_ctas {
+        let tile_base = base + c as u64 * tile_bytes;
+        let left = base + (c + n_ctas - 1) as u64 % n_ctas as u64 * tile_bytes;
+        let right = base + (c as u64 + 1) % n_ctas as u64 * tile_bytes;
+        let mut waves = Vec::new();
+        for w in 0..4u32 {
+            let mut ops = Vec::new();
+            for it in 0..iterations {
+                // Sweep a stripe of the local tile.
+                for i in 0..8u64 {
+                    let line = (w as u64 * 8 + i + it as u64 * 32) % lines_per_tile;
+                    ops.push(WavefrontOp::Mem(CoalescedAccess::read(
+                        VAddr(tile_base + line * 64),
+                        64,
+                    )));
+                    ops.push(WavefrontOp::Compute(6));
+                    ops.push(WavefrontOp::Mem(CoalescedAccess::write(
+                        VAddr(tile_base + line * 64),
+                        64,
+                    )));
+                }
+                // Halo reads from both neighbours: small, trim-friendly.
+                for (nb, off) in [(left, 0u64), (right, lines_per_tile - 1)] {
+                    ops.push(WavefrontOp::Mem(CoalescedAccess::read(
+                        VAddr(nb + off * 64 + (w as u64 * 8) % 48),
+                        8,
+                    )));
+                }
+            }
+            waves.push(WavefrontTrace { id: WavefrontId(wf_id), cta: CtaId(c), ops });
+            wf_id += 1;
+        }
+        ctas.push(CtaSpec { id: CtaId(c), waves, home_hint: None });
+    }
+    KernelSpec { name: "stencil".into(), ctas, buffers: vec![grid] }
+}
+
+fn main() {
+    let kernel = stencil_kernel(32, 8, 12);
+    println!(
+        "stencil kernel: {} CTAs, {} wavefronts, {} memory ops\n",
+        kernel.ctas.len(),
+        kernel.total_waves(),
+        kernel.total_mem_ops()
+    );
+
+    for variant in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
+        let cfg = variant.apply(SystemConfig::small(8));
+        let mut sys = System::build(cfg, &kernel);
+        let cycles = sys.run(100_000_000);
+        let m = sys.harvest();
+        println!("{:<12}: {cycles} cycles", variant.label());
+        println!(
+            "              inter-cluster flits {}, trimmed responses {}, stitched-away flits {}",
+            m.counter("net.inter.flits"),
+            m.counter("total.trim.trimmed"),
+            m.counter("net.inter.cq.absorbed"),
+        );
+    }
+    println!("\nHalo reads are 8-byte accesses that cross clusters at the tile seams:");
+    println!("exactly the traffic Trimming and Stitching reclaim.");
+}

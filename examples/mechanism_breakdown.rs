@@ -1,0 +1,70 @@
+//! Mechanism breakdown: how much each NetCrafter technique — Stitching,
+//! Trimming, Sequencing — contributes on its own and combined, across a
+//! set of workloads (a miniature Figure 14).
+//!
+//! ```text
+//! cargo run --release --example mechanism_breakdown
+//! ```
+
+use netcrafter::multigpu::{Experiment, SystemVariant};
+use netcrafter::workloads::{Scale, Workload};
+
+fn main() {
+    let workloads = [
+        Workload::Gups,
+        Workload::Spmv,
+        Workload::Mis,
+        Workload::Pr,
+        Workload::Bs,
+        Workload::Vgg16,
+    ];
+    let variants = [
+        SystemVariant::StitchOnly,
+        SystemVariant::TrimOnly,
+        SystemVariant::SeqOnly,
+        SystemVariant::NetCrafter,
+        SystemVariant::Ideal,
+    ];
+
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>9} {:>11} {:>7}",
+        "workload", "base cyc", "stitch", "trim", "seq", "netcrafter", "ideal"
+    );
+    let mut product = vec![1.0f64; variants.len()];
+    for w in workloads {
+        let base = Experiment::new(w, SystemVariant::Baseline)
+            .with_scale(Scale::small())
+            .run();
+        print!("{:<8} {:>10}", w.abbrev(), base.exec_cycles);
+        for (i, v) in variants.iter().enumerate() {
+            let r = Experiment::new(w, *v).with_scale(Scale::small()).run();
+            let speedup = base.exec_cycles as f64 / r.exec_cycles as f64;
+            product[i] *= speedup;
+            let width = if *v == SystemVariant::NetCrafter {
+                11
+            } else if *v == SystemVariant::Ideal {
+                7
+            } else {
+                9
+            };
+            print!(" {:>w$}", format!("{speedup:.2}x"), w = width);
+        }
+        println!();
+    }
+    print!("{:<8} {:>10}", "GEOMEAN", "-");
+    for (i, v) in variants.iter().enumerate() {
+        let gm = product[i].powf(1.0 / workloads.len() as f64);
+        let width = if *v == SystemVariant::NetCrafter {
+            11
+        } else if *v == SystemVariant::Ideal {
+            7
+        } else {
+            9
+        };
+        print!(" {:>w$}", format!("{gm:.2}x"), w = width);
+    }
+    println!();
+    println!("\n(Each column is speedup over the non-uniform baseline; 'ideal' raises the");
+    println!(" inter-cluster links to intra-cluster bandwidth and bounds what any traffic");
+    println!(" optimization could achieve.)");
+}

@@ -1,0 +1,42 @@
+//! Load-latency characterization of the interconnect substrate: uniform
+//! random synthetic traffic swept from light load to saturation, showing
+//! the classic hockey-stick latency curve as offered load approaches the
+//! inter-cluster links' capacity — the network-model validation every
+//! NoC study starts with.
+//!
+//! ```text
+//! cargo run --release --example noc_saturation
+//! ```
+
+use netcrafter::net::{load_latency_sweep, SyntheticConfig};
+
+fn main() {
+    let cfg = SyntheticConfig::default();
+    println!(
+        "synthetic uniform-random traffic, 2 clusters x {} endpoints,\n\
+         intra {} flits/cycle, inter {} flits/cycle, {}-cycle switch pipeline\n",
+        cfg.endpoints_per_cluster, cfg.intra_fpc, cfg.inter_fpc, cfg.pipeline_cycles
+    );
+    println!(
+        "{:>18} {:>22} {:>14} {:>12}",
+        "offered (f/c/src)", "delivered (f/c total)", "avg lat (cyc)", "max lat"
+    );
+    let rates = [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0];
+    for p in load_latency_sweep(&cfg, &rates) {
+        let bar_len = ((p.avg_latency / 40.0) as usize).min(60);
+        println!(
+            "{:>18.2} {:>22.2} {:>14.1} {:>12}  {}",
+            p.offered,
+            p.throughput,
+            p.avg_latency,
+            p.max_latency,
+            "#".repeat(bar_len)
+        );
+    }
+    println!(
+        "\nWith 2/3 of uniform traffic crossing clusters, the two 1-flit/cycle\n\
+         inter-cluster links saturate near 0.75 flits/cycle/source — latency\n\
+         explodes past the knee while throughput plateaus, exactly the regime\n\
+         the baseline multi-GPU workloads live in (Figure 4)."
+    );
+}

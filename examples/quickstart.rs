@@ -1,0 +1,60 @@
+//! Quickstart: simulate a GUPS kernel on the Frontier-style non-uniform
+//! bandwidth multi-GPU node, with and without NetCrafter.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use netcrafter::multigpu::{Experiment, SystemVariant};
+use netcrafter::workloads::{Scale, Workload};
+
+fn main() {
+    // A scaled-down node (4 GPUs × 8 CUs, 128/16 GB/s links) and a GUPS
+    // kernel sized to congest the inter-cluster links.
+    let scale = Scale::small();
+
+    println!("Running GUPS on the baseline non-uniform node …");
+    let base = Experiment::new(Workload::Gups, SystemVariant::Baseline)
+        .with_scale(scale)
+        .run();
+
+    println!("Running GUPS with NetCrafter (Stitch + Trim + Sequence) …");
+    let nc = Experiment::new(Workload::Gups, SystemVariant::NetCrafter)
+        .with_scale(scale)
+        .run();
+
+    println!();
+    println!("                       baseline    NetCrafter");
+    println!(
+        "execution cycles     {:>10}    {:>10}   ({:.2}x speedup)",
+        base.exec_cycles,
+        nc.exec_cycles,
+        base.exec_cycles as f64 / nc.exec_cycles as f64
+    );
+    println!(
+        "inter-cluster bytes  {:>10}    {:>10}   ({:.1}% reduction)",
+        base.inter_link_bytes(),
+        nc.inter_link_bytes(),
+        100.0 * (1.0 - nc.inter_link_bytes() as f64 / base.inter_link_bytes() as f64)
+    );
+    println!(
+        "link utilization     {:>9.1}%    {:>9.1}%",
+        100.0 * base.inter_utilization(),
+        100.0 * nc.inter_utilization()
+    );
+    println!(
+        "avg remote latency   {:>10.0}    {:>10.0}   (cycles, inter-cluster reads)",
+        base.inter_read_latency(),
+        nc.inter_read_latency()
+    );
+    println!(
+        "flits stitched away  {:>10}    {:>9.1}%",
+        "-",
+        100.0 * nc.stitched_fraction()
+    );
+    println!(
+        "responses trimmed    {:>10}    {:>10}",
+        "-",
+        nc.metrics.counter("total.trim.trimmed")
+    );
+}

@@ -1,0 +1,43 @@
+//! # NetCrafter
+//!
+//! A from-scratch Rust reproduction of *NetCrafter: Tailoring Network
+//! Traffic for Non-Uniform Bandwidth Multi-GPU Systems* (ISCA 2025),
+//! including the full cycle-level multi-GPU simulation substrate the paper
+//! evaluates on.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names; see each module for its documentation:
+//!
+//! * [`proto`] — domain types: packets, flits, configuration, metrics.
+//! * [`sim`] — the deterministic cycle-level engine.
+//! * [`net`] — switches, links, topology, flit segmentation.
+//! * [`mem`] — sectored L1, banked shared L2, DRAM.
+//! * [`vm`] — TLBs, GMMU, page tables, page-table walkers.
+//! * [`core`] — the NetCrafter controller (Stitching, Trimming, Sequencing).
+//! * [`gpu`] — compute units, RDMA engines, LASP scheduling/placement.
+//! * [`multigpu`] — whole-node assembly and the measurement harness.
+//! * [`workloads`] — the 15 evaluated workloads as trace generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use netcrafter::multigpu::{Experiment, SystemVariant};
+//! use netcrafter::workloads::Workload;
+//!
+//! // Run a small GUPS kernel on the baseline non-uniform node and on the
+//! // same node with NetCrafter enabled, then compare the bytes that
+//! // crossed the lower-bandwidth inter-cluster links.
+//! let base = Experiment::quick(Workload::Gups, SystemVariant::Baseline).run();
+//! let nc = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter).run();
+//! assert!(nc.inter_link_bytes() < base.inter_link_bytes());
+//! ```
+
+pub use netcrafter_core as core;
+pub use netcrafter_gpu as gpu;
+pub use netcrafter_mem as mem;
+pub use netcrafter_multigpu as multigpu;
+pub use netcrafter_net as net;
+pub use netcrafter_proto as proto;
+pub use netcrafter_sim as sim;
+pub use netcrafter_vm as vm;
+pub use netcrafter_workloads as workloads;

@@ -1,0 +1,141 @@
+//! End-to-end integration tests: every workload runs to completion on
+//! every major system variant, deterministically, with all accesses
+//! accounted for.
+
+use netcrafter::multigpu::{Experiment, SystemVariant};
+use netcrafter::workloads::{Scale, Workload};
+
+#[test]
+fn every_workload_completes_on_baseline() {
+    for w in Workload::ALL {
+        let r = Experiment::quick(w, SystemVariant::Baseline).run();
+        assert!(r.exec_cycles > 0, "{w}");
+        assert!(r.metrics.counter("total.cu.mem_ops") > 0, "{w}");
+        assert!(r.metrics.counter("total.cu.waves_done") > 0, "{w}");
+    }
+}
+
+#[test]
+fn every_workload_completes_with_netcrafter() {
+    for w in Workload::ALL {
+        let r = Experiment::quick(w, SystemVariant::NetCrafter).run();
+        assert!(r.exec_cycles > 0, "{w}");
+        assert!(r.metrics.counter("total.cu.mem_ops") > 0, "{w}");
+    }
+}
+
+#[test]
+fn all_memory_ops_complete_exactly_once() {
+    for w in [Workload::Gups, Workload::Syr2k, Workload::Vgg16, Workload::Bs] {
+        for v in [SystemVariant::Baseline, SystemVariant::NetCrafter, SystemVariant::SectorCache] {
+            let exp = Experiment::quick(w, v);
+            let kernel = exp.workload.generate(
+                &exp.scale,
+                exp.base_cfg.total_gpus(),
+                exp.seed,
+            );
+            let r = exp.run();
+            assert_eq!(
+                r.metrics.counter("total.cu.mem_ops"),
+                kernel.total_mem_ops() as u64,
+                "{w}/{}: every access issues exactly once",
+                v.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_repeats() {
+    for v in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
+        let a = Experiment::quick(Workload::Spmv, v).run();
+        let b = Experiment::quick(Workload::Spmv, v).run();
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{}", v.label());
+        assert_eq!(
+            a.metrics.counter("net.inter.flits"),
+            b.metrics.counter("net.inter.flits"),
+            "{}",
+            v.label()
+        );
+        assert_eq!(
+            a.metrics.counter("total.l1.misses"),
+            b.metrics.counter("total.l1.misses"),
+            "{}",
+            v.label()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_random_workloads() {
+    let a = Experiment::quick(Workload::Gups, SystemVariant::Baseline)
+        .with_seed(1)
+        .run();
+    let b = Experiment::quick(Workload::Gups, SystemVariant::Baseline)
+        .with_seed(2)
+        .run();
+    // Same amount of work, different addresses -> different timing.
+    assert_eq!(
+        a.metrics.counter("total.cu.mem_ops"),
+        b.metrics.counter("total.cu.mem_ops")
+    );
+    assert_ne!(a.exec_cycles, b.exec_cycles);
+}
+
+#[test]
+fn packet_conservation_across_the_network() {
+    // Every packet sent by some RDMA engine is received by another:
+    // requests and responses pair up, nothing is lost or duplicated.
+    let r = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter).run();
+    for kind in ["Read_Req", "Write_Req", "Page_Table_Req", "Read_Rsp", "Write_Rsp", "Page_Table_Rsp"]
+    {
+        let out = r.metrics.counter(&format!("total.rdma.out.{kind}"));
+        let inn = r.metrics.counter(&format!("total.rdma.in.{kind}"));
+        assert_eq!(out, inn, "{kind}: sent vs received");
+    }
+    // Requests and responses match one-to-one per class.
+    let req = r.metrics.counter("total.rdma.out.Read_Req");
+    let rsp = r.metrics.counter("total.rdma.out.Read_Rsp");
+    assert_eq!(req, rsp, "every remote read gets exactly one response");
+    let wreq = r.metrics.counter("total.rdma.out.Write_Req");
+    let wrsp = r.metrics.counter("total.rdma.out.Write_Rsp");
+    assert_eq!(wreq, wrsp);
+    let preq = r.metrics.counter("total.rdma.out.Page_Table_Req");
+    let prsp = r.metrics.counter("total.rdma.out.Page_Table_Rsp");
+    assert_eq!(preq, prsp);
+}
+
+#[test]
+fn bigger_scale_means_more_work_and_time() {
+    let small = Experiment::quick(Workload::Mis, SystemVariant::Baseline).run();
+    let big = Experiment::quick(Workload::Mis, SystemVariant::Baseline)
+        .with_scale(Scale::small())
+        .run();
+    assert!(big.exec_cycles > small.exec_cycles);
+    assert!(
+        big.metrics.counter("total.cu.mem_ops") > small.metrics.counter("total.cu.mem_ops")
+    );
+}
+
+#[test]
+fn topology_scales_beyond_two_clusters() {
+    // 3 clusters x 2 GPUs: the full mesh of cluster switches routes
+    // everything and the run completes.
+    let mut exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+    exp.base_cfg.topology.clusters = 3;
+    let r = exp.run();
+    assert!(r.exec_cycles > 0);
+    assert!(r.metrics.counter("net.inter.flits") > 0);
+}
+
+#[test]
+fn single_cluster_node_has_no_inter_traffic() {
+    let mut exp = Experiment::quick(Workload::Gups, SystemVariant::Baseline);
+    exp.base_cfg.topology.clusters = 1;
+    exp.base_cfg.topology.gpus_per_cluster = 4;
+    let r = exp.run();
+    assert!(r.exec_cycles > 0);
+    assert_eq!(r.metrics.counter("net.inter.flits"), 0);
+    // Remote (intra-cluster) traffic still flows.
+    assert!(r.metrics.counter("total.rdma.out.Read_Req") > 0);
+}

@@ -1,0 +1,172 @@
+//! Behavioural invariants of the NetCrafter mechanisms, checked on real
+//! end-to-end runs.
+
+use netcrafter::multigpu::{Experiment, SystemVariant};
+use netcrafter::workloads::{Scale, Workload};
+
+/// Stitching may only ever reduce the flits on the lower-bandwidth
+/// links; correctness (completed mem ops) is untouched.
+#[test]
+fn stitching_reduces_inter_flits() {
+    for w in [Workload::Gups, Workload::Spmv, Workload::Mis] {
+        let base = Experiment::quick(w, SystemVariant::Baseline).run();
+        let st = Experiment::quick(w, SystemVariant::StitchOnly).run();
+        assert_eq!(
+            base.metrics.counter("total.cu.mem_ops"),
+            st.metrics.counter("total.cu.mem_ops"),
+            "{w}: same work"
+        );
+        assert!(
+            st.metrics.counter("net.inter.flits") <= base.metrics.counter("net.inter.flits"),
+            "{w}: stitching must not add flits"
+        );
+        assert!(st.stitched_fraction() > 0.0, "{w}: something stitched");
+    }
+}
+
+/// Trimming only fires on cross-cluster responses and strictly reduces
+/// inter-cluster bytes for sector-friendly workloads.
+#[test]
+fn trimming_reduces_bytes_for_small_access_workloads() {
+    for w in [Workload::Gups, Workload::Spmv] {
+        let base = Experiment::quick(w, SystemVariant::Baseline).run();
+        let trim = Experiment::quick(w, SystemVariant::TrimOnly).run();
+        assert!(trim.metrics.counter("total.trim.trimmed") > 0, "{w}");
+        assert!(
+            trim.inter_link_bytes() < base.inter_link_bytes(),
+            "{w}: trimmed responses shrink inter-cluster traffic"
+        );
+    }
+}
+
+/// Full-line workloads never trim (nothing fits one sector).
+#[test]
+fn trimming_never_fires_on_full_line_workloads() {
+    let trim = Experiment::quick(Workload::Syr2k, SystemVariant::TrimOnly).run();
+    assert_eq!(trim.metrics.counter("total.trim.trimmed"), 0);
+}
+
+/// The stitched fraction is a proper fraction and stitched parents never
+/// exceed popped flits.
+#[test]
+fn stitch_accounting_is_consistent() {
+    let nc = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter)
+        .with_scale(Scale::small())
+        .run();
+    let frac = nc.stitched_fraction();
+    assert!((0.0..=1.0).contains(&frac));
+    let parents = nc.metrics.counter("net.inter.cq.stitched_parents");
+    let popped = nc.metrics.counter("net.inter.cq.popped");
+    let absorbed = nc.metrics.counter("net.inter.cq.absorbed");
+    assert!(parents <= popped);
+    assert!(absorbed >= parents, "each stitched parent absorbed >= 1");
+    // Conservation: every pushed flit is either popped on its own or
+    // absorbed into a parent.
+    let pushed = nc.metrics.counter("net.inter.cq.pushed");
+    assert_eq!(pushed, popped + absorbed, "cluster-queue flit conservation");
+}
+
+/// Sequencing must not lose or duplicate traffic, and PTW-priority pops
+/// actually happen on PTW-heavy workloads.
+#[test]
+fn sequencing_preserves_traffic() {
+    let base = Experiment::quick(Workload::Spmv, SystemVariant::Baseline).run();
+    let seq = Experiment::quick(Workload::Spmv, SystemVariant::SeqOnly).run();
+    assert_eq!(
+        base.metrics.counter("total.rdma.out.Page_Table_Req"),
+        seq.metrics.counter("total.rdma.out.Page_Table_Req"),
+        "sequencing reorders, never drops"
+    );
+    assert!(seq.metrics.counter("net.inter.cq.ptw_priority_pops") > 0);
+}
+
+/// The sector cache can only increase L1 misses relative to the
+/// full-line baseline (same traces, finer fills).
+#[test]
+fn sector_cache_mpki_at_least_baseline() {
+    for w in [Workload::Mis, Workload::Pr, Workload::Gups] {
+        let base = Experiment::quick(w, SystemVariant::Baseline).run();
+        let sector = Experiment::quick(w, SystemVariant::SectorCache).run();
+        assert!(
+            sector.l1_mpki() >= base.l1_mpki() - 1e-9,
+            "{w}: sector fills cannot reduce misses (base {:.2}, sector {:.2})",
+            base.l1_mpki(),
+            sector.l1_mpki()
+        );
+    }
+}
+
+/// Trimming's selective sectoring sits between the baseline and the
+/// all-trimming sector cache in L1 MPKI (§5.3's headline claim).
+#[test]
+fn trimming_mpki_between_baseline_and_sector_cache() {
+    for w in [Workload::Mis, Workload::Pr] {
+        let base = Experiment::quick(w, SystemVariant::Baseline)
+            .with_scale(Scale::small())
+            .run();
+        let trim = Experiment::quick(w, SystemVariant::TrimOnly)
+            .with_scale(Scale::small())
+            .run();
+        let sector = Experiment::quick(w, SystemVariant::SectorCache)
+            .with_scale(Scale::small())
+            .run();
+        assert!(
+            base.l1_mpki() <= trim.l1_mpki() + 1e-9,
+            "{w}: trimming adds sector misses over baseline"
+        );
+        assert!(
+            trim.l1_mpki() <= sector.l1_mpki() + 1e-9,
+            "{w}: selective trimming suffers less than all-trimming \
+             (trim {:.2} vs sector {:.2})",
+            trim.l1_mpki(),
+            sector.l1_mpki()
+        );
+    }
+}
+
+/// PTW traffic exists and stays a minority of inter-cluster bytes on
+/// data-heavy workloads (Observation 4).
+#[test]
+fn ptw_share_is_minor_on_data_heavy_workloads() {
+    let r = Experiment::quick(Workload::Gups, SystemVariant::Baseline)
+        .with_scale(Scale::small())
+        .run();
+    let share = r.ptw_byte_share();
+    assert!(share > 0.0, "PTW traffic exists");
+    assert!(share < 0.5, "PTW is the minority: {share}");
+}
+
+/// The ideal uniform-bandwidth configuration bounds NetCrafter: raising
+/// physical bandwidth can only help, and NetCrafter cannot beat infinite
+/// headroom on a congested workload by more than noise.
+#[test]
+fn ideal_is_an_upper_bound_under_congestion() {
+    let base = Experiment::new(Workload::Spmv, SystemVariant::Baseline).run();
+    let ideal = Experiment::new(Workload::Spmv, SystemVariant::Ideal).run();
+    let nc = Experiment::new(Workload::Spmv, SystemVariant::NetCrafter).run();
+    assert!(ideal.exec_cycles <= base.exec_cycles);
+    // NetCrafter recovers part of the ideal gap.
+    assert!(nc.exec_cycles <= base.exec_cycles, "NetCrafter helps SPMV");
+    assert!(
+        nc.exec_cycles as f64 >= ideal.exec_cycles as f64 * 0.95,
+        "NetCrafter cannot do better than uniform high bandwidth"
+    );
+}
+
+/// Flit-size sensitivity: 8 B flits leave less padding to reclaim, so
+/// stitching saves a smaller byte fraction (Figure 21's mechanism).
+#[test]
+fn smaller_flits_reduce_stitching_opportunity() {
+    let stitch = SystemVariant::StitchPool { window: 32, selective: true };
+    let e16 = Experiment::new(Workload::Gups, stitch);
+    let mut e8 = Experiment::new(Workload::Gups, stitch);
+    e8.base_cfg.flit_bytes = 8;
+    let r16 = e16.run();
+    let r8 = e8.run();
+    assert!(
+        r8.stitched_fraction() <= r16.stitched_fraction() + 0.02,
+        "8B flits stitch less: {:.3} vs {:.3}",
+        r8.stitched_fraction(),
+        r16.stitched_fraction()
+    );
+}

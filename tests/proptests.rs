@@ -1,0 +1,267 @@
+//! Property-based tests over the core data structures: flit
+//! segmentation/reassembly, stitching, the Cluster Queue, address math,
+//! the tag store and the page table.
+
+use proptest::prelude::*;
+
+use netcrafter::core::ClusterQueue;
+use netcrafter::gpu::{Coalescer, LaneAccess};
+use netcrafter::proto::AccessKind;
+use netcrafter::mem::TagStore;
+use netcrafter::net::{EgressQueue, Reassembler, Segmenter};
+use netcrafter::proto::{
+    AccessId, GpuId, LineAddr, LineMask, MemReq, NetCrafterConfig, NodeId, Origin, Packet,
+    PacketId, PacketKind, PacketPayload, TrafficClass, VAddr, ALL_PACKET_KINDS,
+};
+use netcrafter::vm::PageTable;
+
+fn arb_kind() -> impl Strategy<Value = PacketKind> {
+    (0usize..6).prop_map(|i| ALL_PACKET_KINDS[i])
+}
+
+fn packet(id: u64, kind: PacketKind, dst: u16) -> Packet {
+    let payload = match kind {
+        PacketKind::WriteReq | PacketKind::ReadRsp => 64,
+        _ => 0,
+    };
+    Packet {
+        id: PacketId(id),
+        kind,
+        src: NodeId(0),
+        dst: NodeId(dst),
+        payload_bytes: payload,
+        trim: None,
+        inner: PacketPayload::Req(MemReq {
+            access: AccessId(id),
+            line: LineAddr(id * 64),
+            write: kind == PacketKind::WriteReq,
+            mask: LineMask::span(0, 8),
+            sectors: 0b1111,
+            class: if kind.is_ptw() { TrafficClass::Ptw } else { TrafficClass::Data },
+            requester: GpuId(0),
+            owner: GpuId(2),
+            origin: Origin::Cu(0),
+        }),
+    }
+}
+
+proptest! {
+    /// Any interleaving of any packet mix reassembles every packet
+    /// exactly once, at both 8 B and 16 B flit sizes.
+    #[test]
+    fn segment_reassemble_round_trips(
+        kinds in prop::collection::vec(arb_kind(), 1..20),
+        flit_bytes in prop::sample::select(vec![8u32, 16]),
+        lace in 1usize..5,
+    ) {
+        let seg = Segmenter::new(flit_bytes);
+        let packets: Vec<Packet> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| packet(i as u64, k, 3))
+            .collect();
+        // Round-robin interleave the packets' flit streams.
+        let mut streams: Vec<_> = packets.iter().map(|p| seg.segment(p.clone()).into_iter()).collect();
+        let mut flits = Vec::new();
+        let mut exhausted = false;
+        while !exhausted {
+            exhausted = true;
+            for s in streams.iter_mut() {
+                for _ in 0..lace {
+                    if let Some(f) = s.next() {
+                        flits.push(f);
+                        exhausted = false;
+                    }
+                }
+            }
+        }
+        let mut reasm = Reassembler::new();
+        let mut done = Vec::new();
+        for f in flits {
+            done.extend(reasm.accept(f));
+        }
+        prop_assert_eq!(done.len(), packets.len());
+        prop_assert_eq!(reasm.in_flight(), 0);
+        let mut got: Vec<u64> = done.iter().map(|p| p.id.raw()).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..packets.len() as u64).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The Cluster Queue conserves every packet byte through any mix of
+    /// stitching, pooling and sequencing: total chunk bytes out equals
+    /// total chunk bytes in, and every packet id reappears.
+    #[test]
+    fn cluster_queue_conserves_chunks(
+        kinds in prop::collection::vec(arb_kind(), 1..30),
+        stitching in any::<bool>(),
+        window in prop::sample::select(vec![0u32, 16, 32]),
+        sequencing in any::<bool>(),
+        selective in any::<bool>(),
+        push_gap in 0u64..4,
+    ) {
+        let cfg = NetCrafterConfig {
+            stitching,
+            pooling_window: window,
+            selective_pooling: selective,
+            trimming: false,
+            sequencing,
+            prioritize_data_instead: false,
+            stitch_search_depth: 16,
+        };
+        let seg = Segmenter::new(16);
+        let mut q = ClusterQueue::new(cfg, NodeId(99));
+        let mut now = 0u64;
+        let mut pushed_bytes = 0u64;
+        let mut pushed_chunks = 0usize;
+        for (i, &k) in kinds.iter().enumerate() {
+            for f in seg.segment(packet(i as u64, k, 3)) {
+                pushed_bytes += f.used_bytes() as u64;
+                pushed_chunks += f.chunks.len();
+                q.push(f, now);
+                now += push_gap;
+            }
+        }
+        let mut popped_bytes = 0u64;
+        let mut popped_chunks = 0usize;
+        let mut ids = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while q.len() > 0 {
+            now += 1;
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "queue must drain");
+            if let Some(f) = q.pop(now) {
+                prop_assert!(f.used_bytes() <= f.capacity);
+                for c in &f.chunks {
+                    // Metadata bytes are protocol overhead, not payload.
+                    popped_bytes += c.bytes as u64;
+                    ids.insert(c.packet.raw());
+                }
+                popped_chunks += f.chunks.len();
+            }
+        }
+        prop_assert_eq!(popped_bytes, pushed_bytes);
+        prop_assert_eq!(popped_chunks, pushed_chunks);
+        prop_assert_eq!(ids.len(), kinds.len());
+    }
+
+    /// LineMask sector math is self-consistent for every span and
+    /// granularity.
+    #[test]
+    fn line_mask_sectors_cover_mask(
+        offset in 0u64..64,
+        len in 1u64..64,
+        granularity in prop::sample::select(vec![4u64, 8, 16]),
+    ) {
+        let mask = LineMask::span(offset, len);
+        let sectors = mask.sectors(granularity);
+        prop_assert!(sectors != 0);
+        // Every covered byte falls in a selected sector.
+        for byte in 0..64u64 {
+            let in_mask = mask.0 & (1 << byte) != 0;
+            let sector_selected = sectors & (1 << (byte / granularity)) != 0;
+            if in_mask {
+                prop_assert!(sector_selected);
+            }
+        }
+        // fits_one_sector agrees with popcount.
+        prop_assert_eq!(
+            mask.fits_one_sector(granularity),
+            sectors.count_ones() == 1
+        );
+        if let Some(first) = mask.first_sector(granularity) {
+            prop_assert!(sectors & (1 << first) != 0);
+        }
+    }
+
+    /// TagStore never exceeds its geometry and lookups always find what
+    /// was just inserted.
+    #[test]
+    fn tagstore_respects_geometry(
+        keys in prop::collection::vec(0u64..256, 1..100),
+        sets in 1usize..8,
+        ways in 1usize..4,
+    ) {
+        let mut ts: TagStore<u64> = TagStore::new(sets, ways);
+        for (i, &k) in keys.iter().enumerate() {
+            ts.insert(k, k * 10, i as u64);
+            prop_assert_eq!(ts.peek(k), Some(&(k * 10)), "just-inserted key resident");
+            prop_assert!(ts.len() <= sets * ways, "capacity respected");
+        }
+    }
+
+    /// Page-table walks always resolve to the functional translation and
+    /// shrink monotonically with the PWC start level.
+    #[test]
+    fn page_table_walks_consistent(
+        vpns in prop::collection::btree_set(0u64..(1 << 20), 1..40),
+        owners in prop::collection::vec(0u16..4, 40),
+    ) {
+        let mut pt = PageTable::new(1 << 24);
+        for (i, &vpn) in vpns.iter().enumerate() {
+            pt.map(vpn, 1000 + i as u64, GpuId(owners[i % owners.len()]));
+        }
+        for &vpn in &vpns {
+            prop_assert!(pt.translate(vpn).is_some());
+            let full = pt.walk_reads(vpn, 1);
+            prop_assert_eq!(full.len(), 4);
+            for start in 2..=4u8 {
+                let partial = pt.walk_reads(vpn, start);
+                prop_assert_eq!(partial.len(), 5 - start as usize);
+                // The partial walk is a suffix of the full walk.
+                prop_assert_eq!(&full[(start - 1) as usize..], &partial[..]);
+            }
+        }
+    }
+
+    /// The coalescer covers every lane byte exactly, never splits a line
+    /// into two requests, and is order-insensitive.
+    #[test]
+    fn coalescer_covers_all_lanes(
+        lanes in prop::collection::vec((0u64..4096, prop::sample::select(vec![1u8, 2, 4, 8, 16])), 1..64),
+        kind in prop::sample::select(vec![AccessKind::Read, AccessKind::Write]),
+    ) {
+        let lanes: Vec<LaneAccess> = lanes
+            .into_iter()
+            .map(|(slot, bytes)| {
+                // Align within the line so elements never straddle.
+                let addr = slot * 16 + (16 - bytes as u64).min(0);
+                LaneAccess::new(addr, bytes)
+            })
+            .collect();
+        let mut c = Coalescer::new();
+        let reqs = c.coalesce(&lanes, kind);
+        // One request per distinct line, sorted ascending.
+        let mut lines: Vec<u64> = lanes.iter().map(|l| l.addr.0 / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert_eq!(reqs.len(), lines.len());
+        for w in reqs.windows(2) {
+            prop_assert!(w[0].vaddr.0 < w[1].vaddr.0);
+        }
+        // Every lane byte is covered by its line's request mask.
+        for lane in &lanes {
+            let line_base = lane.addr.0 / 64 * 64;
+            let req = reqs.iter().find(|r| r.vaddr.0 == line_base).expect("line present");
+            let lane_mask = LineMask::span(lane.addr.0 % 64, lane.bytes as u64);
+            prop_assert!(lane_mask.subset_of(req.mask));
+            prop_assert_eq!(req.kind, kind);
+        }
+        // Reversed lane order produces the identical requests.
+        let mut rev: Vec<LaneAccess> = lanes.clone();
+        rev.reverse();
+        let mut c2 = Coalescer::new();
+        prop_assert_eq!(c2.coalesce(&rev, kind), reqs);
+    }
+
+    /// VAddr page-table indices always reconstruct the VPN.
+    #[test]
+    fn pt_indices_reconstruct_vpn(vpn in 0u64..(1u64 << 36)) {
+        let va = VAddr(vpn * 4096);
+        let mut rebuilt = 0u64;
+        for level in 1..=4u8 {
+            rebuilt = (rebuilt << 9) | va.pt_index(level);
+        }
+        prop_assert_eq!(rebuilt, vpn);
+    }
+}
