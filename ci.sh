@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Hermetic CI pipeline: every step runs with --offline against an empty
+# cargo registry (the workspace has no external dependencies by design —
+# see README "Offline builds"). Run locally with ./ci.sh.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo check benches (criterion-bench feature)"
+cargo check --offline -p netcrafter-bench --benches --features criterion-bench
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+echo "==> figures smoke run: --quick fig14, sequential vs 4 workers"
+seq_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- --quick fig14 2>/dev/null)
+par_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- --quick fig14 --jobs 4 2>/dev/null)
+if [[ "$seq_out" != "$par_out" ]]; then
+    echo "FAIL: parallel figure output differs from sequential" >&2
+    diff <(echo "$seq_out") <(echo "$par_out") >&2 || true
+    exit 1
+fi
+
+echo "==> figures cache smoke run: warm cache must re-simulate nothing"
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+    --quick fig14 --jobs 4 --cache-dir "$cache_dir" >/dev/null 2>&1
+warm_stderr=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+    --quick fig14 --jobs 4 --cache-dir "$cache_dir" 2>&1 >/dev/null)
+if ! grep -q "0 simulated" <<<"$warm_stderr"; then
+    echo "FAIL: warm cache re-simulated configurations:" >&2
+    echo "$warm_stderr" >&2
+    exit 1
+fi
+
+echo "CI OK"

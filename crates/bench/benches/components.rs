@@ -1,10 +1,13 @@
 //! Component microbenchmarks: the hot paths of the simulator substrate —
 //! stitching engine, segmentation/reassembly, tag store, MSHR, page-table
 //! walks, and a whole-system cycle.
+//!
+//! Runs with the in-tree harness (no criterion — the workspace builds
+//! offline): `cargo bench -p netcrafter-bench --features criterion-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use netcrafter_bench::microbench::{bench, bench_with_setup};
 use netcrafter_core::ClusterQueue;
 use netcrafter_mem::{Mshr, TagStore};
 use netcrafter_multigpu::{System, SystemVariant};
@@ -42,26 +45,24 @@ fn packet(id: u64, kind: PacketKind) -> Packet {
     }
 }
 
-fn bench_segmentation(c: &mut Criterion) {
+fn bench_segmentation() {
     let seg = Segmenter::new(16);
-    c.bench_function("segmenter/read_rsp_to_5_flits", |b| {
-        b.iter(|| seg.segment(black_box(packet(1, PacketKind::ReadRsp))))
+    bench("segmenter/read_rsp_to_5_flits", || {
+        seg.segment(black_box(packet(1, PacketKind::ReadRsp)))
     });
-    c.bench_function("reassembler/round_trip_read_rsp", |b| {
-        let flits = seg.segment(packet(1, PacketKind::ReadRsp));
-        b.iter_batched(
-            || (Reassembler::new(), flits.clone()),
-            |(mut r, flits)| {
-                for f in flits {
-                    black_box(r.accept(f));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    let flits = seg.segment(packet(1, PacketKind::ReadRsp));
+    bench_with_setup(
+        "reassembler/round_trip_read_rsp",
+        || (Reassembler::new(), flits.clone()),
+        |(mut r, flits)| {
+            for f in flits {
+                black_box(r.accept(f));
+            }
+        },
+    );
 }
 
-fn bench_cluster_queue(c: &mut Criterion) {
+fn bench_cluster_queue() {
     let seg = Segmenter::new(16);
     let mk_flits = || {
         let mut flits = Vec::new();
@@ -76,85 +77,78 @@ fn bench_cluster_queue(c: &mut Criterion) {
         }
         flits
     };
-    c.bench_function("cluster_queue/stitch_drain_64_packets", |b| {
-        b.iter_batched(
-            || (ClusterQueue::new(NetCrafterConfig::full(), NodeId(9)), mk_flits()),
-            |(mut q, flits)| {
-                let mut now = 0;
-                for f in flits {
-                    q.push(f, now);
-                    now += 1;
-                }
-                while q.len() > 0 {
-                    now += 1;
-                    black_box(q.pop(now));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench_with_setup(
+        "cluster_queue/stitch_drain_64_packets",
+        || {
+            (
+                ClusterQueue::new(NetCrafterConfig::full(), NodeId(9)),
+                mk_flits(),
+            )
+        },
+        |(mut q, flits)| {
+            let mut now = 0;
+            for f in flits {
+                q.push(f, now);
+                now += 1;
+            }
+            while q.len() > 0 {
+                now += 1;
+                black_box(q.pop(now));
+            }
+        },
+    );
+}
+
+fn bench_tagstore_and_mshr() {
+    let mut ts: TagStore<u16> = TagStore::with_entries(1024, 4);
+    let mut i = 0u64;
+    bench("tagstore/lookup_insert_4way", || {
+        i += 1;
+        let key = (i * 2654435761) % 4096;
+        if ts.lookup(key, i).is_none() {
+            ts.insert(key, 0xf, i);
+        }
+    });
+    let mut m: Mshr<u64> = Mshr::new(32);
+    let mut j = 0u64;
+    bench("mshr/register_complete", || {
+        j += 1;
+        let key = j % 16;
+        if m.register(key, 0b1111, j) == netcrafter_mem::MshrOutcome::Allocated {
+            black_box(m.complete(key));
+        }
     });
 }
 
-fn bench_tagstore_and_mshr(c: &mut Criterion) {
-    c.bench_function("tagstore/lookup_insert_4way", |b| {
-        let mut ts: TagStore<u16> = TagStore::with_entries(1024, 4);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let key = (i * 2654435761) % 4096;
-            if ts.lookup(key, i).is_none() {
-                ts.insert(key, 0xf, i);
-            }
-        })
-    });
-    c.bench_function("mshr/register_complete", |b| {
-        let mut m: Mshr<u64> = Mshr::new(32);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let key = i % 16;
-            if m.register(key, 0b1111, i) == netcrafter_mem::MshrOutcome::Allocated {
-                black_box(m.complete(key));
-            }
-        })
-    });
-}
-
-fn bench_page_table(c: &mut Criterion) {
+fn bench_page_table() {
     let mut pt = PageTable::new(1 << 24);
     for vpn in 0..4096u64 {
         pt.map(vpn, vpn + 100, GpuId((vpn % 4) as u16));
     }
-    c.bench_function("page_table/walk_reads_full", |b| {
-        let mut vpn = 0u64;
-        b.iter(|| {
-            vpn = (vpn + 1) % 4096;
-            black_box(pt.walk_reads(vpn, 1))
-        })
+    let mut vpn = 0u64;
+    bench("page_table/walk_reads_full", || {
+        vpn = (vpn + 1) % 4096;
+        black_box(pt.walk_reads(vpn, 1))
     });
 }
 
-fn bench_system_cycle(c: &mut Criterion) {
-    c.bench_function("system/1000_cycles_gups_baseline", |b| {
-        let cfg = SystemConfig::small(2);
-        let kernel = Workload::Gups.generate(&Scale::tiny(), 4, 7);
-        b.iter_batched(
-            || System::build(SystemVariant::Baseline.apply(cfg), &kernel),
-            |mut sys| {
-                sys.engine.run_while(1000, |_| true);
-                black_box(sys.engine.cycle())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_system_cycle() {
+    let cfg = SystemConfig::small(2);
+    let kernel = Workload::Gups.generate(&Scale::tiny(), 4, 7);
+    bench_with_setup(
+        "system/1000_cycles_gups_baseline",
+        || System::build(SystemVariant::Baseline.apply(cfg), &kernel),
+        |mut sys| {
+            sys.engine.run_while(1000, |_| true);
+            black_box(sys.engine.cycle())
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_segmentation,
-    bench_cluster_queue,
-    bench_tagstore_and_mshr,
-    bench_page_table,
-    bench_system_cycle
-);
-criterion_main!(benches);
+fn main() {
+    bench_segmentation();
+    bench_cluster_queue();
+    bench_tagstore_and_mshr();
+    bench_page_table();
+    bench_system_cycle();
+}

@@ -1,34 +1,21 @@
-//! One criterion bench per paper table/figure: each measures a full
-//! scaled-down regeneration of that artifact (the paper-scale numbers in
+//! One bench per paper table/figure: each measures a full scaled-down
+//! regeneration of that artifact (the paper-scale numbers in
 //! EXPERIMENTS.md come from `cargo run --bin figures -- all`).
 //!
 //! A fresh `Runner` is built per iteration so the measurement reflects
-//! real simulation work rather than the memo cache.
+//! real simulation work rather than the memo cache. Runs with the
+//! in-tree harness (no criterion — the workspace builds offline):
+//! `cargo bench -p netcrafter-bench --features criterion-bench`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use netcrafter_bench::microbench::bench_with_setup;
 use netcrafter_bench::{figures, Runner};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
     for id in figures::all_ids() {
-        group.bench_function(id, |b| {
-            b.iter_batched(
-                Runner::quick,
-                |runner| black_box(figures::generate(id, &runner)),
-                BatchSize::PerIteration,
-            )
+        bench_with_setup(&format!("figures/{id}"), Runner::quick, |runner| {
+            black_box(figures::generate(id, &runner))
         });
     }
-    group.finish();
 }
-
-criterion_group!(figure_benches, bench_figures);
-criterion_main!(figure_benches);

@@ -1,26 +1,58 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--verbose] <id>... | all
+//! figures [--quick] [--big] [--verbose] [--jobs N] [--cache-dir DIR] <id>... | all
 //! ```
 //!
 //! Ids: table1, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig12,
-//! fig14, fig15, fig16, fig17, fig18, fig19, fig20, fig21, fig22.
+//! fig14, fig15, fig16, fig17, fig18, fig19, fig20, fig21, fig22,
+//! ablation, scaling.
+//!
+//! `--jobs N` resolves the figures' simulations on N worker threads;
+//! `--cache-dir DIR` persists every result so a re-run only simulates
+//! configurations it has never seen. Both leave the printed tables
+//! byte-identical to a sequential, uncached run.
 
 use std::time::Instant;
 
-use netcrafter_bench::{figures, Runner};
+use netcrafter_bench::{figures, stats_report, Runner};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let big = args.iter().any(|a| a == "--big");
     let verbose = args.iter().any(|a| a == "--verbose");
-    let mut ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let jobs: usize = flag_value(&args, "--jobs")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs expects a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
+    let cache_dir = flag_value(&args, "--cache-dir");
+
+    // Everything that is not a flag (or a flag's value) is a figure id.
+    let mut ids: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for arg in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if arg == "--jobs" || arg == "--cache-dir" {
+            skip_next = true;
+        } else if !arg.starts_with("--") {
+            ids.push(arg.clone());
+        }
+    }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = figures::all_ids().iter().map(|s| s.to_string()).collect();
     }
@@ -31,7 +63,11 @@ fn main() {
         }
     }
 
-    let mut runner = if quick { Runner::quick() } else { Runner::paper() };
+    let mut runner = if quick {
+        Runner::quick()
+    } else {
+        Runner::paper()
+    };
     if big {
         // Closer to the paper's 64-CU GPUs: 16 CUs with doubled inputs.
         // Expect a full `all` pass to take tens of minutes.
@@ -40,16 +76,52 @@ fn main() {
         runner.scale.mem_ops_per_wave *= 2;
     }
     runner.verbose = verbose;
+    runner = runner.with_jobs(jobs);
+    if let Some(dir) = &cache_dir {
+        runner = runner.with_cache_dir(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open cache dir {dir}: {e}");
+            std::process::exit(1);
+        });
+    }
+
     println!(
         "# NetCrafter figure regeneration ({} scale)\n",
-        if quick { "quick" } else if big { "big" } else { "paper" }
+        if quick {
+            "quick"
+        } else if big {
+            "big"
+        } else {
+            "paper"
+        }
     );
     let t0 = Instant::now();
+
+    // Resolve every simulation the requested figures need in one parallel
+    // sweep; the generators below then hit a warm memo, so stdout is
+    // byte-identical regardless of worker count or cache state.
+    let mut all_jobs = Vec::new();
+    for id in &ids {
+        all_jobs.extend(figures::sweep_jobs(id, &runner));
+    }
+    if !all_jobs.is_empty() {
+        runner.sweep(&all_jobs);
+        eprintln!(
+            "[sweep: {} unique runs resolved in {:.1?}]",
+            runner.runs_completed(),
+            t0.elapsed()
+        );
+    }
+
     for id in &ids {
         let t = Instant::now();
         let table = figures::generate(id, &runner);
         println!("{table}");
-        eprintln!("[{id} done in {:.1?}; {} runs cached]", t.elapsed(), runner.runs_completed());
+        eprintln!(
+            "[{id} done in {:.1?}; {} runs cached]",
+            t.elapsed(),
+            runner.runs_completed()
+        );
     }
     eprintln!("[total {:.1?}]", t0.elapsed());
+    eprint!("{}", stats_report(&runner.job_stats()));
 }

@@ -2,15 +2,22 @@
 //! and dump the metrics.
 //!
 //! ```text
-//! simulate [--workload GUPS] [--variant netcrafter] [--cus 8]
+//! simulate [--workload GUPS] [--variant netcrafter|all] [--cus 8]
 //!          [--clusters 2] [--gpus-per-cluster 2]
 //!          [--intra 128] [--inter 16] [--flit 16]
 //!          [--scale tiny|small|paper] [--seed N]
 //!          [--pool-window N] [--trim-granularity 4|8|16]
+//!          [--jobs N] [--cache-dir DIR]
 //!          [--dump-metrics] [--csv FILE]
 //! ```
+//!
+//! `--variant all` sweeps every variant of the workload (in parallel
+//! with `--jobs N`) and prints a comparison table. `--cache-dir DIR`
+//! replays identical configurations from the persistent result cache
+//! instead of re-simulating.
 
-use netcrafter_multigpu::{Experiment, SystemVariant};
+use netcrafter_bench::{f2, pct, stats_report, Runner, Table};
+use netcrafter_multigpu::SystemVariant;
 use netcrafter_proto::SystemConfig;
 use netcrafter_workloads::{Scale, Workload};
 
@@ -28,6 +35,18 @@ fn parse_variant(s: &str) -> Option<SystemVariant> {
     })
 }
 
+/// The variants `--variant all` compares, baseline first.
+const ALL_VARIANTS: [SystemVariant; 8] = [
+    SystemVariant::Baseline,
+    SystemVariant::Ideal,
+    SystemVariant::StitchOnly,
+    SystemVariant::TrimOnly,
+    SystemVariant::SeqOnly,
+    SystemVariant::StitchTrim,
+    SystemVariant::NetCrafter,
+    SystemVariant::SectorCache,
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
@@ -38,12 +57,12 @@ fn main() {
     };
     let usage = || -> ! {
         eprintln!(
-            "usage: simulate [--workload NAME] [--variant V] [--cus N] [--clusters N] \
+            "usage: simulate [--workload NAME] [--variant V|all] [--cus N] [--clusters N] \
              [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
              [--scale tiny|small|paper] [--seed N] [--pool-window N] \
-             [--trim-granularity N] [--dump-metrics]\n\
+             [--trim-granularity N] [--jobs N] [--cache-dir DIR] [--dump-metrics]\n\
              workloads: {:?}\n\
-             variants: baseline ideal netcrafter stitch trim seq sector stitchtrim",
+             variants: baseline ideal netcrafter stitch trim seq sector stitchtrim all",
             Workload::ALL.map(|w| w.abbrev())
         );
         std::process::exit(2);
@@ -54,12 +73,15 @@ fn main() {
         .into_iter()
         .find(|w| w.abbrev().eq_ignore_ascii_case(&workload_name))
         .unwrap_or_else(|| usage());
-    let variant = parse_variant(&get("--variant").unwrap_or_else(|| "baseline".into()))
-        .unwrap_or_else(|| usage());
+    let variant_name = get("--variant").unwrap_or_else(|| "baseline".into());
+    let sweep_all = variant_name.eq_ignore_ascii_case("all");
+    let variant = if sweep_all {
+        SystemVariant::Baseline
+    } else {
+        parse_variant(&variant_name).unwrap_or_else(|| usage())
+    };
 
-    let mut cfg = SystemConfig::small(
-        get("--cus").and_then(|v| v.parse().ok()).unwrap_or(8),
-    );
+    let mut cfg = SystemConfig::small(get("--cus").and_then(|v| v.parse().ok()).unwrap_or(8));
     if let Some(v) = get("--clusters") {
         cfg.topology.clusters = v.parse().unwrap_or_else(|_| usage());
     }
@@ -87,38 +109,108 @@ fn main() {
         Some("paper") => Scale::paper(),
         Some(_) => usage(),
     };
-    let seed = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xC0FFEE);
 
-    let exp = Experiment {
-        workload,
-        variant,
-        base_cfg: cfg,
-        scale,
-        seed,
-        max_cycles: 1_000_000_000,
-    };
+    let mut runner = Runner::with_base(cfg, scale);
+    runner.seed = get("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    runner.max_cycles = 1_000_000_000;
+    runner = runner.with_jobs(get("--jobs").and_then(|v| v.parse().ok()).unwrap_or(1));
+    if let Some(dir) = get("--cache-dir") {
+        runner = runner.with_cache_dir(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot open cache dir {dir}: {e}");
+            std::process::exit(1);
+        });
+    }
+
+    if sweep_all {
+        eprintln!(
+            "sweeping {workload} across {} variants on {} worker(s) …",
+            ALL_VARIANTS.len(),
+            runner.jobs,
+        );
+        let jobs: Vec<_> = ALL_VARIANTS
+            .iter()
+            .map(|&v| runner.job(workload, v))
+            .collect();
+        let results = runner.sweep(&jobs);
+        let base_cycles = results[0].exec_cycles;
+        let mut t = Table::new(
+            format!("{workload} across system variants"),
+            vec![
+                "Variant",
+                "Cycles",
+                "Speedup",
+                "Link util",
+                "Read lat",
+                "L1 MPKI",
+            ],
+        );
+        for (v, r) in ALL_VARIANTS.iter().zip(&results) {
+            t.row(vec![
+                v.label(),
+                r.exec_cycles.to_string(),
+                f2(base_cycles as f64 / r.exec_cycles as f64),
+                pct(r.inter_utilization()),
+                format!("{:.0}", r.inter_read_latency()),
+                f2(r.l1_mpki()),
+            ]);
+        }
+        println!("{t}");
+        eprint!("{}", stats_report(&runner.job_stats()));
+        return;
+    }
+
     eprintln!(
         "simulating {workload} / {} on {} clusters x {} GPUs x {} CUs …",
         variant.label(),
-        exp.base_cfg.topology.clusters,
-        exp.base_cfg.topology.gpus_per_cluster,
-        exp.base_cfg.cus_per_gpu,
+        runner.base_cfg.topology.clusters,
+        runner.base_cfg.topology.gpus_per_cluster,
+        runner.base_cfg.cus_per_gpu,
     );
-    let r = exp.run();
+    let r = runner.run(workload, variant);
 
-    println!("workload             : {workload} ({})", workload.description());
+    println!(
+        "workload             : {workload} ({})",
+        workload.description()
+    );
     println!("variant              : {}", variant.label());
     println!("execution cycles     : {}", r.exec_cycles);
-    println!("instructions         : {}", r.metrics.counter("total.cu.instructions"));
-    println!("memory ops           : {}", r.metrics.counter("total.cu.mem_ops"));
-    println!("inter-cluster flits  : {}", r.metrics.counter("net.inter.flits"));
-    println!("inter link util      : {:.1}%", 100.0 * r.inter_utilization());
-    println!("inter read latency   : {:.0} cycles", r.inter_read_latency());
+    println!(
+        "instructions         : {}",
+        r.metrics.counter("total.cu.instructions")
+    );
+    println!(
+        "memory ops           : {}",
+        r.metrics.counter("total.cu.mem_ops")
+    );
+    println!(
+        "inter-cluster flits  : {}",
+        r.metrics.counter("net.inter.flits")
+    );
+    println!(
+        "inter link util      : {:.1}%",
+        100.0 * r.inter_utilization()
+    );
+    println!(
+        "inter read latency   : {:.0} cycles",
+        r.inter_read_latency()
+    );
     println!("PTW byte share       : {:.1}%", 100.0 * r.ptw_byte_share());
     println!("L1 MPKI              : {:.2}", r.l1_mpki());
-    println!("stitched-away flits  : {:.1}%", 100.0 * r.stitched_fraction());
-    println!("trimmed responses    : {}", r.metrics.counter("total.trim.trimmed"));
-    println!("page-table walks     : {}", r.metrics.counter("total.gmmu.walks"));
+    println!(
+        "stitched-away flits  : {:.1}%",
+        100.0 * r.stitched_fraction()
+    );
+    println!(
+        "trimmed responses    : {}",
+        r.metrics.counter("total.trim.trimmed")
+    );
+    println!(
+        "page-table walks     : {}",
+        r.metrics.counter("total.gmmu.walks")
+    );
+    eprint!("{}", stats_report(&runner.job_stats()));
 
     if args.iter().any(|a| a == "--dump-metrics") {
         println!("\n--- all metrics ---\n{}", r.metrics);

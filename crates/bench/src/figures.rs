@@ -2,7 +2,7 @@
 //! rows correspond to the series the paper plots; EXPERIMENTS.md records
 //! a full paper-scale output next to the published values.
 
-use netcrafter_multigpu::{System, SystemVariant};
+use netcrafter_multigpu::{JobSpec, System, SystemVariant};
 use netcrafter_proto::{
     AccessId, GpuId, LineAddr, LineMask, MemReq, NodeId, Origin, Packet, PacketId, PacketKind,
     PacketPayload, TrafficClass, ALL_PACKET_KINDS,
@@ -52,13 +52,144 @@ pub fn generate(id: &str, runner: &Runner) -> Table {
     }
 }
 
+/// Enumerates every [`Runner::run`]/[`Runner::run_with`] call the
+/// generator for `id` will make, as job specs for [`Runner::sweep`].
+///
+/// The `figures` binary collects these for all requested ids and resolves
+/// them in one parallel sweep before generating; the generators then hit
+/// a warm memo, so their output is identical to a sequential run.
+/// `fig17` and `ablation` build systems directly (custom kernels and
+/// config knobs no [`SystemVariant`] expresses) and contribute only the
+/// baseline runs they share with other figures.
+pub fn sweep_jobs(id: &str, r: &Runner) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    let for_all = |variants: &[SystemVariant], jobs: &mut Vec<JobSpec>| {
+        for w in Workload::ALL {
+            for &v in variants {
+                jobs.push(r.job(w, v));
+            }
+        }
+    };
+    let selpool32 = SystemVariant::StitchPool {
+        window: 32,
+        selective: true,
+    };
+    match id {
+        "table1" | "table3" | "fig17" => {}
+        "fig3" | "fig4" | "fig5" => {
+            for_all(&[SystemVariant::Baseline, SystemVariant::Ideal], &mut jobs)
+        }
+        "fig6" | "fig7" | "fig9" => for_all(&[SystemVariant::Baseline], &mut jobs),
+        "fig8" => for_all(
+            &[
+                SystemVariant::Baseline,
+                SystemVariant::SeqOnly,
+                SystemVariant::DataPrio,
+            ],
+            &mut jobs,
+        ),
+        "fig12" => for_all(
+            &[
+                SystemVariant::StitchOnly,
+                SystemVariant::StitchPool {
+                    window: 32,
+                    selective: false,
+                },
+            ],
+            &mut jobs,
+        ),
+        "fig14" => for_all(
+            &[
+                SystemVariant::Baseline,
+                selpool32,
+                SystemVariant::StitchTrim,
+                SystemVariant::NetCrafter,
+                SystemVariant::SectorCache,
+            ],
+            &mut jobs,
+        ),
+        "fig15" => for_all(
+            &[SystemVariant::Baseline, SystemVariant::NetCrafter],
+            &mut jobs,
+        ),
+        "fig16" => for_all(
+            &[
+                SystemVariant::Baseline,
+                SystemVariant::TrimOnly,
+                SystemVariant::SectorCache,
+            ],
+            &mut jobs,
+        ),
+        "fig18" | "fig19" | "fig20" => {
+            let selective = id != "fig18";
+            let mut variants = vec![SystemVariant::Baseline, SystemVariant::StitchOnly];
+            for window in [32, 64, 96, 128] {
+                variants.push(SystemVariant::StitchPool { window, selective });
+            }
+            for_all(&variants, &mut jobs);
+        }
+        "fig21" => {
+            let mut cfg8 = r.base_cfg;
+            cfg8.flit_bytes = 8;
+            for w in Workload::ALL {
+                for v in [SystemVariant::Baseline, selpool32] {
+                    jobs.push(r.job(w, v));
+                    jobs.push(r.job_with(w, v, cfg8, "flit8"));
+                }
+            }
+        }
+        "fig22" => {
+            for w in Workload::ALL {
+                for (intra, inter, label) in FIG22_CONFIGS {
+                    let mut cfg = r.base_cfg;
+                    cfg.topology.intra_gbps = intra;
+                    cfg.topology.inter_gbps = inter;
+                    for v in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
+                        jobs.push(r.job_with(w, v, cfg, label));
+                    }
+                }
+            }
+        }
+        "ablation" => {
+            for w in [Workload::Gups, Workload::Spmv, Workload::Mt] {
+                jobs.push(r.job(w, SystemVariant::Baseline));
+            }
+        }
+        "scaling" => {
+            for w in [
+                Workload::Gups,
+                Workload::Spmv,
+                Workload::Pr,
+                Workload::Vgg16,
+            ] {
+                for clusters in 1u16..=4 {
+                    let mut cfg = r.base_cfg;
+                    cfg.topology.clusters = clusters;
+                    let tag = format!("clusters{clusters}");
+                    for v in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
+                        jobs.push(r.job_with(w, v, cfg, &tag));
+                    }
+                }
+            }
+        }
+        other => panic!("unknown figure id {other:?}"),
+    }
+    jobs
+}
+
 /// Table 1: the six packet categories and their 16 B-flit geometry.
 /// Computed from the packet model, not hard-coded, so it stays in lock
 /// step with the protocol implementation.
 pub fn table1() -> Table {
     let mut t = Table::new(
         "Table 1: 16 B flit occupancy by request type",
-        vec!["Request Type", "Bytes Occupied", "Bytes Required", "Bytes Padded", "Flits Occupied"],
+        vec![
+            "Request Type",
+            "Bytes Occupied",
+            "Bytes Required",
+            "Bytes Padded",
+            "Flits Occupied",
+        ],
     );
     for kind in ALL_PACKET_KINDS {
         let payload = match kind {
@@ -78,7 +209,11 @@ pub fn table1() -> Table {
                 write: kind == PacketKind::WriteReq,
                 mask: LineMask::FULL,
                 sectors: 0b1111,
-                class: if kind.is_ptw() { TrafficClass::Ptw } else { TrafficClass::Data },
+                class: if kind.is_ptw() {
+                    TrafficClass::Ptw
+                } else {
+                    TrafficClass::Data
+                },
                 requester: GpuId(0),
                 owner: GpuId(1),
                 origin: Origin::Cu(0),
@@ -132,8 +267,18 @@ pub fn fig3(r: &Runner) -> Table {
             f2(s),
         ]);
     }
-    t.row(vec!["GEOMEAN".into(), "-".into(), "-".into(), f2(geomean(&speedups))]);
-    t.row(vec!["AVG".into(), "-".into(), "-".into(), f2(mean(&speedups))]);
+    t.row(vec![
+        "GEOMEAN".into(),
+        "-".into(),
+        "-".into(),
+        f2(geomean(&speedups)),
+    ]);
+    t.row(vec![
+        "AVG".into(),
+        "-".into(),
+        "-".into(),
+        f2(mean(&speedups)),
+    ]);
     t
 }
 
@@ -164,7 +309,12 @@ pub fn fig4(r: &Runner) -> Table {
 pub fn fig5(r: &Runner) -> Table {
     let mut t = Table::new(
         "Figure 5: avg inter-cluster read latency (normalized to non-uniform)",
-        vec!["Workload", "Non-uniform (cycles)", "Ideal (cycles)", "Ideal normalized"],
+        vec![
+            "Workload",
+            "Non-uniform (cycles)",
+            "Ideal (cycles)",
+            "Ideal normalized",
+        ],
     );
     let mut ratios = Vec::new();
     for w in Workload::ALL {
@@ -182,7 +332,12 @@ pub fn fig5(r: &Runner) -> Table {
             f2(norm),
         ]);
     }
-    t.row(vec!["AVG".into(), "-".into(), "-".into(), f2(mean(&ratios))]);
+    t.row(vec![
+        "AVG".into(),
+        "-".into(),
+        "-".into(),
+        f2(mean(&ratios)),
+    ]);
     t
 }
 
@@ -201,7 +356,12 @@ pub fn fig6(r: &Runner) -> Table {
         totals.push(p25 + p75);
         t.row(vec![w.abbrev().into(), pct(p25), pct(p75), pct(p25 + p75)]);
     }
-    t.row(vec!["AVG".into(), "-".into(), "-".into(), pct(mean(&totals))]);
+    t.row(vec![
+        "AVG".into(),
+        "-".into(),
+        "-".into(),
+        pct(mean(&totals)),
+    ]);
     t
 }
 
@@ -214,7 +374,13 @@ pub fn fig7(r: &Runner) -> Table {
     for w in Workload::ALL {
         let base = r.run(w, SystemVariant::Baseline);
         let f = base.fig7_fractions();
-        t.row(vec![w.abbrev().into(), pct(f[0]), pct(f[1]), pct(f[2]), pct(f[3])]);
+        t.row(vec![
+            w.abbrev().into(),
+            pct(f[0]),
+            pct(f[1]),
+            pct(f[2]),
+            pct(f[3]),
+        ]);
     }
     t
 }
@@ -234,9 +400,17 @@ pub fn fig8(r: &Runner) -> Table {
         let sp = |x: u64| base.exec_cycles as f64 / x as f64;
         ptw_all.push(sp(ptw.exec_cycles));
         data_all.push(sp(data.exec_cycles));
-        t.row(vec![w.abbrev().into(), f2(sp(ptw.exec_cycles)), f2(sp(data.exec_cycles))]);
+        t.row(vec![
+            w.abbrev().into(),
+            f2(sp(ptw.exec_cycles)),
+            f2(sp(data.exec_cycles)),
+        ]);
     }
-    t.row(vec!["GEOMEAN".into(), f2(geomean(&ptw_all)), f2(geomean(&data_all))]);
+    t.row(vec![
+        "GEOMEAN".into(),
+        f2(geomean(&ptw_all)),
+        f2(geomean(&data_all)),
+    ]);
     t
 }
 
@@ -253,7 +427,11 @@ pub fn fig9(r: &Runner) -> Table {
         shares.push(s);
         t.row(vec![w.abbrev().into(), pct(s), pct(1.0 - s)]);
     }
-    t.row(vec!["AVG".into(), pct(mean(&shares)), pct(1.0 - mean(&shares))]);
+    t.row(vec![
+        "AVG".into(),
+        pct(mean(&shares)),
+        pct(1.0 - mean(&shares)),
+    ]);
     t
 }
 
@@ -267,7 +445,13 @@ pub fn fig12(r: &Runner) -> Table {
     let (mut a_all, mut b_all) = (Vec::new(), Vec::new());
     for w in Workload::ALL {
         let alone = r.run(w, SystemVariant::StitchOnly);
-        let pooled = r.run(w, SystemVariant::StitchPool { window: 32, selective: false });
+        let pooled = r.run(
+            w,
+            SystemVariant::StitchPool {
+                window: 32,
+                selective: false,
+            },
+        );
         a_all.push(alone.stitched_fraction());
         b_all.push(pooled.stitched_fraction());
         t.row(vec![
@@ -285,10 +469,19 @@ pub fn fig12(r: &Runner) -> Table {
 pub fn fig14(r: &Runner) -> Table {
     let mut t = Table::new(
         "Figure 14: overall speedup over the non-uniform baseline",
-        vec!["Workload", "Stitching", "+Trimming", "+Sequencing (NetCrafter)", "SectorCache(16B)"],
+        vec![
+            "Workload",
+            "Stitching",
+            "+Trimming",
+            "+Sequencing (NetCrafter)",
+            "SectorCache(16B)",
+        ],
     );
     let variants = [
-        SystemVariant::StitchPool { window: 32, selective: true },
+        SystemVariant::StitchPool {
+            window: 32,
+            selective: true,
+        },
         SystemVariant::StitchTrim,
         SystemVariant::NetCrafter,
         SystemVariant::SectorCache,
@@ -320,7 +513,12 @@ pub fn fig14(r: &Runner) -> Table {
 pub fn fig15(r: &Runner) -> Table {
     let mut t = Table::new(
         "Figure 15: avg inter-cluster read latency, baseline vs NetCrafter",
-        vec!["Workload", "Baseline (cycles)", "NetCrafter (cycles)", "NetCrafter normalized"],
+        vec![
+            "Workload",
+            "Baseline (cycles)",
+            "NetCrafter (cycles)",
+            "NetCrafter normalized",
+        ],
     );
     let mut ratios = Vec::new();
     for w in Workload::ALL {
@@ -331,9 +529,19 @@ pub fn fig15(r: &Runner) -> Table {
         if b > 0.0 {
             ratios.push(norm);
         }
-        t.row(vec![w.abbrev().into(), format!("{b:.0}"), format!("{n:.0}"), f2(norm)]);
+        t.row(vec![
+            w.abbrev().into(),
+            format!("{b:.0}"),
+            format!("{n:.0}"),
+            f2(norm),
+        ]);
     }
-    t.row(vec!["AVG".into(), "-".into(), "-".into(), f2(mean(&ratios))]);
+    t.row(vec![
+        "AVG".into(),
+        "-".into(),
+        "-".into(),
+        f2(mean(&ratios)),
+    ]);
     t
 }
 
@@ -342,7 +550,12 @@ pub fn fig15(r: &Runner) -> Table {
 pub fn fig16(r: &Runner) -> Table {
     let mut t = Table::new(
         "Figure 16: L1 MPKI — baseline vs Trimming vs 16 B sector cache",
-        vec!["Workload", "Baseline", "Trimming (NetCrafter)", "SectorCache(16B)"],
+        vec![
+            "Workload",
+            "Baseline",
+            "Trimming (NetCrafter)",
+            "SectorCache(16B)",
+        ],
     );
     for w in Workload::ALL {
         let base = r.run(w, SystemVariant::Baseline);
@@ -363,18 +576,18 @@ pub fn fig16(r: &Runner) -> Table {
 pub fn fig17(r: &Runner) -> Table {
     let mut t = Table::new(
         "Figure 17: large GEMM L1 MPKI vs granularity",
-        vec!["Granularity", "Trimming (inter-cluster only)", "All-trimming (sector cache)"],
+        vec![
+            "Granularity",
+            "Trimming (inter-cluster only)",
+            "All-trimming (sector cache)",
+        ],
     );
     for g in [4u32, 8, 16] {
         let mut cells = vec![format!("{g}B")];
         for v in [SystemVariant::TrimOnly, SystemVariant::SectorCache] {
             let mut cfg = v.apply(r.base_cfg);
             cfg.trim_granularity = g;
-            let kernel = netcrafter_workloads::gen::large_gemm(
-                &r.scale,
-                cfg.total_gpus(),
-                r.seed,
-            );
+            let kernel = netcrafter_workloads::gen::large_gemm(&r.scale, cfg.total_gpus(), r.seed);
             let mut sys = System::build(cfg, &kernel);
             let exec = sys.run(300_000_000);
             let m = sys.harvest();
@@ -391,7 +604,14 @@ pub fn fig17(r: &Runner) -> Table {
 fn pooling_sweep(r: &Runner, selective: bool, title: &str) -> Table {
     let mut t = Table::new(
         title,
-        vec!["Workload", "Stitching", "Pool32", "Pool64", "Pool96", "Pool128"],
+        vec![
+            "Workload",
+            "Stitching",
+            "Pool32",
+            "Pool64",
+            "Pool96",
+            "Pool128",
+        ],
     );
     let windows = [0u32, 32, 64, 96, 128];
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); windows.len()];
@@ -441,7 +661,14 @@ pub fn fig19(r: &Runner) -> Table {
 pub fn fig20(r: &Runner) -> Table {
     let mut t = Table::new(
         "Figure 20: inter-cluster byte reduction vs baseline",
-        vec!["Workload", "Stitching", "SelPool32", "SelPool64", "SelPool96", "SelPool128"],
+        vec![
+            "Workload",
+            "Stitching",
+            "SelPool32",
+            "SelPool64",
+            "SelPool96",
+            "SelPool128",
+        ],
     );
     let windows = [0u32, 32, 64, 96, 128];
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); windows.len()];
@@ -453,7 +680,10 @@ pub fn fig20(r: &Runner) -> Table {
             let v = if window == 0 {
                 SystemVariant::StitchOnly
             } else {
-                SystemVariant::StitchPool { window, selective: true }
+                SystemVariant::StitchPool {
+                    window,
+                    selective: true,
+                }
             };
             let res = r.run(w, v);
             let reduction = 1.0 - res.inter_link_bytes() as f64 / base_bytes as f64;
@@ -480,7 +710,10 @@ pub fn fig21(r: &Runner) -> Table {
     let mut cfg8 = r.base_cfg;
     cfg8.flit_bytes = 8;
     let (mut s16_all, mut s8_all) = (Vec::new(), Vec::new());
-    let stitch = SystemVariant::StitchPool { window: 32, selective: true };
+    let stitch = SystemVariant::StitchPool {
+        window: 32,
+        selective: true,
+    };
     for w in Workload::ALL {
         let b16 = r.run(w, SystemVariant::Baseline);
         let s16 = r.run(w, stitch);
@@ -492,21 +725,29 @@ pub fn fig21(r: &Runner) -> Table {
         s8_all.push(sp8);
         t.row(vec![w.abbrev().into(), f2(sp16), f2(sp8)]);
     }
-    t.row(vec!["GEOMEAN".into(), f2(geomean(&s16_all)), f2(geomean(&s8_all))]);
+    t.row(vec![
+        "GEOMEAN".into(),
+        f2(geomean(&s16_all)),
+        f2(geomean(&s8_all)),
+    ]);
     t
 }
+
+/// The `(intra, inter, label)` bandwidth points of Figure 22, shared with
+/// [`sweep_jobs`] (the labels double as memo tags).
+const FIG22_CONFIGS: [(f64, f64, &str); 6] = [
+    (128.0, 16.0, "128:16 (8:1)"),
+    (256.0, 32.0, "256:32 (8:1)"),
+    (512.0, 64.0, "512:64 (8:1)"),
+    (128.0, 32.0, "128:32 (4:1)"),
+    (128.0, 64.0, "128:64 (2:1)"),
+    (32.0, 32.0, "32:32 (homog.)"),
+];
 
 /// Figure 22: NetCrafter speedup across bandwidth ratios/values,
 /// including a homogeneous configuration.
 pub fn fig22(r: &Runner) -> Table {
-    let configs: [(f64, f64, &str); 6] = [
-        (128.0, 16.0, "128:16 (8:1)"),
-        (256.0, 32.0, "256:32 (8:1)"),
-        (512.0, 64.0, "512:64 (8:1)"),
-        (128.0, 32.0, "128:32 (4:1)"),
-        (128.0, 64.0, "128:64 (2:1)"),
-        (32.0, 32.0, "32:32 (homog.)"),
-    ];
+    let configs = FIG22_CONFIGS;
     let mut header = vec!["Workload"];
     for (_, _, label) in &configs {
         header.push(label);
@@ -589,15 +830,26 @@ pub fn ablation_search_depth(r: &Runner) -> Table {
 pub fn extension_cluster_scaling(r: &Runner) -> Table {
     let mut t = Table::new(
         "Extension: NetCrafter speedup vs cluster count (2 GPUs/cluster)",
-        vec!["Workload", "1 cluster", "2 clusters", "3 clusters", "4 clusters"],
+        vec![
+            "Workload",
+            "1 cluster",
+            "2 clusters",
+            "3 clusters",
+            "4 clusters",
+        ],
     );
-    for w in [Workload::Gups, Workload::Spmv, Workload::Pr, Workload::Vgg16] {
+    for w in [
+        Workload::Gups,
+        Workload::Spmv,
+        Workload::Pr,
+        Workload::Vgg16,
+    ] {
         let mut cells = vec![w.abbrev().to_owned()];
         for clusters in 1u16..=4 {
-            let mut cfg = r.base_cfg.clone();
+            let mut cfg = r.base_cfg;
             cfg.topology.clusters = clusters;
             let tag = format!("clusters{clusters}");
-            let base = r.run_with(w, SystemVariant::Baseline, cfg.clone(), &tag);
+            let base = r.run_with(w, SystemVariant::Baseline, cfg, &tag);
             let nc = r.run_with(w, SystemVariant::NetCrafter, cfg, &tag);
             cells.push(f2(base.exec_cycles as f64 / nc.exec_cycles as f64));
         }
@@ -648,6 +900,35 @@ mod tests {
             assert!(!t.rows.is_empty());
         }
         assert_eq!(all_ids().len(), 21);
+    }
+
+    #[test]
+    fn sweep_jobs_enumerate_every_id() {
+        let r = Runner::quick();
+        for id in all_ids() {
+            let jobs = sweep_jobs(id, &r);
+            match id {
+                "table1" | "table3" | "fig17" => assert!(jobs.is_empty(), "{id}"),
+                _ => assert!(!jobs.is_empty(), "{id} should have sweep jobs"),
+            }
+        }
+        assert_eq!(sweep_jobs("fig14", &r).len(), 15 * 5);
+        assert_eq!(sweep_jobs("fig22", &r).len(), 15 * 6 * 2);
+    }
+
+    #[test]
+    fn prewarm_covers_generator_runs() {
+        let r = Runner::quick().with_jobs(2);
+        let jobs = sweep_jobs("fig3", &r);
+        r.sweep(&jobs);
+        let before = r.runs_completed();
+        let t = generate("fig3", &r);
+        assert_eq!(
+            r.runs_completed(),
+            before,
+            "sweep covered every run fig3 makes"
+        );
+        assert_eq!(t.rows.len(), 15 + 2);
     }
 
     /// One real end-to-end figure at quick scale: Figure 3 on a reduced

@@ -14,21 +14,27 @@
 //! cargo run -p netcrafter-bench --release --bin figures -- all
 //! cargo run -p netcrafter-bench --release --bin figures -- fig14 fig18
 //! cargo run -p netcrafter-bench --release --bin figures -- --quick fig3
+//! cargo run -p netcrafter-bench --release --bin figures -- all --jobs 4 --cache-dir .figure-cache
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod figures;
+pub mod microbench;
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use netcrafter_multigpu::{Experiment, RunResult, SystemVariant};
+use netcrafter_multigpu::{JobSpec, RunResult, SystemVariant};
 use netcrafter_proto::SystemConfig;
 use netcrafter_workloads::{Scale, Workload};
+
+pub use cache::DiskCache;
 
 /// Geometric mean of strictly positive values (0.0 for an empty slice).
 pub fn geomean(values: &[f64]) -> f64 {
@@ -115,7 +121,98 @@ impl fmt::Display for Table {
     }
 }
 
+/// Where a job's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSource {
+    /// Simulated in this process.
+    Fresh,
+    /// Replayed from the persistent on-disk cache.
+    DiskHit,
+}
+
+/// Wall-clock/throughput record for one resolved job (memo replays are
+/// free and not recorded).
+#[derive(Debug, Clone)]
+pub struct JobStat {
+    /// The job's memo key (`workload|variant|tag`).
+    pub memo_key: String,
+    /// Fresh simulation or disk-cache replay.
+    pub source: JobSource,
+    /// Time to resolve the job.
+    pub wall: Duration,
+    /// Simulated cycles of the resolved result.
+    pub exec_cycles: u64,
+}
+
+impl JobStat {
+    /// Simulation throughput in cycles per wall-clock second (0.0 for an
+    /// instantaneous replay).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.exec_cycles as f64 / secs
+        }
+    }
+}
+
+/// Renders job stats as a human-readable report: one line per resolved
+/// job plus a totals line (fresh vs disk-replayed, aggregate throughput).
+pub fn stats_report(stats: &[JobStat]) -> String {
+    let mut out = String::new();
+    let mut fresh = 0usize;
+    let mut replayed = 0usize;
+    let mut total_wall = Duration::ZERO;
+    let mut total_cycles = 0u64;
+    for s in stats {
+        let src = match s.source {
+            JobSource::Fresh => "sim",
+            JobSource::DiskHit => "disk",
+        };
+        out.push_str(&format!(
+            "  {:<40} {src:>4}  {:>9.1?}  {:>12} cyc  {:>7.1} Mcyc/s\n",
+            s.memo_key,
+            s.wall,
+            s.exec_cycles,
+            s.cycles_per_sec() / 1e6,
+        ));
+        match s.source {
+            JobSource::Fresh => {
+                fresh += 1;
+                total_wall += s.wall;
+                total_cycles += s.exec_cycles;
+            }
+            JobSource::DiskHit => replayed += 1,
+        }
+    }
+    let rate = if total_wall.is_zero() {
+        0.0
+    } else {
+        total_cycles as f64 / total_wall.as_secs_f64() / 1e6
+    };
+    out.push_str(&format!(
+        "  {fresh} simulated ({total_cycles} cycles in {total_wall:.1?} cpu-time, \
+         {rate:.1} Mcyc/s), {replayed} replayed from disk\n",
+    ));
+    out
+}
+
 /// Memoizing experiment executor shared by all figure generators.
+///
+/// Results are resolved through three layers:
+///
+/// 1. an in-process memo (thread-safe; keyed by `workload|variant|tag`),
+/// 2. an optional persistent [`DiskCache`] keyed by the *physical* job
+///    identity ([`JobSpec::cache_key`]), so re-running `figures` only
+///    simulates configurations it has never seen,
+/// 3. a fresh simulation.
+///
+/// [`Runner::sweep`] resolves a batch of jobs on `jobs` worker threads.
+/// Because every simulation is deterministic in its spec and results are
+/// retrieved from the memo by key, figure output is bit-identical no
+/// matter how many workers ran the sweep (or whether results came from
+/// disk).
 pub struct Runner {
     /// Base system configuration (before variant application).
     pub base_cfg: SystemConfig,
@@ -123,39 +220,91 @@ pub struct Runner {
     pub scale: Scale,
     /// Workload seed.
     pub seed: u64,
+    /// Watchdog limit per simulation.
+    pub max_cycles: u64,
     /// Print one progress line per fresh run to stderr.
     pub verbose: bool,
-    cache: RefCell<HashMap<String, Rc<RunResult>>>,
+    /// Worker threads used by [`Runner::sweep`].
+    pub jobs: usize,
+    memo: Mutex<HashMap<String, Arc<RunResult>>>,
+    disk: Option<DiskCache>,
+    stats: Mutex<Vec<JobStat>>,
 }
 
 impl Runner {
     /// Full experiment configuration: 4 GPUs × 8 CUs, paper-scale
     /// workloads. A complete `figures all` pass takes minutes.
     pub fn paper() -> Self {
+        Self::with_base(SystemConfig::small(8), Scale::paper())
+    }
+
+    /// Scaled-down configuration for smoke tests and the bench suites:
+    /// 2 CUs per GPU, tiny workloads.
+    pub fn quick() -> Self {
+        Self::with_base(SystemConfig::small(2), Scale::tiny())
+    }
+
+    /// A runner over an arbitrary configuration and scale.
+    pub fn with_base(base_cfg: SystemConfig, scale: Scale) -> Self {
         Self {
-            base_cfg: SystemConfig::small(8),
-            scale: Scale::paper(),
+            base_cfg,
+            scale,
             seed: 0xC0FFEE,
+            max_cycles: 300_000_000,
             verbose: false,
-            cache: RefCell::new(HashMap::new()),
+            jobs: 1,
+            memo: Mutex::new(HashMap::new()),
+            disk: None,
+            stats: Mutex::new(Vec::new()),
         }
     }
 
-    /// Scaled-down configuration for smoke tests and criterion benches:
-    /// 2 CUs per GPU, tiny workloads.
-    pub fn quick() -> Self {
-        Self {
-            base_cfg: SystemConfig::small(2),
-            scale: Scale::tiny(),
-            seed: 0xC0FFEE,
-            verbose: false,
-            cache: RefCell::new(HashMap::new()),
+    /// Sets the worker-thread count for [`Runner::sweep`] (0 is treated
+    /// as 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Attaches a persistent result cache rooted at `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.disk = Some(DiskCache::open(dir)?);
+        Ok(self)
+    }
+
+    /// The attached disk cache, if any.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// The job spec for `workload` × `variant` on the base config.
+    pub fn job(&self, workload: Workload, variant: SystemVariant) -> JobSpec {
+        self.job_with(workload, variant, self.base_cfg, "")
+    }
+
+    /// The job spec for an alternate base configuration; `tag` must
+    /// uniquely name the alteration for the memo cache.
+    pub fn job_with(
+        &self,
+        workload: Workload,
+        variant: SystemVariant,
+        base_cfg: SystemConfig,
+        tag: &str,
+    ) -> JobSpec {
+        JobSpec {
+            workload,
+            variant,
+            base_cfg,
+            scale: self.scale,
+            seed: self.seed,
+            max_cycles: self.max_cycles,
+            tag: tag.to_owned(),
         }
     }
 
     /// Runs (or replays) `workload` under `variant` on the base config.
-    pub fn run(&self, workload: Workload, variant: SystemVariant) -> Rc<RunResult> {
-        self.run_with(workload, variant, self.base_cfg, "")
+    pub fn run(&self, workload: Workload, variant: SystemVariant) -> Arc<RunResult> {
+        self.run_job(&self.job(workload, variant))
     }
 
     /// Runs with an alternate base configuration; `tag` must uniquely
@@ -166,32 +315,99 @@ impl Runner {
         variant: SystemVariant,
         base_cfg: SystemConfig,
         tag: &str,
-    ) -> Rc<RunResult> {
-        let key = format!("{workload}|{}|{tag}", variant.label());
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return Rc::clone(hit);
+    ) -> Arc<RunResult> {
+        self.run_job(&self.job_with(workload, variant, base_cfg, tag))
+    }
+
+    /// Resolves one job through memo → disk → simulation.
+    pub fn run_job(&self, job: &JobSpec) -> Arc<RunResult> {
+        let memo_key = job.memo_key();
+        if let Some(hit) = self.memo.lock().unwrap().get(&memo_key) {
+            return Arc::clone(hit);
+        }
+        let t0 = Instant::now();
+        if let Some(disk) = &self.disk {
+            if let Some(result) = disk.load(&job.cache_key()) {
+                let result = Arc::new(result);
+                self.finish(memo_key, JobSource::DiskHit, t0.elapsed(), &result);
+                return result;
+            }
         }
         if self.verbose {
-            eprintln!("  running {key} …");
+            eprintln!("  running {memo_key} …");
         }
-        let result = Rc::new(
-            Experiment {
-                workload,
-                variant,
-                base_cfg,
-                scale: self.scale,
-                seed: self.seed,
-                max_cycles: 300_000_000,
+        let result = job.to_experiment().run();
+        let wall = t0.elapsed();
+        if let Some(disk) = &self.disk {
+            if let Err(e) = disk.store(&job.cache_key(), &result) {
+                eprintln!("warning: cannot persist {memo_key}: {e}");
             }
-            .run(),
-        );
-        self.cache.borrow_mut().insert(key, Rc::clone(&result));
+        }
+        let result = Arc::new(result);
+        self.finish(memo_key, JobSource::Fresh, wall, &result);
         result
+    }
+
+    fn finish(&self, memo_key: String, source: JobSource, wall: Duration, result: &Arc<RunResult>) {
+        self.stats.lock().unwrap().push(JobStat {
+            memo_key: memo_key.clone(),
+            source,
+            wall,
+            exec_cycles: result.exec_cycles,
+        });
+        self.memo
+            .lock()
+            .unwrap()
+            .insert(memo_key, Arc::clone(result));
+    }
+
+    /// Resolves a batch of jobs, fanning unresolved work out across
+    /// [`Runner::jobs`] worker threads, and returns the results in input
+    /// order. Duplicate specs (same memo key) are simulated once.
+    pub fn sweep(&self, jobs: &[JobSpec]) -> Vec<Arc<RunResult>> {
+        let mut pending: Vec<&JobSpec> = Vec::new();
+        {
+            let memo = self.memo.lock().unwrap();
+            let mut queued = HashSet::new();
+            for job in jobs {
+                let key = job.memo_key();
+                if !memo.contains_key(&key) && queued.insert(key) {
+                    pending.push(job);
+                }
+            }
+        }
+        let workers = self.jobs.max(1).min(pending.len());
+        if workers <= 1 {
+            for job in &pending {
+                self.run_job(job);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = pending.get(i) else { break };
+                        self.run_job(job);
+                    });
+                }
+            });
+        }
+        let memo = self.memo.lock().unwrap();
+        jobs.iter()
+            .map(|job| Arc::clone(&memo[&job.memo_key()]))
+            .collect()
     }
 
     /// Number of completed (cached) runs.
     pub fn runs_completed(&self) -> usize {
-        self.cache.borrow().len()
+        self.memo.lock().unwrap().len()
+    }
+
+    /// Per-job stats for every job resolved so far (simulated or replayed
+    /// from disk), in completion order.
+    pub fn job_stats(&self) -> Vec<JobStat> {
+        self.stats.lock().unwrap().clone()
     }
 }
 
@@ -229,7 +445,54 @@ mod tests {
         let r = Runner::quick();
         let a = r.run(Workload::Gups, SystemVariant::Baseline);
         let b = r.run(Workload::Gups, SystemVariant::Baseline);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(r.runs_completed(), 1);
+        // Only the fresh run is recorded; the memo replay is free.
+        let stats = r.job_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].source, JobSource::Fresh);
+        assert_eq!(stats[0].exec_cycles, a.exec_cycles);
+    }
+
+    #[test]
+    fn sweep_returns_input_order_and_dedups() {
+        let r = Runner::quick().with_jobs(2);
+        let jobs = vec![
+            r.job(Workload::Gups, SystemVariant::Baseline),
+            r.job(Workload::Gups, SystemVariant::Ideal),
+            r.job(Workload::Gups, SystemVariant::Baseline), // duplicate
+        ];
+        let results = r.sweep(&jobs);
+        assert_eq!(results.len(), 3);
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        assert!(!Arc::ptr_eq(&results[0], &results[1]));
+        assert_eq!(r.runs_completed(), 2, "duplicate simulated once");
+        // A second sweep is fully memoized.
+        let again = r.sweep(&jobs);
+        assert!(Arc::ptr_eq(&results[0], &again[0]));
+        assert_eq!(r.job_stats().len(), 2);
+    }
+
+    #[test]
+    fn stats_report_summarizes() {
+        let stats = vec![
+            JobStat {
+                memo_key: "GUPS|Baseline|".into(),
+                source: JobSource::Fresh,
+                wall: std::time::Duration::from_millis(10),
+                exec_cycles: 1_000_000,
+            },
+            JobStat {
+                memo_key: "GUPS|Ideal|".into(),
+                source: JobSource::DiskHit,
+                wall: std::time::Duration::from_micros(50),
+                exec_cycles: 900_000,
+            },
+        ];
+        let report = stats_report(&stats);
+        assert!(report.contains("GUPS|Baseline|"));
+        assert!(report.contains("1 simulated"));
+        assert!(report.contains("1 replayed from disk"));
+        assert!((stats[0].cycles_per_sec() - 1e8).abs() < 1e3);
     }
 }

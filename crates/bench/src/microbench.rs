@@ -1,0 +1,80 @@
+//! A minimal self-calibrating micro-benchmark harness, replacing the
+//! `criterion` dependency so the workspace builds fully offline.
+//!
+//! Each measurement warms the code path up, calibrates an iteration count
+//! targeting a fixed measurement window, then reports the best-of-N batch
+//! time per iteration (the minimum is the standard robust estimator for
+//! micro-benchmarks — noise is strictly additive).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(100);
+/// Number of measured batches (the minimum is reported).
+const BATCHES: u32 = 5;
+
+/// Runs `f` repeatedly and prints `name: <time>/iter (best of N)`.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up + calibration: how many iterations fill one batch?
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+            break elapsed / iters.max(1) as u32;
+        }
+        iters *= 4;
+    };
+    let per_batch = (BATCH_TARGET.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+    let per_batch = per_batch.clamp(1, 1 << 24);
+
+    let mut best = Duration::MAX;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..per_batch {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed() / per_batch as u32);
+    }
+    println!(
+        "{name:<44} {:>12} /iter  (best of {BATCHES}, {per_batch} iters/batch)",
+        fmt(best)
+    );
+}
+
+/// Like [`bench`], but rebuilds fresh input state outside the timed
+/// region on every iteration (criterion's `iter_batched`).
+pub fn bench_with_setup<S, R>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> R) {
+    // Setup cost can dwarf the payload, so time iterations individually.
+    let mut best = Duration::MAX;
+    let mut measured = 0u32;
+    let t_all = Instant::now();
+    while measured < 200 && (measured < 10 || t_all.elapsed() < BATCH_TARGET * BATCHES) {
+        let state = setup();
+        let t0 = Instant::now();
+        black_box(f(state));
+        best = best.min(t0.elapsed());
+        measured += 1;
+    }
+    println!(
+        "{name:<44} {:>12} /iter  (best of {measured} timed runs)",
+        fmt(best)
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the sweep runner: parallel execution must be
+//! indistinguishable from sequential execution, and the on-disk result
+//! cache must survive a process restart (modelled here as a fresh
+//! `Runner` over the same directory).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use netcrafter_bench::{figures, geomean, JobSource, Runner, Table};
+use netcrafter_multigpu::{JobSpec, RunResult, SystemVariant};
+use netcrafter_workloads::Workload;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netcrafter-runner-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A representative job mix: three workloads, several variants, plus a
+/// tagged alternate-config job and a duplicate.
+fn job_mix(r: &Runner) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for w in [Workload::Gups, Workload::Mt, Workload::Spmv] {
+        jobs.push(r.job(w, SystemVariant::Baseline));
+        jobs.push(r.job(w, SystemVariant::Ideal));
+        jobs.push(r.job(w, SystemVariant::NetCrafter));
+    }
+    let mut cfg8 = r.base_cfg;
+    cfg8.flit_bytes = 8;
+    jobs.push(r.job_with(Workload::Gups, SystemVariant::Baseline, cfg8, "flit8"));
+    jobs.push(r.job(Workload::Gups, SystemVariant::Baseline)); // duplicate
+    jobs
+}
+
+fn render(results: &[Arc<RunResult>]) -> Vec<String> {
+    results.iter().map(|r| r.to_kv()).collect()
+}
+
+#[test]
+fn parallel_sweep_matches_sequential() {
+    let seq = Runner::quick(); // jobs = 1
+    let par = Runner::quick().with_jobs(4);
+    let seq_results = seq.sweep(&job_mix(&seq));
+    let par_results = par.sweep(&job_mix(&par));
+    assert_eq!(
+        render(&seq_results),
+        render(&par_results),
+        "4-worker sweep must be bit-identical to the sequential one"
+    );
+    assert_eq!(seq.runs_completed(), par.runs_completed());
+}
+
+#[test]
+fn figure_output_is_identical_across_worker_counts() {
+    let seq = Runner::quick();
+    let par = Runner::quick().with_jobs(4);
+    // Prewarm the parallel runner the way the figures binary does; the
+    // sequential runner simulates lazily inside the generator.
+    par.sweep(&figures::sweep_jobs("fig12", &par));
+    let a = figures::generate("fig12", &seq).to_string();
+    let b = figures::generate("fig12", &par).to_string();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn disk_cache_survives_restart() {
+    let dir = tempdir("restart");
+
+    // First "process": everything is simulated fresh and persisted.
+    let first = Runner::quick().with_jobs(2).with_cache_dir(&dir).unwrap();
+    let before = first.sweep(&job_mix(&first));
+    let stats = first.job_stats();
+    assert!(stats.iter().all(|s| s.source == JobSource::Fresh));
+    let unique = first.runs_completed();
+    // The duplicate and the tagged job share one physical config with the
+    // plain GUPS baseline job, so disk may hold fewer entries than the
+    // memo — but never zero or more than the memo.
+    let on_disk = first.disk_cache().unwrap().len();
+    assert!(on_disk > 0 && on_disk <= unique, "{on_disk} vs {unique}");
+
+    // Second "process": same directory, fresh memo. Zero simulations.
+    let second = Runner::quick().with_jobs(2).with_cache_dir(&dir).unwrap();
+    let after = second.sweep(&job_mix(&second));
+    assert_eq!(render(&before), render(&after));
+    let stats = second.job_stats();
+    assert!(!stats.is_empty());
+    assert!(
+        stats.iter().all(|s| s.source == JobSource::DiskHit),
+        "warm cache must re-simulate nothing: {stats:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jobs_sharing_physical_config_share_disk_entries() {
+    let dir = tempdir("shared-key");
+    let r = Runner::quick().with_cache_dir(&dir).unwrap();
+    // Same physical simulation under two tags: one fresh run, one disk
+    // entry, and the second resolves without simulating.
+    r.run_with(Workload::Gups, SystemVariant::Baseline, r.base_cfg, "tag-a");
+    r.run_with(Workload::Gups, SystemVariant::Baseline, r.base_cfg, "tag-b");
+    let stats = r.job_stats();
+    assert_eq!(stats.len(), 2);
+    assert_eq!(stats[0].source, JobSource::Fresh);
+    assert_eq!(stats[1].source, JobSource::DiskHit);
+    assert_eq!(r.disk_cache().unwrap().len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn geomean_edge_cases() {
+    assert_eq!(geomean(&[]), 0.0);
+    assert!((geomean(&[7.5]) - 7.5).abs() < 1e-9);
+    assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+    // Non-positive inputs are clamped, not NaN/-inf.
+    assert!(geomean(&[0.0, 1.0]).is_finite());
+    assert!(geomean(&[-3.0]).is_finite());
+    // Tiny positive values survive the log-domain round trip.
+    let small = geomean(&[1e-9, 1e-9]);
+    assert!(small > 0.0 && small < 1e-8);
+}
+
+#[test]
+fn table_row_edge_cases() {
+    // Zero-row table still renders a header and separator.
+    let t = Table::new("Empty", vec!["A", "B"]);
+    let s = t.to_string();
+    assert!(s.contains("### Empty"));
+    assert!(s.contains("| A | B |"));
+
+    // Cells wider than headers stretch the column.
+    let mut t = Table::new("Wide", vec!["X"]);
+    t.row(vec!["a-very-long-cell".into()]);
+    assert!(t.to_string().contains("a-very-long-cell"));
+
+    // Width mismatches panic in both directions.
+    let wide = std::panic::catch_unwind(|| {
+        let mut t = Table::new("T", vec!["A"]);
+        t.row(vec!["a".into(), "b".into()]);
+    });
+    assert!(wide.is_err());
+}

@@ -62,14 +62,20 @@ impl ClusterQueueStats {
     pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
         metrics.add(&format!("{prefix}.cq.pushed"), self.pushed);
         metrics.add(&format!("{prefix}.cq.popped"), self.popped);
-        metrics.add(&format!("{prefix}.cq.stitched_parents"), self.stitched_parents);
+        metrics.add(
+            &format!("{prefix}.cq.stitched_parents"),
+            self.stitched_parents,
+        );
         metrics.add(&format!("{prefix}.cq.absorbed"), self.absorbed_candidates);
         metrics.add(&format!("{prefix}.cq.pool_events"), self.pool_events);
         metrics.add(
             &format!("{prefix}.cq.pool_expired_unstitched"),
             self.pool_expired_unstitched,
         );
-        metrics.add(&format!("{prefix}.cq.ptw_priority_pops"), self.ptw_priority_pops);
+        metrics.add(
+            &format!("{prefix}.cq.ptw_priority_pops"),
+            self.ptw_priority_pops,
+        );
         metrics.add(&format!("{prefix}.cq.peak_occupancy"), self.peak_occupancy);
     }
 }
@@ -178,7 +184,10 @@ impl ClusterQueue {
             let priority: [usize; 2] = if self.cfg.prioritize_data_instead {
                 [PacketKind::ReadRsp.index(), PacketKind::ReadReq.index()]
             } else {
-                [PacketKind::PageTableRsp.index(), PacketKind::PageTableReq.index()]
+                [
+                    PacketKind::PageTableRsp.index(),
+                    PacketKind::PageTableReq.index(),
+                ]
             };
             for qi in priority {
                 order[n] = qi;
@@ -208,8 +217,7 @@ impl ClusterQueue {
         loop {
             let mut best: Option<(usize, usize, u32)> = None;
             for qi in 0..6 {
-                for (pos, cand) in self
-                    .queues[qi]
+                for (pos, cand) in self.queues[qi]
                     .iter()
                     .enumerate()
                     .take(self.cfg.stitch_search_depth as usize)
@@ -298,10 +306,17 @@ impl EgressQueue for ClusterQueue {
             // 1. A ripe pooled flit leaves first: its window expired (or
             //    a candidate arrived and cleared the timer). One last
             //    candidate search runs before ejection (§4.4 step 4f).
-            if self.pooled[qi].as_ref().is_some_and(|(_, until)| *until <= now) {
+            if self.pooled[qi]
+                .as_ref()
+                .is_some_and(|(_, until)| *until <= now)
+            {
                 let (mut parent, _) = self.pooled[qi].take().expect("checked above");
                 self.len -= 1;
-                let absorbed = if self.cfg.stitching { self.stitch_into(&mut parent) } else { 0 };
+                let absorbed = if self.cfg.stitching {
+                    self.stitch_into(&mut parent)
+                } else {
+                    0
+                };
                 if absorbed == 0 && !parent.is_stitched() {
                     self.stats.pool_expired_unstitched += 1;
                 }
@@ -313,8 +328,11 @@ impl EgressQueue for ClusterQueue {
             //    considered in the same turn — pooling never stalls the
             //    partition, only the pooled flit.
             while let Some(mut parent) = self.queues[qi].pop_front() {
-                let absorbed =
-                    if self.cfg.stitching { self.stitch_into(&mut parent) } else { 0 };
+                let absorbed = if self.cfg.stitching {
+                    self.stitch_into(&mut parent)
+                } else {
+                    0
+                };
                 if absorbed == 0
                     && self.poolable(qi)
                     && parent.empty_bytes() >= MIN_POOL_BYTES
@@ -322,8 +340,7 @@ impl EgressQueue for ClusterQueue {
                 {
                     // Pool into the side slot; try the next flit.
                     self.stats.pool_events += 1;
-                    self.pooled[qi] =
-                        Some((parent, now + self.cfg.pooling_window as Cycle));
+                    self.pooled[qi] = Some((parent, now + self.cfg.pooling_window as Cycle));
                     continue;
                 }
                 self.len -= 1;
@@ -358,7 +375,11 @@ mod tests {
             is_tail,
             seq: if has_header { 0 } else { 4 },
             dst: NodeId(2),
-            class: if kind.is_ptw() { TrafficClass::Ptw } else { TrafficClass::Data },
+            class: if kind.is_ptw() {
+                TrafficClass::Ptw
+            } else {
+                TrafficClass::Data
+            },
             packet_info: None,
         }
     }
@@ -409,7 +430,11 @@ mod tests {
         let parent = q.pop(1).unwrap();
         assert!(parent.is_stitched());
         assert_eq!(parent.chunks.len(), 2);
-        assert_eq!(parent.used_bytes(), 4 + 4 + 2, "partial payload pays 2 B metadata");
+        assert_eq!(
+            parent.used_bytes(),
+            4 + 4 + 2,
+            "partial payload pays 2 B metadata"
+        );
         assert_eq!(parent.dst, NodeId(99), "re-addressed to remote switch");
         assert!(q.pop(1).is_none(), "candidate was absorbed");
         assert_eq!(q.stats.absorbed_candidates, 1);
@@ -476,7 +501,10 @@ mod tests {
         let mut q = cq(cfg);
         q.push(rsp_tail(1), 0);
         // A full body flit queued behind the tail.
-        q.push(Flit::single(16, chunk(9, PacketKind::ReadRsp, 16, true, false)), 0);
+        q.push(
+            Flit::single(16, chunk(9, PacketKind::ReadRsp, 16, true, false)),
+            0,
+        );
         // First pop pools the tail; the body flit is NOT stitchable into
         // it (16 > 12), and the partition keeps flowing: the same pop
         // call serves the body flit.
@@ -528,7 +556,11 @@ mod tests {
         q.push(read_req(2), 0);
         q.push(pt_rsp(3), 0);
         let first = q.pop(1).unwrap();
-        assert_eq!(first.chunks[0].packet, PacketId(3), "PTW jumps the data flits");
+        assert_eq!(
+            first.chunks[0].packet,
+            PacketId(3),
+            "PTW jumps the data flits"
+        );
         assert_eq!(q.stats.ptw_priority_pops, 1);
     }
 
@@ -552,7 +584,9 @@ mod tests {
         q.push(read_req(2), 0);
         q.push(write_rsp(3), 0);
         q.push(write_rsp(4), 0);
-        let order: Vec<u64> = (0..4).map(|_| q.pop(1).unwrap().chunks[0].packet.raw()).collect();
+        let order: Vec<u64> = (0..4)
+            .map(|_| q.pop(1).unwrap().chunks[0].packet.raw())
+            .collect();
         assert_eq!(order, vec![1, 3, 2, 4], "alternating service");
     }
 
@@ -572,10 +606,13 @@ mod tests {
     fn stitching_pulls_tail_from_behind_full_flits() {
         let mut q = cq(NetCrafterConfig::stitching_only());
         q.push(rsp_tail(1), 0); // parent
-        // A full body flit at the front of the ReadRsp queue… wait, the
-        // parent IS the front. Put a full header flit of packet 2 then its
-        // tail; the engine must skip the 16 B flit and take the 4 B tail.
-        q.push(Flit::single(16, chunk(2, PacketKind::ReadRsp, 16, true, false)), 0);
+                                // A full body flit at the front of the ReadRsp queue… wait, the
+                                // parent IS the front. Put a full header flit of packet 2 then its
+                                // tail; the engine must skip the 16 B flit and take the 4 B tail.
+        q.push(
+            Flit::single(16, chunk(2, PacketKind::ReadRsp, 16, true, false)),
+            0,
+        );
         q.push(rsp_tail(2), 0);
         let parent = q.pop(1).unwrap();
         assert!(parent.is_stitched());

@@ -29,8 +29,10 @@
 
 pub mod cq;
 pub mod overhead;
+pub mod rng;
 pub mod trim;
 
 pub use cq::{ClusterQueue, ClusterQueueStats};
 pub use overhead::{controller_sram_bytes, overhead_fraction};
+pub use rng::SplitMix64;
 pub use trim::{TrimEngine, TrimStats};

@@ -51,7 +51,11 @@ impl TrimEngine {
     /// "keep the full line" (the baseline).
     pub fn new(enabled: bool, granularity: u32) -> Self {
         assert!(granularity > 0 && 64 % granularity == 0);
-        Self { enabled, granularity, stats: TrimStats::default() }
+        Self {
+            enabled,
+            granularity,
+            stats: TrimStats::default(),
+        }
     }
 
     /// Configured sector granularity in bytes.
@@ -97,9 +101,7 @@ impl TrimEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netcrafter_proto::{
-        AccessId, GpuId, LineAddr, LineMask, Origin, TrafficClass,
-    };
+    use netcrafter_proto::{AccessId, GpuId, LineAddr, LineMask, Origin, TrafficClass};
 
     fn req(mask: LineMask) -> MemReq {
         MemReq {
@@ -119,7 +121,13 @@ mod tests {
     fn small_cross_cluster_read_gets_trim_bits() {
         let te = TrimEngine::new(true, 16);
         let bits = te.request_bits(&req(LineMask::span(16, 8)), true);
-        assert_eq!(bits, Some(TrimInfo { granularity: 16, sector: 1 }));
+        assert_eq!(
+            bits,
+            Some(TrimInfo {
+                granularity: 16,
+                sector: 1
+            })
+        );
     }
 
     #[test]
@@ -183,7 +191,13 @@ mod tests {
     fn fine_granularities() {
         let te4 = TrimEngine::new(true, 4);
         let bits = te4.request_bits(&req(LineMask::span(60, 4)), true);
-        assert_eq!(bits, Some(TrimInfo { granularity: 4, sector: 15 }));
+        assert_eq!(
+            bits,
+            Some(TrimInfo {
+                granularity: 4,
+                sector: 15
+            })
+        );
         let mut te8 = TrimEngine::new(true, 8);
         te8.record_response(8, true);
         assert_eq!(te8.stats.bytes_saved, 56);

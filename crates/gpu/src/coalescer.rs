@@ -35,7 +35,10 @@ impl LaneAccess {
             addr % LINE_BYTES + bytes as u64 <= LINE_BYTES,
             "element at {addr:#x} straddles a cache line"
         );
-        Self { addr: VAddr(addr), bytes }
+        Self {
+            addr: VAddr(addr),
+            bytes,
+        }
     }
 }
 
@@ -98,9 +101,7 @@ impl Coalescer {
         self.stats.requests += per_line.len() as u64;
         per_line
             .into_iter()
-            .map(|(line, mask)| {
-                CoalescedAccess::with_mask(VAddr(line * LINE_BYTES), kind, mask)
-            })
+            .map(|(line, mask)| CoalescedAccess::with_mask(VAddr(line * LINE_BYTES), kind, mask))
             .collect()
     }
 }
@@ -114,7 +115,9 @@ mod tests {
     #[test]
     fn sequential_lanes_coalesce_to_full_lines() {
         let mut c = Coalescer::new();
-        let lanes: Vec<_> = (0..64).map(|i| LaneAccess::new(0x1000 + i * 4, 4)).collect();
+        let lanes: Vec<_> = (0..64)
+            .map(|i| LaneAccess::new(0x1000 + i * 4, 4))
+            .collect();
         let reqs = c.coalesce(&lanes, AccessKind::Read);
         assert_eq!(reqs.len(), 4);
         for (i, r) in reqs.iter().enumerate() {
@@ -130,7 +133,9 @@ mod tests {
     #[test]
     fn divergent_lanes_stay_small() {
         let mut c = Coalescer::new();
-        let lanes: Vec<_> = (0..8).map(|i| LaneAccess::new(0x10_000 + i * 4096, 8)).collect();
+        let lanes: Vec<_> = (0..8)
+            .map(|i| LaneAccess::new(0x10_000 + i * 4096, 8))
+            .collect();
         let reqs = c.coalesce(&lanes, AccessKind::Read);
         assert_eq!(reqs.len(), 8, "no two lanes share a line");
         assert!(reqs.iter().all(|r| r.bytes_required() == 8));

@@ -16,8 +16,8 @@ use netcrafter_proto::access::{CoalescedAccess, WavefrontOp, WavefrontTrace};
 use netcrafter_proto::config::SystemConfig;
 use netcrafter_proto::ids::IdAlloc;
 use netcrafter_proto::{
-    AccessId, CuId, GpuId, LatencyStat, MemReq, Message, Metrics, Origin, PAddr,
-    TrafficClass, TransReq, PAGE_BYTES,
+    AccessId, CuId, GpuId, LatencyStat, MemReq, Message, Metrics, Origin, PAddr, TrafficClass,
+    TransReq, PAGE_BYTES,
 };
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle};
 use netcrafter_vm::Tlb;
@@ -63,7 +63,10 @@ impl CuStats {
         metrics.add(&format!("{prefix}.instructions"), self.instructions);
         metrics.add(&format!("{prefix}.mem_ops"), self.mem_ops);
         metrics.add(&format!("{prefix}.remote_reads"), self.remote_reads);
-        metrics.add(&format!("{prefix}.inter_cluster_reads"), self.inter_cluster_reads);
+        metrics.add(
+            &format!("{prefix}.inter_cluster_reads"),
+            self.inter_cluster_reads,
+        );
         for (i, count) in self.fig7.iter().enumerate() {
             metrics.add(&format!("{prefix}.fig7_{}B", (i + 1) * 16), *count);
         }
@@ -192,7 +195,9 @@ impl Cu {
 
     fn activate_pending(&mut self) {
         while self.resident.len() < self.max_waves {
-            let Some(trace) = self.pending.pop_front() else { break };
+            let Some(trace) = self.pending.pop_front() else {
+                break;
+            };
             self.resident.push(Wavefront {
                 trace,
                 pc: 0,
@@ -217,19 +222,17 @@ impl Cu {
     }
 
     /// Executes the (already translated) access for wavefront `wf_ix`.
-    fn do_mem_access(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        wf_ix: usize,
-        acc: CoalescedAccess,
-        pfn: u64,
-    ) {
+    fn do_mem_access(&mut self, ctx: &mut Ctx<'_>, wf_ix: usize, acc: CoalescedAccess, pfn: u64) {
         let now = ctx.cycle();
         let pa = PAddr(pfn * PAGE_BYTES + acc.vaddr.page_offset());
         let line = pa.line();
         let owner = self.owner_of(pa.0);
         let crosses = self.crosses_clusters(owner);
-        let target = if owner == self.gpu { self.wiring.l2 } else { self.wiring.rdma };
+        let target = if owner == self.gpu {
+            self.wiring.l2
+        } else {
+            self.wiring.rdma
+        };
 
         // The coalesced mask is line-relative in the trace's virtual
         // space; physical line offset equals virtual line offset (pages
@@ -318,8 +321,16 @@ impl Cu {
         } else {
             let id = self.next_id();
             self.trans_waiters.insert(id, wf_ix);
-            let req = TransReq { access: id, vpn, cu: self.cu_raw };
-            ctx.send(self.wiring.gmmu, Message::TransReq(req), self.hop_cycles as u64);
+            let req = TransReq {
+                access: id,
+                vpn,
+                cu: self.cu_raw,
+            };
+            ctx.send(
+                self.wiring.gmmu,
+                Message::TransReq(req),
+                self.hop_cycles as u64,
+            );
             self.resident[wf_ix].state = WfState::WaitTranslation(acc);
         }
     }
@@ -445,7 +456,10 @@ impl Component for Cu {
         // Reap finished wavefronts so `busy` can settle — but only once
         // every in-flight load has returned (a Done wavefront may still
         // have non-blocking loads outstanding).
-        if self.resident.iter().all(|w| matches!(w.state, WfState::Done))
+        if self
+            .resident
+            .iter()
+            .all(|w| matches!(w.state, WfState::Done))
             && !self.resident.is_empty()
             && self.pending.is_empty()
             && self.read_waiters.is_empty()
@@ -525,7 +539,11 @@ mod tests {
     }
 
     fn wave(id: u32, ops: Vec<WavefrontOp>) -> WavefrontTrace {
-        WavefrontTrace { id: WavefrontId(id), cta: CtaId(0), ops }
+        WavefrontTrace {
+            id: WavefrontId(id),
+            cta: CtaId(0),
+            ops,
+        }
     }
 
     struct H {
@@ -559,15 +577,27 @@ mod tests {
                 netcrafter_proto::CuId(0),
                 &cfg,
                 waves,
-                CuWiring { gmmu: be, l2: be, rdma: be },
+                CuWiring {
+                    gmmu: be,
+                    l2: be,
+                    rdma: be,
+                },
             )),
         );
-        H { engine: b.build(), cu: cu_id, reqs, trans }
+        H {
+            engine: b.build(),
+            cu: cu_id,
+            reqs,
+            trans,
+        }
     }
 
     #[test]
     fn read_misses_translate_then_fetch() {
-        let w = wave(0, vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x1000), 8))]);
+        let w = wave(
+            0,
+            vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x1000), 8))],
+        );
         let mut h = harness(vec![w], 0);
         let _ = h.cu;
         h.engine.run_to_quiescence(10_000);
@@ -615,8 +645,14 @@ mod tests {
         // Two wavefronts each read a distinct line; with 50-cycle memory
         // the runs overlap, so both requests are issued before either
         // response arrives.
-        let w0 = wave(0, vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x1000), 8))]);
-        let w1 = wave(1, vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x2000), 8))]);
+        let w0 = wave(
+            0,
+            vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x1000), 8))],
+        );
+        let w1 = wave(
+            1,
+            vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x2000), 8))],
+        );
         let mut h = harness(vec![w0, w1], 0);
         // Run just past issue: both memory requests out by cycle ~40
         // (translation round-trip ~10 + L1 lookup 20).
@@ -630,7 +666,10 @@ mod tests {
         // pfn_base pushes the PA into gpu1's partition; wiring routes all
         // targets to the same backend, but the request's owner records it.
         let frames = 1u64 << 24;
-        let w = wave(0, vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x1000), 8))]);
+        let w = wave(
+            0,
+            vec![WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x1000), 8))],
+        );
         let mut h = harness(vec![w], frames);
         h.engine.run_to_quiescence(10_000);
         assert_eq!(h.reqs.borrow()[0].owner, GpuId(1));
@@ -652,7 +691,11 @@ mod tests {
             ops.push(WavefrontOp::Compute(2));
             ops.push(WavefrontOp::Mem(CoalescedAccess::with_mask(
                 VAddr(0x1000 + i * 64),
-                if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
+                if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 LineMask::span(0, 8),
             )));
         }

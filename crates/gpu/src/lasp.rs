@@ -41,7 +41,10 @@ impl Placement {
         for (g, pages) in self.pages_per_gpu.iter().enumerate() {
             metrics.add(&format!("{prefix}.gpu{g}.pages"), *pages);
         }
-        metrics.add(&format!("{prefix}.pt_nodes"), self.page_table.node_count() as u64);
+        metrics.add(
+            &format!("{prefix}.pt_nodes"),
+            self.page_table.node_count() as u64,
+        );
     }
 }
 
@@ -67,7 +70,11 @@ pub fn place(kernel: &KernelSpec, total_gpus: u16, frames_per_gpu: u64) -> Place
     let mut placer = Placer::new(total_gpus, frames_per_gpu);
     let cta_gpu = placer.place_kernel(kernel);
     let (page_table, pages_per_gpu) = placer.finish();
-    Placement { page_table, cta_gpu, pages_per_gpu }
+    Placement {
+        page_table,
+        cta_gpu,
+        pages_per_gpu,
+    }
 }
 
 /// Incremental LASP placement across a *sequence* of kernels sharing one
@@ -124,8 +131,7 @@ impl Placer {
                     | AccessPattern::Gather
                     | AccessPattern::Scatter => GpuId((p * g / pages.max(1)) as u16),
                 };
-                let frame =
-                    gpu.raw() as u64 * self.frames_per_gpu + self.next_frame[gpu.index()];
+                let frame = gpu.raw() as u64 * self.frames_per_gpu + self.next_frame[gpu.index()];
                 self.next_frame[gpu.index()] += 1;
                 self.pages_per_gpu[gpu.index()] += 1;
                 self.page_table.map(base_vpn + p, frame, gpu);
@@ -188,7 +194,11 @@ mod tests {
                 home_hint: None,
             })
             .collect();
-        KernelSpec { name: "test".into(), ctas, buffers: vec![buffer] }
+        KernelSpec {
+            name: "test".into(),
+            ctas,
+            buffers: vec![buffer],
+        }
     }
 
     #[test]

@@ -149,7 +149,11 @@ impl Rdma {
 
     /// Outbound request: a CU or GMMU transaction whose owner is remote.
     fn send_request(&mut self, req: netcrafter_proto::MemReq, now: netcrafter_sim::Cycle) {
-        debug_assert_ne!(req.owner, self.gpu, "{}: local request routed to RDMA", self.name);
+        debug_assert_ne!(
+            req.owner, self.gpu,
+            "{}: local request routed to RDMA",
+            self.name
+        );
         let kind = if req.write {
             PacketKind::WriteReq
         } else if req.class == TrafficClass::Ptw {
@@ -242,7 +246,10 @@ impl Component for Rdma {
                     debug_assert_eq!(from, self.wiring.switch_node);
                     ctx.send(
                         self.wiring.switch,
-                        Message::Credit { from: self.node, count: 1 },
+                        Message::Credit {
+                            from: self.node,
+                            count: 1,
+                        },
                         1,
                     );
                     for packet in self.reasm.accept(flit) {
@@ -288,7 +295,14 @@ mod tests {
                     Message::Flit { flit, .. } => {
                         self.flits.borrow_mut().push(flit);
                         if let Some(peer) = self.credit_back {
-                            ctx.send(peer, Message::Credit { from: self.node, count: 1 }, 1);
+                            ctx.send(
+                                peer,
+                                Message::Credit {
+                                    from: self.node,
+                                    count: 1,
+                                },
+                                1,
+                            );
                         }
                     }
                     other => self.msgs.borrow_mut().push(other),
@@ -359,7 +373,12 @@ mod tests {
                 },
             )),
         );
-        H { engine: b.build(), rdma, flits, msgs }
+        H {
+            engine: b.build(),
+            rdma,
+            flits,
+            msgs,
+        }
     }
 
     fn remote_read(sectors: u16, owner: u16) -> MemReq {
@@ -379,7 +398,8 @@ mod tests {
     #[test]
     fn read_request_is_one_flit() {
         let mut h = harness(false);
-        h.engine.inject(h.rdma, Message::MemReq(remote_read(0b1111, 2)), 1);
+        h.engine
+            .inject(h.rdma, Message::MemReq(remote_read(0b1111, 2)), 1);
         h.engine.run_to_quiescence(1000);
         let flits = h.flits.borrow();
         assert_eq!(flits.len(), 1);
@@ -390,18 +410,26 @@ mod tests {
     #[test]
     fn trim_bits_set_for_single_sector_cross_cluster_read() {
         let mut h = harness(true);
-        h.engine.inject(h.rdma, Message::MemReq(remote_read(0b0010, 2)), 1);
+        h.engine
+            .inject(h.rdma, Message::MemReq(remote_read(0b0010, 2)), 1);
         h.engine.run_to_quiescence(1000);
         let flits = h.flits.borrow();
         let info = flits[0].chunks[0].packet_info.as_ref().unwrap();
-        assert_eq!(info.trim, Some(TrimInfo { granularity: 16, sector: 1 }));
+        assert_eq!(
+            info.trim,
+            Some(TrimInfo {
+                granularity: 16,
+                sector: 1
+            })
+        );
     }
 
     #[test]
     fn no_trim_bits_within_cluster() {
         let mut h = harness(true);
         // gpu1 is in the same cluster as gpu0.
-        h.engine.inject(h.rdma, Message::MemReq(remote_read(0b0010, 1)), 1);
+        h.engine
+            .inject(h.rdma, Message::MemReq(remote_read(0b0010, 1)), 1);
         h.engine.run_to_quiescence(1000);
         let flits = h.flits.borrow();
         let info = flits[0].chunks[0].packet_info.as_ref().unwrap();
@@ -471,7 +499,11 @@ mod tests {
         let mut h = harness(false);
         // Build the flits of a remote GPU's read request to us (owner 0).
         let seg = Segmenter::new(16);
-        let req = MemReq { owner: GpuId(0), requester: GpuId(2), ..remote_read(0b1111, 0) };
+        let req = MemReq {
+            owner: GpuId(0),
+            requester: GpuId(2),
+            ..remote_read(0b1111, 0)
+        };
         let packet = Packet {
             id: PacketId(7),
             kind: PacketKind::ReadReq,
@@ -482,12 +514,20 @@ mod tests {
             inner: PacketPayload::Req(req),
         };
         for flit in seg.segment(packet) {
-            h.engine
-                .inject(h.rdma, Message::Flit { flit, from: NodeId(4) }, 1);
+            h.engine.inject(
+                h.rdma,
+                Message::Flit {
+                    flit,
+                    from: NodeId(4),
+                },
+                1,
+            );
         }
         h.engine.run_to_quiescence(1000);
         let msgs = h.msgs.borrow();
-        assert!(msgs.iter().any(|m| matches!(m, Message::MemReq(r) if r.requester == GpuId(2))));
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, Message::MemReq(r) if r.requester == GpuId(2))));
     }
 
     #[test]
@@ -514,11 +554,19 @@ mod tests {
             inner: PacketPayload::Rsp(rsp),
         };
         for flit in seg.segment(packet) {
-            h.engine
-                .inject(h.rdma, Message::Flit { flit, from: NodeId(4) }, 1);
+            h.engine.inject(
+                h.rdma,
+                Message::Flit {
+                    flit,
+                    from: NodeId(4),
+                },
+                1,
+            );
         }
         h.engine.run_to_quiescence(1000);
         let msgs = h.msgs.borrow();
-        assert!(msgs.iter().any(|m| matches!(m, Message::MemRsp(r) if !r.write)));
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, Message::MemRsp(r) if !r.write)));
     }
 }

@@ -27,7 +27,10 @@ impl DramStats {
         metrics.add(&format!("{prefix}.reads"), self.reads);
         metrics.add(&format!("{prefix}.writes"), self.writes);
         metrics.add(&format!("{prefix}.bytes"), self.bytes);
-        metrics.add(&format!("{prefix}.queue_wait_cycles"), self.queue_wait_cycles);
+        metrics.add(
+            &format!("{prefix}.queue_wait_cycles"),
+            self.queue_wait_cycles,
+        );
     }
 }
 
@@ -143,12 +146,20 @@ mod tests {
         let sink = b.reserve();
         let dram = b.reserve();
         let got = Rc::new(RefCell::new(Vec::new()));
-        b.install(sink, Box::new(Sink { got: Rc::clone(&got) }));
+        b.install(
+            sink,
+            Box::new(Sink {
+                got: Rc::clone(&got),
+            }),
+        );
         b.install(
             dram,
             Box::new(Dram::new(
                 GpuId(0),
-                &DramConfig { bytes_per_cycle: 1000, latency_cycles: 100 },
+                &DramConfig {
+                    bytes_per_cycle: 1000,
+                    latency_cycles: 100,
+                },
                 sink,
             )),
         );
@@ -158,7 +169,11 @@ mod tests {
         let got = got.borrow();
         assert_eq!(got.len(), 1);
         // Inject arrives at 1, served same cycle, +100 latency => ~101.
-        assert!(got[0].0 >= 101 && got[0].0 <= 103, "arrival at {}", got[0].0);
+        assert!(
+            got[0].0 >= 101 && got[0].0 <= 103,
+            "arrival at {}",
+            got[0].0
+        );
     }
 
     #[test]
@@ -167,12 +182,20 @@ mod tests {
         let sink = b.reserve();
         let dram = b.reserve();
         let got = Rc::new(RefCell::new(Vec::new()));
-        b.install(sink, Box::new(Sink { got: Rc::clone(&got) }));
+        b.install(
+            sink,
+            Box::new(Sink {
+                got: Rc::clone(&got),
+            }),
+        );
         b.install(
             dram,
             Box::new(Dram::new(
                 GpuId(0),
-                &DramConfig { bytes_per_cycle: 1000, latency_cycles: 100 },
+                &DramConfig {
+                    bytes_per_cycle: 1000,
+                    latency_cycles: 100,
+                },
                 sink,
             )),
         );
@@ -189,10 +212,18 @@ mod tests {
         let sink = b.reserve();
         let dram = b.reserve();
         let got = Rc::new(RefCell::new(Vec::new()));
-        b.install(sink, Box::new(Sink { got: Rc::clone(&got) }));
+        b.install(
+            sink,
+            Box::new(Sink {
+                got: Rc::clone(&got),
+            }),
+        );
         let mut d = Dram::new(
             GpuId(0),
-            &DramConfig { bytes_per_cycle: 64, latency_cycles: 10 },
+            &DramConfig {
+                bytes_per_cycle: 64,
+                latency_cycles: 10,
+            },
             sink,
         );
         d.rate = RateLimiter::new(32.0, 64.0); // half a line per cycle

@@ -180,7 +180,11 @@ impl L1Cache {
         // wider) fill-request coverage. Otherwise a local full-line
         // request behind a trimmed single-sector fill would stall even
         // though the fill covers it.
-        let register_mask = if self.mshr.contains(key) { needed } else { request };
+        let register_mask = if self.mshr.contains(key) {
+            needed
+        } else {
+            request
+        };
         // Statistics count each logical access once: a Stall outcome is
         // retried by the CU and must not inflate the read/sector-miss
         // counters on every attempt.
@@ -218,11 +222,7 @@ impl L1Cache {
         let key = line.0 / LINE_BYTES;
         if let Some(valid) = self.tags.lookup(key, now) {
             *valid |= sectors_valid;
-        } else if self
-            .tags
-            .insert(key, sectors_valid, now)
-            .is_some()
-        {
+        } else if self.tags.insert(key, sectors_valid, now).is_some() {
             self.stats.evictions += 1;
         }
         self.mshr.complete(key)
@@ -315,9 +315,17 @@ mod tests {
         let c = cache(SectorFillPolicy::OnTrim);
         let small = LineMask::span(16, 8); // fits sector 1
         assert_eq!(c.fill_request_sectors(small, true), 0b0010);
-        assert_eq!(c.fill_request_sectors(small, false), 0b1111, "local: full line");
+        assert_eq!(
+            c.fill_request_sectors(small, false),
+            0b1111,
+            "local: full line"
+        );
         let wide = LineMask::span(8, 16); // straddles sectors 0-1
-        assert_eq!(c.fill_request_sectors(wide, true), 0b1111, "multi-sector: full line");
+        assert_eq!(
+            c.fill_request_sectors(wide, true),
+            0b1111,
+            "multi-sector: full line"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl<W> Mshr<W> {
         }
         self.entries.insert(
             key,
-            Entry { coverage: sectors, waiters: vec![waiter] },
+            Entry {
+                coverage: sectors,
+                waiters: vec![waiter],
+            },
         );
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::Allocated

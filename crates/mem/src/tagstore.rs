@@ -80,16 +80,22 @@ impl<T> TagStore<T> {
     /// Looks up `key`, updating its LRU stamp to `now` on a hit.
     pub fn lookup(&mut self, key: u64, now: u64) -> Option<&mut T> {
         let (set, tag) = self.set_and_tag(key);
-        self.sets[set].iter_mut().find(|s| s.tag == tag).map(|slot| {
-            slot.last_used = now;
-            &mut slot.data
-        })
+        self.sets[set]
+            .iter_mut()
+            .find(|s| s.tag == tag)
+            .map(|slot| {
+                slot.last_used = now;
+                &mut slot.data
+            })
     }
 
     /// Looks up `key` without touching replacement state.
     pub fn peek(&self, key: u64) -> Option<&T> {
         let (set, tag) = self.set_and_tag(key);
-        self.sets[set].iter().find(|s| s.tag == tag).map(|s| &s.data)
+        self.sets[set]
+            .iter()
+            .find(|s| s.tag == tag)
+            .map(|s| &s.data)
     }
 
     /// Inserts `key → data`, evicting the set's LRU entry if the set is
@@ -105,7 +111,11 @@ impl<T> TagStore<T> {
             return None;
         }
         if set.len() < self.ways {
-            set.push(Slot { tag, last_used: now, data });
+            set.push(Slot {
+                tag,
+                last_used: now,
+                data,
+            });
             return None;
         }
         // Evict LRU (ties broken by lowest way index for determinism).
@@ -117,7 +127,11 @@ impl<T> TagStore<T> {
             .expect("set is full, so non-empty");
         let victim = std::mem::replace(
             &mut set[victim_ix],
-            Slot { tag, last_used: now, data },
+            Slot {
+                tag,
+                last_used: now,
+                data,
+            },
         );
         Some((victim.tag * n_sets + set_ix as u64, victim.data))
     }

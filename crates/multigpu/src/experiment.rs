@@ -146,12 +146,15 @@ pub struct RunResult {
 impl RunResult {
     /// Inter-cluster link utilization in [0, 1] (Figure 4).
     pub fn inter_utilization(&self) -> f64 {
-        self.metrics.ratio("net.inter.flits", "net.inter.capacity_flits")
+        self.metrics
+            .ratio("net.inter.flits", "net.inter.capacity_flits")
     }
 
     /// Mean inter-cluster read latency in cycles (Figures 5 and 15).
     pub fn inter_read_latency(&self) -> f64 {
-        self.metrics.latency("total.cu.inter_cluster_read_latency").mean()
+        self.metrics
+            .latency("total.cu.inter_cluster_read_latency")
+            .mean()
     }
 
     /// Fraction of inter-cluster flits with the given padding percentage
@@ -175,7 +178,9 @@ impl RunResult {
             return out;
         }
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.metrics.counter(&format!("total.cu.fig7_{}B", (i + 1) * 16)) as f64
+            *slot = self
+                .metrics
+                .counter(&format!("total.cu.fig7_{}B", (i + 1) * 16)) as f64
                 / total as f64;
         }
         out
@@ -214,6 +219,28 @@ impl RunResult {
     pub fn l1_mpki(&self) -> f64 {
         1000.0 * self.metrics.counter("total.l1.misses") as f64
             / self.metrics.counter("total.cu.instructions").max(1) as f64
+    }
+
+    /// Renders the result as the line-oriented text block used by the
+    /// bench crate's on-disk result cache: one `exec_cycles` header line
+    /// followed by [`Metrics::to_kv`].
+    pub fn to_kv(&self) -> String {
+        format!(
+            "exec_cycles = {}\n{}",
+            self.exec_cycles,
+            self.metrics.to_kv()
+        )
+    }
+
+    /// Parses the text produced by [`RunResult::to_kv`]; `None` on any
+    /// corruption so cache readers fall back to re-simulating.
+    pub fn from_kv(text: &str) -> Option<RunResult> {
+        let (first, rest) = text.split_once('\n')?;
+        let exec_cycles = first.strip_prefix("exec_cycles = ")?.parse().ok()?;
+        Some(RunResult {
+            exec_cycles,
+            metrics: Metrics::from_kv(rest)?,
+        })
     }
 }
 
@@ -287,7 +314,93 @@ impl Experiment {
             .generate(&self.scale, cfg.total_gpus(), self.seed);
         let mut sys = System::build(cfg, &kernel);
         let exec_cycles = sys.run(self.max_cycles);
-        RunResult { exec_cycles, metrics: sys.harvest() }
+        RunResult {
+            exec_cycles,
+            metrics: sys.harvest(),
+        }
+    }
+}
+
+/// A plain-data description of one sweep job: an [`Experiment`] plus the
+/// display tag the figure generators use to retrieve its result.
+///
+/// `JobSpec` is `Send` by construction (all fields are owned plain data),
+/// so a sweep runner can hand specs to `std::thread` workers. Two key
+/// derivations matter:
+///
+/// * [`JobSpec::memo_key`] — the in-process memo identity. It mirrors the
+///   key the sequential runner always used (`workload|variant|tag`), so
+///   figure generators keep retrieving results the same way.
+/// * [`JobSpec::cache_key`] — the *physical* identity of the simulation:
+///   the variant-applied configuration (via its stable representation),
+///   workload, scale, seed and watchdog limit. Jobs that differ only in
+///   display tag share one persistent cache entry.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload to run.
+    pub workload: Workload,
+    /// System variant.
+    pub variant: SystemVariant,
+    /// Base configuration the variant is applied on top of.
+    pub base_cfg: SystemConfig,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+    /// Watchdog limit.
+    pub max_cycles: u64,
+    /// Display tag distinguishing sweep points of one variant (e.g.
+    /// `"clusters4"`); empty for plain runs.
+    pub tag: String,
+}
+
+impl JobSpec {
+    /// Wraps an [`Experiment`] with its retrieval tag.
+    pub fn new(exp: Experiment, tag: impl Into<String>) -> Self {
+        Self {
+            workload: exp.workload,
+            variant: exp.variant,
+            base_cfg: exp.base_cfg,
+            scale: exp.scale,
+            seed: exp.seed,
+            max_cycles: exp.max_cycles,
+            tag: tag.into(),
+        }
+    }
+
+    /// The runnable experiment this spec describes.
+    pub fn to_experiment(&self) -> Experiment {
+        Experiment {
+            workload: self.workload,
+            variant: self.variant,
+            base_cfg: self.base_cfg,
+            scale: self.scale,
+            seed: self.seed,
+            max_cycles: self.max_cycles,
+        }
+    }
+
+    /// In-process memo key: `workload|variant-label|tag`. This is the key
+    /// format the sequential bench runner has always used.
+    pub fn memo_key(&self) -> String {
+        format!("{}|{}|{}", self.workload, self.variant.label(), self.tag)
+    }
+
+    /// Stable cross-process cache key covering every input that affects
+    /// the simulation outcome. Deliberately excludes `tag` (display-only).
+    pub fn cache_key(&self) -> String {
+        let applied = self.variant.apply(self.base_cfg);
+        format!(
+            "v1;wl={:?};{};scale={}x{}x{}x{};wlseed={:016x};max={}",
+            self.workload,
+            applied.stable_repr(),
+            self.scale.ctas,
+            self.scale.waves_per_cta,
+            self.scale.mem_ops_per_wave,
+            self.scale.footprint_pages,
+            self.seed,
+            self.max_cycles,
+        )
     }
 }
 
@@ -309,7 +422,11 @@ mod tests {
         assert!(so.netcrafter.stitching);
         assert_eq!(so.netcrafter.pooling_window, 0);
 
-        let sp = SystemVariant::StitchPool { window: 64, selective: true }.apply(base);
+        let sp = SystemVariant::StitchPool {
+            window: 64,
+            selective: true,
+        }
+        .apply(base);
         assert_eq!(sp.netcrafter.pooling_window, 64);
         assert!(sp.netcrafter.selective_pooling);
 
@@ -348,7 +465,62 @@ mod tests {
     fn netcrafter_stitches_on_quick_run() {
         let r = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter).run();
         assert!(r.stitched_fraction() > 0.0, "some flits must stitch");
-        assert!(r.metrics.counter("total.trim.trimmed") > 0, "trimming engages");
+        assert!(
+            r.metrics.counter("total.trim.trimmed") > 0,
+            "trimming engages"
+        );
+    }
+
+    #[test]
+    fn job_spec_is_send_and_round_trips() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<JobSpec>();
+
+        let exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+        let job = JobSpec::new(exp.clone(), "flit8");
+        assert_eq!(job.memo_key(), "GUPS|NetCrafter|flit8");
+        let back = job.to_experiment();
+        assert_eq!(back.workload, exp.workload);
+        assert_eq!(back.base_cfg, exp.base_cfg);
+        assert_eq!(back.seed, exp.seed);
+        assert_eq!(back.max_cycles, exp.max_cycles);
+    }
+
+    #[test]
+    fn cache_key_tracks_physical_inputs_only() {
+        let exp = Experiment::quick(Workload::Gups, SystemVariant::Baseline);
+        let a = JobSpec::new(exp.clone(), "");
+        let b = JobSpec::new(exp.clone(), "some-tag");
+        assert_eq!(a.cache_key(), b.cache_key(), "tag is display-only");
+        assert_ne!(a.memo_key(), b.memo_key());
+
+        let other_variant = JobSpec::new(
+            Experiment::quick(Workload::Gups, SystemVariant::NetCrafter),
+            "",
+        );
+        assert_ne!(a.cache_key(), other_variant.cache_key());
+
+        let other_seed = JobSpec::new(exp.clone().with_seed(7), "");
+        assert_ne!(a.cache_key(), other_seed.cache_key());
+
+        let other_scale = JobSpec::new(exp.clone().with_scale(Scale::small()), "");
+        assert_ne!(a.cache_key(), other_scale.cache_key());
+
+        let mut longer = JobSpec::new(exp, "");
+        longer.max_cycles += 1;
+        assert_ne!(a.cache_key(), longer.cache_key());
+    }
+
+    #[test]
+    fn run_result_kv_round_trip() {
+        let r = Experiment::quick(Workload::Gups, SystemVariant::Baseline).run();
+        let text = r.to_kv();
+        let back = RunResult::from_kv(&text).expect("round trip parses");
+        assert_eq!(back.exec_cycles, r.exec_cycles);
+        assert_eq!(back.metrics.to_kv(), r.metrics.to_kv());
+        assert_eq!(back.inter_read_latency(), r.inter_read_latency());
+        assert!(RunResult::from_kv("garbage").is_none());
+        assert!(RunResult::from_kv("exec_cycles = nope\n").is_none());
     }
 
     #[test]
@@ -358,8 +530,14 @@ mod tests {
             SystemVariant::Ideal,
             SystemVariant::NetCrafter,
             SystemVariant::StitchOnly,
-            SystemVariant::StitchPool { window: 32, selective: false },
-            SystemVariant::StitchPool { window: 32, selective: true },
+            SystemVariant::StitchPool {
+                window: 32,
+                selective: false,
+            },
+            SystemVariant::StitchPool {
+                window: 32,
+                selective: true,
+            },
             SystemVariant::StitchTrim,
             SystemVariant::TrimOnly,
             SystemVariant::SeqOnly,

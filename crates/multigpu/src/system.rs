@@ -6,11 +6,11 @@ use std::rc::Rc;
 
 use netcrafter_core::ClusterQueue;
 use netcrafter_gpu::{lasp, Cu, CuWiring, Rdma, RdmaWiring};
-use netcrafter_proto::WavefrontTrace;
 use netcrafter_mem::l2::{L2Cache, L2Wiring};
 use netcrafter_mem::Dram;
 use netcrafter_net::{FifoQueue, Switch, SwitchPortSpec, Topology};
 use netcrafter_proto::config::PA_GPU_REGION_BITS;
+use netcrafter_proto::WavefrontTrace;
 use netcrafter_proto::{GpuId, KernelSpec, Metrics, SystemConfig};
 use netcrafter_sim::{ComponentId, Cycle, Engine, EngineBuilder};
 use netcrafter_vm::{TranslationUnit, TranslationWiring};
@@ -96,7 +96,8 @@ impl System {
     /// Panics if `cfg` fails validation, `kernels` is empty, or any
     /// kernel touches undeclared memory.
     pub fn build_multi(cfg: SystemConfig, kernels: &[KernelSpec]) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
         assert!(!kernels.is_empty(), "need at least one kernel");
         let topo = Topology::new(&cfg.topology);
         let total_gpus = topo.total_gpus();
@@ -252,12 +253,11 @@ impl System {
                 for gpu in topo.cluster_gpus(other) {
                     route.insert(topo.gpu_node(gpu), port);
                 }
-                let queue: Box<dyn netcrafter_net::EgressQueue> =
-                    if cfg.netcrafter.any_enabled() {
-                        Box::new(ClusterQueue::new(cfg.netcrafter, topo.switch_node(other)))
-                    } else {
-                        Box::new(FifoQueue::new())
-                    };
+                let queue: Box<dyn netcrafter_net::EgressQueue> = if cfg.netcrafter.any_enabled() {
+                    Box::new(ClusterQueue::new(cfg.netcrafter, topo.switch_node(other)))
+                } else {
+                    Box::new(FifoQueue::new())
+                };
                 specs.push(SwitchPortSpec {
                     peer: ids.switches[other.index()],
                     peer_node: topo.switch_node(other),
@@ -300,7 +300,8 @@ impl System {
     pub fn run_all(&mut self, max_cycles_per_kernel: Cycle) -> Cycle {
         let mut started = self.engine.cycle();
         let mut end = self.engine.run_to_quiescence(max_cycles_per_kernel);
-        self.kernel_cycles.push((self.kernel_name.clone(), end - started));
+        self.kernel_cycles
+            .push((self.kernel_name.clone(), end - started));
         while let Some((name, dispatch)) = self.pending_kernels.pop_front() {
             self.kernel_name = name;
             for (g, per_cu) in dispatch.into_iter().enumerate() {
@@ -317,7 +318,8 @@ impl System {
             }
             started = end;
             end = self.engine.run_to_quiescence(max_cycles_per_kernel);
-            self.kernel_cycles.push((self.kernel_name.clone(), end - started));
+            self.kernel_cycles
+                .push((self.kernel_name.clone(), end - started));
         }
         end
     }
@@ -362,11 +364,7 @@ impl System {
     /// `interval` cycles, returning a `(cycle, flits_in_interval)` series —
     /// the utilization-over-time view (flits per interval divided by the
     /// links' flit capacity gives instantaneous utilization).
-    pub fn run_sampled(
-        &mut self,
-        max_cycles: Cycle,
-        interval: Cycle,
-    ) -> Vec<(Cycle, u64)> {
+    pub fn run_sampled(&mut self, max_cycles: Cycle, interval: Cycle) -> Vec<(Cycle, u64)> {
         assert!(interval > 0);
         let limit = self.engine.cycle() + max_cycles;
         let mut samples = Vec::new();
@@ -403,8 +401,7 @@ impl System {
                 cu.l1_tlb.stats.report(&mut m, &format!("gpu{g}.l1tlb"));
                 cu.l1_tlb.stats.report(&mut m, "total.l1tlb");
             }
-            let tu: &TranslationUnit =
-                self.engine.get(self.ids.gmmus[g]).expect("gmmu installed");
+            let tu: &TranslationUnit = self.engine.get(self.ids.gmmus[g]).expect("gmmu installed");
             tu.stats.report(&mut m, &format!("gpu{g}.gmmu"));
             tu.stats.report(&mut m, "total.gmmu");
             tu.l2_tlb.stats.report(&mut m, &format!("gpu{g}.l2tlb"));
@@ -430,8 +427,7 @@ impl System {
         }
         // Inter-cluster link capacity over the run, for utilization.
         let inter_ports = (topo.clusters() as u64) * (topo.clusters() as u64 - 1);
-        let inter_fpc =
-            self.cfg.topology.inter_bytes_per_cycle() / self.cfg.flit_bytes as f64;
+        let inter_fpc = self.cfg.topology.inter_bytes_per_cycle() / self.cfg.flit_bytes as f64;
         m.set(
             "net.inter.capacity_flits",
             (cycles as f64 * inter_fpc * inter_ports as f64) as u64,
@@ -477,11 +473,19 @@ mod tests {
             )));
             ctas.push(CtaSpec {
                 id: CtaId(c),
-                waves: vec![WavefrontTrace { id: WavefrontId(c), cta: CtaId(c), ops }],
+                waves: vec![WavefrontTrace {
+                    id: WavefrontId(c),
+                    cta: CtaId(c),
+                    ops,
+                }],
                 home_hint: None,
             });
         }
-        KernelSpec { name: "tiny".into(), ctas, buffers: vec![buffer] }
+        KernelSpec {
+            name: "tiny".into(),
+            ctas,
+            buffers: vec![buffer],
+        }
     }
 
     #[test]
@@ -553,7 +557,11 @@ mod tests {
         assert!(!samples.is_empty());
         let total: u64 = samples.iter().map(|(_, f)| f).sum();
         let m = sys.harvest();
-        assert_eq!(total, m.counter("net.inter.flits"), "samples sum to the total");
+        assert_eq!(
+            total,
+            m.counter("net.inter.flits"),
+            "samples sum to the total"
+        );
         // Cycles are monotonically increasing interval ends.
         for w in samples.windows(2) {
             assert!(w[0].0 < w[1].0);

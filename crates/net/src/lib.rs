@@ -25,7 +25,7 @@ pub mod synthetic;
 pub mod topology;
 
 pub use port::{EgressPort, EgressQueue, FifoQueue, PortStats};
-pub use synthetic::{load_latency_sweep, LoadPoint, SyntheticConfig};
 pub use seg::{Reassembler, Segmenter};
 pub use switch::{Switch, SwitchPortSpec};
+pub use synthetic::{load_latency_sweep, LoadPoint, SyntheticConfig};
 pub use topology::Topology;

@@ -217,7 +217,11 @@ impl EgressPort {
     /// [`EgressPort::can_accept`] and stall instead (that is the
     /// back-pressure path).
     pub fn push(&mut self, flit: Flit, now: Cycle) {
-        assert!(self.can_accept(), "egress buffer overflow at {}", self.self_node);
+        assert!(
+            self.can_accept(),
+            "egress buffer overflow at {}",
+            self.self_node
+        );
         self.queue.push(flit, now);
     }
 
@@ -257,7 +261,10 @@ impl EgressPort {
             sent_any = true;
             ctx.send(
                 self.peer,
-                Message::Flit { flit, from: self.self_node },
+                Message::Flit {
+                    flit,
+                    from: self.self_node,
+                },
                 self.wire_latency,
             );
         }
@@ -284,14 +291,22 @@ mod tests {
             16,
             Chunk {
                 packet: PacketId(1),
-                kind: if ptw { PacketKind::PageTableReq } else { PacketKind::ReadReq },
+                kind: if ptw {
+                    PacketKind::PageTableReq
+                } else {
+                    PacketKind::ReadReq
+                },
                 bytes,
                 meta_bytes: 0,
                 has_header: true,
                 is_tail: true,
                 seq: 0,
                 dst: NodeId(9),
-                class: if ptw { TrafficClass::Ptw } else { TrafficClass::Data },
+                class: if ptw {
+                    TrafficClass::Ptw
+                } else {
+                    TrafficClass::Data
+                },
                 packet_info: None,
             },
         )
@@ -333,7 +348,14 @@ mod tests {
                 if let Message::Flit { .. } = msg {
                     self.got += 1;
                     self.arrival_cycles.push(ctx.cycle());
-                    ctx.send(self.peer, Message::Credit { from: NodeId(9), count: 1 }, 1);
+                    ctx.send(
+                        self.peer,
+                        Message::Credit {
+                            from: NodeId(9),
+                            count: 1,
+                        },
+                        1,
+                    );
                 }
             }
         }
@@ -360,7 +382,14 @@ mod tests {
             1,
         );
         b.install(tx_id, Box::new(Tx { port, to_send: 10 }));
-        b.install(rx_id, Box::new(Rx { got: 0, peer: tx_id, arrival_cycles: vec![] }));
+        b.install(
+            rx_id,
+            Box::new(Rx {
+                got: 0,
+                peer: tx_id,
+                arrival_cycles: vec![],
+            }),
+        );
         let mut e = b.build();
         e.run_to_quiescence(100);
         // 10 flits at 1/cycle: one arrival per cycle.
@@ -383,7 +412,14 @@ mod tests {
             1,
         );
         b.install(tx_id, Box::new(Tx { port, to_send: 6 }));
-        b.install(rx_id, Box::new(Rx { got: 0, peer: tx_id, arrival_cycles: vec![] }));
+        b.install(
+            rx_id,
+            Box::new(Rx {
+                got: 0,
+                peer: tx_id,
+                arrival_cycles: vec![],
+            }),
+        );
         let mut e = b.build();
         e.run_to_quiescence(200);
         // All 6 eventually arrive (credits recycle), but never more than 2
@@ -434,15 +470,7 @@ mod tests {
         let mut b = EngineBuilder::new();
         let rx_id = b.reserve();
         drop(b);
-        let mut port = EgressPort::new(
-            rx_id,
-            NodeId(0),
-            Box::new(FifoQueue::new()),
-            1,
-            1.0,
-            0,
-            1,
-        );
+        let mut port = EgressPort::new(rx_id, NodeId(0), Box::new(FifoQueue::new()), 1, 1.0, 0, 1);
         port.push(flit(12, false), 0);
         assert!(!port.can_accept());
         port.push(flit(12, false), 0);

@@ -113,7 +113,10 @@ impl Switch {
             });
         }
         for (&dst, &port) in &route {
-            assert!(port < ports.len(), "route for {dst} names unknown port {port}");
+            assert!(
+                port < ports.len(),
+                "route for {dst} names unknown port {port}"
+            );
         }
         Self {
             node,
@@ -150,16 +153,25 @@ impl Switch {
     /// `<prefix>.inter`.
     pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
         metrics.add(&format!("{prefix}.arrived"), self.stats.arrived);
-        metrics.add(&format!("{prefix}.unstitched_flits"), self.stats.unstitched_flits);
-        metrics.add(&format!("{prefix}.unstitched_chunks"), self.stats.unstitched_chunks);
+        metrics.add(
+            &format!("{prefix}.unstitched_flits"),
+            self.stats.unstitched_flits,
+        );
+        metrics.add(
+            &format!("{prefix}.unstitched_chunks"),
+            self.stats.unstitched_chunks,
+        );
         metrics.add(&format!("{prefix}.output_stalls"), self.stats.output_stalls);
         for port in &self.ports {
             let scope = format!("{prefix}.port{}", port.peer_node);
             port.egress.stats.report(metrics, &scope);
             port.egress.report_queue(metrics, &scope);
             if port.is_inter {
-                port.egress.stats.report(metrics, &format!("{prefix}.inter"));
-                port.egress.report_queue(metrics, &format!("{prefix}.inter"));
+                port.egress
+                    .stats
+                    .report(metrics, &format!("{prefix}.inter"));
+                port.egress
+                    .report_queue(metrics, &format!("{prefix}.inter"));
             }
         }
     }
@@ -233,10 +245,9 @@ impl Component for Switch {
                     port.in_pipe.push(now + self.pipeline_cycles as Cycle, flit);
                 }
                 Message::Credit { from, count } => {
-                    let ix = *self
-                        .by_peer_node
-                        .get(&from)
-                        .unwrap_or_else(|| panic!("{}: credit from unknown node {from}", self.name));
+                    let ix = *self.by_peer_node.get(&from).unwrap_or_else(|| {
+                        panic!("{}: credit from unknown node {from}", self.name)
+                    });
                     self.ports[ix].egress.on_credit(count);
                 }
                 other => panic!("{}: unexpected message {}", self.name, other.label()),
@@ -251,7 +262,14 @@ impl Component for Switch {
                     Ok(()) => {
                         let (peer, peer_node) = (self.ports[ix].peer, self.ports[ix].peer_node);
                         let _ = peer_node;
-                        ctx.send(peer, Message::Credit { from: self.node, count: 1 }, 1);
+                        ctx.send(
+                            peer,
+                            Message::Credit {
+                                from: self.node,
+                                count: 1,
+                            },
+                            1,
+                        );
                     }
                     Err(flit) => {
                         self.ports[ix].stalled = Some(flit);
@@ -263,7 +281,14 @@ impl Component for Switch {
                 match self.try_route(flit, now) {
                     Ok(()) => {
                         let peer = self.ports[ix].peer;
-                        ctx.send(peer, Message::Credit { from: self.node, count: 1 }, 1);
+                        ctx.send(
+                            peer,
+                            Message::Credit {
+                                from: self.node,
+                                count: 1,
+                            },
+                            1,
+                        );
                     }
                     Err(flit) => {
                         self.ports[ix].stalled = Some(flit);
@@ -322,7 +347,10 @@ mod tests {
                         self.received.borrow_mut().push(flit);
                         ctx.send(
                             self.switch,
-                            Message::Credit { from: self.node, count: 1 },
+                            Message::Credit {
+                                from: self.node,
+                                count: 1,
+                            },
                             1,
                         );
                         let _ = from;
@@ -334,7 +362,14 @@ mod tests {
             if !self.sent {
                 self.sent = true;
                 for flit in self.outbound.drain(..) {
-                    ctx.send(self.switch, Message::Flit { flit, from: self.node }, 1);
+                    ctx.send(
+                        self.switch,
+                        Message::Flit {
+                            flit,
+                            from: self.node,
+                        },
+                        1,
+                    );
                 }
             }
         }
@@ -430,7 +465,10 @@ mod tests {
         let end = e.run_to_quiescence(500);
         assert_eq!(received.borrow().len(), 1);
         // Path: send (1) + pipeline (30) + wire (1) and change.
-        assert!(end >= 32, "must include the 30-cycle switch pipeline, got {end}");
+        assert!(
+            end >= 32,
+            "must include the 30-cycle switch pipeline, got {end}"
+        );
     }
 
     /// Two switches in series (inter-cluster link), endpoint to endpoint.

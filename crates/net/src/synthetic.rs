@@ -12,9 +12,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use netcrafter_proto::{
-    Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass,
-};
+use netcrafter_proto::{Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EngineBuilder, RateLimiter};
 
 use crate::port::FifoQueue;
@@ -85,7 +83,14 @@ impl Component for Source {
                     packet_info: None,
                 },
             );
-            ctx.send(self.switch, Message::Flit { flit, from: self.node }, 1);
+            ctx.send(
+                self.switch,
+                Message::Flit {
+                    flit,
+                    from: self.node,
+                },
+                1,
+            );
         }
     }
     fn busy(&self) -> bool {
@@ -128,7 +133,10 @@ impl Component for Sink {
                     }
                     ctx.send(
                         self.switch,
-                        Message::Credit { from: self.node, count: 1 },
+                        Message::Credit {
+                            from: self.node,
+                            count: 1,
+                        },
                         1,
                     );
                 }
@@ -265,11 +273,20 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
             wire_latency: 1,
             is_inter: true,
         });
-        Switch::new(node, format!("{node}.switch"), cfg.pipeline_cycles, specs, route)
+        Switch::new(
+            node,
+            format!("{node}.switch"),
+            cfg.pipeline_cycles,
+            specs,
+            route,
+        )
     };
     let sw0_node = NodeId(total_eps as u16);
     let sw1_node = NodeId(total_eps as u16 + 1);
-    b.install(sw0, Box::new(mk_switch(sw0_node, 0..n as usize, (sw1, sw1_node))));
+    b.install(
+        sw0,
+        Box::new(mk_switch(sw0_node, 0..n as usize, (sw1, sw1_node))),
+    );
     b.install(
         sw1,
         Box::new(mk_switch(sw1_node, n as usize..total_eps, (sw0, sw0_node))),
@@ -301,7 +318,10 @@ mod tests {
     use super::*;
 
     fn small() -> SyntheticConfig {
-        SyntheticConfig { flits_per_source: 400, ..SyntheticConfig::default() }
+        SyntheticConfig {
+            flits_per_source: 400,
+            ..SyntheticConfig::default()
+        }
     }
 
     #[test]
@@ -309,8 +329,16 @@ mod tests {
         let p = run_load_point(&small(), 0.01);
         // Intra path: wire(1)+pipeline(30)+wire(1) ≈ 32; inter path adds
         // another switch: ≈ 64. Uniform traffic mixes the two.
-        assert!(p.avg_latency > 30.0, "at least one switch: {}", p.avg_latency);
-        assert!(p.avg_latency < 120.0, "no queueing at light load: {}", p.avg_latency);
+        assert!(
+            p.avg_latency > 30.0,
+            "at least one switch: {}",
+            p.avg_latency
+        );
+        assert!(
+            p.avg_latency < 120.0,
+            "no queueing at light load: {}",
+            p.avg_latency
+        );
     }
 
     #[test]

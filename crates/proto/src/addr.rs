@@ -294,7 +294,11 @@ mod tests {
         assert!(!m.is_empty());
         assert!(m.subset_of(LineMask::FULL));
         assert_eq!(LineMask::span(0, 64), LineMask::FULL);
-        assert_eq!(LineMask::span(60, 100).bytes(), 4, "span saturates at line end");
+        assert_eq!(
+            LineMask::span(60, 100).bytes(),
+            4,
+            "span saturates at line end"
+        );
     }
 
     #[test]

@@ -380,10 +380,89 @@ impl SystemConfig {
         ((1u32 << self.sectors_per_line()) - 1) as u16
     }
 
+    /// A stable, human-readable, single-line serialization covering
+    /// *every* configuration field.
+    ///
+    /// This is the cache identity of a simulation: two configs with equal
+    /// `stable_repr` produce identical runs (given equal workload, scale
+    /// and seed), and any field change alters the string. Floats are
+    /// rendered via their IEEE-754 bit patterns so the representation is
+    /// exact and platform-independent.
+    pub fn stable_repr(&self) -> String {
+        let t = &self.topology;
+        let nc = &self.netcrafter;
+        let fill = match self.sector_fill {
+            SectorFillPolicy::FullLine => "full",
+            SectorFillPolicy::OnTrim => "ontrim",
+            SectorFillPolicy::Always => "always",
+        };
+        format!(
+            "topo:{}x{}x{:016x}x{:016x};cus:{};waves:{};outst:{};loads:{};\
+             l1:{},{},{},{},{};l2:{},{},{},{},{};\
+             l1tlb:{},{},{},{};l2tlb:{},{},{},{};gmmu:{},{},{};dram:{},{};\
+             switch:{},{};flit:{};nc:{},{},{},{},{},{},{};fill:{};gran:{};\
+             hop:{};seed:{:016x}",
+            t.clusters,
+            t.gpus_per_cluster,
+            t.intra_gbps.to_bits(),
+            t.inter_gbps.to_bits(),
+            self.cus_per_gpu,
+            self.max_waves_per_cu,
+            self.max_outstanding_per_cu,
+            self.max_loads_per_wave,
+            self.l1.size_bytes,
+            self.l1.ways,
+            self.l1.lookup_cycles,
+            self.l1.mshr_entries,
+            self.l1.banks,
+            self.l2.size_bytes,
+            self.l2.ways,
+            self.l2.lookup_cycles,
+            self.l2.mshr_entries,
+            self.l2.banks,
+            self.l1_tlb.entries,
+            self.l1_tlb.ways,
+            self.l1_tlb.lookup_cycles,
+            self.l1_tlb.mshr_entries,
+            self.l2_tlb.entries,
+            self.l2_tlb.ways,
+            self.l2_tlb.lookup_cycles,
+            self.l2_tlb.mshr_entries,
+            self.gmmu.pwc_entries,
+            self.gmmu.pwc_lookup_cycles,
+            self.gmmu.walkers,
+            self.dram.bytes_per_cycle,
+            self.dram.latency_cycles,
+            self.switch.pipeline_cycles,
+            self.switch.buffer_entries,
+            self.flit_bytes,
+            nc.stitching as u8,
+            nc.pooling_window,
+            nc.selective_pooling as u8,
+            nc.trimming as u8,
+            nc.sequencing as u8,
+            nc.prioritize_data_instead as u8,
+            nc.stitch_search_depth,
+            fill,
+            self.trim_granularity,
+            self.on_chip_hop_cycles,
+            self.seed,
+        )
+    }
+
+    /// 64-bit FNV-1a hash of [`Self::stable_repr`] — the short cache key
+    /// for this configuration.
+    pub fn config_hash(&self) -> u64 {
+        fnv1a64(self.stable_repr().as_bytes())
+    }
+
     /// Validates internal consistency; called by the system builder.
     pub fn validate(&self) -> Result<(), String> {
         if self.flit_bytes == 0 || !self.flit_bytes.is_power_of_two() {
-            return Err(format!("flit size must be a power of two, got {}", self.flit_bytes));
+            return Err(format!(
+                "flit size must be a power of two, got {}",
+                self.flit_bytes
+            ));
         }
         if self.trim_granularity == 0 || 64 % self.trim_granularity != 0 {
             return Err(format!(
@@ -408,6 +487,18 @@ impl Default for SystemConfig {
     fn default() -> Self {
         Self::paper_baseline()
     }
+}
+
+/// 64-bit FNV-1a: the workspace's standard stable hash for cache keys
+/// (dependency-free and identical across platforms and runs, unlike
+/// `std::hash::DefaultHasher`, which is seeded per process).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -510,7 +601,68 @@ mod tests {
         let mut c = SystemConfig::paper_baseline();
         c.netcrafter.trimming = true; // without sectored fill policy
         assert!(c.validate().is_err());
-        assert!(SystemConfig::paper_baseline().with_netcrafter().validate().is_ok());
+        assert!(SystemConfig::paper_baseline()
+            .with_netcrafter()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn stable_repr_distinguishes_every_knob() {
+        let base = SystemConfig::paper_baseline();
+        assert_eq!(
+            base.stable_repr(),
+            SystemConfig::paper_baseline().stable_repr()
+        );
+        assert_eq!(
+            base.config_hash(),
+            SystemConfig::paper_baseline().config_hash()
+        );
+
+        // A representative field from each sub-struct must perturb the key.
+        let mut variants: Vec<SystemConfig> = Vec::new();
+        variants.push(base.idealized());
+        variants.push(base.with_netcrafter());
+        variants.push(base.with_sector_cache());
+        let mut c = base;
+        c.cus_per_gpu = 8;
+        variants.push(c);
+        let mut c = base;
+        c.flit_bytes = 8;
+        variants.push(c);
+        let mut c = base;
+        c.trim_granularity = 8;
+        variants.push(c);
+        let mut c = base;
+        c.seed = 1;
+        variants.push(c);
+        let mut c = base;
+        c.topology.clusters = 3;
+        variants.push(c);
+        let mut c = base;
+        c.netcrafter.pooling_window = 64;
+        variants.push(c);
+        let mut c = base;
+        c.l1.mshr_entries = 16;
+        variants.push(c);
+
+        let mut reprs = std::collections::BTreeSet::new();
+        reprs.insert(base.stable_repr());
+        for v in &variants {
+            assert!(
+                reprs.insert(v.stable_repr()),
+                "collision: {}",
+                v.stable_repr()
+            );
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -287,7 +287,11 @@ mod tests {
         assert_eq!(parent.used_bytes(), 16);
         assert_eq!(parent.empty_bytes(), 0);
         let cand = Flit::single(16, chunk(9, 4, true, true, 0));
-        assert_eq!(parent.stitch_cost(&cand), None, "full parent absorbs no more");
+        assert_eq!(
+            parent.stitch_cost(&cand),
+            None,
+            "full parent absorbs no more"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl BufferSpec {
 
     /// First virtual page number.
     pub fn base_vpn(&self) -> u64 {
-        assert_eq!(self.base.0 % crate::PAGE_BYTES, 0, "buffers are page-aligned");
+        assert_eq!(
+            self.base.0 % crate::PAGE_BYTES,
+            0,
+            "buffers are page-aligned"
+        );
         self.base.vpn()
     }
 }

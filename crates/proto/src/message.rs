@@ -211,6 +211,13 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Message::MemReq(req()).label(), "mem-req");
-        assert_eq!(Message::Credit { from: NodeId(0), count: 1 }.label(), "credit");
+        assert_eq!(
+            Message::Credit {
+                from: NodeId(0),
+                count: 1
+            }
+            .label(),
+            "credit"
+        );
     }
 }

@@ -286,7 +286,10 @@ mod tests {
         assert!(PacketKind::PageTableReq.is_ptw());
         assert!(PacketKind::PageTableRsp.is_ptw());
         assert!(!PacketKind::ReadRsp.is_ptw());
-        assert_eq!(packet(PacketKind::PageTableReq, 0).class(), TrafficClass::Ptw);
+        assert_eq!(
+            packet(PacketKind::PageTableReq, 0).class(),
+            TrafficClass::Ptw
+        );
         assert_eq!(packet(PacketKind::ReadReq, 0).class(), TrafficClass::Data);
     }
 
@@ -307,7 +310,10 @@ mod tests {
 
     #[test]
     fn trim_info_payload() {
-        let t = TrimInfo { granularity: 16, sector: 2 };
+        let t = TrimInfo {
+            granularity: 16,
+            sector: 2,
+        };
         assert_eq!(t.trimmed_payload_bytes(), 16);
     }
 }

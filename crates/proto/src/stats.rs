@@ -196,6 +196,77 @@ impl Metrics {
         out
     }
 
+    /// Renders the registry as a line-oriented `key = value` text block
+    /// that [`Metrics::from_kv`] parses back losslessly. This is the
+    /// on-disk format of the bench result cache: keys are dotted paths
+    /// (never containing spaces), so a single space-split is unambiguous.
+    ///
+    /// ```text
+    /// counter net.inter.flits = 15
+    /// latency net.read = 3 120 64          (count sum max)
+    /// hist net.occupancy = 16:2 64:1       (bucket:count ...)
+    /// ```
+    pub fn to_kv(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, l) in &self.latencies {
+            out.push_str(&format!("latency {k} = {} {} {}\n", l.count, l.sum, l.max));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("hist {k} ="));
+            for (b, c) in h.iter() {
+                out.push_str(&format!(" {b}:{c}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text produced by [`Metrics::to_kv`]. Returns `None` on
+    /// any malformed line so a corrupt or truncated cache file is treated
+    /// as a miss rather than yielding wrong figures.
+    pub fn from_kv(text: &str) -> Option<Metrics> {
+        let mut m = Metrics::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (tag, rest) = line.split_once(' ')?;
+            let (key, value) = rest.split_once(" =")?;
+            let value = value.trim_start();
+            match tag {
+                "counter" => {
+                    m.counters.insert(key.to_owned(), value.parse().ok()?);
+                }
+                "latency" => {
+                    let mut it = value.split_whitespace();
+                    let stat = LatencyStat {
+                        count: it.next()?.parse().ok()?,
+                        sum: it.next()?.parse().ok()?,
+                        max: it.next()?.parse().ok()?,
+                    };
+                    if it.next().is_some() {
+                        return None;
+                    }
+                    m.latencies.insert(key.to_owned(), stat);
+                }
+                "hist" => {
+                    let mut h = Histogram::new();
+                    for pair in value.split_whitespace() {
+                        let (b, c) = pair.split_once(':')?;
+                        h.add(b.parse().ok()?, c.parse().ok()?);
+                    }
+                    m.histograms.insert(key.to_owned(), h);
+                }
+                _ => return None,
+            }
+        }
+        Some(m)
+    }
+
     /// Merges another registry into this one (counters add, histograms and
     /// latencies merge).
     pub fn merge(&mut self, other: &Metrics) {
@@ -217,7 +288,13 @@ impl fmt::Display for Metrics {
             writeln!(f, "{k} = {v}")?;
         }
         for (k, l) in &self.latencies {
-            writeln!(f, "{k} = mean {:.1} / max {} ({} samples)", l.mean(), l.max, l.count)?;
+            writeln!(
+                f,
+                "{k} = mean {:.1} / max {} ({} samples)",
+                l.mean(),
+                l.max,
+                l.count
+            )?;
         }
         for (k, h) in &self.histograms {
             write!(f, "{k} = {{")?;
@@ -322,6 +399,43 @@ mod tests {
         assert!(csv.contains("a.lat.mean,4.00\n"));
         assert!(csv.contains("a.lat.count,1\n"));
         assert!(csv.contains("a.hist.bucket2,1\n"));
+    }
+
+    #[test]
+    fn kv_round_trip_is_lossless() {
+        let mut m = Metrics::new();
+        m.add("net.inter.flits", 15);
+        m.set("zero", 0);
+        m.latency_mut("net.read").record(56);
+        m.latency_mut("net.read").record(64);
+        m.histogram_mut("net.occupancy").add(16, 2);
+        m.histogram_mut("net.occupancy").add(64, 1);
+        m.histogram_mut("empty.hist");
+
+        let text = m.to_kv();
+        let back = Metrics::from_kv(&text).expect("round trip parses");
+        assert_eq!(back.counter("net.inter.flits"), 15);
+        assert_eq!(back.counter("zero"), 0);
+        assert_eq!(back.latency("net.read"), m.latency("net.read"));
+        assert_eq!(
+            back.histogram("net.occupancy"),
+            m.histogram("net.occupancy")
+        );
+        assert_eq!(back.histogram("empty.hist"), Some(&Histogram::new()));
+        // Re-serialising the parsed registry is byte-identical.
+        assert_eq!(back.to_kv(), text);
+    }
+
+    #[test]
+    fn kv_rejects_corrupt_input() {
+        assert!(Metrics::from_kv("counter a = 1").is_some());
+        assert!(Metrics::from_kv("").is_some());
+        assert!(Metrics::from_kv("counter a = x").is_none());
+        assert!(Metrics::from_kv("bogus a = 1").is_none());
+        assert!(Metrics::from_kv("latency l = 1 2").is_none());
+        assert!(Metrics::from_kv("latency l = 1 2 3 4").is_none());
+        assert!(Metrics::from_kv("hist h = 1:2 3").is_none());
+        assert!(Metrics::from_kv("counter truncated").is_none());
     }
 
     #[test]

@@ -262,7 +262,11 @@ impl Engine {
             if buf.len() == *cap {
                 buf.pop_front();
             }
-            buf.push_back(TraceEvent { cycle: self.cycle, dst, kind });
+            buf.push_back(TraceEvent {
+                cycle: self.cycle,
+                dst,
+                kind,
+            });
         }
     }
 
@@ -339,7 +343,10 @@ impl Engine {
         // Commit staged sends.
         let staged = std::mem::take(&mut self.outbox);
         for (when, dst, msg) in staged {
-            assert!(dst.0 < self.inboxes.len(), "send to unknown component {dst}");
+            assert!(
+                dst.0 < self.inboxes.len(),
+                "send to unknown component {dst}"
+            );
             self.schedule(when, dst, msg);
         }
     }
@@ -446,7 +453,10 @@ mod tests {
     }
 
     fn credit(n: u32) -> Message {
-        Message::Credit { from: netcrafter_proto::NodeId(0), count: n }
+        Message::Credit {
+            from: netcrafter_proto::NodeId(0),
+            count: n,
+        }
     }
 
     #[test]
@@ -456,11 +466,21 @@ mod tests {
         let c = b.reserve();
         b.install(
             a,
-            Box::new(Echo { peer: c, delay: 5, received: vec![], bounces_left: 0 }),
+            Box::new(Echo {
+                peer: c,
+                delay: 5,
+                received: vec![],
+                bounces_left: 0,
+            }),
         );
         b.install(
             c,
-            Box::new(Echo { peer: a, delay: 5, received: vec![], bounces_left: 0 }),
+            Box::new(Echo {
+                peer: a,
+                delay: 5,
+                received: vec![],
+                bounces_left: 0,
+            }),
         );
         let mut e = b.build();
         e.inject(a, credit(1), 3);
@@ -477,11 +497,21 @@ mod tests {
         let c = b.reserve();
         b.install(
             a,
-            Box::new(Echo { peer: c, delay: 10, received: vec![], bounces_left: 2 }),
+            Box::new(Echo {
+                peer: c,
+                delay: 10,
+                received: vec![],
+                bounces_left: 2,
+            }),
         );
         b.install(
             c,
-            Box::new(Echo { peer: a, delay: 10, received: vec![], bounces_left: 2 }),
+            Box::new(Echo {
+                peer: a,
+                delay: 10,
+                received: vec![],
+                bounces_left: 2,
+            }),
         );
         let mut e = b.build();
         e.inject(a, credit(7), 1);
@@ -564,8 +594,24 @@ mod tests {
     fn double_install_panics() {
         let mut b = EngineBuilder::new();
         let id = b.reserve();
-        b.install(id, Box::new(Echo { peer: id, delay: 1, received: vec![], bounces_left: 0 }));
-        b.install(id, Box::new(Echo { peer: id, delay: 1, received: vec![], bounces_left: 0 }));
+        b.install(
+            id,
+            Box::new(Echo {
+                peer: id,
+                delay: 1,
+                received: vec![],
+                bounces_left: 0,
+            }),
+        );
+        b.install(
+            id,
+            Box::new(Echo {
+                peer: id,
+                delay: 1,
+                received: vec![],
+                bounces_left: 0,
+            }),
+        );
     }
 
     #[test]
@@ -583,7 +629,14 @@ mod tests {
             fn tick(&mut self, ctx: &mut Ctx<'_>) {
                 let me = ctx.self_id();
                 if ctx.recv().is_some() {
-                    ctx.send(me, Message::Credit { from: netcrafter_proto::NodeId(0), count: 1 }, 1);
+                    ctx.send(
+                        me,
+                        Message::Credit {
+                            from: netcrafter_proto::NodeId(0),
+                            count: 1,
+                        },
+                        1,
+                    );
                 }
             }
             fn busy(&self) -> bool {
@@ -622,7 +675,10 @@ mod tests {
         assert!(events.iter().all(|ev| ev.kind == "credit"));
         assert!(events[0].cycle < events[1].cycle);
         let dump = e.dump_trace();
-        assert!(dump[0].contains("credit") && dump[0].contains("echo"), "{dump:?}");
+        assert!(
+            dump[0].contains("credit") && dump[0].contains("echo"),
+            "{dump:?}"
+        );
     }
 
     #[test]
@@ -660,7 +716,14 @@ mod tests {
             fn tick(&mut self, ctx: &mut Ctx<'_>) {
                 if !self.sent {
                     self.sent = true;
-                    ctx.send(self.dst, Message::Credit { from: netcrafter_proto::NodeId(0), count: 1 }, 0);
+                    ctx.send(
+                        self.dst,
+                        Message::Credit {
+                            from: netcrafter_proto::NodeId(0),
+                            count: 1,
+                        },
+                        0,
+                    );
                 }
             }
             fn busy(&self) -> bool {
@@ -673,10 +736,21 @@ mod tests {
         let mut b = EngineBuilder::new();
         let s = b.reserve();
         let r = b.reserve();
-        b.install(s, Box::new(Sender { dst: r, sent: false }));
+        b.install(
+            s,
+            Box::new(Sender {
+                dst: r,
+                sent: false,
+            }),
+        );
         b.install(
             r,
-            Box::new(Echo { peer: s, delay: 1, received: vec![], bounces_left: 0 }),
+            Box::new(Echo {
+                peer: s,
+                delay: 1,
+                received: vec![],
+                bounces_left: 0,
+            }),
         );
         let mut e = b.build();
         e.step(); // sender sends at cycle 1 with delay 0 -> arrives cycle 2

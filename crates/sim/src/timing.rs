@@ -33,7 +33,9 @@ pub struct DelayQueue<T> {
 impl<T> DelayQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { items: VecDeque::new() }
+        Self {
+            items: VecDeque::new(),
+        }
     }
 
     /// Enqueues `item`, ready at cycle `ready_at`.
@@ -118,7 +120,11 @@ impl RateLimiter {
     pub fn new(rate: f64, burst: f64) -> Self {
         assert!(rate > 0.0, "rate must be positive");
         assert!(burst >= rate, "burst must cover at least one cycle of rate");
-        Self { rate, burst, tokens: 0.0 }
+        Self {
+            rate,
+            burst,
+            tokens: 0.0,
+        }
     }
 
     /// Adds one cycle's worth of tokens.
@@ -159,7 +165,10 @@ impl Ticker {
     /// Creates a ticker firing first at cycle `period`.
     pub fn new(period: Cycle) -> Self {
         assert!(period > 0, "period must be positive");
-        Self { period, next: period }
+        Self {
+            period,
+            next: period,
+        }
     }
 
     /// Returns true (once) when `now` reaches the next firing point, then

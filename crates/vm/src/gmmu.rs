@@ -67,8 +67,13 @@ impl GmmuStats {
         }
         metrics.add(&format!("{prefix}.local_pt_reads"), self.local_pt_reads);
         metrics.add(&format!("{prefix}.remote_pt_reads"), self.remote_pt_reads);
-        metrics.add(&format!("{prefix}.walker_queue_events"), self.walker_queue_events);
-        metrics.latency_mut(&format!("{prefix}.walk_latency")).merge(&self.walk_latency);
+        metrics.add(
+            &format!("{prefix}.walker_queue_events"),
+            self.walker_queue_events,
+        );
+        metrics
+            .latency_mut(&format!("{prefix}.walk_latency"))
+            .merge(&self.walk_latency);
     }
 }
 
@@ -80,6 +85,9 @@ struct Walk {
     next_read: usize,
     started: Cycle,
 }
+
+/// A walk waiting for a free walker: `(vpn, page-table reads, enqueue cycle)`.
+type PendingWalk = (u64, Vec<(GpuId, netcrafter_proto::LineAddr)>, Cycle);
 
 /// The per-GPU shared L2 TLB + GMMU component.
 pub struct TranslationUnit {
@@ -100,7 +108,7 @@ pub struct TranslationUnit {
     waiters: BTreeMap<u64, Vec<TransReq>>,
     waiter_cap: usize,
     active: BTreeMap<u64, Walk>,
-    pending_walks: VecDeque<(u64, Vec<(GpuId, netcrafter_proto::LineAddr)>, Cycle)>,
+    pending_walks: VecDeque<PendingWalk>,
     inflight_reads: BTreeMap<AccessId, u64>,
     read_ids: IdAlloc<AccessId>,
     /// Statistics.
@@ -167,7 +175,12 @@ impl TranslationUnit {
     }
 
     fn respond(&mut self, ctx: &mut Ctx<'_>, req: &TransReq, pfn: u64) {
-        let rsp = TransRsp { access: req.access, vpn: req.vpn, pfn, cu: req.cu };
+        let rsp = TransRsp {
+            access: req.access,
+            vpn: req.vpn,
+            pfn,
+            cu: req.cu,
+        };
         ctx.send(
             self.wiring.cus[req.cu as usize],
             Message::TransRsp(rsp),
@@ -211,7 +224,15 @@ impl TranslationUnit {
         debug_assert!(self.active.len() < self.max_walkers);
         self.stats.walks += 1;
         self.stats.walk_reads_hist[reads.len().min(4)] += 1;
-        self.active.insert(vpn, Walk { vpn, reads, next_read: 0, started: queued_at });
+        self.active.insert(
+            vpn,
+            Walk {
+                vpn,
+                reads,
+                next_read: 0,
+                started: queued_at,
+            },
+        );
         self.issue_read(ctx, vpn);
     }
 
@@ -383,31 +404,67 @@ mod tests {
         let rsp = Rc::new(RefCell::new(Vec::new()));
         let local_reads = Rc::new(RefCell::new(Vec::new()));
         let remote_reads = Rc::new(RefCell::new(Vec::new()));
-        b.install(cu, Box::new(CuStub { got: Rc::clone(&rsp) }));
+        b.install(
+            cu,
+            Box::new(CuStub {
+                got: Rc::clone(&rsp),
+            }),
+        );
         b.install(
             l2,
-            Box::new(MemStub { reply_to: tu, latency: 50, seen: Rc::clone(&local_reads) }),
+            Box::new(MemStub {
+                reply_to: tu,
+                latency: 50,
+                seen: Rc::clone(&local_reads),
+            }),
         );
         b.install(
             rdma,
-            Box::new(MemStub { reply_to: tu, latency: 400, seen: Rc::clone(&remote_reads) }),
+            Box::new(MemStub {
+                reply_to: tu,
+                latency: 400,
+                seen: Rc::clone(&remote_reads),
+            }),
         );
         b.install(
             tu,
             Box::new(TranslationUnit::new(
                 GpuId(0),
-                &TlbConfig { entries: 512, ways: 8, lookup_cycles: 10, mshr_entries: 4 },
-                &GmmuConfig { pwc_entries: 32, pwc_lookup_cycles: 10, walkers },
+                &TlbConfig {
+                    entries: 512,
+                    ways: 8,
+                    lookup_cycles: 10,
+                    mshr_entries: 4,
+                },
+                &GmmuConfig {
+                    pwc_entries: 32,
+                    pwc_lookup_cycles: 10,
+                    walkers,
+                },
                 2,
                 Rc::new(pt),
-                TranslationWiring { cus: vec![cu], l2, rdma },
+                TranslationWiring {
+                    cus: vec![cu],
+                    l2,
+                    rdma,
+                },
             )),
         );
-        H { engine: b.build(), tu, rsp, local_reads, remote_reads }
+        H {
+            engine: b.build(),
+            tu,
+            rsp,
+            local_reads,
+            remote_reads,
+        }
     }
 
     fn treq(vpn: u64) -> Message {
-        Message::TransReq(TransReq { access: AccessId(vpn), vpn, cu: 0 })
+        Message::TransReq(TransReq {
+            access: AccessId(vpn),
+            vpn,
+            cu: 0,
+        })
     }
 
     #[test]
@@ -452,7 +509,11 @@ mod tests {
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.run_to_quiescence(5000);
         assert_eq!(h.rsp.borrow().len(), 2);
-        assert_eq!(h.local_reads.borrow().len(), reads_after_first, "no new reads");
+        assert_eq!(
+            h.local_reads.borrow().len(),
+            reads_after_first,
+            "no new reads"
+        );
     }
 
     #[test]
@@ -478,7 +539,11 @@ mod tests {
         assert_eq!(h.rsp.borrow().len(), 1);
         assert_eq!(h.remote_reads.borrow().len(), 4);
         assert!(h.local_reads.borrow().is_empty());
-        assert!(h.remote_reads.borrow().iter().all(|r| r.class == TrafficClass::Ptw));
+        assert!(h
+            .remote_reads
+            .borrow()
+            .iter()
+            .all(|r| r.class == TrafficClass::Ptw));
         assert!(h.remote_reads.borrow().iter().all(|r| r.owner == GpuId(2)));
     }
 

@@ -96,7 +96,13 @@ impl PageTable {
                 let next = self.next_pt_frame.entry(pte_owner).or_insert(PT_FRAME_BASE);
                 let pfn = *next;
                 *next += 1;
-                self.nodes.insert(key, PtNode { owner: pte_owner, pfn });
+                self.nodes.insert(
+                    key,
+                    PtNode {
+                        owner: pte_owner,
+                        pfn,
+                    },
+                );
             }
         }
     }
@@ -129,8 +135,7 @@ impl PageTable {
     pub fn entry_line(&self, vpn: u64, level: u8) -> Option<(GpuId, LineAddr)> {
         let node = self.nodes.get(&(level, Self::prefix(vpn, level)))?;
         let entry_ix = VAddr(vpn * PAGE_BYTES).pt_index(level);
-        let gpu_base =
-            (node.owner.raw() as u64) * self.frames_per_gpu * PAGE_BYTES;
+        let gpu_base = (node.owner.raw() as u64) * self.frames_per_gpu * PAGE_BYTES;
         let node_base = gpu_base + node.pfn * PAGE_BYTES;
         let entry_addr = node_base + entry_ix * 8;
         Some((node.owner, netcrafter_proto::PAddr(entry_addr).line()))

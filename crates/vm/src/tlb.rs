@@ -109,7 +109,12 @@ mod tests {
     use super::*;
 
     fn l1_cfg() -> TlbConfig {
-        TlbConfig { entries: 4, ways: u32::MAX, lookup_cycles: 1, mshr_entries: 8 }
+        TlbConfig {
+            entries: 4,
+            ways: u32::MAX,
+            lookup_cycles: 1,
+            mshr_entries: 8,
+        }
     }
 
     #[test]
@@ -138,7 +143,12 @@ mod tests {
 
     #[test]
     fn set_associative_geometry() {
-        let cfg = TlbConfig { entries: 512, ways: 8, lookup_cycles: 10, mshr_entries: 64 };
+        let cfg = TlbConfig {
+            entries: 512,
+            ways: 8,
+            lookup_cycles: 10,
+            mshr_entries: 64,
+        };
         let tlb = Tlb::new(&cfg);
         assert_eq!(tlb.lookup_cycles(), 10);
         assert!(tlb.is_empty());

@@ -18,9 +18,7 @@
 //! network-hungry; LeNet is tiny and compute-bound; ResNet-18 sits in
 //! between.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use netcrafter_core::SplitMix64;
 use netcrafter_proto::kernel::{AccessPattern, CtaSpec, KernelSpec};
 use netcrafter_proto::{CtaId, GpuId};
 
@@ -45,10 +43,22 @@ fn dnn_kernel(
     seed: u64,
 ) -> KernelSpec {
     let mut alloc = BufAlloc::new();
-    let acts = alloc.buffer("activations", scale.footprint_pages / 2, AccessPattern::Partitioned);
-    let weights = alloc.buffer("weights", scale.footprint_pages / 4, AccessPattern::Partitioned);
-    let grads = alloc.buffer("gradients", scale.footprint_pages / 4, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x444e4e);
+    let acts = alloc.buffer(
+        "activations",
+        scale.footprint_pages / 2,
+        AccessPattern::Partitioned,
+    );
+    let weights = alloc.buffer(
+        "weights",
+        scale.footprint_pages / 4,
+        AccessPattern::Partitioned,
+    );
+    let grads = alloc.buffer(
+        "gradients",
+        scale.footprint_pages / 4,
+        AccessPattern::Random,
+    );
+    let mut rng = SplitMix64::new(seed ^ 0x444e4e);
 
     let total_params: u32 = layers.iter().map(|l| l.params).sum::<u32>().max(1);
     let n_ctas = scale.ctas;
@@ -81,7 +91,11 @@ fn dnn_kernel(
             waves.push(tb.finish(wf_id, c));
             wf_id += 1;
         }
-        ctas.push(CtaSpec { id: CtaId(c), waves, home_hint: Some(hint) });
+        ctas.push(CtaSpec {
+            id: CtaId(c),
+            waves,
+            home_hint: Some(hint),
+        });
     }
     KernelSpec {
         name: name.into(),
@@ -96,17 +110,30 @@ fn dnn_kernel(
 pub fn vgg16(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
     let mut layers = Vec::new();
     // Conv blocks (compute-heavy, few parameters).
-    for (count, compute, params) in
-        [(2u32, 20u32, 1u32), (2, 18, 2), (3, 16, 4), (3, 14, 8), (3, 12, 8)]
-    {
+    for (count, compute, params) in [
+        (2u32, 20u32, 1u32),
+        (2, 18, 2),
+        (3, 16, 4),
+        (3, 14, 8),
+        (3, 12, 8),
+    ] {
         for _ in 0..count {
             layers.push(Layer { compute, params });
         }
     }
     // FC layers: parameter giants.
-    layers.push(Layer { compute: 8, params: 120 });
-    layers.push(Layer { compute: 6, params: 20 });
-    layers.push(Layer { compute: 4, params: 5 });
+    layers.push(Layer {
+        compute: 8,
+        params: 120,
+    });
+    layers.push(Layer {
+        compute: 6,
+        params: 20,
+    });
+    layers.push(Layer {
+        compute: 4,
+        params: 5,
+    });
     dnn_kernel("vgg16", &layers, 12, scale, gpus, seed)
 }
 
@@ -115,10 +142,22 @@ pub fn vgg16(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
 /// gain from any network optimization.
 pub fn lenet(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
     let layers = [
-        Layer { compute: 120, params: 1 },
-        Layer { compute: 120, params: 2 },
-        Layer { compute: 80, params: 4 },
-        Layer { compute: 60, params: 1 },
+        Layer {
+            compute: 120,
+            params: 1,
+        },
+        Layer {
+            compute: 120,
+            params: 2,
+        },
+        Layer {
+            compute: 80,
+            params: 4,
+        },
+        Layer {
+            compute: 60,
+            params: 1,
+        },
     ];
     dnn_kernel("lenet", &layers, 1, scale, gpus, seed)
 }
@@ -126,13 +165,22 @@ pub fn lenet(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
 /// ResNet-18: 17 conv layers + 1 FC (~11 M parameters spread evenly) —
 /// moderate, steady gradient traffic.
 pub fn rnet18(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
-    let mut layers = vec![Layer { compute: 54, params: 2 }];
+    let mut layers = vec![Layer {
+        compute: 54,
+        params: 2,
+    }];
     for stage in 0..4u32 {
         for _ in 0..4 {
-            layers.push(Layer { compute: 42 - 6 * stage, params: 2 + 2 * stage });
+            layers.push(Layer {
+                compute: 42 - 6 * stage,
+                params: 2 + 2 * stage,
+            });
         }
     }
-    layers.push(Layer { compute: 12, params: 4 });
+    layers.push(Layer {
+        compute: 12,
+        params: 4,
+    });
     dnn_kernel("resnet18", &layers, 2, scale, gpus, seed)
 }
 

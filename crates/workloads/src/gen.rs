@@ -2,9 +2,7 @@
 //! Table 3. Each function documents which properties of the original
 //! application it reproduces; see the crate docs for the methodology.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use netcrafter_core::SplitMix64;
 use netcrafter_proto::access::{CoalescedAccess, WavefrontOp, WavefrontTrace};
 use netcrafter_proto::kernel::{AccessPattern, BufferSpec, CtaSpec, KernelSpec};
 use netcrafter_proto::{CtaId, GpuId, VAddr, WavefrontId, PAGE_BYTES};
@@ -29,7 +27,12 @@ impl BufAlloc {
         let base = self.next;
         let bytes = pages * PAGE_BYTES;
         self.next += bytes.div_ceil(REGION) * REGION;
-        BufferSpec { name: name.into(), base: VAddr(base), bytes, pattern }
+        BufferSpec {
+            name: name.into(),
+            base: VAddr(base),
+            bytes,
+            pattern,
+        }
     }
 }
 
@@ -50,7 +53,8 @@ impl Tb {
     }
 
     pub(crate) fn read(&mut self, va: u64, len: u64) {
-        self.ops.push(WavefrontOp::Mem(CoalescedAccess::read(VAddr(va), len)));
+        self.ops
+            .push(WavefrontOp::Mem(CoalescedAccess::read(VAddr(va), len)));
     }
 
     pub(crate) fn write(&mut self, va: u64, len: u64) {
@@ -59,17 +63,25 @@ impl Tb {
     }
 
     pub(crate) fn finish(self, id: u32, cta: u32) -> WavefrontTrace {
-        WavefrontTrace { id: WavefrontId(id), cta: CtaId(cta), ops: self.ops }
+        WavefrontTrace {
+            id: WavefrontId(id),
+            cta: CtaId(cta),
+            ops: self.ops,
+        }
     }
 }
 
 /// A random address inside `buf`, aligned to `align` and at least `len`
 /// bytes before a line boundary.
-pub(crate) fn rand_addr(rng: &mut StdRng, buf: &BufferSpec, align: u64, len: u64) -> u64 {
+pub(crate) fn rand_addr(rng: &mut SplitMix64, buf: &BufferSpec, align: u64, len: u64) -> u64 {
     let lines = buf.bytes / 64;
-    let line = rng.gen_range(0..lines);
+    let line = rng.below(lines);
     let max_off = (64 - len) / align;
-    let off = if max_off == 0 { 0 } else { rng.gen_range(0..=max_off) * align };
+    let off = if max_off == 0 {
+        0
+    } else {
+        rng.range(0, max_off) * align
+    };
     buf.base.0 + line * 64 + off
 }
 
@@ -104,7 +116,11 @@ fn assemble(
             home_hint: hints.map(|h| h(c)),
         });
     }
-    KernelSpec { name: name.into(), ctas, buffers }
+    KernelSpec {
+        name: name.into(),
+        ctas,
+        buffers,
+    }
 }
 
 /// GUPS: random 8-byte read-modify-update over a giant table. Nearly all
@@ -113,7 +129,7 @@ fn assemble(
 pub fn gups(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
     let table = alloc.buffer("table", scale.footprint_pages, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x675053);
+    let mut rng = SplitMix64::new(seed ^ 0x675053);
     let buffers = vec![table.clone()];
     assemble("gups", scale, buffers, None, |_c, _w, tb| {
         for _ in 0..scale.mem_ops_per_wave / 2 {
@@ -134,7 +150,7 @@ pub fn mt(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let pages = scale.footprint_pages;
     let src = alloc.buffer("src", pages / 2, AccessPattern::Gather);
     let dst = alloc.buffer("dst", pages / 2, AccessPattern::Gather);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d54);
+    let mut rng = SplitMix64::new(seed ^ 0x4d54);
     let buffers = vec![src.clone(), dst.clone()];
     let n_ctas = scale.ctas;
     let src_lines = src.bytes / 64;
@@ -144,7 +160,7 @@ pub fn mt(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     assemble("mt", scale, buffers, None, |c, w, tb| {
         let mut col = (c as u64 * 131 + w as u64 * 17) * 64 % src.bytes;
         for i in 0..scale.mem_ops_per_wave as u64 / 3 {
-            let width = if rng.gen_ratio(1, 4) { 16 } else { 8 };
+            let width = if rng.ratio(1, 4) { 16 } else { 8 };
             tb.read(src.base.0 + col, width);
             col = ((col + stride) % src.bytes) & !63;
             tb.compute(2);
@@ -160,16 +176,16 @@ pub fn mis(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
     let nodes = alloc.buffer("nodes", scale.footprint_pages / 2, AccessPattern::Random);
     let state = alloc.buffer("state", scale.footprint_pages / 2, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4953);
+    let mut rng = SplitMix64::new(seed ^ 0x4d4953);
     let buffers = vec![nodes.clone(), state.clone()];
     assemble("mis", scale, buffers, None, |_c, _w, tb| {
         // Adjacency lists give MIS sub-line spatial locality: a node's
         // neighbours often sit in other sectors of a recently read line.
         let mut recent: Vec<u64> = Vec::new();
         for i in 0..scale.mem_ops_per_wave {
-            if !recent.is_empty() && rng.gen_ratio(1, 3) {
-                let line = recent[rng.gen_range(0..recent.len())];
-                let sector = rng.gen_range(0..4u64);
+            if !recent.is_empty() && rng.ratio(1, 3) {
+                let line = recent[rng.below_usize(recent.len())];
+                let sector = rng.below(4);
                 tb.read(line + sector * 16 + 8, 8);
             } else {
                 let a = rand_addr(&mut rng, &nodes, 8, 8);
@@ -194,13 +210,13 @@ pub fn im2col(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
     let src = alloc.buffer("image", scale.footprint_pages / 2, AccessPattern::Adjacent);
     let dst = alloc.buffer("column", scale.footprint_pages / 2, AccessPattern::Adjacent);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x494d32);
+    let mut rng = SplitMix64::new(seed ^ 0x494d32);
     let buffers = vec![src.clone(), dst.clone()];
     let n_ctas = scale.ctas;
     assemble("im2col", scale, buffers, None, |c, w, tb| {
         for i in 0..scale.mem_ops_per_wave as u64 / 2 {
             let idx = w as u64 * 128 + i;
-            if rng.gen_ratio(1, 8) {
+            if rng.ratio(1, 8) {
                 // Halo: neighbouring CTA's slice.
                 tb.read(slice_line(&src, (c + 1) % n_ctas, n_ctas, idx), 64);
             } else {
@@ -219,7 +235,7 @@ pub fn atax(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let a = alloc.buffer("A", scale.footprint_pages * 3 / 4, AccessPattern::Scatter);
     let x = alloc.buffer("x", scale.footprint_pages / 8, AccessPattern::Random);
     let y = alloc.buffer("y", scale.footprint_pages / 8, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x41544158);
+    let mut rng = SplitMix64::new(seed ^ 0x41544158);
     let buffers = vec![a.clone(), x.clone(), y.clone()];
     let n_ctas = scale.ctas;
     assemble("atax", scale, buffers, None, |c, w, tb| {
@@ -237,9 +253,17 @@ pub fn atax(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
 /// local, and the least network-sensitive of the suite.
 pub fn bs(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
-    let input = alloc.buffer("options", scale.footprint_pages / 2, AccessPattern::Partitioned);
-    let out = alloc.buffer("prices", scale.footprint_pages / 2, AccessPattern::Partitioned);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4253);
+    let input = alloc.buffer(
+        "options",
+        scale.footprint_pages / 2,
+        AccessPattern::Partitioned,
+    );
+    let out = alloc.buffer(
+        "prices",
+        scale.footprint_pages / 2,
+        AccessPattern::Partitioned,
+    );
+    let mut rng = SplitMix64::new(seed ^ 0x4253);
     let buffers = vec![input.clone(), out.clone()];
     let n_ctas = scale.ctas;
     let hints = move |c: u32| GpuId((c as u64 * gpus as u64 / n_ctas as u64) as u16);
@@ -248,7 +272,7 @@ pub fn bs(scale: &Scale, gpus: u16, seed: u64) -> KernelSpec {
             let idx = w as u64 * 64 + i;
             tb.read(slice_line(&input, c, n_ctas, idx), 32);
             tb.compute(40);
-            if rng.gen_ratio(1, 16) {
+            if rng.ratio(1, 16) {
                 // Rare shared-parameter read outside the slice.
                 tb.read(rand_addr(&mut rng, &input, 32, 32), 32);
             }
@@ -265,7 +289,7 @@ pub fn mm2(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let a = alloc.buffer("A", scale.footprint_pages / 3, AccessPattern::Gather);
     let b = alloc.buffer("B", scale.footprint_pages / 3, AccessPattern::Gather);
     let c_buf = alloc.buffer("C", scale.footprint_pages / 3, AccessPattern::Gather);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4d32);
+    let mut rng = SplitMix64::new(seed ^ 0x4d4d32);
     let buffers = vec![a.clone(), b.clone(), c_buf.clone()];
     let n_ctas = scale.ctas;
     assemble("mm2", scale, buffers, None, |c, w, tb| {
@@ -287,7 +311,7 @@ pub fn mvt(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let a = alloc.buffer("A", scale.footprint_pages * 3 / 4, AccessPattern::Scatter);
     let x = alloc.buffer("x", scale.footprint_pages / 8, AccessPattern::Random);
     let y = alloc.buffer("y", scale.footprint_pages / 8, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d5654);
+    let mut rng = SplitMix64::new(seed ^ 0x4d5654);
     let buffers = vec![a.clone(), x.clone(), y.clone()];
     let n_ctas = scale.ctas;
     assemble("mvt", scale, buffers, None, |c, w, tb| {
@@ -311,7 +335,7 @@ pub fn spmv(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let cols = alloc.buffer("cols", scale.footprint_pages / 4, AccessPattern::Random);
     let x = alloc.buffer("x", scale.footprint_pages / 4, AccessPattern::Random);
     let y = alloc.buffer("y", scale.footprint_pages / 4, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x53504d56);
+    let mut rng = SplitMix64::new(seed ^ 0x53504d56);
     let buffers = vec![vals.clone(), cols.clone(), x.clone(), y.clone()];
     let n_ctas = scale.ctas;
     assemble("spmv", scale, buffers, None, |c, w, tb| {
@@ -332,7 +356,7 @@ pub fn pr(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
     let links = alloc.buffer("links", scale.footprint_pages / 2, AccessPattern::Random);
     let ranks = alloc.buffer("ranks", scale.footprint_pages / 2, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5052);
+    let mut rng = SplitMix64::new(seed ^ 0x5052);
     let buffers = vec![links.clone(), ranks.clone()];
     let n_ctas = scale.ctas;
     assemble("pr", scale, buffers, None, |c, w, tb| {
@@ -343,12 +367,15 @@ pub fn pr(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
         let mut recent: Vec<u64> = Vec::new();
         for i in 0..scale.mem_ops_per_wave {
             if i % 6 == 5 {
-                tb.write(slice_line(&ranks, c, n_ctas, w as u64 * 16 + i as u64 / 6), 8);
+                tb.write(
+                    slice_line(&ranks, c, n_ctas, w as u64 * 16 + i as u64 / 6),
+                    8,
+                );
             } else if i % 3 == 0 {
                 tb.read(slice_line(&links, c, n_ctas, w as u64 * 64 + i as u64), 16);
-            } else if !recent.is_empty() && rng.gen_ratio(1, 2) {
-                let line = recent[rng.gen_range(0..recent.len())];
-                tb.read(line + rng.gen_range(0..8u64) * 8, 8);
+            } else if !recent.is_empty() && rng.ratio(1, 2) {
+                let line = recent[rng.below_usize(recent.len())];
+                tb.read(line + rng.below(8) * 8, 8);
             } else {
                 let a = rand_addr(&mut rng, &ranks, 8, 8);
                 recent.push(a & !63);
@@ -368,7 +395,7 @@ pub fn sr(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
     let data = alloc.buffer("data", scale.footprint_pages * 7 / 8, AccessPattern::Gather);
     let partial = alloc.buffer("partials", scale.footprint_pages / 8, AccessPattern::Random);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5352);
+    let mut rng = SplitMix64::new(seed ^ 0x5352);
     let buffers = vec![data.clone(), partial.clone()];
     let n_ctas = scale.ctas;
     assemble("sr", scale, buffers, None, |c, w, tb| {
@@ -418,7 +445,7 @@ pub fn large_gemm(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
     let mut alloc = BufAlloc::new();
     let a = alloc.buffer("A", scale.footprint_pages / 2, AccessPattern::Gather);
     let b = alloc.buffer("B", scale.footprint_pages / 2, AccessPattern::Gather);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x47454d4d);
+    let mut rng = SplitMix64::new(seed ^ 0x47454d4d);
     let buffers = vec![a.clone(), b.clone()];
     let n_ctas = scale.ctas;
     assemble("large-gemm", scale, buffers, None, |c, w, tb| {
@@ -430,8 +457,8 @@ pub fn large_gemm(scale: &Scale, _gpus: u16, seed: u64) -> KernelSpec {
         let mut off = 0u64;
         for i in 0..scale.mem_ops_per_wave as u64 / 2 {
             tb.read(slice_line(&a, c, n_ctas, w as u64 * 64 + i), 64);
-            let width = [4u64, 8, 8, 16][rng.gen_range(0..4)];
-            if off + width > 64 || rng.gen_ratio(1, 4) {
+            let width = [4u64, 8, 8, 16][rng.below_usize(4)];
+            if off + width > 64 || rng.ratio(1, 4) {
                 b_line = rand_addr(&mut rng, &b, 64, 64) & !63;
                 off = 0;
             }

@@ -66,7 +66,10 @@ fn random_gups_is_interleaved() {
 fn gather_mt_reads_remote_writes_local() {
     let (reads, writes) = local_fractions(Workload::Mt);
     assert!(reads < 0.6, "MT column gathers cross GPUs: {reads:.2}");
-    assert!(writes > 0.7, "MT row writes stay in the CTA slice: {writes:.2}");
+    assert!(
+        writes > 0.7,
+        "MT row writes stay in the CTA slice: {writes:.2}"
+    );
 }
 
 #[test]

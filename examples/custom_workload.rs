@@ -59,12 +59,24 @@ fn stencil_kernel(n_ctas: u32, tile_pages: u64, iterations: u32) -> KernelSpec {
                     )));
                 }
             }
-            waves.push(WavefrontTrace { id: WavefrontId(wf_id), cta: CtaId(c), ops });
+            waves.push(WavefrontTrace {
+                id: WavefrontId(wf_id),
+                cta: CtaId(c),
+                ops,
+            });
             wf_id += 1;
         }
-        ctas.push(CtaSpec { id: CtaId(c), waves, home_hint: None });
+        ctas.push(CtaSpec {
+            id: CtaId(c),
+            waves,
+            home_hint: None,
+        });
     }
-    KernelSpec { name: "stencil".into(), ctas, buffers: vec![grid] }
+    KernelSpec {
+        name: "stencil".into(),
+        ctas,
+        buffers: vec![grid],
+    }
 }
 
 fn main() {

@@ -23,7 +23,10 @@ fn main() {
             std::process::exit(2);
         });
 
-    println!("Analyzing {workload} ({}) on the baseline node …\n", workload.description());
+    println!(
+        "Analyzing {workload} ({}) on the baseline node …\n",
+        workload.description()
+    );
     let r = Experiment::new(workload, SystemVariant::Baseline)
         .with_scale(Scale::small())
         .run();
@@ -43,7 +46,11 @@ fn main() {
     println!("== Observation 2: cache-line bytes actually needed (inter-cluster reads) ==");
     let f = r.fig7_fractions();
     for (i, frac) in f.iter().enumerate() {
-        println!("  <= {:>2} bytes      : {:>5.1}%", (i + 1) * 16, 100.0 * frac);
+        println!(
+            "  <= {:>2} bytes      : {:>5.1}%",
+            (i + 1) * 16,
+            100.0 * frac
+        );
     }
     println!();
 
@@ -61,14 +68,24 @@ fn main() {
         r.metrics.counter("total.gmmu.remote_pt_reads")
     );
     let walk = r.metrics.latency("total.gmmu.walk_latency");
-    println!("  avg walk latency                 : {:.0} cycles\n", walk.mean());
+    println!(
+        "  avg walk latency                 : {:.0} cycles\n",
+        walk.mean()
+    );
 
     println!("== Where the traffic goes ==");
     println!(
         "  inter-cluster link utilization   : {:.1}%",
         100.0 * r.inter_utilization()
     );
-    for kind in ["Read_Req", "Write_Req", "Page_Table_Req", "Read_Rsp", "Write_Rsp", "Page_Table_Rsp"] {
+    for kind in [
+        "Read_Req",
+        "Write_Req",
+        "Page_Table_Req",
+        "Read_Rsp",
+        "Write_Rsp",
+        "Page_Table_Rsp",
+    ] {
         println!(
             "  {:<16} packets sent    : {}",
             kind.replace('_', " "),

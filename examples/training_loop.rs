@@ -33,7 +33,11 @@ fn run(variant: SystemVariant, trace: bool) -> (u64, Vec<(String, u64)>, Vec<Str
         sys.engine.enable_trace(12);
     }
     let total = sys.run_all(50_000_000);
-    let dump = if trace { sys.engine.dump_trace() } else { Vec::new() };
+    let dump = if trace {
+        sys.engine.dump_trace()
+    } else {
+        Vec::new()
+    };
     (total, sys.kernel_cycles.clone(), dump)
 }
 
@@ -57,7 +61,10 @@ fn main() {
         base_total as f64 / nc_total as f64
     );
 
-    println!("\nlast {} message deliveries of the NetCrafter run:", trace.len());
+    println!(
+        "\nlast {} message deliveries of the NetCrafter run:",
+        trace.len()
+    );
     for line in trace {
         println!("  {line}");
     }

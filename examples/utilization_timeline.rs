@@ -23,7 +23,10 @@ fn timeline(variant: SystemVariant, workload: Workload) -> (u64, Vec<f64>) {
     let mut sys = System::build(cfg, &kernel);
     let samples = sys.run_sampled(100_000_000, INTERVAL);
     let cycles = sys.engine.cycle();
-    (cycles, samples.iter().map(|(_, f)| *f as f64 / capacity).collect())
+    (
+        cycles,
+        samples.iter().map(|(_, f)| *f as f64 / capacity).collect(),
+    )
 }
 
 fn render(utils: &[f64]) -> String {
@@ -40,9 +43,7 @@ fn main() {
         .find(|w| w.abbrev().eq_ignore_ascii_case(&name))
         .unwrap_or(Workload::Vgg16);
 
-    println!(
-        "inter-cluster link utilization over time ({workload}, {INTERVAL}-cycle buckets):\n"
-    );
+    println!("inter-cluster link utilization over time ({workload}, {INTERVAL}-cycle buckets):\n");
     for variant in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
         let (cycles, utils) = timeline(variant, workload);
         let avg = utils.iter().sum::<f64>() / utils.len().max(1) as f64;

@@ -26,14 +26,21 @@ fn every_workload_completes_with_netcrafter() {
 
 #[test]
 fn all_memory_ops_complete_exactly_once() {
-    for w in [Workload::Gups, Workload::Syr2k, Workload::Vgg16, Workload::Bs] {
-        for v in [SystemVariant::Baseline, SystemVariant::NetCrafter, SystemVariant::SectorCache] {
+    for w in [
+        Workload::Gups,
+        Workload::Syr2k,
+        Workload::Vgg16,
+        Workload::Bs,
+    ] {
+        for v in [
+            SystemVariant::Baseline,
+            SystemVariant::NetCrafter,
+            SystemVariant::SectorCache,
+        ] {
             let exp = Experiment::quick(w, v);
-            let kernel = exp.workload.generate(
-                &exp.scale,
-                exp.base_cfg.total_gpus(),
-                exp.seed,
-            );
+            let kernel = exp
+                .workload
+                .generate(&exp.scale, exp.base_cfg.total_gpus(), exp.seed);
             let r = exp.run();
             assert_eq!(
                 r.metrics.counter("total.cu.mem_ops"),
@@ -87,8 +94,14 @@ fn packet_conservation_across_the_network() {
     // Every packet sent by some RDMA engine is received by another:
     // requests and responses pair up, nothing is lost or duplicated.
     let r = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter).run();
-    for kind in ["Read_Req", "Write_Req", "Page_Table_Req", "Read_Rsp", "Write_Rsp", "Page_Table_Rsp"]
-    {
+    for kind in [
+        "Read_Req",
+        "Write_Req",
+        "Page_Table_Req",
+        "Read_Rsp",
+        "Write_Rsp",
+        "Page_Table_Rsp",
+    ] {
         let out = r.metrics.counter(&format!("total.rdma.out.{kind}"));
         let inn = r.metrics.counter(&format!("total.rdma.in.{kind}"));
         assert_eq!(out, inn, "{kind}: sent vs received");
@@ -112,9 +125,7 @@ fn bigger_scale_means_more_work_and_time() {
         .with_scale(Scale::small())
         .run();
     assert!(big.exec_cycles > small.exec_cycles);
-    assert!(
-        big.metrics.counter("total.cu.mem_ops") > small.metrics.counter("total.cu.mem_ops")
-    );
+    assert!(big.metrics.counter("total.cu.mem_ops") > small.metrics.counter("total.cu.mem_ops"));
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! violated invariants loudly instead of silently corrupting results.
 
 use netcrafter::net::{EgressQueue, FifoQueue, Switch, SwitchPortSpec};
-use netcrafter::proto::{
-    Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass,
-};
+use netcrafter::proto::{Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass};
 use netcrafter::sim::{Component, ComponentId, Ctx, EngineBuilder};
 use std::collections::BTreeMap;
 
@@ -36,7 +34,10 @@ impl Component for Blaster {
         for _ in 0..self.count {
             ctx.send(
                 self.switch,
-                Message::Flit { flit: flit(self.dst), from: NodeId(0) },
+                Message::Flit {
+                    flit: flit(self.dst),
+                    from: NodeId(0),
+                },
                 1,
             );
         }
@@ -80,7 +81,14 @@ fn credit_violation_is_detected() {
     let mut b = EngineBuilder::new();
     let blaster = b.reserve();
     let sw = b.reserve();
-    b.install(blaster, Box::new(Blaster { switch: sw, count: 8, dst: 0 }));
+    b.install(
+        blaster,
+        Box::new(Blaster {
+            switch: sw,
+            count: 8,
+            dst: 0,
+        }),
+    );
     b.install(sw, Box::new(switch_with_input_capacity(blaster, 2)));
     let mut e = b.build();
     for _ in 0..40 {
@@ -96,7 +104,14 @@ fn unroutable_flit_is_detected() {
     let mut b = EngineBuilder::new();
     let blaster = b.reserve();
     let sw = b.reserve();
-    b.install(blaster, Box::new(Blaster { switch: sw, count: 1, dst: 77 }));
+    b.install(
+        blaster,
+        Box::new(Blaster {
+            switch: sw,
+            count: 1,
+            dst: 77,
+        }),
+    );
     b.install(sw, Box::new(switch_with_input_capacity(blaster, 1024)));
     let mut e = b.build();
     for _ in 0..40 {
@@ -122,8 +137,12 @@ fn cluster_queue_never_overflows_capacity() {
     for i in 0..50u64 {
         let mut c = Chunk {
             packet: PacketId(i),
-            kind: if i % 2 == 0 { PacketKind::WriteRsp } else { PacketKind::ReadRsp },
-            bytes: if i % 2 == 0 { 4 } else { 4 },
+            kind: if i % 2 == 0 {
+                PacketKind::WriteRsp
+            } else {
+                PacketKind::ReadRsp
+            },
+            bytes: 4,
             meta_bytes: 0,
             has_header: i % 2 == 0,
             is_tail: true,

@@ -157,7 +157,10 @@ fn ideal_is_an_upper_bound_under_congestion() {
 /// stitching saves a smaller byte fraction (Figure 21's mechanism).
 #[test]
 fn smaller_flits_reduce_stitching_opportunity() {
-    let stitch = SystemVariant::StitchPool { window: 32, selective: true };
+    let stitch = SystemVariant::StitchPool {
+        window: 32,
+        selective: true,
+    };
     let e16 = Experiment::new(Workload::Gups, stitch);
     let mut e8 = Experiment::new(Workload::Gups, stitch);
     e8.base_cfg.flit_bytes = 8;

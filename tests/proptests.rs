@@ -1,23 +1,25 @@
-//! Property-based tests over the core data structures: flit
+//! Randomized property tests over the core data structures: flit
 //! segmentation/reassembly, stitching, the Cluster Queue, address math,
 //! the tag store and the page table.
+//!
+//! Each test draws a few hundred random cases from the in-tree
+//! [`SplitMix64`] generator (fixed seeds, so failures reproduce exactly)
+//! and asserts the same invariants the original proptest suite checked.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-use netcrafter::core::ClusterQueue;
+use netcrafter::core::{ClusterQueue, SplitMix64};
 use netcrafter::gpu::{Coalescer, LaneAccess};
-use netcrafter::proto::AccessKind;
 use netcrafter::mem::TagStore;
 use netcrafter::net::{EgressQueue, Reassembler, Segmenter};
+use netcrafter::proto::AccessKind;
 use netcrafter::proto::{
     AccessId, GpuId, LineAddr, LineMask, MemReq, NetCrafterConfig, NodeId, Origin, Packet,
     PacketId, PacketKind, PacketPayload, TrafficClass, VAddr, ALL_PACKET_KINDS,
 };
 use netcrafter::vm::PageTable;
 
-fn arb_kind() -> impl Strategy<Value = PacketKind> {
-    (0usize..6).prop_map(|i| ALL_PACKET_KINDS[i])
-}
+const CASES: usize = 256;
 
 fn packet(id: u64, kind: PacketKind, dst: u16) -> Packet {
     let payload = match kind {
@@ -37,7 +39,11 @@ fn packet(id: u64, kind: PacketKind, dst: u16) -> Packet {
             write: kind == PacketKind::WriteReq,
             mask: LineMask::span(0, 8),
             sectors: 0b1111,
-            class: if kind.is_ptw() { TrafficClass::Ptw } else { TrafficClass::Data },
+            class: if kind.is_ptw() {
+                TrafficClass::Ptw
+            } else {
+                TrafficClass::Data
+            },
             requester: GpuId(0),
             owner: GpuId(2),
             origin: Origin::Cu(0),
@@ -45,15 +51,21 @@ fn packet(id: u64, kind: PacketKind, dst: u16) -> Packet {
     }
 }
 
-proptest! {
-    /// Any interleaving of any packet mix reassembles every packet
-    /// exactly once, at both 8 B and 16 B flit sizes.
-    #[test]
-    fn segment_reassemble_round_trips(
-        kinds in prop::collection::vec(arb_kind(), 1..20),
-        flit_bytes in prop::sample::select(vec![8u32, 16]),
-        lace in 1usize..5,
-    ) {
+fn rand_kinds(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<PacketKind> {
+    let n = rng.range(lo as u64, hi as u64) as usize;
+    (0..n).map(|_| *rng.pick(&ALL_PACKET_KINDS)).collect()
+}
+
+/// Any interleaving of any packet mix reassembles every packet exactly
+/// once, at both 8 B and 16 B flit sizes.
+#[test]
+fn segment_reassemble_round_trips() {
+    let mut rng = SplitMix64::new(0x5e91);
+    for _ in 0..CASES {
+        let kinds = rand_kinds(&mut rng, 1, 19);
+        let flit_bytes = *rng.pick(&[8u32, 16]);
+        let lace = rng.range(1, 4) as usize;
+
         let seg = Segmenter::new(flit_bytes);
         let packets: Vec<Packet> = kinds
             .iter()
@@ -61,7 +73,10 @@ proptest! {
             .map(|(i, &k)| packet(i as u64, k, 3))
             .collect();
         // Round-robin interleave the packets' flit streams.
-        let mut streams: Vec<_> = packets.iter().map(|p| seg.segment(p.clone()).into_iter()).collect();
+        let mut streams: Vec<_> = packets
+            .iter()
+            .map(|p| seg.segment(p.clone()).into_iter())
+            .collect();
         let mut flits = Vec::new();
         let mut exhausted = false;
         while !exhausted {
@@ -80,35 +95,34 @@ proptest! {
         for f in flits {
             done.extend(reasm.accept(f));
         }
-        prop_assert_eq!(done.len(), packets.len());
-        prop_assert_eq!(reasm.in_flight(), 0);
+        assert_eq!(done.len(), packets.len());
+        assert_eq!(reasm.in_flight(), 0);
         let mut got: Vec<u64> = done.iter().map(|p| p.id.raw()).collect();
         got.sort_unstable();
         let want: Vec<u64> = (0..packets.len() as u64).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// The Cluster Queue conserves every packet byte through any mix of
-    /// stitching, pooling and sequencing: total chunk bytes out equals
-    /// total chunk bytes in, and every packet id reappears.
-    #[test]
-    fn cluster_queue_conserves_chunks(
-        kinds in prop::collection::vec(arb_kind(), 1..30),
-        stitching in any::<bool>(),
-        window in prop::sample::select(vec![0u32, 16, 32]),
-        sequencing in any::<bool>(),
-        selective in any::<bool>(),
-        push_gap in 0u64..4,
-    ) {
+/// The Cluster Queue conserves every packet byte through any mix of
+/// stitching, pooling and sequencing: total chunk bytes out equals total
+/// chunk bytes in, and every packet id reappears.
+#[test]
+fn cluster_queue_conserves_chunks() {
+    let mut rng = SplitMix64::new(0xc1a5);
+    for _ in 0..CASES {
+        let kinds = rand_kinds(&mut rng, 1, 29);
         let cfg = NetCrafterConfig {
-            stitching,
-            pooling_window: window,
-            selective_pooling: selective,
+            stitching: rng.flip(),
+            pooling_window: *rng.pick(&[0u32, 16, 32]),
+            selective_pooling: rng.flip(),
             trimming: false,
-            sequencing,
+            sequencing: rng.flip(),
             prioritize_data_instead: false,
             stitch_search_depth: 16,
         };
+        let push_gap = rng.below(4);
+
         let seg = Segmenter::new(16);
         let mut q = ClusterQueue::new(cfg, NodeId(99));
         let mut now = 0u64;
@@ -124,14 +138,14 @@ proptest! {
         }
         let mut popped_bytes = 0u64;
         let mut popped_chunks = 0usize;
-        let mut ids = std::collections::BTreeSet::new();
+        let mut ids = BTreeSet::new();
         let mut guard = 0;
         while q.len() > 0 {
             now += 1;
             guard += 1;
-            prop_assert!(guard < 1_000_000, "queue must drain");
+            assert!(guard < 1_000_000, "queue must drain");
             if let Some(f) = q.pop(now) {
-                prop_assert!(f.used_bytes() <= f.capacity);
+                assert!(f.used_bytes() <= f.capacity);
                 for c in &f.chunks {
                     // Metadata bytes are protocol overhead, not payload.
                     popped_bytes += c.bytes as u64;
@@ -140,128 +154,150 @@ proptest! {
                 popped_chunks += f.chunks.len();
             }
         }
-        prop_assert_eq!(popped_bytes, pushed_bytes);
-        prop_assert_eq!(popped_chunks, pushed_chunks);
-        prop_assert_eq!(ids.len(), kinds.len());
+        assert_eq!(popped_bytes, pushed_bytes);
+        assert_eq!(popped_chunks, pushed_chunks);
+        assert_eq!(ids.len(), kinds.len());
     }
+}
 
-    /// LineMask sector math is self-consistent for every span and
-    /// granularity.
-    #[test]
-    fn line_mask_sectors_cover_mask(
-        offset in 0u64..64,
-        len in 1u64..64,
-        granularity in prop::sample::select(vec![4u64, 8, 16]),
-    ) {
+/// LineMask sector math is self-consistent for every span and
+/// granularity.
+#[test]
+fn line_mask_sectors_cover_mask() {
+    let mut rng = SplitMix64::new(0x11a5);
+    for _ in 0..CASES {
+        let offset = rng.below(64);
+        let len = rng.range(1, 63);
+        let granularity = *rng.pick(&[4u64, 8, 16]);
+
         let mask = LineMask::span(offset, len);
         let sectors = mask.sectors(granularity);
-        prop_assert!(sectors != 0);
+        assert!(sectors != 0);
         // Every covered byte falls in a selected sector.
         for byte in 0..64u64 {
             let in_mask = mask.0 & (1 << byte) != 0;
             let sector_selected = sectors & (1 << (byte / granularity)) != 0;
             if in_mask {
-                prop_assert!(sector_selected);
+                assert!(sector_selected);
             }
         }
         // fits_one_sector agrees with popcount.
-        prop_assert_eq!(
-            mask.fits_one_sector(granularity),
-            sectors.count_ones() == 1
-        );
+        assert_eq!(mask.fits_one_sector(granularity), sectors.count_ones() == 1);
         if let Some(first) = mask.first_sector(granularity) {
-            prop_assert!(sectors & (1 << first) != 0);
+            assert!(sectors & (1 << first) != 0);
         }
     }
+}
 
-    /// TagStore never exceeds its geometry and lookups always find what
-    /// was just inserted.
-    #[test]
-    fn tagstore_respects_geometry(
-        keys in prop::collection::vec(0u64..256, 1..100),
-        sets in 1usize..8,
-        ways in 1usize..4,
-    ) {
+/// TagStore never exceeds its geometry and lookups always find what was
+/// just inserted.
+#[test]
+fn tagstore_respects_geometry() {
+    let mut rng = SplitMix64::new(0x7a65);
+    for _ in 0..CASES {
+        let n_keys = rng.range(1, 99) as usize;
+        let keys: Vec<u64> = (0..n_keys).map(|_| rng.below(256)).collect();
+        let sets = rng.range(1, 7) as usize;
+        let ways = rng.range(1, 3) as usize;
+
         let mut ts: TagStore<u64> = TagStore::new(sets, ways);
         for (i, &k) in keys.iter().enumerate() {
             ts.insert(k, k * 10, i as u64);
-            prop_assert_eq!(ts.peek(k), Some(&(k * 10)), "just-inserted key resident");
-            prop_assert!(ts.len() <= sets * ways, "capacity respected");
+            assert_eq!(ts.peek(k), Some(&(k * 10)), "just-inserted key resident");
+            assert!(ts.len() <= sets * ways, "capacity respected");
         }
     }
+}
 
-    /// Page-table walks always resolve to the functional translation and
-    /// shrink monotonically with the PWC start level.
-    #[test]
-    fn page_table_walks_consistent(
-        vpns in prop::collection::btree_set(0u64..(1 << 20), 1..40),
-        owners in prop::collection::vec(0u16..4, 40),
-    ) {
+/// Page-table walks always resolve to the functional translation and
+/// shrink monotonically with the PWC start level.
+#[test]
+fn page_table_walks_consistent() {
+    let mut rng = SplitMix64::new(0x9a6e);
+    for _ in 0..64 {
+        let n_vpns = rng.range(1, 39) as usize;
+        let vpns: BTreeSet<u64> = (0..n_vpns).map(|_| rng.below(1 << 20)).collect();
+        let owners: Vec<u16> = (0..40).map(|_| rng.below(4) as u16).collect();
+
         let mut pt = PageTable::new(1 << 24);
         for (i, &vpn) in vpns.iter().enumerate() {
             pt.map(vpn, 1000 + i as u64, GpuId(owners[i % owners.len()]));
         }
         for &vpn in &vpns {
-            prop_assert!(pt.translate(vpn).is_some());
+            assert!(pt.translate(vpn).is_some());
             let full = pt.walk_reads(vpn, 1);
-            prop_assert_eq!(full.len(), 4);
+            assert_eq!(full.len(), 4);
             for start in 2..=4u8 {
                 let partial = pt.walk_reads(vpn, start);
-                prop_assert_eq!(partial.len(), 5 - start as usize);
+                assert_eq!(partial.len(), 5 - start as usize);
                 // The partial walk is a suffix of the full walk.
-                prop_assert_eq!(&full[(start - 1) as usize..], &partial[..]);
+                assert_eq!(&full[(start - 1) as usize..], &partial[..]);
             }
         }
     }
+}
 
-    /// The coalescer covers every lane byte exactly, never splits a line
-    /// into two requests, and is order-insensitive.
-    #[test]
-    fn coalescer_covers_all_lanes(
-        lanes in prop::collection::vec((0u64..4096, prop::sample::select(vec![1u8, 2, 4, 8, 16])), 1..64),
-        kind in prop::sample::select(vec![AccessKind::Read, AccessKind::Write]),
-    ) {
-        let lanes: Vec<LaneAccess> = lanes
-            .into_iter()
-            .map(|(slot, bytes)| {
+/// The coalescer covers every lane byte exactly, never splits a line
+/// into two requests, and is order-insensitive.
+#[test]
+fn coalescer_covers_all_lanes() {
+    let mut rng = SplitMix64::new(0xc0a1);
+    for _ in 0..CASES {
+        let n_lanes = rng.range(1, 63) as usize;
+        let lanes: Vec<LaneAccess> = (0..n_lanes)
+            .map(|_| {
+                let slot = rng.below(4096);
+                let bytes = *rng.pick(&[1u8, 2, 4, 8, 16]);
                 // Align within the line so elements never straddle.
-                let addr = slot * 16 + (16 - bytes as u64).min(0);
-                LaneAccess::new(addr, bytes)
+                LaneAccess::new(slot * 16, bytes)
             })
             .collect();
+        let kind = if rng.flip() {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
+
         let mut c = Coalescer::new();
         let reqs = c.coalesce(&lanes, kind);
         // One request per distinct line, sorted ascending.
         let mut lines: Vec<u64> = lanes.iter().map(|l| l.addr.0 / 64).collect();
         lines.sort_unstable();
         lines.dedup();
-        prop_assert_eq!(reqs.len(), lines.len());
+        assert_eq!(reqs.len(), lines.len());
         for w in reqs.windows(2) {
-            prop_assert!(w[0].vaddr.0 < w[1].vaddr.0);
+            assert!(w[0].vaddr.0 < w[1].vaddr.0);
         }
         // Every lane byte is covered by its line's request mask.
         for lane in &lanes {
             let line_base = lane.addr.0 / 64 * 64;
-            let req = reqs.iter().find(|r| r.vaddr.0 == line_base).expect("line present");
+            let req = reqs
+                .iter()
+                .find(|r| r.vaddr.0 == line_base)
+                .expect("line present");
             let lane_mask = LineMask::span(lane.addr.0 % 64, lane.bytes as u64);
-            prop_assert!(lane_mask.subset_of(req.mask));
-            prop_assert_eq!(req.kind, kind);
+            assert!(lane_mask.subset_of(req.mask));
+            assert_eq!(req.kind, kind);
         }
         // Reversed lane order produces the identical requests.
         let mut rev: Vec<LaneAccess> = lanes.clone();
         rev.reverse();
         let mut c2 = Coalescer::new();
-        prop_assert_eq!(c2.coalesce(&rev, kind), reqs);
+        assert_eq!(c2.coalesce(&rev, kind), reqs);
     }
+}
 
-    /// VAddr page-table indices always reconstruct the VPN.
-    #[test]
-    fn pt_indices_reconstruct_vpn(vpn in 0u64..(1u64 << 36)) {
+/// VAddr page-table indices always reconstruct the VPN.
+#[test]
+fn pt_indices_reconstruct_vpn() {
+    let mut rng = SplitMix64::new(0x1d42);
+    for _ in 0..CASES {
+        let vpn = rng.below(1u64 << 36);
         let va = VAddr(vpn * 4096);
         let mut rebuilt = 0u64;
         for level in 1..=4u8 {
             rebuilt = (rebuilt << 9) | va.pt_index(level);
         }
-        prop_assert_eq!(rebuilt, vpn);
+        assert_eq!(rebuilt, vpn);
     }
 }
