@@ -2,8 +2,14 @@
 # Hermetic CI pipeline: every step runs with --offline against an empty
 # cargo registry (the workspace has no external dependencies by design —
 # see README "Offline builds"). Run locally with ./ci.sh.
+#
+# Artifacts (fig14 trace + time series, fresh bench report) are left in
+# $CI_ARTIFACT_DIR (default: ./ci-artifacts) for the workflow to upload.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+artifact_dir=${CI_ARTIFACT_DIR:-ci-artifacts}
+mkdir -p "$artifact_dir"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -21,17 +27,34 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
 
 echo "==> figures smoke run: --quick fig14, sequential vs 4 workers"
-seq_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- --quick fig14 2>/dev/null)
-par_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- --quick fig14 --jobs 4 2>/dev/null)
+seq_err=$(mktemp)
+par_err=$(mktemp)
+trap 'rm -f "$seq_err" "$par_err"' EXIT
+if ! seq_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+    --quick fig14 2>"$seq_err"); then
+    echo "FAIL: sequential figures run failed:" >&2
+    cat "$seq_err" >&2
+    exit 1
+fi
+if ! par_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+    --quick fig14 --jobs 4 2>"$par_err"); then
+    echo "FAIL: parallel figures run failed:" >&2
+    cat "$par_err" >&2
+    exit 1
+fi
 if [[ "$seq_out" != "$par_out" ]]; then
     echo "FAIL: parallel figure output differs from sequential" >&2
     diff <(echo "$seq_out") <(echo "$par_out") >&2 || true
+    echo "--- sequential stderr ---" >&2
+    cat "$seq_err" >&2
+    echo "--- parallel stderr ---" >&2
+    cat "$par_err" >&2
     exit 1
 fi
 
 echo "==> figures cache smoke run: warm cache must re-simulate nothing"
 cache_dir=$(mktemp -d)
-trap 'rm -rf "$cache_dir"' EXIT
+trap 'rm -rf "$cache_dir"; rm -f "$seq_err" "$par_err"' EXIT
 cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
     --quick fig14 --jobs 4 --cache-dir "$cache_dir" >/dev/null 2>&1
 warm_stderr=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
@@ -41,5 +64,34 @@ if ! grep -q "0 simulated" <<<"$warm_stderr"; then
     echo "$warm_stderr" >&2
     exit 1
 fi
+
+echo "==> trace determinism: two identical --trace runs must be byte-identical"
+cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+    --trace "$artifact_dir/trace-a.json" \
+    --timeseries "$artifact_dir/timeseries-a.jsonl" >/dev/null
+cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+    --trace "$artifact_dir/trace-b.json" \
+    --timeseries "$artifact_dir/timeseries-b.jsonl" >/dev/null
+if ! cmp -s "$artifact_dir/trace-a.json" "$artifact_dir/trace-b.json"; then
+    echo "FAIL: event traces of identical runs differ" >&2
+    cmp "$artifact_dir/trace-a.json" "$artifact_dir/trace-b.json" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/timeseries-b.jsonl"; then
+    echo "FAIL: time series of identical runs differ" >&2
+    cmp "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/timeseries-b.jsonl" >&2 || true
+    exit 1
+fi
+mv "$artifact_dir/trace-a.json" "$artifact_dir/fig14-trace.json"
+mv "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/fig14-timeseries.jsonl"
+rm -f "$artifact_dir/trace-b.json" "$artifact_dir/timeseries-b.jsonl"
+
+echo "==> perf-regression gate: fig14 headline numbers vs committed baseline"
+cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+    emit "$artifact_dir/BENCH_fig14.json" --jobs 4
+cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+    check ci/BENCH_fig14.baseline.json "$artifact_dir/BENCH_fig14.json"
 
 echo "CI OK"

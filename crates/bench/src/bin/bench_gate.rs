@@ -1,0 +1,281 @@
+//! CI perf-regression gate over the Figure 14 headline numbers.
+//!
+//! ```text
+//! bench_gate emit OUT.json [--jobs N]
+//! bench_gate check BASELINE.json CURRENT.json [--tolerance PCT]
+//! ```
+//!
+//! `emit` runs the quick-scale Figure 14 experiment matrix (every
+//! workload × the cumulative NetCrafter variants) and writes a JSON
+//! report: per-run execution cycles, per-variant speedups over baseline,
+//! geomean speedups, and the host simulation rate. The simulator is
+//! deterministic, so cycles and speedups are exactly reproducible;
+//! `check` compares two reports and fails (exit 1) with a readable diff
+//! when any gated number drifts beyond `--tolerance` percent (default 0,
+//! i.e. exact). The cycles-per-second rate varies with the host and is
+//! reported but never gated.
+//!
+//! An intentional model change therefore requires re-committing the
+//! baseline: `cargo run --release -p netcrafter-bench --bin bench_gate --
+//! emit ci/BENCH_fig14.baseline.json`.
+
+use std::time::Instant;
+
+use netcrafter_bench::{geomean, Runner};
+use netcrafter_multigpu::SystemVariant;
+use netcrafter_sim::trace::{json, json_string};
+use netcrafter_workloads::Workload;
+
+/// The cumulative Figure 14 variants, in presentation order.
+const VARIANTS: [SystemVariant; 4] = [
+    SystemVariant::StitchPool {
+        window: 32,
+        selective: true,
+    },
+    SystemVariant::StitchTrim,
+    SystemVariant::NetCrafter,
+    SystemVariant::SectorCache,
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate emit OUT.json [--jobs N]\n\
+         \u{20}      bench_gate check BASELINE.json CURRENT.json [--tolerance PCT]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => emit(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn emit(args: &[String]) -> ! {
+    let out_path = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let Some(out_path) = out_path else { usage() };
+    let jobs: usize = flag_value(args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let runner = Runner::quick().with_jobs(jobs);
+    let t0 = Instant::now();
+    let mut jobs_list = Vec::new();
+    for w in Workload::ALL {
+        jobs_list.push(runner.job(w, SystemVariant::Baseline));
+        for &v in &VARIANTS {
+            jobs_list.push(runner.job(w, v));
+        }
+    }
+    runner.sweep(&jobs_list);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut runs = String::new();
+    let mut speedups = String::new();
+    let mut total_cycles = 0u64;
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); VARIANTS.len()];
+    for w in Workload::ALL {
+        let base = runner.run(w, SystemVariant::Baseline);
+        for v in std::iter::once(SystemVariant::Baseline).chain(VARIANTS) {
+            let r = runner.run(w, v);
+            total_cycles += r.exec_cycles;
+            if !runs.is_empty() {
+                runs.push_str(",\n    ");
+            }
+            runs.push_str(&format!(
+                "{{\"workload\":{},\"variant\":{},\"exec_cycles\":{}}}",
+                json_string(w.abbrev()),
+                json_string(&v.label()),
+                r.exec_cycles,
+            ));
+            if v != SystemVariant::Baseline {
+                let s = base.exec_cycles as f64 / r.exec_cycles as f64;
+                if let Some(ix) = VARIANTS.iter().position(|&x| x == v) {
+                    per_variant[ix].push(s);
+                }
+                if !speedups.is_empty() {
+                    speedups.push_str(",\n    ");
+                }
+                speedups.push_str(&format!(
+                    "{{\"workload\":{},\"variant\":{},\"speedup\":{:.6}}}",
+                    json_string(w.abbrev()),
+                    json_string(&v.label()),
+                    s,
+                ));
+            }
+        }
+    }
+    let mut geo = String::new();
+    for (v, col) in VARIANTS.iter().zip(&per_variant) {
+        if !geo.is_empty() {
+            geo.push_str(",\n    ");
+        }
+        geo.push_str(&format!(
+            "{{\"variant\":{},\"speedup\":{:.6}}}",
+            json_string(&v.label()),
+            geomean(col),
+        ));
+    }
+    let report = format!(
+        "{{\n  \"schema\": 1,\n  \"scale\": \"quick\",\n  \
+         \"wall_seconds\": {wall:.3},\n  \"cycles_per_sec\": {:.0},\n  \
+         \"runs\": [\n    {runs}\n  ],\n  \"speedups\": [\n    {speedups}\n  ],\n  \
+         \"geomean\": [\n    {geo}\n  ]\n}}\n",
+        total_cycles as f64 / wall.max(1e-9),
+    );
+    // Sanity: the report must parse with our own reader before it can gate.
+    json::parse(&report).expect("emitted report is valid JSON");
+    std::fs::write(&out_path, report).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "bench_gate: {} runs in {wall:.1}s written to {out_path}",
+        jobs_list.len()
+    );
+    std::process::exit(0);
+}
+
+/// Flattens a report's gated numbers into `(key, value)` pairs.
+fn gated_numbers(report: &json::Value) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (section, value_key) in [("runs", "exec_cycles"), ("speedups", "speedup")] {
+        let entries = report
+            .get(section)
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("report is missing the `{section}` array"))?;
+        for entry in entries {
+            let workload = entry
+                .get("workload")
+                .and_then(|v| v.as_str())
+                .ok_or("entry missing `workload`")?;
+            let variant = entry
+                .get("variant")
+                .and_then(|v| v.as_str())
+                .ok_or("entry missing `variant`")?;
+            let value = entry
+                .get(value_key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("entry missing `{value_key}`"))?;
+            out.push((format!("{section}:{workload}|{variant}"), value));
+        }
+    }
+    if let Some(entries) = report.get("geomean").and_then(|v| v.as_arr()) {
+        for entry in entries {
+            let variant = entry
+                .get("variant")
+                .and_then(|v| v.as_str())
+                .ok_or("geomean entry missing `variant`")?;
+            let value = entry
+                .get("speedup")
+                .and_then(|v| v.as_f64())
+                .ok_or("geomean entry missing `speedup`")?;
+            out.push((format!("geomean:{variant}"), value));
+        }
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn check(args: &[String]) -> ! {
+    let (Some(base_path), Some(cur_path)) = (
+        args.first().filter(|a| !a.starts_with("--")),
+        args.get(1).filter(|a| !a.starts_with("--")),
+    ) else {
+        usage()
+    };
+    let tolerance_pct: f64 = flag_value(args, "--tolerance")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--tolerance expects a percentage, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.0);
+
+    let base = load(base_path);
+    let cur = load(cur_path);
+    let base_nums = gated_numbers(&base).unwrap_or_else(|e| {
+        eprintln!("{base_path}: {e}");
+        std::process::exit(1);
+    });
+    let cur_nums = gated_numbers(&cur).unwrap_or_else(|e| {
+        eprintln!("{cur_path}: {e}");
+        std::process::exit(1);
+    });
+    let cur_map: std::collections::BTreeMap<&str, f64> =
+        cur_nums.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut failures = Vec::new();
+    for (key, want) in &base_nums {
+        match cur_map.get(key.as_str()) {
+            None => failures.push(format!("{key}: missing from {cur_path}")),
+            Some(got) => {
+                // Relative drift, with an epsilon for f64 formatting noise.
+                let denom = want.abs().max(1e-12);
+                let drift_pct = 100.0 * (got - want).abs() / denom;
+                if drift_pct > tolerance_pct + 1e-6 {
+                    failures.push(format!(
+                        "{key}: baseline {want} vs current {got} ({drift_pct:+.2}% > ±{tolerance_pct}%)"
+                    ));
+                }
+            }
+        }
+    }
+    for (key, _) in &cur_nums {
+        if !base_nums.iter().any(|(k, _)| k == key) {
+            failures.push(format!(
+                "{key}: not in baseline {base_path} (re-emit the baseline?)"
+            ));
+        }
+    }
+
+    let rate = |v: &json::Value| v.get("cycles_per_sec").and_then(|n| n.as_f64());
+    if let (Some(b), Some(c)) = (rate(&base), rate(&cur)) {
+        eprintln!(
+            "bench_gate: host rate {c:.0} cycles/s vs baseline {b:.0} ({:+.1}%, informational)",
+            100.0 * (c - b) / b.max(1e-9),
+        );
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "bench_gate: {} gated numbers match within ±{tolerance_pct}%",
+            base_nums.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "bench_gate: {} of {} gated numbers drifted:",
+        failures.len(),
+        base_nums.len()
+    );
+    for f in &failures {
+        eprintln!("  {f}");
+    }
+    eprintln!(
+        "if this change is intentional, re-emit the baseline:\n  \
+         cargo run --release -p netcrafter-bench --bin bench_gate -- emit {base_path}"
+    );
+    std::process::exit(1);
+}

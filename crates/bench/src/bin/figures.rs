@@ -1,7 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--big] [--verbose] [--jobs N] [--cache-dir DIR] <id>... | all
+//! figures [--quick] [--big] [--verbose] [--jobs N] [--cache-dir DIR]
+//!         [--trace FILE] [--timeseries FILE] [--trace-filter SPEC]
+//!         [--sample-window N] <id>... | all
 //! ```
 //!
 //! Ids: table1, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig12,
@@ -12,10 +14,16 @@
 //! `--cache-dir DIR` persists every result so a re-run only simulates
 //! configurations it has never seen. Both leave the printed tables
 //! byte-identical to a sequential, uncached run.
+//!
+//! `--trace FILE` / `--timeseries FILE` re-run the *first* simulation of
+//! the first requested figure with observability on and write a
+//! Chrome-trace JSON event trace / per-link time-series JSONL. See the
+//! `simulate` binary for the filter syntax.
 
 use std::time::Instant;
 
-use netcrafter_bench::{figures, stats_report, Runner};
+use netcrafter_bench::traceio::TRACE_VALUE_FLAGS;
+use netcrafter_bench::{figures, stats_report, Runner, TraceArgs};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -47,12 +55,16 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if arg == "--jobs" || arg == "--cache-dir" {
+        if arg == "--jobs" || arg == "--cache-dir" || TRACE_VALUE_FLAGS.contains(&arg.as_str()) {
             skip_next = true;
         } else if !arg.starts_with("--") {
             ids.push(arg.clone());
         }
     }
+    let trace_args = TraceArgs::parse(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = figures::all_ids().iter().map(|s| s.to_string()).collect();
     }
@@ -124,4 +136,24 @@ fn main() {
     }
     eprintln!("[total {:.1?}]", t0.elapsed());
     eprint!("{}", stats_report(&runner.job_stats()));
+
+    if trace_args.active() {
+        let opts = trace_args.options().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let job = ids
+            .first()
+            .and_then(|id| figures::sweep_jobs(id, &runner).into_iter().next())
+            .unwrap_or_else(|| {
+                eprintln!("--trace/--timeseries: requested figures run no simulations");
+                std::process::exit(2);
+            });
+        eprintln!("[tracing {} …]", job.memo_key());
+        let (_, data) = job.to_experiment().run_traced(&opts);
+        trace_args.write(&data).unwrap_or_else(|e| {
+            eprintln!("cannot write trace output: {e}");
+            std::process::exit(1);
+        });
+    }
 }

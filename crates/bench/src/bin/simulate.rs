@@ -9,14 +9,23 @@
 //!          [--pool-window N] [--trim-granularity 4|8|16]
 //!          [--jobs N] [--cache-dir DIR]
 //!          [--dump-metrics] [--csv FILE]
+//!          [--trace FILE] [--timeseries FILE]
+//!          [--trace-filter SPEC] [--sample-window N]
 //! ```
 //!
 //! `--variant all` sweeps every variant of the workload (in parallel
 //! with `--jobs N`) and prints a comparison table. `--cache-dir DIR`
 //! replays identical configurations from the persistent result cache
 //! instead of re-simulating.
+//!
+//! `--trace FILE` records a Chrome-trace JSON event trace (load it in
+//! `chrome://tracing` or Perfetto), optionally filtered by
+//! `--trace-filter "comp=...;class=...;cycles=a..b"`. `--timeseries FILE`
+//! records per-link bandwidth/occupancy curves as JSONL with
+//! `--sample-window`-cycle buckets. Both force a fresh (uncached) run and
+//! are ignored by `--variant all`.
 
-use netcrafter_bench::{f2, pct, stats_report, Runner, Table};
+use netcrafter_bench::{f2, pct, stats_report, Runner, Table, TraceArgs};
 use netcrafter_multigpu::SystemVariant;
 use netcrafter_proto::SystemConfig;
 use netcrafter_workloads::{Scale, Workload};
@@ -60,7 +69,8 @@ fn main() {
             "usage: simulate [--workload NAME] [--variant V|all] [--cus N] [--clusters N] \
              [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
              [--scale tiny|small|paper] [--seed N] [--pool-window N] \
-             [--trim-granularity N] [--jobs N] [--cache-dir DIR] [--dump-metrics]\n\
+             [--trim-granularity N] [--jobs N] [--cache-dir DIR] [--dump-metrics] \
+             [--trace FILE] [--timeseries FILE] [--trace-filter SPEC] [--sample-window N]\n\
              workloads: {:?}\n\
              variants: baseline ideal netcrafter stitch trim seq sector stitchtrim all",
             Workload::ALL.map(|w| w.abbrev())
@@ -161,6 +171,11 @@ fn main() {
         return;
     }
 
+    let trace_args = TraceArgs::parse(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
     eprintln!(
         "simulating {workload} / {} on {} clusters x {} GPUs x {} CUs …",
         variant.label(),
@@ -168,7 +183,23 @@ fn main() {
         runner.base_cfg.topology.gpus_per_cluster,
         runner.base_cfg.cus_per_gpu,
     );
-    let r = runner.run(workload, variant);
+    let r = if trace_args.active() {
+        let opts = trace_args.options().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let (result, data) = runner
+            .job(workload, variant)
+            .to_experiment()
+            .run_traced(&opts);
+        trace_args.write(&data).unwrap_or_else(|e| {
+            eprintln!("cannot write trace output: {e}");
+            std::process::exit(1);
+        });
+        std::sync::Arc::new(result)
+    } else {
+        runner.run(workload, variant)
+    };
 
     println!(
         "workload             : {workload} ({})",

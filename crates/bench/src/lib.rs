@@ -23,6 +23,7 @@
 pub mod cache;
 pub mod figures;
 pub mod microbench;
+pub mod traceio;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -35,6 +36,7 @@ use netcrafter_proto::SystemConfig;
 use netcrafter_workloads::{Scale, Workload};
 
 pub use cache::DiskCache;
+pub use traceio::TraceArgs;
 
 /// Geometric mean of strictly positive values (0.0 for an empty slice).
 pub fn geomean(values: &[f64]) -> f64 {

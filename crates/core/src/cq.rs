@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 
 use netcrafter_net::EgressQueue;
 use netcrafter_proto::{Flit, Metrics, NetCrafterConfig, NodeId, PacketKind, ALL_PACKET_KINDS};
-use netcrafter_sim::Cycle;
+use netcrafter_sim::{Cycle, EventClass, Tracer};
 
 /// Smallest parent free space worth pooling for: a 4-byte write response
 /// (whole packet, no metadata) is the smallest useful candidate, so
@@ -250,10 +250,16 @@ impl ClusterQueue {
 
     /// Final bookkeeping for an ejecting flit: statistics, re-addressing
     /// of stitched parents, and round-robin advance.
-    fn finish(&mut self, mut parent: Flit, qi: usize) -> Flit {
+    fn finish(&mut self, mut parent: Flit, qi: usize, tracer: &mut Tracer) -> Flit {
         if parent.is_stitched() {
             self.stats.stitched_parents += 1;
             parent.dst = self.remote_switch;
+            tracer.instant(
+                EventClass::Stitch,
+                "stitch.eject",
+                Self::flit_id(&parent),
+                parent.chunks.len() as u64 - 1,
+            );
         }
         self.stats.popped += 1;
         let prioritized = if self.cfg.prioritize_data_instead {
@@ -263,6 +269,12 @@ impl ClusterQueue {
         };
         if self.cfg.sequencing && prioritized {
             self.stats.ptw_priority_pops += 1;
+            tracer.instant(
+                EventClass::Seq,
+                "seq.priority_pop",
+                Self::flit_id(&parent),
+                qi as u64,
+            );
         } else {
             // Advance round-robin past the partition just served.
             self.rr = (qi + 1) % 6;
@@ -273,6 +285,20 @@ impl ClusterQueue {
     /// Total flits held (for tests and diagnostics).
     pub fn occupancy(&self) -> usize {
         self.len
+    }
+
+    /// Convenience pop without a tracer, for tests, benches and doctests.
+    /// Simulation code goes through [`EgressQueue::pop`], which threads
+    /// the engine's tracer so stitch/pool/sequence decisions are visible
+    /// in traces.
+    pub fn pop(&mut self, now: Cycle) -> Option<Flit> {
+        let mut tracer = Tracer::off();
+        EgressQueue::pop(self, now, &mut tracer)
+    }
+
+    #[inline]
+    fn flit_id(flit: &Flit) -> u64 {
+        flit.chunks.first().map(|c| c.packet.0).unwrap_or(0)
     }
 }
 
@@ -301,7 +327,7 @@ impl EgressQueue for ClusterQueue {
         self.queues[Self::partition_of(&flit)].push_back(flit);
     }
 
-    fn pop(&mut self, now: Cycle) -> Option<Flit> {
+    fn pop(&mut self, now: Cycle, tracer: &mut Tracer) -> Option<Flit> {
         for qi in self.service_order() {
             // 1. A ripe pooled flit leaves first: its window expired (or
             //    a candidate arrived and cleared the timer). One last
@@ -319,9 +345,10 @@ impl EgressQueue for ClusterQueue {
                 };
                 if absorbed == 0 && !parent.is_stitched() {
                     self.stats.pool_expired_unstitched += 1;
+                    tracer.instant(EventClass::Pool, "pool.expired", Self::flit_id(&parent), 0);
                 }
                 self.stats.absorbed_candidates += absorbed;
-                return Some(self.finish(parent, qi));
+                return Some(self.finish(parent, qi, tracer));
             }
             // 2. The regular front of the partition. If the front moves
             //    to the pooling side slot, the next flit behind it is
@@ -340,12 +367,18 @@ impl EgressQueue for ClusterQueue {
                 {
                     // Pool into the side slot; try the next flit.
                     self.stats.pool_events += 1;
+                    tracer.instant(
+                        EventClass::Pool,
+                        "pool.park",
+                        Self::flit_id(&parent),
+                        parent.empty_bytes() as u64,
+                    );
                     self.pooled[qi] = Some((parent, now + self.cfg.pooling_window as Cycle));
                     continue;
                 }
                 self.len -= 1;
                 self.stats.absorbed_candidates += absorbed;
-                return Some(self.finish(parent, qi));
+                return Some(self.finish(parent, qi, tracer));
             }
         }
         None
@@ -353,6 +386,10 @@ impl EgressQueue for ClusterQueue {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn pooled_len(&self) -> usize {
+        self.pooled.iter().filter(|slot| slot.is_some()).count()
     }
 
     fn report(&self, metrics: &mut Metrics, prefix: &str) {

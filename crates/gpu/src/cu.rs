@@ -19,7 +19,7 @@ use netcrafter_proto::{
     AccessId, CuId, GpuId, LatencyStat, MemReq, Message, Metrics, Origin, PAddr, TrafficClass,
     TransReq, PAGE_BYTES,
 };
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass};
 use netcrafter_vm::Tlb;
 
 /// Where the CU's outgoing traffic goes.
@@ -293,6 +293,7 @@ impl Cu {
                 self.outstanding += 1;
                 self.read_waiters.insert(id, wf_ix);
                 self.issue_times.insert(id, (now, crosses));
+                ctx.tracer().begin(EventClass::Cache, "l1.miss", id.0);
                 ctx.send(
                     target,
                     Message::MemReq(req),
@@ -303,6 +304,7 @@ impl Cu {
             L1Access::MergedMiss => {
                 self.read_waiters.insert(id, wf_ix);
                 self.issue_times.insert(id, (now, crosses));
+                ctx.tracer().begin(EventClass::Cache, "l1.miss", id.0);
                 self.note_load_issued(wf_ix, now);
             }
             L1Access::Stall => {
@@ -361,13 +363,13 @@ impl Cu {
                 self.stats.inter_cluster_read_latency.record(lat);
             }
         }
+        ctx.tracer().end(EventClass::Cache, "l1.miss", id.0);
         let wf = &mut self.resident[wf_ix];
         debug_assert!(wf.loads_in_flight > 0);
         wf.loads_in_flight -= 1;
         if matches!(wf.state, WfState::WaitMem) {
             wf.state = WfState::BusyUntil(now + 1);
         }
-        let _ = ctx;
     }
 }
 

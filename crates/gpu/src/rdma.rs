@@ -18,7 +18,7 @@ use netcrafter_proto::{
     Flit, GpuId, MemRsp, Message, Metrics, NodeId, Packet, PacketId, PacketKind, PacketPayload,
     TrafficClass, TrimInfo,
 };
-use netcrafter_sim::{Component, ComponentId, Ctx};
+use netcrafter_sim::{Component, ComponentId, Ctx, EventClass, Tracer};
 
 /// Where the RDMA engine's traffic goes.
 #[derive(Debug, Clone)]
@@ -148,7 +148,12 @@ impl Rdma {
     }
 
     /// Outbound request: a CU or GMMU transaction whose owner is remote.
-    fn send_request(&mut self, req: netcrafter_proto::MemReq, now: netcrafter_sim::Cycle) {
+    fn send_request(
+        &mut self,
+        req: netcrafter_proto::MemReq,
+        now: netcrafter_sim::Cycle,
+        tracer: &mut Tracer,
+    ) {
         debug_assert_ne!(
             req.owner, self.gpu,
             "{}: local request routed to RDMA",
@@ -171,8 +176,12 @@ impl Rdma {
                 granularity: self.granularity,
                 sector: req.sectors.trailing_zeros() as u8,
             });
+        let id = self.next_packet_id();
+        if let Some(t) = &trim {
+            tracer.instant(EventClass::Trim, "trim.request", id.0, t.sector as u64);
+        }
         let packet = Packet {
-            id: self.next_packet_id(),
+            id,
             kind,
             src: self.node,
             dst: NodeId(req.owner.raw()),
@@ -184,7 +193,7 @@ impl Rdma {
     }
 
     /// Outbound response: the local L2 finished serving a remote request.
-    fn send_response(&mut self, rsp: MemRsp, now: netcrafter_sim::Cycle) {
+    fn send_response(&mut self, rsp: MemRsp, now: netcrafter_sim::Cycle, tracer: &mut Tracer) {
         debug_assert_ne!(rsp.requester, self.gpu);
         let crosses = self.crosses_clusters(rsp.requester);
         let (kind, payload) = if rsp.write {
@@ -201,8 +210,12 @@ impl Rdma {
             self.trim.record_response(payload, crosses);
             (PacketKind::ReadRsp, payload)
         };
+        let id = self.next_packet_id();
+        if kind == PacketKind::ReadRsp && crosses && payload < 64 {
+            tracer.instant(EventClass::Trim, "trim.response", id.0, payload as u64);
+        }
         let packet = Packet {
-            id: self.next_packet_id(),
+            id,
             kind,
             src: self.node,
             dst: NodeId(rsp.requester.raw()),
@@ -240,8 +253,8 @@ impl Component for Rdma {
         let now = ctx.cycle();
         while let Some(msg) = ctx.recv() {
             match msg {
-                Message::MemReq(req) => self.send_request(req, now),
-                Message::MemRsp(rsp) => self.send_response(rsp, now),
+                Message::MemReq(req) => self.send_request(req, now, ctx.tracer()),
+                Message::MemRsp(rsp) => self.send_response(rsp, now, ctx.tracer()),
                 Message::Flit { flit, from } => {
                     debug_assert_eq!(from, self.wiring.switch_node);
                     ctx.send(

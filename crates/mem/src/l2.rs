@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use netcrafter_proto::config::CacheConfig;
 use netcrafter_proto::{GpuId, MemReq, MemRsp, Message, Metrics, Origin, LINE_BYTES};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass};
 
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::tagstore::TagStore;
@@ -225,10 +225,18 @@ impl L2Cache {
                     .mshr
                     .register(line_key, self.full_sector_mask, req)
                 {
-                    MshrOutcome::Allocated => self.send_dram_fill(ctx, &req),
-                    MshrOutcome::Merged => {}
+                    MshrOutcome::Allocated => {
+                        ctx.tracer().begin(EventClass::Cache, "l2.miss", line_key);
+                        self.send_dram_fill(ctx, &req);
+                    }
+                    MshrOutcome::Merged => {
+                        ctx.tracer()
+                            .instant(EventClass::Mshr, "mshr.merge", line_key, 0);
+                    }
                     MshrOutcome::Stalled => {
                         self.stats.mshr_retries += 1;
+                        ctx.tracer()
+                            .instant(EventClass::Mshr, "mshr.stall", line_key, 0);
                         self.banks[bank_ix].input.push_back(req);
                     }
                 }
@@ -248,10 +256,18 @@ impl L2Cache {
                     .mshr
                     .register(line_key, self.full_sector_mask, req)
                 {
-                    MshrOutcome::Allocated => self.send_dram_fill(ctx, &req),
-                    MshrOutcome::Merged => {}
+                    MshrOutcome::Allocated => {
+                        ctx.tracer().begin(EventClass::Cache, "l2.miss", line_key);
+                        self.send_dram_fill(ctx, &req);
+                    }
+                    MshrOutcome::Merged => {
+                        ctx.tracer()
+                            .instant(EventClass::Mshr, "mshr.merge", line_key, 0);
+                    }
                     MshrOutcome::Stalled => {
                         self.stats.mshr_retries += 1;
+                        ctx.tracer()
+                            .instant(EventClass::Mshr, "mshr.stall", line_key, 0);
                         self.banks[bank_ix].input.push_back(req);
                     }
                 }
@@ -266,6 +282,15 @@ impl L2Cache {
             self.send_dram_writeback(ctx, victim);
         }
         let waiters = self.banks[bank_ix].mshr.complete(line_key);
+        if !waiters.is_empty() {
+            ctx.tracer().end(EventClass::Cache, "l2.miss", line_key);
+            ctx.tracer().instant(
+                EventClass::Mshr,
+                "mshr.fill",
+                line_key,
+                waiters.len() as u64,
+            );
+        }
         for req in waiters {
             if req.write {
                 *self.banks[bank_ix]

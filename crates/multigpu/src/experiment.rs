@@ -2,9 +2,10 @@
 //! the paper's evaluation section (§5).
 
 use netcrafter_proto::{Metrics, NetCrafterConfig, SectorFillPolicy, SystemConfig};
+use netcrafter_sim::{Trace, TraceConfig};
 use netcrafter_workloads::{Scale, Workload};
 
-use crate::system::System;
+use crate::system::{LinkSeries, System};
 
 /// The system configurations the evaluation compares (§5.2–§5.5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -318,6 +319,102 @@ impl Experiment {
             exec_cycles,
             metrics: sys.harvest(),
         }
+    }
+
+    /// Like [`Experiment::run`], but with the requested observability
+    /// turned on: event tracing when `opts.config` is set, per-link
+    /// time-series sampling when `opts.sample_window` is set. Returns the
+    /// normal result plus everything recorded.
+    pub fn run_traced(&self, opts: &TraceOptions) -> (RunResult, TraceData) {
+        let cfg = self.variant.apply(self.base_cfg);
+        let kernel = self
+            .workload
+            .generate(&self.scale, cfg.total_gpus(), self.seed);
+        let mut sys = System::build(cfg, &kernel);
+        if let Some(config) = &opts.config {
+            sys.enable_tracing(config.clone());
+        }
+        if let Some(window) = opts.sample_window {
+            sys.enable_link_sampling(window);
+        }
+        let exec_cycles = sys.run(self.max_cycles);
+        let result = RunResult {
+            exec_cycles,
+            metrics: sys.harvest(),
+        };
+        let data = TraceData {
+            trace: sys.take_trace(),
+            links: sys.take_link_series(),
+        };
+        (result, data)
+    }
+}
+
+/// What [`Experiment::run_traced`] should record.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOptions {
+    /// Event-trace filter; `None` leaves tracing off.
+    pub config: Option<TraceConfig>,
+    /// Time-series bucket width in cycles; `None` leaves sampling off.
+    pub sample_window: Option<u64>,
+}
+
+impl TraceOptions {
+    /// Trace everything, no time series.
+    pub fn trace_all() -> Self {
+        Self {
+            config: Some(TraceConfig::default()),
+            sample_window: None,
+        }
+    }
+
+    /// Sample every link with `window`-cycle buckets, no event trace.
+    pub fn sample(window: u64) -> Self {
+        Self {
+            config: None,
+            sample_window: Some(window),
+        }
+    }
+}
+
+/// Everything [`Experiment::run_traced`] recorded.
+#[derive(Debug)]
+pub struct TraceData {
+    /// The structured event trace (empty when tracing was off).
+    pub trace: Trace,
+    /// Per-link time series (empty when sampling was off).
+    pub links: Vec<LinkSeries>,
+}
+
+impl TraceData {
+    /// Renders the link series as compact JSONL: one object per
+    /// `(link, metric)` pair with the window width and bucket values.
+    pub fn links_to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for link in &self.links {
+            for (metric, series) in [
+                ("bytes", &link.series.bytes),
+                ("flits", &link.series.flits),
+                ("occupancy", &link.series.occupancy),
+                ("pooled", &link.series.pooled),
+            ] {
+                out.push_str(&format!(
+                    "{{\"link\":{},\"inter\":{},\"metric\":\"{}\",\"window\":{},\"buckets\":[",
+                    netcrafter_sim::trace::json_string(&link.link),
+                    link.is_inter,
+                    metric,
+                    series.window(),
+                ));
+                for (i, (_, v)) in series.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push_str("]}\n");
+            }
+        }
+        out
     }
 }
 

@@ -22,5 +22,5 @@
 pub mod experiment;
 pub mod system;
 
-pub use experiment::{Experiment, JobSpec, RunResult, SystemVariant};
-pub use system::System;
+pub use experiment::{Experiment, JobSpec, RunResult, SystemVariant, TraceData, TraceOptions};
+pub use system::{LinkSeries, System};

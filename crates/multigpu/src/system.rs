@@ -8,12 +8,24 @@ use netcrafter_core::ClusterQueue;
 use netcrafter_gpu::{lasp, Cu, CuWiring, Rdma, RdmaWiring};
 use netcrafter_mem::l2::{L2Cache, L2Wiring};
 use netcrafter_mem::Dram;
+use netcrafter_net::PortSeries;
 use netcrafter_net::{FifoQueue, Switch, SwitchPortSpec, Topology};
 use netcrafter_proto::config::PA_GPU_REGION_BITS;
 use netcrafter_proto::WavefrontTrace;
 use netcrafter_proto::{GpuId, KernelSpec, Metrics, SystemConfig};
-use netcrafter_sim::{ComponentId, Cycle, Engine, EngineBuilder};
+use netcrafter_sim::{ComponentId, Cycle, Engine, EngineBuilder, Trace, TraceConfig};
 use netcrafter_vm::{TranslationUnit, TranslationWiring};
+
+/// One sampled egress link: a human-readable label plus its time series.
+#[derive(Debug)]
+pub struct LinkSeries {
+    /// `"<switch>-><peer node>"`, e.g. `"cluster0.switch->node4"`.
+    pub link: String,
+    /// True for inter-cluster links (the ones NetCrafter targets).
+    pub is_inter: bool,
+    /// Windowed bandwidth/occupancy/pooling curves for the link.
+    pub series: PortSeries,
+}
 
 /// Component ids of everything in the node, for stats harvesting.
 #[derive(Debug, Clone)]
@@ -327,6 +339,53 @@ impl System {
     /// The configuration the node was built with.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Turns on structured event tracing for every component, filtered by
+    /// `config`. Call before running; harvest with [`System::take_trace`].
+    pub fn enable_tracing(&mut self, config: TraceConfig) {
+        self.engine.enable_tracing(config);
+    }
+
+    /// Drains the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Trace {
+        self.engine.take_trace()
+    }
+
+    /// Turns on windowed bandwidth/occupancy sampling on every switch
+    /// egress port, with `window`-cycle buckets. Call before running;
+    /// harvest with [`System::take_link_series`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn enable_link_sampling(&mut self, window: Cycle) {
+        for &sw_id in &self.ids.switches {
+            self.engine
+                .get_mut::<Switch>(sw_id)
+                .expect("switch installed")
+                .enable_sampling(window);
+        }
+    }
+
+    /// Drains the per-link time series sampled since
+    /// [`System::enable_link_sampling`], labelled `switch->peer`.
+    pub fn take_link_series(&mut self) -> Vec<LinkSeries> {
+        let mut out = Vec::new();
+        for (c, &sw_id) in self.ids.switches.iter().enumerate() {
+            let sw = self
+                .engine
+                .get_mut::<Switch>(sw_id)
+                .expect("switch installed");
+            for (peer_node, is_inter, series) in sw.take_series() {
+                out.push(LinkSeries {
+                    link: format!("cluster{c}.switch->{peer_node}"),
+                    is_inter,
+                    series,
+                });
+            }
+        }
+        out
     }
 
     /// Kernel loaded on the node.

@@ -1,0 +1,138 @@
+//! End-to-end checks of the observability layer on real simulations: the
+//! structured event trace must agree with the scalar [`Metrics`] counters
+//! the figures are built from, must not perturb the simulation, and must
+//! export valid, deterministic Chrome-trace JSON.
+//!
+//! [`Metrics`]: netcrafter_proto::Metrics
+
+use netcrafter_multigpu::{Experiment, RunResult, SystemVariant, TraceData, TraceOptions};
+use netcrafter_sim::trace::json;
+use netcrafter_sim::{Phase, TraceConfig};
+use netcrafter_workloads::Workload;
+
+/// A quick GUPS run with full tracing and 256-cycle link sampling.
+fn traced_quick(variant: SystemVariant) -> (RunResult, TraceData) {
+    let opts = TraceOptions {
+        config: Some(TraceConfig::default()),
+        sample_window: Some(256),
+    };
+    Experiment::quick(Workload::Gups, variant).run_traced(&opts)
+}
+
+#[test]
+fn traced_event_counts_agree_with_metrics() {
+    let (result, data) = traced_quick(SystemVariant::NetCrafter);
+    let m = &result.metrics;
+    let t = &data.trace;
+    assert!(!t.events.is_empty(), "a full trace records events");
+
+    // Every flit arrival at a switch is one `flit.rx` instant.
+    assert_eq!(t.count("flit.rx") as u64, m.counter("net.arrived"));
+    // Every page-table walk opens one `ptw.walk` span.
+    assert_eq!(
+        t.count_phase("ptw.walk", Phase::Begin) as u64,
+        m.counter("total.gmmu.walks")
+    );
+    assert!(t.count("ptw.walk") > 0, "cold TLBs must walk");
+    // Walk spans close: the run drains, so begins pair with ends.
+    assert_eq!(
+        t.count_phase("ptw.walk", Phase::Begin),
+        t.count_phase("ptw.walk", Phase::End)
+    );
+    // L1 miss lifetimes likewise all complete.
+    assert_eq!(
+        t.count_phase("l1.miss", Phase::Begin),
+        t.count_phase("l1.miss", Phase::End)
+    );
+    // Every stitched parent ejected from a Cluster Queue is one event.
+    assert_eq!(
+        t.count("stitch.eject") as u64,
+        m.counter("net.inter.cq.stitched_parents")
+    );
+}
+
+#[test]
+fn link_series_sums_match_flit_counters() {
+    let (result, data) = traced_quick(SystemVariant::Baseline);
+    assert!(!data.links.is_empty(), "sampling covers every egress port");
+    let inter_flits: u64 = data
+        .links
+        .iter()
+        .filter(|l| l.is_inter)
+        .map(|l| l.series.flits.total())
+        .sum();
+    assert_eq!(
+        inter_flits,
+        result.metrics.counter("net.inter.flits"),
+        "windowed per-link flit series must sum to the scalar counter"
+    );
+    let jsonl = data.links_to_jsonl();
+    for line in jsonl.lines() {
+        json::parse(line).expect("every time-series line is valid JSON");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+    let plain = exp.run();
+    let (traced, _) = traced_quick(SystemVariant::NetCrafter);
+    assert_eq!(plain.exec_cycles, traced.exec_cycles);
+    assert_eq!(plain.metrics.to_kv(), traced.metrics.to_kv());
+}
+
+#[test]
+fn chrome_json_from_a_real_run_round_trips() {
+    let (_, data) = traced_quick(SystemVariant::NetCrafter);
+    let text = data.trace.to_chrome_json();
+    let doc = json::parse(&text).expect("chrome trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    // One thread_name metadata record per track, then the real events.
+    let meta = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .count();
+    assert_eq!(meta, data.trace.tracks.len());
+    assert_eq!(events.len(), meta + data.trace.events.len());
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+        assert!(matches!(ph, "M" | "i" | "b" | "e" | "C"), "phase {ph:?}");
+        if ph != "M" {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("cat").and_then(|v| v.as_str()).is_some());
+        }
+    }
+}
+
+#[test]
+fn traces_of_identical_runs_are_identical() {
+    let (_, a) = traced_quick(SystemVariant::NetCrafter);
+    let (_, b) = traced_quick(SystemVariant::NetCrafter);
+    assert_eq!(a.trace.to_chrome_json(), b.trace.to_chrome_json());
+    assert_eq!(a.links_to_jsonl(), b.links_to_jsonl());
+}
+
+#[test]
+fn filter_restricts_what_is_recorded() {
+    let opts = TraceOptions {
+        config: Some(TraceConfig::parse("class=ptw").expect("valid filter")),
+        sample_window: None,
+    };
+    let (_, data) = Experiment::quick(Workload::Gups, SystemVariant::Baseline).run_traced(&opts);
+    assert!(data.trace.count("ptw.walk") > 0, "ptw class is kept");
+    assert_eq!(data.trace.count("flit.rx"), 0, "flit class is filtered");
+    assert!(data.links.is_empty(), "sampling stays off");
+
+    let opts = TraceOptions {
+        config: Some(TraceConfig::parse("comp=no-such-component").expect("valid filter")),
+        sample_window: None,
+    };
+    let (_, data) = Experiment::quick(Workload::Gups, SystemVariant::Baseline).run_traced(&opts);
+    assert!(
+        data.trace.events.is_empty(),
+        "component filter excludes all"
+    );
+}

@@ -24,7 +24,7 @@ pub mod switch;
 pub mod synthetic;
 pub mod topology;
 
-pub use port::{EgressPort, EgressQueue, FifoQueue, PortStats};
+pub use port::{EgressPort, EgressQueue, FifoQueue, PortSeries, PortStats};
 pub use seg::{Reassembler, Segmenter};
 pub use switch::{Switch, SwitchPortSpec};
 pub use synthetic::{load_latency_sweep, LoadPoint, SyntheticConfig};

@@ -8,8 +8,8 @@
 //! Cluster Queue performs Stitching, Flit Pooling and Sequencing inside
 //! its `pop`.
 
-use netcrafter_proto::{Flit, Message, Metrics, NodeId, TrafficClass};
-use netcrafter_sim::{ComponentId, Ctx, Cycle, RateLimiter};
+use netcrafter_proto::{Flit, Message, Metrics, NodeId, TimeSeries, TrafficClass};
+use netcrafter_sim::{ComponentId, Ctx, Cycle, EventClass, RateLimiter, Tracer};
 use std::collections::VecDeque;
 
 /// The queue behind an egress port. `pop` may return `None` even when the
@@ -18,11 +18,22 @@ pub trait EgressQueue {
     /// Enqueues a flit at cycle `now`.
     fn push(&mut self, flit: Flit, now: Cycle);
 
-    /// Dequeues the next flit to transmit, if any is willing to go.
-    fn pop(&mut self, now: Cycle) -> Option<Flit>;
+    /// Dequeues the next flit to transmit, if any is willing to go. The
+    /// tracer is focused on the owning component; queues that make
+    /// scheduling decisions (stitching, pooling, sequencing) emit their
+    /// per-decision events through it.
+    fn pop(&mut self, now: Cycle, tracer: &mut Tracer) -> Option<Flit>;
 
     /// Flits currently held.
     fn len(&self) -> usize;
+
+    /// Flits currently parked in pooling side-slots (0 for queues that
+    /// never pool). Sampled per cycle by the link telemetry: the per-window
+    /// integral of this value is the aggregate pooling delay in
+    /// flit-cycles (Little's law).
+    fn pooled_len(&self) -> usize {
+        0
+    }
 
     /// True when no flit is held.
     fn is_empty(&self) -> bool {
@@ -53,7 +64,7 @@ impl EgressQueue for FifoQueue {
         self.q.push_back(flit);
     }
 
-    fn pop(&mut self, _now: Cycle) -> Option<Flit> {
+    fn pop(&mut self, _now: Cycle, _tracer: &mut Tracer) -> Option<Flit> {
         self.q.pop_front()
     }
 
@@ -137,6 +148,36 @@ impl PortStats {
     }
 }
 
+/// Windowed per-link time series sampled by an [`EgressPort`] when
+/// sampling is enabled: the raw material of the bandwidth, occupancy and
+/// pooling-delay curves.
+#[derive(Debug, Clone)]
+pub struct PortSeries {
+    /// Useful payload bytes transmitted per window (bandwidth curve).
+    pub bytes: TimeSeries,
+    /// Flits transmitted per window.
+    pub flits: TimeSeries,
+    /// Per-cycle queue-length integral per window: dividing by the window
+    /// width gives mean queue occupancy; the integral itself is aggregate
+    /// queueing delay in flit-cycles.
+    pub occupancy: TimeSeries,
+    /// Per-cycle pooled-slot integral per window — the pooling-delay
+    /// curve (non-zero only on Cluster Queue ports).
+    pub pooled: TimeSeries,
+}
+
+impl PortSeries {
+    /// Creates an empty series set with the given window width (cycles).
+    pub fn new(window: u64) -> Self {
+        PortSeries {
+            bytes: TimeSeries::new(window),
+            flits: TimeSeries::new(window),
+            occupancy: TimeSeries::new(window),
+            pooled: TimeSeries::new(window),
+        }
+    }
+}
+
 /// A rate-limited, credit-flow-controlled transmit port.
 pub struct EgressPort {
     /// Engine address of the next hop's component.
@@ -155,6 +196,9 @@ pub struct EgressPort {
     wire_latency: u64,
     /// Transmit statistics.
     pub stats: PortStats,
+    /// Windowed telemetry, `None` (and costing one branch per tick)
+    /// unless [`EgressPort::enable_sampling`] was called.
+    series: Option<Box<PortSeries>>,
 }
 
 impl std::fmt::Debug for EgressPort {
@@ -196,7 +240,25 @@ impl EgressPort {
             credits: initial_credits,
             wire_latency,
             stats: PortStats::default(),
+            series: None,
         }
+    }
+
+    /// Turns on windowed time-series sampling with `window` cycles per
+    /// bucket. Idempotent only in the sense that calling again resets the
+    /// series.
+    pub fn enable_sampling(&mut self, window: u64) {
+        self.series = Some(Box::new(PortSeries::new(window)));
+    }
+
+    /// The sampled series, if sampling is enabled.
+    pub fn series(&self) -> Option<&PortSeries> {
+        self.series.as_deref()
+    }
+
+    /// Extracts the sampled series, disabling further sampling.
+    pub fn take_series(&mut self) -> Option<PortSeries> {
+        self.series.take().map(|b| *b)
     }
 
     /// True if the output buffer has room for another flit.
@@ -248,16 +310,31 @@ impl EgressPort {
     /// Advances one cycle: accrues bandwidth and transmits as many flits
     /// as rate, credits and the queue allow.
     pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.cycle();
+        if let Some(series) = self.series.as_deref_mut() {
+            series.occupancy.add(now, self.queue.len() as u64);
+            series.pooled.add(now, self.queue.pooled_len() as u64);
+        }
         self.rate.accrue();
         let mut sent_any = false;
         while self.credits > 0 && self.rate.try_consume(1.0) {
-            let Some(flit) = self.queue.pop(ctx.cycle()) else {
+            let Some(flit) = self.queue.pop(now, ctx.tracer()) else {
                 // Refund the rate token: nothing was willing to go (the
                 // queue may be pooling).
                 break;
             };
             self.credits -= 1;
             self.stats.record(&flit);
+            let used = flit.used_bytes() as u64;
+            if let Some(series) = self.series.as_deref_mut() {
+                series.bytes.add(now, used);
+                series.flits.add(now, 1);
+            }
+            let tracer = ctx.tracer();
+            if tracer.wants(EventClass::Flit) {
+                let id = flit.chunks.first().map(|c| c.packet.0).unwrap_or(0);
+                tracer.instant(EventClass::Flit, "flit.tx", id, used);
+            }
             sent_any = true;
             ctx.send(
                 self.peer,

@@ -11,9 +11,9 @@
 use std::collections::BTreeMap;
 
 use netcrafter_proto::{Flit, Message, Metrics, NodeId};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Tracer};
 
-use crate::port::{EgressPort, EgressQueue};
+use crate::port::{EgressPort, EgressQueue, PortSeries};
 
 /// Everything needed to wire one bidirectional switch port.
 pub struct SwitchPortSpec {
@@ -148,6 +148,27 @@ impl Switch {
             .map(|p| (p.peer_node, p.is_inter, &p.egress.stats))
     }
 
+    /// Turns on windowed time-series sampling on every egress port
+    /// (`window` cycles per bucket). See [`PortSeries`].
+    pub fn enable_sampling(&mut self, window: u64) {
+        for port in &mut self.ports {
+            port.egress.enable_sampling(window);
+        }
+    }
+
+    /// Extracts the sampled per-link series: `(peer_node, is_inter,
+    /// series)` for every port where sampling was enabled.
+    pub fn take_series(&mut self) -> Vec<(NodeId, bool, PortSeries)> {
+        self.ports
+            .iter_mut()
+            .filter_map(|p| {
+                p.egress
+                    .take_series()
+                    .map(|series| (p.peer_node, p.is_inter, series))
+            })
+            .collect()
+    }
+
     /// Dumps statistics under `prefix`: aggregate counters plus per-port
     /// egress counters, inter-cluster ports additionally aggregated under
     /// `<prefix>.inter`.
@@ -186,7 +207,7 @@ impl Switch {
     /// Attempts to route `flit` out of the switch. On success the flit is
     /// placed in the relevant output buffer(s) and `true` is returned; on
     /// back-pressure the flit is returned to the caller via `Err`.
-    fn try_route(&mut self, flit: Flit, now: Cycle) -> Result<(), Flit> {
+    fn try_route(&mut self, flit: Flit, now: Cycle, tracer: &mut Tracer) -> Result<(), Flit> {
         if flit.dst == self.node {
             // A stitched flit addressed to this switch: un-stitch and
             // route every constituent to its own endpoint.
@@ -202,7 +223,15 @@ impl Switch {
                 self.stats.output_stalls += 1;
                 return Err(flit);
             }
-            self.stats.unstitched_flits += u64::from(flit.is_stitched());
+            if flit.is_stitched() {
+                self.stats.unstitched_flits += 1;
+                tracer.instant(
+                    EventClass::Stitch,
+                    "stitch.unpack",
+                    flit.chunks.first().map(|c| c.packet.0).unwrap_or(0),
+                    flit.chunks.len() as u64,
+                );
+            }
             let parts = flit.unstitch();
             self.stats.unstitched_chunks += parts.len() as u64;
             for part in parts {
@@ -242,6 +271,11 @@ impl Component for Switch {
                         self.name
                     );
                     self.stats.arrived += 1;
+                    let tracer = ctx.tracer();
+                    if tracer.wants(EventClass::Flit) {
+                        let id = flit.chunks.first().map(|c| c.packet.0).unwrap_or(0);
+                        tracer.instant(EventClass::Flit, "flit.rx", id, flit.used_bytes() as u64);
+                    }
                     port.in_pipe.push(now + self.pipeline_cycles as Cycle, flit);
                 }
                 Message::Credit { from, count } => {
@@ -258,7 +292,7 @@ impl Component for Switch {
         for ix in 0..self.ports.len() {
             // Retry a previously stalled flit first (ordering).
             if let Some(flit) = self.ports[ix].stalled.take() {
-                match self.try_route(flit, now) {
+                match self.try_route(flit, now, ctx.tracer()) {
                     Ok(()) => {
                         let (peer, peer_node) = (self.ports[ix].peer, self.ports[ix].peer_node);
                         let _ = peer_node;
@@ -278,7 +312,7 @@ impl Component for Switch {
                 }
             }
             while let Some(flit) = self.ports[ix].in_pipe.pop_ready(now) {
-                match self.try_route(flit, now) {
+                match self.try_route(flit, now, ctx.tracer()) {
                     Ok(()) => {
                         let peer = self.ports[ix].peer;
                         ctx.send(

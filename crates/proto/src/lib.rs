@@ -40,4 +40,4 @@ pub use ids::{AccessId, ClusterId, CtaId, CuId, GpuId, NodeId, PacketId, Wavefro
 pub use kernel::{AccessPattern, BufferSpec, CtaSpec, KernelSpec};
 pub use message::{MemReq, MemRsp, Message, Origin, TransReq, TransRsp};
 pub use packet::{Packet, PacketKind, PacketPayload, TrafficClass, TrimInfo, ALL_PACKET_KINDS};
-pub use stats::{Histogram, LatencyStat, Metrics};
+pub use stats::{Histogram, LatencyStat, Metrics, TimeSeries};

@@ -100,6 +100,102 @@ impl Histogram {
     }
 }
 
+/// A fixed-window time series: accumulates `u64` amounts into consecutive
+/// cycle windows of equal width.
+///
+/// The backing vector grows on demand as samples land in later windows
+/// (*rollover*), so recording is O(1) amortised and idle tails cost
+/// nothing. Used by the telemetry layer for per-link bandwidth, queue
+/// occupancy integrals and pooling-delay curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    window: u64,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with `window` cycles per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "TimeSeries window must be positive");
+        TimeSeries {
+            window,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Cycles per bucket.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Adds `amount` to the bucket containing `cycle`, extending the
+    /// series as needed.
+    #[inline]
+    pub fn add(&mut self, cycle: u64, amount: u64) {
+        let ix = (cycle / self.window) as usize;
+        if ix >= self.buckets.len() {
+            self.buckets.resize(ix + 1, 0);
+        }
+        self.buckets[ix] += amount;
+    }
+
+    /// Number of buckets (index of the last touched window + 1).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Value of bucket `ix` (0 beyond the recorded range).
+    pub fn bucket(&self, ix: usize) -> u64 {
+        self.buckets.get(ix).copied().unwrap_or(0)
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Largest bucket value (0 if empty).
+    pub fn peak(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates `(window_start_cycle, value)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i as u64 * self.window, v))
+    }
+
+    /// Merges another series into this one, bucket by bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ — merging misaligned series
+    /// would silently smear time.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge TimeSeries with different windows"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+}
+
 /// The harvested metrics of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -344,6 +440,56 @@ mod tests {
         assert_eq!(h.fraction(48), 0.0);
         let buckets: Vec<_> = h.iter().collect();
         assert_eq!(buckets, vec![(16, 2), (32, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn time_series_window_rollover() {
+        let mut ts = TimeSeries::new(100);
+        assert!(ts.is_empty());
+        ts.add(0, 5);
+        ts.add(99, 5); // same window
+        assert_eq!(ts.len(), 1);
+        ts.add(100, 7); // rolls into window 1
+        assert_eq!(ts.len(), 2);
+        ts.add(950, 1); // far rollover extends through empty windows
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.bucket(0), 10);
+        assert_eq!(ts.bucket(1), 7);
+        assert_eq!(ts.bucket(5), 0);
+        assert_eq!(ts.bucket(9), 1);
+        assert_eq!(ts.bucket(99), 0, "beyond recorded range reads as 0");
+        assert_eq!(ts.total(), 18);
+        assert_eq!(ts.peak(), 10);
+        let points: Vec<_> = ts.iter().take(3).collect();
+        assert_eq!(points, vec![(0, 10), (100, 7), (200, 0)]);
+    }
+
+    #[test]
+    fn time_series_merge_extends_and_adds() {
+        let mut a = TimeSeries::new(10);
+        a.add(0, 1);
+        a.add(15, 2);
+        let mut b = TimeSeries::new(10);
+        b.add(5, 10);
+        b.add(35, 20);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.bucket(0), 11);
+        assert_eq!(a.bucket(1), 2);
+        assert_eq!(a.bucket(3), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn time_series_merge_rejects_window_mismatch() {
+        let mut a = TimeSeries::new(10);
+        a.merge(&TimeSeries::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn time_series_rejects_zero_window() {
+        let _ = TimeSeries::new(0);
     }
 
     #[test]

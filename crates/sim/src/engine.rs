@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use netcrafter_proto::Message;
 
+use crate::trace::{Trace, TraceConfig, Tracer};
 use crate::Cycle;
 
 /// Index of a component and of its (single) mailbox.
@@ -43,6 +44,7 @@ pub struct Ctx<'a> {
     inbox: &'a mut VecDeque<Message>,
     outbox: &'a mut Vec<(Cycle, ComponentId, Message)>,
     self_id: ComponentId,
+    tracer: &'a mut Tracer,
 }
 
 impl Ctx<'_> {
@@ -82,6 +84,13 @@ impl Ctx<'_> {
     pub fn send(&mut self, dst: ComponentId, msg: Message, delay: u64) {
         let when = self.cycle + delay.max(1);
         self.outbox.push((when, dst, msg));
+    }
+
+    /// The structured-event tracer, focused on this component. A single
+    /// branch and a no-op when tracing is disabled (the default).
+    #[inline]
+    pub fn tracer(&mut self) -> &mut Tracer {
+        self.tracer
     }
 }
 
@@ -171,6 +180,7 @@ impl EngineBuilder {
             delivered: 0,
             outbox: Vec::new(),
             trace: None,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -204,6 +214,7 @@ pub struct Engine {
     delivered: u64,
     outbox: Vec<(Cycle, ComponentId, Message)>,
     trace: Option<(VecDeque<TraceEvent>, usize)>,
+    tracer: Tracer,
 }
 
 impl Engine {
@@ -254,6 +265,31 @@ impl Engine {
                 )
             })
             .collect()
+    }
+
+    /// Turns on structured-event tracing with the given filter. One track
+    /// is registered per component (in id order), so [`crate::Event::track`]
+    /// equals the component id. Call before running; events from earlier
+    /// cycles are simply absent.
+    pub fn enable_tracing(&mut self, config: TraceConfig) {
+        let mut tracer = Tracer::new(config);
+        for comp in &self.components {
+            tracer.register_track(comp.name());
+        }
+        tracer.set_now(self.cycle);
+        self.tracer = tracer;
+    }
+
+    /// The structured-event tracer (disabled unless
+    /// [`Engine::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Extracts everything recorded since [`Engine::enable_tracing`] (or
+    /// the last call to this method), leaving tracing active.
+    pub fn take_trace(&mut self) -> Trace {
+        self.tracer.take()
     }
 
     #[inline]
@@ -330,12 +366,15 @@ impl Engine {
         }
 
         // Tick all components.
+        self.tracer.set_now(self.cycle);
         for (i, comp) in self.components.iter_mut().enumerate() {
+            self.tracer.focus(i as u32);
             let mut ctx = Ctx {
                 cycle: self.cycle,
                 inbox: &mut self.inboxes[i],
                 outbox: &mut self.outbox,
                 self_id: ComponentId(i),
+                tracer: &mut self.tracer,
             };
             comp.tick(&mut ctx);
         }

@@ -22,9 +22,11 @@
 
 pub mod engine;
 pub mod timing;
+pub mod trace;
 
 pub use engine::{Component, ComponentId, Ctx, Engine, EngineBuilder, TraceEvent};
 pub use timing::{DelayQueue, RateLimiter, Ticker};
+pub use trace::{Event, EventClass, Phase, Trace, TraceConfig, Tracer};
 
 /// Simulation time in core clock cycles (1 GHz).
 pub type Cycle = u64;

@@ -17,7 +17,7 @@ use netcrafter_proto::{
     AccessId, GpuId, LatencyStat, LineMask, MemReq, Message, Metrics, Origin, TrafficClass,
     TransReq, TransRsp,
 };
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass};
 
 use crate::pagetable::PageTable;
 use crate::tlb::Tlb;
@@ -224,6 +224,7 @@ impl TranslationUnit {
         debug_assert!(self.active.len() < self.max_walkers);
         self.stats.walks += 1;
         self.stats.walk_reads_hist[reads.len().min(4)] += 1;
+        ctx.tracer().begin(EventClass::Ptw, "ptw.walk", vpn);
         self.active.insert(
             vpn,
             Walk {
@@ -239,6 +240,7 @@ impl TranslationUnit {
     fn complete_walk(&mut self, ctx: &mut Ctx<'_>, vpn: u64, now: Cycle) {
         let walk = self.active.remove(&vpn).expect("walk active");
         self.stats.walk_latency.record(now - walk.started);
+        ctx.tracer().end(EventClass::Ptw, "ptw.walk", vpn);
         let pfn = self
             .page_table
             .translate(vpn)
