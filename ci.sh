@@ -88,6 +88,37 @@ mv "$artifact_dir/trace-a.json" "$artifact_dir/fig14-trace.json"
 mv "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/fig14-timeseries.jsonl"
 rm -f "$artifact_dir/trace-b.json" "$artifact_dir/timeseries-b.jsonl"
 
+echo "==> scheduler equivalence: event-driven vs --legacy-scheduler"
+# The event-driven scheduler is a pure host-speed optimisation: the fig14
+# matrix and the event trace must be bit-identical under both schedulers.
+if ! legacy_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+    --quick fig14 --legacy-scheduler 2>"$seq_err"); then
+    echo "FAIL: legacy-scheduler figures run failed:" >&2
+    cat "$seq_err" >&2
+    exit 1
+fi
+if [[ "$seq_out" != "$legacy_out" ]]; then
+    echo "FAIL: legacy-scheduler figure output differs from event-driven" >&2
+    diff <(echo "$seq_out") <(echo "$legacy_out") >&2 || true
+    exit 1
+fi
+cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+    --legacy-scheduler \
+    --trace "$artifact_dir/trace-legacy.json" \
+    --timeseries "$artifact_dir/timeseries-legacy.jsonl" >/dev/null
+if ! cmp -s "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-legacy.json"; then
+    echo "FAIL: legacy-scheduler event trace differs from event-driven" >&2
+    cmp "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-legacy.json" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-legacy.jsonl"; then
+    echo "FAIL: legacy-scheduler time series differs from event-driven" >&2
+    cmp "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-legacy.jsonl" >&2 || true
+    exit 1
+fi
+rm -f "$artifact_dir/trace-legacy.json" "$artifact_dir/timeseries-legacy.jsonl"
+
 echo "==> perf-regression gate: fig14 headline numbers vs committed baseline"
 cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
     emit "$artifact_dir/BENCH_fig14.json" --jobs 4

@@ -8,12 +8,14 @@
 //! `emit` runs the quick-scale Figure 14 experiment matrix (every
 //! workload × the cumulative NetCrafter variants) and writes a JSON
 //! report: per-run execution cycles, per-variant speedups over baseline,
-//! geomean speedups, and the host simulation rate. The simulator is
-//! deterministic, so cycles and speedups are exactly reproducible;
-//! `check` compares two reports and fails (exit 1) with a readable diff
-//! when any gated number drifts beyond `--tolerance` percent (default 0,
-//! i.e. exact). The cycles-per-second rate varies with the host and is
-//! reported but never gated.
+//! geomean speedups, and the host simulation rate (aggregate plus
+//! per-run `host_cycles_per_sec`). The simulator is deterministic, so
+//! cycles and speedups are exactly reproducible; `check` compares two
+//! reports and fails (exit 1) with a readable diff when any gated number
+//! drifts beyond `--tolerance` percent (default 0, i.e. exact). The
+//! cycles-per-second rates vary with the host and are reported but never
+//! gated. `--legacy-scheduler` runs the matrix under the legacy
+//! tick-everything engine scheduler (the numbers must not change).
 //!
 //! An intentional model change therefore requires re-committing the
 //! baseline: `cargo run --release -p netcrafter-bench --bin bench_gate --
@@ -39,7 +41,7 @@ const VARIANTS: [SystemVariant; 4] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate emit OUT.json [--jobs N]\n\
+        "usage: bench_gate emit OUT.json [--jobs N] [--legacy-scheduler]\n\
          \u{20}      bench_gate check BASELINE.json CURRENT.json [--tolerance PCT]"
     );
     std::process::exit(2);
@@ -47,6 +49,9 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--legacy-scheduler") {
+        netcrafter_sim::set_default_scheduler(netcrafter_sim::SchedulerMode::Legacy);
+    }
     match args.first().map(String::as_str) {
         Some("emit") => emit(&args[1..]),
         Some("check") => check(&args[1..]),
@@ -80,6 +85,17 @@ fn emit(args: &[String]) -> ! {
     runner.sweep(&jobs_list);
     let wall = t0.elapsed().as_secs_f64();
 
+    // Per-run host throughput (informational, never gated): the sweep
+    // resolves each unique job exactly once, so its stat is the run's.
+    let stats = runner.job_stats();
+    let host_rate = |key: &str| -> f64 {
+        stats
+            .iter()
+            .find(|s| s.memo_key == key)
+            .map(|s| s.cycles_per_sec())
+            .unwrap_or(0.0)
+    };
+
     let mut runs = String::new();
     let mut speedups = String::new();
     let mut total_cycles = 0u64;
@@ -93,10 +109,12 @@ fn emit(args: &[String]) -> ! {
                 runs.push_str(",\n    ");
             }
             runs.push_str(&format!(
-                "{{\"workload\":{},\"variant\":{},\"exec_cycles\":{}}}",
+                "{{\"workload\":{},\"variant\":{},\"exec_cycles\":{},\
+                 \"host_cycles_per_sec\":{:.0}}}",
                 json_string(w.abbrev()),
                 json_string(&v.label()),
                 r.exec_cycles,
+                host_rate(&runner.job(w, v).memo_key()),
             ));
             if v != SystemVariant::Baseline {
                 let s = base.exec_cycles as f64 / r.exec_cycles as f64;

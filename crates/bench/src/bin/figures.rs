@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--quick] [--big] [--verbose] [--jobs N] [--cache-dir DIR]
 //!         [--trace FILE] [--timeseries FILE] [--trace-filter SPEC]
-//!         [--sample-window N] <id>... | all
+//!         [--sample-window N] [--legacy-scheduler] <id>... | all
 //! ```
 //!
 //! Ids: table1, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig12,
@@ -34,6 +34,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Must run before any simulation; the printed tables are identical
+    // under both schedulers (CI diffs them), only host speed changes.
+    if args.iter().any(|a| a == "--legacy-scheduler") {
+        netcrafter_sim::set_default_scheduler(netcrafter_sim::SchedulerMode::Legacy);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let big = args.iter().any(|a| a == "--big");
     let verbose = args.iter().any(|a| a == "--verbose");

@@ -11,6 +11,7 @@
 //!          [--dump-metrics] [--csv FILE]
 //!          [--trace FILE] [--timeseries FILE]
 //!          [--trace-filter SPEC] [--sample-window N]
+//!          [--legacy-scheduler]
 //! ```
 //!
 //! `--variant all` sweeps every variant of the workload (in parallel
@@ -58,6 +59,12 @@ const ALL_VARIANTS: [SystemVariant; 8] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Scheduler selection must precede any engine construction; the
+    // metrics are identical either way (CI enforces it), so this only
+    // trades host speed for a simpler tick loop.
+    if args.iter().any(|a| a == "--legacy-scheduler") {
+        netcrafter_sim::set_default_scheduler(netcrafter_sim::SchedulerMode::Legacy);
+    }
     let get = |flag: &str| -> Option<String> {
         args.iter()
             .position(|a| a == flag)
@@ -70,7 +77,8 @@ fn main() {
              [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
              [--scale tiny|small|paper] [--seed N] [--pool-window N] \
              [--trim-granularity N] [--jobs N] [--cache-dir DIR] [--dump-metrics] \
-             [--trace FILE] [--timeseries FILE] [--trace-filter SPEC] [--sample-window N]\n\
+             [--trace FILE] [--timeseries FILE] [--trace-filter SPEC] [--sample-window N] \
+             [--legacy-scheduler]\n\
              workloads: {:?}\n\
              variants: baseline ideal netcrafter stitch trim seq sector stitchtrim all",
             Workload::ALL.map(|w| w.abbrev())

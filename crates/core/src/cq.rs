@@ -392,6 +392,17 @@ impl EgressQueue for ClusterQueue {
         self.pooled.iter().filter(|slot| slot.is_some()).count()
     }
 
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Any un-pooled flit can be served (or parked) immediately; with
+        // only pooled parents left, nothing happens until the earliest
+        // window expires — pops in between are side-effect-free, so the
+        // owning port may sleep until then.
+        if self.queues.iter().any(|q| !q.is_empty()) {
+            return Some(now);
+        }
+        self.pooled.iter().flatten().map(|(_, until)| *until).min()
+    }
+
     fn report(&self, metrics: &mut Metrics, prefix: &str) {
         self.stats.report(metrics, prefix);
     }

@@ -19,7 +19,7 @@ use netcrafter_proto::{
     AccessId, CuId, GpuId, LatencyStat, MemReq, Message, Metrics, Origin, PAddr, TrafficClass,
     TransReq, PAGE_BYTES,
 };
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass, Wake};
 use netcrafter_vm::Tlb;
 
 /// Where the CU's outgoing traffic goes.
@@ -482,6 +482,18 @@ impl Component for Cu {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        // A busy CU counts idle_cycles on every non-issuing cycle, so its
+        // per-cycle tick is observable. A drained CU (all waves retired)
+        // changes state only on a message or a new kernel's `load_waves`
+        // (which re-ticks it via the engine's external-mutation tracking).
+        if self.busy() {
+            Wake::EveryCycle
+        } else {
+            Wake::OnMessage
+        }
     }
 }
 

@@ -18,7 +18,7 @@ use netcrafter_proto::{
     Flit, GpuId, MemRsp, Message, Metrics, NodeId, Packet, PacketId, PacketKind, PacketPayload,
     TrafficClass, TrimInfo,
 };
-use netcrafter_sim::{Component, ComponentId, Ctx, EventClass, Tracer};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass, Tracer, Wake};
 
 /// Where the RDMA engine's traffic goes.
 #[derive(Debug, Clone)]
@@ -251,6 +251,9 @@ impl Rdma {
 impl Component for Rdma {
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.cycle();
+        // Replay skipped cycles on the egress rate limiter before any
+        // credit message can change the balance.
+        self.egress.catch_up(now);
         while let Some(msg) = ctx.recv() {
             match msg {
                 Message::MemReq(req) => self.send_request(req, now, ctx.tracer()),
@@ -283,6 +286,14 @@ impl Component for Rdma {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_wake(&self, now: Cycle) -> Wake {
+        if !self.staging.is_empty() {
+            // Staged flits drain into the egress buffer as space frees.
+            return Wake::EveryCycle;
+        }
+        self.egress.next_wake(now)
     }
 }
 

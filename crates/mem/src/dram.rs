@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 
 use netcrafter_proto::config::DramConfig;
 use netcrafter_proto::{GpuId, MemReq, MemRsp, Message, Metrics, LINE_BYTES};
-use netcrafter_sim::{Component, ComponentId, Ctx, RateLimiter};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, RateLimiter, Wake};
 
 /// DRAM statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,6 +41,9 @@ pub struct Dram {
     queue: VecDeque<(u64, MemReq)>, // (arrival cycle, request)
     rate: RateLimiter,
     latency: u32,
+    /// Cycle of the last executed tick; idle cycles skipped by the
+    /// event-driven scheduler are replayed as pure token accrual.
+    last_tick: Cycle,
     /// Statistics.
     pub stats: DramStats,
 }
@@ -57,6 +60,7 @@ impl Dram {
                 (cfg.bytes_per_cycle as f64) * 4.0,
             ),
             latency: cfg.latency_cycles,
+            last_tick: 0,
             stats: DramStats::default(),
         }
     }
@@ -65,6 +69,15 @@ impl Dram {
 impl Component for Dram {
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.cycle();
+        // Skipped cycles had an empty queue (the wake contract), so each
+        // one would only have accrued tokens — a no-op once the bucket is
+        // full. Replay the accruals to keep the token level bit-identical.
+        let mut skipped = (now - self.last_tick).saturating_sub(1);
+        while skipped > 0 && !self.rate.is_saturated() {
+            self.rate.accrue();
+            skipped -= 1;
+        }
+        self.last_tick = now;
         while let Some(msg) = ctx.recv() {
             match msg {
                 Message::MemReq(req) => self.queue.push_back((now, req)),
@@ -96,6 +109,16 @@ impl Component for Dram {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        // Serving is bandwidth-throttled cycle by cycle; an empty queue
+        // only changes on a request message.
+        if self.queue.is_empty() {
+            Wake::OnMessage
+        } else {
+            Wake::EveryCycle
+        }
     }
 }
 

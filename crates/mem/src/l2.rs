@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use netcrafter_proto::config::CacheConfig;
 use netcrafter_proto::{GpuId, MemReq, MemRsp, Message, Metrics, Origin, LINE_BYTES};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake};
 
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::tagstore::TagStore;
@@ -340,6 +340,23 @@ impl Component for L2Cache {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        // Queued input admits one request per bank per cycle; with only
+        // pipeline contents left, nothing happens until the earliest
+        // lookup completes; MSHR-only state waits on the DRAM fill
+        // message.
+        let mut wake = Wake::OnMessage;
+        for bank in &self.banks {
+            if !bank.input.is_empty() {
+                return Wake::EveryCycle;
+            }
+            if let Some(t) = bank.pipe.next_ready() {
+                wake = wake.earliest(Wake::At(t));
+            }
+        }
+        wake
     }
 }
 

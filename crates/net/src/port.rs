@@ -9,7 +9,7 @@
 //! its `pop`.
 
 use netcrafter_proto::{Flit, Message, Metrics, NodeId, TimeSeries, TrafficClass};
-use netcrafter_sim::{ComponentId, Ctx, Cycle, EventClass, RateLimiter, Tracer};
+use netcrafter_sim::{ComponentId, Ctx, Cycle, EventClass, RateLimiter, Tracer, Wake};
 use std::collections::VecDeque;
 
 /// The queue behind an egress port. `pop` may return `None` even when the
@@ -43,6 +43,18 @@ pub trait EgressQueue {
     /// Dumps queue-specific statistics under `prefix`.
     fn report(&self, metrics: &mut Metrics, prefix: &str) {
         let _ = (metrics, prefix);
+    }
+
+    /// The earliest cycle at which `pop` might return a flit: `Some(t)`
+    /// with `t <= now` means "willing right now", a future `t` is a
+    /// pooling-window expiry, and `None` means nothing is queued. Drives
+    /// the event-driven wake of the owning port.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
     }
 }
 
@@ -199,6 +211,10 @@ pub struct EgressPort {
     /// Windowed telemetry, `None` (and costing one branch per tick)
     /// unless [`EgressPort::enable_sampling`] was called.
     series: Option<Box<PortSeries>>,
+    /// Cycle of the last executed tick; skipped cycles in between are
+    /// replayed by [`EgressPort::catch_up`] so the rate limiter's token
+    /// level stays bit-identical to ticking every cycle.
+    last_tick: Cycle,
 }
 
 impl std::fmt::Debug for EgressPort {
@@ -241,6 +257,7 @@ impl EgressPort {
             wire_latency,
             stats: PortStats::default(),
             series: None,
+            last_tick: 0,
         }
     }
 
@@ -307,10 +324,88 @@ impl EgressPort {
         self.credits
     }
 
+    /// Replays the token-bucket effects of every cycle skipped since the
+    /// last tick, exactly as the per-cycle ticks would have run them:
+    /// `accrue()` each cycle, plus one `try_consume(1.0)` whenever credits
+    /// were available (the tick loop burns one token probing an unwilling
+    /// queue — see the `else break` in [`EgressPort::tick`]).
+    ///
+    /// Must run before any credit message is applied for the current
+    /// cycle: the replay assumes the credit balance was constant across
+    /// the slept span. The owning component calls this at the top of its
+    /// tick, before draining its mailbox. Skipping a cycle is only legal
+    /// when the queue could not transmit on it (empty, or pooling with a
+    /// future release), which is exactly when the replayed ticks are
+    /// pop-free — so the token level here is the only divergent state,
+    /// and replaying it restores bit-identity.
+    pub fn catch_up(&mut self, now: Cycle) {
+        let first = self.last_tick + 1;
+        if now <= first {
+            return;
+        }
+        let mut left = now - first; // cycles last_tick+1 ..= now-1
+        if self.credits == 0 {
+            // The transmit loop's guard fails before any consume: pure
+            // accrual, which is a no-op once the bucket is full.
+            while left > 0 && !self.rate.is_saturated() {
+                self.rate.accrue();
+                left -= 1;
+            }
+        } else {
+            // accrue + one burnt token per cycle. The token level follows
+            // a short periodic orbit (it is a deterministic map on one
+            // f64); detect the period from exact bit patterns and jump.
+            let mut seen: Vec<u64> = Vec::new();
+            while left > 0 {
+                let bits = self.rate.tokens_bits();
+                if let Some(pos) = seen.iter().position(|&b| b == bits) {
+                    let period = (seen.len() - pos) as u64;
+                    left %= period;
+                    seen.clear();
+                    if left == 0 {
+                        break;
+                    }
+                } else if seen.len() < 64 {
+                    seen.push(bits);
+                }
+                self.rate.accrue();
+                self.rate.try_consume(1.0);
+                left -= 1;
+            }
+        }
+        self.last_tick = now - 1;
+    }
+
+    /// When this port next needs its owner to tick it (used by the
+    /// owner's own `next_wake`). Skipped cycles are made bit-identical by
+    /// [`EgressPort::catch_up`].
+    pub fn next_wake(&self, now: Cycle) -> Wake {
+        if self.series.is_some() {
+            // Sampling integrates queue occupancy every cycle.
+            return Wake::EveryCycle;
+        }
+        match self.queue.next_event(now) {
+            // Willing to transmit: drain per cycle while credits last;
+            // with none, only a credit message changes anything.
+            Some(t) if t <= now => {
+                if self.credits > 0 {
+                    Wake::EveryCycle
+                } else {
+                    Wake::OnMessage
+                }
+            }
+            // Pooling window: wake exactly at its expiry.
+            Some(t) => Wake::At(t),
+            None => Wake::OnMessage,
+        }
+    }
+
     /// Advances one cycle: accrues bandwidth and transmits as many flits
     /// as rate, credits and the queue allow.
     pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.cycle();
+        self.catch_up(now);
+        self.last_tick = now;
         if let Some(series) = self.series.as_deref_mut() {
             series.occupancy.add(now, self.queue.len() as u64);
             series.pooled.add(now, self.queue.pooled_len() as u64);
@@ -319,8 +414,9 @@ impl EgressPort {
         let mut sent_any = false;
         while self.credits > 0 && self.rate.try_consume(1.0) {
             let Some(flit) = self.queue.pop(now, ctx.tracer()) else {
-                // Refund the rate token: nothing was willing to go (the
-                // queue may be pooling).
+                // Nothing was willing to go (the queue may be pooling);
+                // the consumed token stays burnt, and `catch_up` replays
+                // the same burn for skipped cycles.
                 break;
             };
             self.credits -= 1;

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use netcrafter_proto::{Flit, Message, Metrics, NodeId};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Tracer};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Tracer, Wake};
 
 use crate::port::{EgressPort, EgressQueue, PortSeries};
 
@@ -256,6 +256,13 @@ impl Component for Switch {
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.cycle();
 
+        // 0. Replay skipped cycles on every egress rate limiter before any
+        //    credit from the mailbox can change a port's balance — the
+        //    replay assumes credits were constant while the switch slept.
+        for port in &mut self.ports {
+            port.egress.catch_up(now);
+        }
+
         // 1. Accept arrivals and credits.
         while let Some(msg) = ctx.recv() {
             match msg {
@@ -346,6 +353,25 @@ impl Component for Switch {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_wake(&self, now: Cycle) -> Wake {
+        let mut wake = Wake::OnMessage;
+        for port in &self.ports {
+            // A stalled flit is retried — and counted in output_stalls —
+            // every cycle, so skipping any would change the statistics.
+            if port.stalled.is_some() {
+                return Wake::EveryCycle;
+            }
+            if let Some(t) = port.in_pipe.next_ready() {
+                wake = wake.earliest(Wake::At(t));
+            }
+            match port.egress.next_wake(now) {
+                Wake::EveryCycle => return Wake::EveryCycle,
+                w => wake = wake.earliest(w),
+            }
+        }
+        wake
     }
 }
 

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use netcrafter_proto::{Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EngineBuilder, RateLimiter};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EngineBuilder, RateLimiter, Wake};
 
 use crate::port::FifoQueue;
 use crate::switch::{Switch, SwitchPortSpec};
@@ -99,6 +99,16 @@ impl Component for Source {
     fn name(&self) -> &str {
         "traffic-source"
     }
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        // Injecting: the rate limiter accrues and spends every cycle.
+        // Drained: the leftover token accrual is never consumed again, so
+        // skipping it is unobservable.
+        if self.remaining > 0 {
+            Wake::EveryCycle
+        } else {
+            Wake::OnMessage
+        }
+    }
 }
 
 /// Shared latency accumulator across all sinks.
@@ -152,6 +162,9 @@ impl Component for Sink {
     }
     fn name(&self) -> &str {
         "traffic-sink"
+    }
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
     }
 }
 

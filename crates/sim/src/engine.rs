@@ -1,6 +1,22 @@
 //! The cycle engine: components, mailboxes and delayed message delivery.
+//!
+//! Two interchangeable schedulers drive the same cycle-level semantics:
+//!
+//! * **Legacy**: every component ticks every cycle, in id order — the
+//!   reference model, selectable via [`SchedulerMode::Legacy`].
+//! * **Event-driven** (default): only components with a scheduled wake
+//!   tick, idle stretches are fast-forwarded to the next scheduled event,
+//!   and quiescence is tracked incrementally instead of rescanning every
+//!   component's [`Component::busy`] flag each cycle.
+//!
+//! The two produce bit-identical results because a component may only be
+//! skipped on cycles where its legacy tick would have been a no-op: its
+//! [`Component::next_wake`] contract promises exactly that (see
+//! DESIGN.md, "Event-driven scheduling").
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use netcrafter_proto::Message;
 
@@ -17,12 +33,80 @@ impl std::fmt::Display for ComponentId {
     }
 }
 
+/// When a component next needs to be ticked (see
+/// [`Component::next_wake`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Tick again next cycle. Always safe; required whenever the
+    /// component does per-cycle work (counts stall/idle cycles, samples a
+    /// time series, drains a queue, accrues observable rate-limiter
+    /// tokens it will spend).
+    EveryCycle,
+    /// Tick at the given cycle (clamped to the next cycle if already
+    /// due). For precisely-known timers: pipeline readiness, pooling
+    /// window expiry.
+    At(Cycle),
+    /// No tick needed until a message arrives. The engine always ticks a
+    /// component on the cycle it receives a message, whatever it last
+    /// returned.
+    OnMessage,
+}
+
+impl Wake {
+    /// The earlier of two wakes, for components composed of several
+    /// independently scheduled parts: `EveryCycle` dominates, `OnMessage`
+    /// is latest, and two timers take the smaller cycle.
+    pub fn earliest(self, other: Wake) -> Wake {
+        match (self, other) {
+            (Wake::EveryCycle, _) | (_, Wake::EveryCycle) => Wake::EveryCycle,
+            (Wake::At(a), Wake::At(b)) => Wake::At(a.min(b)),
+            (Wake::At(a), Wake::OnMessage) | (Wake::OnMessage, Wake::At(a)) => Wake::At(a),
+            (Wake::OnMessage, Wake::OnMessage) => Wake::OnMessage,
+        }
+    }
+}
+
+/// Which scheduler drives [`Engine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// Tick every component every cycle (the reference model).
+    Legacy,
+    /// Tick only woken components; fast-forward idle cycles.
+    EventDriven,
+}
+
+/// Process-wide default scheduler for newly built engines (set by the
+/// `--legacy-scheduler` CLI escape hatch before any simulation starts).
+static LEGACY_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the scheduler used by engines built after this call.
+/// [`Engine::set_scheduler`] overrides it per engine.
+pub fn set_default_scheduler(mode: SchedulerMode) {
+    LEGACY_DEFAULT.store(mode == SchedulerMode::Legacy, Ordering::Relaxed);
+}
+
+/// The scheduler newly built engines start with.
+pub fn default_scheduler() -> SchedulerMode {
+    if LEGACY_DEFAULT.load(Ordering::Relaxed) {
+        SchedulerMode::Legacy
+    } else {
+        SchedulerMode::EventDriven
+    }
+}
+
+/// Sentinel for "no scheduled wake" in the armed-cycle table.
+const NEVER: Cycle = Cycle::MAX;
+
 /// The interface every simulated hardware block implements.
 ///
-/// A component is ticked once per cycle in a fixed order. During its tick
-/// it may drain its mailbox via [`Ctx::recv`] and send messages to peers
-/// via [`Ctx::send`]; sends are staged and delivered by the engine, so a
-/// component never observes a message sent in the same cycle.
+/// A component is ticked in a fixed id order within a cycle. During its
+/// tick it may drain its mailbox via [`Ctx::recv`] and send messages to
+/// peers via [`Ctx::send`]; sends are staged and delivered by the engine,
+/// so a component never observes a message sent in the same cycle.
+///
+/// Under the event-driven scheduler a component is only ticked when a
+/// message arrives or its [`Component::next_wake`] comes due; the default
+/// (`EveryCycle`) preserves the tick-always behaviour.
 pub trait Component: std::any::Any {
     /// Advances the component by one cycle.
     fn tick(&mut self, ctx: &mut Ctx<'_>);
@@ -35,6 +119,18 @@ pub trait Component: std::any::Any {
 
     /// Human-readable instance name for traces and error messages.
     fn name(&self) -> &str;
+
+    /// When this component next needs a tick, queried right after each
+    /// tick (and used only by the event-driven scheduler).
+    ///
+    /// Contract: every cycle between now and the returned wake on which
+    /// the component is *not* ticked must be one where its tick would
+    /// have had no observable effect — no state change, no statistics or
+    /// trace events, no sends. Message arrival always forces a tick
+    /// regardless of the returned value.
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::EveryCycle
+    }
 }
 
 /// Per-tick context handed to a component: its own mailbox, the current
@@ -170,17 +266,33 @@ impl EngineBuilder {
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("component slot {i} never installed")))
             .collect();
         let n = components.len();
+        let busy_flags: Vec<bool> = components.iter().map(|c| c.busy()).collect();
+        let busy_count = busy_flags.iter().filter(|&&b| b).count();
         Engine {
             components,
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
             overflow: Vec::new(),
+            overflow_min: NEVER,
             cycle: 0,
             in_flight: 0,
             delivered: 0,
             outbox: Vec::new(),
             trace: None,
             tracer: Tracer::off(),
+            mode: default_scheduler(),
+            // Every component gets a first tick on cycle 1 and re-arms
+            // itself from there via `next_wake`.
+            armed: vec![1; n],
+            wake_heap: (0..n).map(|i| Reverse((1, i))).collect(),
+            active: Vec::new(),
+            every: vec![false; n],
+            every_count: 0,
+            woken: Vec::new(),
+            busy_flags,
+            busy_count,
+            dirty: Vec::new(),
+            dirty_flags: vec![false; n],
         }
     }
 }
@@ -209,12 +321,42 @@ pub struct Engine {
     wheel: Vec<Vec<(ComponentId, Message)>>,
     /// Deliveries further than `WHEEL_SLOTS` cycles out (rare).
     overflow: Vec<(Cycle, ComponentId, Message)>,
+    /// Earliest delivery cycle in `overflow` (`NEVER` when empty).
+    overflow_min: Cycle,
     cycle: Cycle,
     in_flight: usize,
     delivered: u64,
     outbox: Vec<(Cycle, ComponentId, Message)>,
     trace: Option<(VecDeque<TraceEvent>, usize)>,
     tracer: Tracer,
+    mode: SchedulerMode,
+    /// Next cycle each component must tick (`NEVER` = waiting on a
+    /// message). Only meaningful under the event-driven scheduler.
+    armed: Vec<Cycle>,
+    /// Lazy min-heap over `(wake cycle, id)`; entries that no longer
+    /// match `armed` are stale and skipped on pop.
+    wake_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Components whose last `next_wake` was [`Wake::EveryCycle`]: ticked
+    /// every cycle from this flat list with zero heap traffic. `every`
+    /// mirrors membership; entries whose flag has been cleared are
+    /// compacted out lazily during the per-cycle sweep.
+    active: Vec<usize>,
+    every: Vec<bool>,
+    /// Number of `true` entries in `every` (live `active` members).
+    every_count: usize,
+    /// Scratch buffer for the ids woken this cycle.
+    woken: Vec<usize>,
+    /// Cached `busy()` per component, maintained incrementally after each
+    /// tick so quiescence needs no O(n) rescan.
+    busy_flags: Vec<bool>,
+    /// Number of `true` entries in `busy_flags`.
+    busy_count: usize,
+    /// Components handed out via `get_mut`/`component_mut` since the last
+    /// step: external code may have changed their state behind the
+    /// scheduler's back, so their cached busy flag is suspect and they
+    /// are re-ticked on the next cycle.
+    dirty: Vec<usize>,
+    dirty_flags: Vec<bool>,
 }
 
 impl Engine {
@@ -238,6 +380,41 @@ impl Engine {
     /// True if the engine contains no components.
     pub fn is_empty(&self) -> bool {
         self.components.is_empty()
+    }
+
+    /// The active scheduler.
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Switches scheduler mid-flight: re-arms every component for the
+    /// next cycle and refreshes the busy cache, so no wake derived under
+    /// the previous mode is trusted.
+    pub fn set_scheduler(&mut self, mode: SchedulerMode) {
+        self.mode = mode;
+        let next = self.cycle + 1;
+        self.wake_heap.clear();
+        self.active.clear();
+        self.every_count = 0;
+        for f in &mut self.every {
+            *f = false;
+        }
+        for a in &mut self.armed {
+            *a = NEVER;
+        }
+        for i in 0..self.components.len() {
+            self.arm(i, next);
+        }
+        self.busy_count = 0;
+        for (i, c) in self.components.iter().enumerate() {
+            let b = c.busy();
+            self.busy_flags[i] = b;
+            self.busy_count += b as usize;
+        }
+        for &i in &self.dirty {
+            self.dirty_flags[i] = false;
+        }
+        self.dirty.clear();
     }
 
     /// Starts recording the last `capacity` message deliveries — the
@@ -319,20 +496,104 @@ impl Engine {
         if (when - self.cycle) < WHEEL_SLOTS as u64 {
             self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((dst, msg));
         } else {
+            self.overflow_min = self.overflow_min.min(when);
             self.overflow.push((when, dst, msg));
         }
     }
 
-    /// True when nothing remains to simulate: every mailbox is empty, no
-    /// message is in flight, and no component reports internal work.
-    pub fn quiescent(&self) -> bool {
-        self.in_flight == 0 && self.components.iter().all(|c| !c.busy())
+    /// Schedules component `id` to tick at `when` (keeping any earlier
+    /// wake it already has).
+    #[inline]
+    fn arm(&mut self, id: usize, when: Cycle) {
+        if when < self.armed[id] {
+            self.armed[id] = when;
+            self.wake_heap.push(Reverse((when, id)));
+        }
     }
 
-    /// Advances one cycle: delivers due messages, then ticks every
-    /// component in id order.
+    /// Drops `id` from the always-on set (its stale `active` entry is
+    /// compacted on the next per-cycle sweep).
+    #[inline]
+    fn unevery(&mut self, id: usize) {
+        if self.every[id] {
+            self.every[id] = false;
+            self.every_count -= 1;
+        }
+    }
+
+    /// Marks a component as externally mutated: its cached busy flag is
+    /// recomputed on the next quiescence check / step, and it gets a tick.
+    /// Arming here (not in `flush_dirty`) keeps the wake visible to
+    /// `fast_forward`, which runs before the step that flushes.
+    #[inline]
+    fn mark_dirty(&mut self, id: usize) {
+        if !self.dirty_flags[id] {
+            self.dirty_flags[id] = true;
+            self.dirty.push(id);
+            self.arm(id, self.cycle + 1);
+        }
+    }
+
+    /// Re-syncs the busy cache for externally mutated components (they
+    /// were armed for a tick by `mark_dirty`).
+    fn flush_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty);
+        for &i in &dirty {
+            self.dirty_flags[i] = false;
+            let live = self.components[i].busy();
+            if live != self.busy_flags[i] {
+                self.busy_flags[i] = live;
+                if live {
+                    self.busy_count += 1;
+                } else {
+                    self.busy_count -= 1;
+                }
+            }
+        }
+        dirty.clear();
+        self.dirty = dirty;
+    }
+
+    /// True when nothing remains to simulate: every mailbox is empty, no
+    /// message is in flight, and no component reports internal work.
+    ///
+    /// O(1) via the incrementally maintained busy count, plus a live
+    /// check of any component mutated through `get_mut` since the last
+    /// step.
+    pub fn quiescent(&self) -> bool {
+        if self.in_flight != 0 {
+            return false;
+        }
+        if self.dirty.is_empty() {
+            return self.busy_count == 0;
+        }
+        let mut count = self.busy_count;
+        for &i in &self.dirty {
+            let live = self.components[i].busy();
+            if live != self.busy_flags[i] {
+                if live {
+                    count += 1;
+                } else {
+                    count -= 1;
+                }
+            }
+        }
+        count == 0
+    }
+
+    /// Advances one cycle: delivers due messages, then ticks components —
+    /// all of them under [`SchedulerMode::Legacy`], only woken ones under
+    /// [`SchedulerMode::EventDriven`].
     pub fn step(&mut self) {
         self.cycle += 1;
+        self.flush_dirty();
+        let event_mode = self.mode == SchedulerMode::EventDriven;
+        // Hoisted so the per-delivery cost is a plain push when the
+        // delivery ring is off (the common case).
+        let tracing = self.trace.is_some();
 
         // Deliver messages due this cycle.
         let slot = (self.cycle % WHEEL_SLOTS as u64) as usize;
@@ -340,13 +601,19 @@ impl Engine {
         self.in_flight -= due.len();
         self.delivered += due.len() as u64;
         for (dst, msg) in due {
-            self.record(dst, msg.label());
+            if tracing {
+                self.record(dst, msg.label());
+            }
+            if event_mode {
+                self.arm(dst.0, self.cycle);
+            }
             self.inboxes[dst.0].push_back(msg);
         }
         // Refill the wheel from the overflow list when anything comes into
         // range (checked lazily: overflow is rare).
         if !self.overflow.is_empty() {
             let horizon = self.cycle + WHEEL_SLOTS as u64;
+            let mut min_left = NEVER;
             let mut i = 0;
             while i < self.overflow.len() {
                 if self.overflow[i].0 < horizon {
@@ -354,39 +621,174 @@ impl Engine {
                     if when == self.cycle {
                         self.in_flight -= 1;
                         self.delivered += 1;
-                        self.record(dst, msg.label());
+                        if tracing {
+                            self.record(dst, msg.label());
+                        }
+                        if event_mode {
+                            self.arm(dst.0, self.cycle);
+                        }
                         self.inboxes[dst.0].push_back(msg);
                     } else {
                         self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((dst, msg));
                     }
                 } else {
+                    min_left = min_left.min(self.overflow[i].0);
                     i += 1;
                 }
             }
+            self.overflow_min = min_left;
         }
 
-        // Tick all components.
+        // Tick components.
         self.tracer.set_now(self.cycle);
-        for (i, comp) in self.components.iter_mut().enumerate() {
-            self.tracer.focus(i as u32);
-            let mut ctx = Ctx {
-                cycle: self.cycle,
-                inbox: &mut self.inboxes[i],
-                outbox: &mut self.outbox,
-                self_id: ComponentId(i),
-                tracer: &mut self.tracer,
-            };
-            comp.tick(&mut ctx);
+        if event_mode {
+            let mut woken = std::mem::take(&mut self.woken);
+            woken.clear();
+            while let Some(&Reverse((when, id))) = self.wake_heap.peek() {
+                if when > self.cycle {
+                    break;
+                }
+                self.wake_heap.pop();
+                if self.armed[id] <= self.cycle {
+                    self.armed[id] = NEVER;
+                    woken.push(id);
+                }
+            }
+            // Sweep the always-on set: every live member ticks this
+            // cycle; members that re-armed away since last cycle are
+            // compacted out in place (order-preserving, so `active`
+            // stays sorted).
+            let heap_woken = woken.len();
+            if !self.active.is_empty() {
+                let mut keep = 0;
+                for k in 0..self.active.len() {
+                    let id = self.active[k];
+                    if self.every[id] {
+                        self.active[keep] = id;
+                        keep += 1;
+                        woken.push(id);
+                    }
+                }
+                self.active.truncate(keep);
+            }
+            // Ascending id order — the legacy tick order restricted to
+            // the woken set (skipped components' ticks are no-ops by the
+            // `next_wake` contract, so the interleaving is equivalent).
+            // When only the (sorted, duplicate-free) always-on sweep
+            // contributed, the order is already right.
+            if heap_woken > 0 {
+                woken.sort_unstable();
+                woken.dedup();
+            }
+            for &i in &woken {
+                self.tick_one(i);
+                let wake = self.components[i].next_wake(self.cycle);
+                match wake {
+                    Wake::EveryCycle => {
+                        if !self.every[i] {
+                            self.every[i] = true;
+                            self.every_count += 1;
+                            let pos = self.active.partition_point(|&x| x < i);
+                            self.active.insert(pos, i);
+                        }
+                    }
+                    Wake::At(t) => {
+                        self.unevery(i);
+                        self.arm(i, t.max(self.cycle + 1));
+                    }
+                    Wake::OnMessage => self.unevery(i),
+                }
+            }
+            self.woken = woken;
+        } else {
+            for i in 0..self.components.len() {
+                self.tick_one(i);
+            }
         }
 
-        // Commit staged sends.
-        let staged = std::mem::take(&mut self.outbox);
-        for (when, dst, msg) in staged {
+        // Commit staged sends, keeping the staging allocation across steps.
+        let mut staged = std::mem::take(&mut self.outbox);
+        for (when, dst, msg) in staged.drain(..) {
             assert!(
                 dst.0 < self.inboxes.len(),
                 "send to unknown component {dst}"
             );
             self.schedule(when, dst, msg);
+        }
+        self.outbox = staged;
+    }
+
+    /// Ticks component `i` and folds its new busy state into the cache.
+    #[inline]
+    fn tick_one(&mut self, i: usize) {
+        self.tracer.focus(i as u32);
+        let mut ctx = Ctx {
+            cycle: self.cycle,
+            inbox: &mut self.inboxes[i],
+            outbox: &mut self.outbox,
+            self_id: ComponentId(i),
+            tracer: &mut self.tracer,
+        };
+        self.components[i].tick(&mut ctx);
+        let busy = self.components[i].busy();
+        if busy != self.busy_flags[i] {
+            self.busy_flags[i] = busy;
+            if busy {
+                self.busy_count += 1;
+            } else {
+                self.busy_count -= 1;
+            }
+        }
+    }
+
+    /// Earliest future cycle with scheduled work — a component wake or a
+    /// message delivery — or `NEVER` when nothing is pending.
+    fn next_event_cycle(&mut self) -> Cycle {
+        // An always-on component ticks next cycle, full stop.
+        if self.every_count > 0 {
+            return self.cycle + 1;
+        }
+        // Pop stale heap entries until the top is live.
+        let mut wake = NEVER;
+        while let Some(&Reverse((when, id))) = self.wake_heap.peek() {
+            if self.armed[id] == when {
+                wake = when;
+                break;
+            }
+            self.wake_heap.pop();
+        }
+        if wake <= self.cycle + 1 {
+            return wake;
+        }
+        let mut next = wake.min(self.overflow_min);
+        let in_wheel = self.in_flight - self.overflow.len();
+        if in_wheel > 0 {
+            for d in 1..=WHEEL_SLOTS as u64 {
+                let c = self.cycle + d;
+                if c >= next {
+                    break;
+                }
+                if !self.wheel[(c % WHEEL_SLOTS as u64) as usize].is_empty() {
+                    next = c;
+                    break;
+                }
+            }
+        }
+        next
+    }
+
+    /// Advances the clock to just before the next scheduled event (or the
+    /// run limit), so the following [`Engine::step`] lands exactly on it.
+    /// Skipped cycles are ones in which no component would tick and no
+    /// message would be delivered.
+    fn fast_forward(&mut self, limit: Cycle) {
+        let next = self.next_event_cycle();
+        if next <= self.cycle + 1 {
+            return;
+        }
+        let land = next.min(limit);
+        if land > self.cycle + 1 {
+            self.cycle = land - 1;
         }
     }
 
@@ -405,15 +807,26 @@ impl Engine {
                 "simulation did not quiesce within {max_cycles} cycles; busy: {:?}",
                 self.busy_components()
             );
+            if self.mode == SchedulerMode::EventDriven {
+                self.fast_forward(limit);
+            }
             self.step();
         }
         self.cycle
     }
 
     /// Runs while `cond` holds and work remains, up to `max_cycles`.
+    ///
+    /// Under the event-driven scheduler, `cond` is evaluated before each
+    /// *executed* cycle; idle stretches are fast-forwarded (never past
+    /// `max_cycles`), so a condition that flips on a cycle in which
+    /// nothing is scheduled is observed at the next event or at the limit.
     pub fn run_while(&mut self, max_cycles: Cycle, mut cond: impl FnMut(&Engine) -> bool) -> Cycle {
         let limit = self.cycle + max_cycles;
         while self.cycle < limit && cond(self) && !self.quiescent() {
+            if self.mode == SchedulerMode::EventDriven {
+                self.fast_forward(limit);
+            }
             self.step();
         }
         self.cycle
@@ -434,8 +847,10 @@ impl Engine {
         self.components[id.0].as_ref()
     }
 
-    /// Mutable access to a component.
+    /// Mutable access to a component. Marks it externally mutated: it is
+    /// re-ticked and its busy flag re-read on the next cycle.
     pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component {
+        self.mark_dirty(id.0);
         self.components[id.0].as_mut()
     }
 
@@ -445,8 +860,10 @@ impl Engine {
         (self.components[id.0].as_ref() as &dyn std::any::Any).downcast_ref::<T>()
     }
 
-    /// Typed mutable access to a component.
+    /// Typed mutable access to a component. Marks it externally mutated:
+    /// it is re-ticked and its busy flag re-read on the next cycle.
     pub fn get_mut<T: Component>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.mark_dirty(id.0);
         (self.components[id.0].as_mut() as &mut dyn std::any::Any).downcast_mut::<T>()
     }
 }
@@ -457,6 +874,7 @@ impl std::fmt::Debug for Engine {
             .field("cycle", &self.cycle)
             .field("components", &self.components.len())
             .field("in_flight", &self.in_flight)
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -576,24 +994,25 @@ mod tests {
         assert_eq!(e.messages_delivered(), 1);
     }
 
+    struct Recorder {
+        got: Vec<u32>,
+    }
+    impl Component for Recorder {
+        fn tick(&mut self, ctx: &mut Ctx<'_>) {
+            while let Some(Message::Credit { count, .. }) = ctx.recv() {
+                self.got.push(count);
+            }
+        }
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "recorder"
+        }
+    }
+
     #[test]
     fn delivery_preserves_send_order_within_cycle() {
-        struct Recorder {
-            got: Vec<u32>,
-        }
-        impl Component for Recorder {
-            fn tick(&mut self, ctx: &mut Ctx<'_>) {
-                while let Some(Message::Credit { count, .. }) = ctx.recv() {
-                    self.got.push(count);
-                }
-            }
-            fn busy(&self) -> bool {
-                false
-            }
-            fn name(&self) -> &str {
-                "recorder"
-            }
-        }
         let mut b = EngineBuilder::new();
         let r = b.add(Box::new(Recorder { got: vec![] }));
         let mut e = b.build();
@@ -601,12 +1020,13 @@ mod tests {
             e.inject(r, credit(i), 4);
         }
         e.run_to_quiescence(100);
-        // Pull the recorder back out to check ordering.
-        let name = e.component(r).name();
-        assert_eq!(name, "recorder");
-        // The Recorder type is private; verify via delivered count and a
-        // second identical run for determinism instead.
         assert_eq!(e.messages_delivered(), 10);
+        let rec = e.get::<Recorder>(r).expect("recorder installed");
+        assert_eq!(
+            rec.got,
+            (0..10).collect::<Vec<u32>>(),
+            "same-cycle deliveries arrive in send order"
+        );
     }
 
     #[test]
@@ -796,5 +1216,226 @@ mod tests {
         assert_eq!(e.messages_delivered(), 0);
         e.step();
         assert_eq!(e.messages_delivered(), 1);
+    }
+
+    // ---- event-driven scheduler ----
+
+    /// Counts its own ticks; forwards each message onward after `delay`.
+    /// Wake class `OnMessage`: a pure message reactor.
+    struct Relay {
+        peer: ComponentId,
+        delay: u64,
+        ticks: u64,
+        forwarded: u64,
+        hops_left: u64,
+    }
+    impl Component for Relay {
+        fn tick(&mut self, ctx: &mut Ctx<'_>) {
+            self.ticks += 1;
+            while let Some(msg) = ctx.recv() {
+                if self.hops_left > 0 {
+                    self.hops_left -= 1;
+                    self.forwarded += 1;
+                    ctx.send(self.peer, msg, self.delay);
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "relay"
+        }
+        fn next_wake(&self, _now: Cycle) -> Wake {
+            Wake::OnMessage
+        }
+    }
+
+    /// Emits one credit every `period` cycles via a precise `At` wake,
+    /// until `left` runs out.
+    struct Pulse {
+        dst: ComponentId,
+        period: Cycle,
+        next: Cycle,
+        left: u32,
+    }
+    impl Component for Pulse {
+        fn tick(&mut self, ctx: &mut Ctx<'_>) {
+            while ctx.recv().is_some() {}
+            if self.left > 0 && ctx.cycle() >= self.next {
+                self.left -= 1;
+                self.next = ctx.cycle() + self.period;
+                ctx.send(self.dst, credit(self.left), 1);
+            }
+        }
+        fn busy(&self) -> bool {
+            self.left > 0
+        }
+        fn name(&self) -> &str {
+            "pulse"
+        }
+        fn next_wake(&self, _now: Cycle) -> Wake {
+            if self.left > 0 {
+                Wake::At(self.next)
+            } else {
+                Wake::OnMessage
+            }
+        }
+    }
+
+    fn relay_ring(mode: SchedulerMode) -> (Engine, Vec<ComponentId>) {
+        let mut b = EngineBuilder::new();
+        let ids: Vec<ComponentId> = (0..8).map(|_| b.reserve()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            b.install(
+                id,
+                Box::new(Relay {
+                    peer: ids[(i + 1) % ids.len()],
+                    delay: 37,
+                    ticks: 0,
+                    forwarded: 0,
+                    hops_left: 5,
+                }),
+            );
+        }
+        let mut e = b.build();
+        e.set_scheduler(mode);
+        (e, ids)
+    }
+
+    #[test]
+    fn event_driven_matches_legacy_on_relay_ring() {
+        let run = |mode| {
+            let (mut e, ids) = relay_ring(mode);
+            e.inject(ids[0], credit(1), 1);
+            let end = e.run_to_quiescence(100_000);
+            (end, e.messages_delivered())
+        };
+        assert_eq!(
+            run(SchedulerMode::Legacy),
+            run(SchedulerMode::EventDriven),
+            "schedulers must agree on end cycle and delivery count"
+        );
+    }
+
+    #[test]
+    fn event_driven_skips_idle_cycles() {
+        let (mut e, ids) = relay_ring(SchedulerMode::EventDriven);
+        e.inject(ids[0], credit(1), 1);
+        let end = e.run_to_quiescence(100_000);
+        let total_ticks: u64 = ids
+            .iter()
+            .map(|&id| e.get::<Relay>(id).unwrap().ticks)
+            .sum();
+        // Legacy would tick 8 components x `end` cycles; event-driven
+        // ticks only the initial arming plus one tick per delivery.
+        assert!(
+            total_ticks < 8 + 2 * e.messages_delivered(),
+            "ticks {total_ticks} deliveries {} end {end}",
+            e.messages_delivered()
+        );
+    }
+
+    #[test]
+    fn at_wakes_fire_on_schedule_in_both_modes() {
+        let run = |mode| {
+            let mut b = EngineBuilder::new();
+            let sink = b.reserve();
+            b.add(Box::new(Pulse {
+                dst: sink,
+                period: 50,
+                next: 1,
+                left: 6,
+            }));
+            b.install(sink, Box::new(Recorder { got: vec![] }));
+            let mut e = b.build();
+            e.set_scheduler(mode);
+            let end = e.run_to_quiescence(10_000);
+            let got = e.get::<Recorder>(sink).unwrap().got.clone();
+            (end, e.messages_delivered(), got)
+        };
+        let legacy = run(SchedulerMode::Legacy);
+        let event = run(SchedulerMode::EventDriven);
+        assert_eq!(legacy, event);
+        assert_eq!(legacy.1, 6, "six pulses delivered");
+    }
+
+    #[test]
+    fn external_mutation_is_observed() {
+        struct Latch {
+            armed: bool,
+            fired: bool,
+        }
+        impl Component for Latch {
+            fn tick(&mut self, ctx: &mut Ctx<'_>) {
+                while ctx.recv().is_some() {}
+                if self.armed {
+                    self.armed = false;
+                    self.fired = true;
+                }
+            }
+            fn busy(&self) -> bool {
+                self.armed
+            }
+            fn name(&self) -> &str {
+                "latch"
+            }
+            fn next_wake(&self, _now: Cycle) -> Wake {
+                if self.armed {
+                    Wake::EveryCycle
+                } else {
+                    Wake::OnMessage
+                }
+            }
+        }
+        let mut b = EngineBuilder::new();
+        let id = b.add(Box::new(Latch {
+            armed: false,
+            fired: false,
+        }));
+        let mut e = b.build();
+        e.run_to_quiescence(10);
+        assert!(e.quiescent());
+        // Mutate behind the scheduler's back: the engine must notice the
+        // busy flip and tick the component again.
+        e.get_mut::<Latch>(id).unwrap().armed = true;
+        assert!(!e.quiescent(), "dirty component re-checked live");
+        e.run_to_quiescence(10);
+        assert!(e.get::<Latch>(id).unwrap().fired, "latch got its tick");
+    }
+
+    #[test]
+    fn fast_forward_takes_overflow_and_wheel_paths() {
+        // Chain: delivery at 2000 (overflow), relayed with delay 37
+        // (wheel). Event-driven must land on both exactly.
+        let run = |mode| {
+            let mut b = EngineBuilder::new();
+            let tail = b.reserve();
+            let head = b.add(Box::new(Relay {
+                peer: tail,
+                delay: 37,
+                ticks: 0,
+                forwarded: 0,
+                hops_left: 1,
+            }));
+            b.install(
+                tail,
+                Box::new(Relay {
+                    peer: head,
+                    delay: 1,
+                    ticks: 0,
+                    forwarded: 0,
+                    hops_left: 0,
+                }),
+            );
+            let mut e = b.build();
+            e.set_scheduler(mode);
+            e.inject(head, credit(3), 2000);
+            let end = e.run_to_quiescence(5000);
+            (end, e.messages_delivered())
+        };
+        let legacy = run(SchedulerMode::Legacy);
+        assert_eq!(legacy, run(SchedulerMode::EventDriven));
+        assert_eq!(legacy, (2037, 2));
     }
 }

@@ -8,9 +8,10 @@
 //! * **Determinism** — components tick in a fixed order and messages are
 //!   delivered in send order per cycle, so the same configuration and seed
 //!   always produce bit-identical results.
-//! * **Cheap idle** — a component with an empty mailbox and no internal
-//!   work returns from `tick` immediately, so large mostly-idle systems
-//!   stay fast.
+//! * **Cheap idle** — the default event-driven scheduler ticks only
+//!   components with scheduled work ([`Component::next_wake`]) and
+//!   fast-forwards the clock across dead cycles, producing bit-identical
+//!   results to the tick-everything [`SchedulerMode::Legacy`] reference.
 //!
 //! The crate also provides the small timing utilities every hardware model
 //! needs: [`DelayQueue`] (fixed-latency pipelines), [`RateLimiter`]
@@ -24,7 +25,10 @@ pub mod engine;
 pub mod timing;
 pub mod trace;
 
-pub use engine::{Component, ComponentId, Ctx, Engine, EngineBuilder, TraceEvent};
+pub use engine::{
+    default_scheduler, set_default_scheduler, Component, ComponentId, Ctx, Engine, EngineBuilder,
+    SchedulerMode, TraceEvent, Wake,
+};
 pub use timing::{DelayQueue, RateLimiter, Ticker};
 pub use trace::{Event, EventClass, Phase, Trace, TraceConfig, Tracer};
 

@@ -81,6 +81,13 @@ impl<T> DelayQueue<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter().map(|(_, item)| item)
     }
+
+    /// The cycle at which the front item becomes ready, if any. Because
+    /// ready cycles are non-decreasing, this is the earliest readiness in
+    /// the whole queue — the precise wake for an event-driven component.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.items.front().map(|&(r, _)| r)
+    }
 }
 
 impl<T> Default for DelayQueue<T> {
@@ -150,6 +157,18 @@ impl RateLimiter {
     /// The configured rate in tokens per cycle.
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// True once the bucket is full: further [`RateLimiter::accrue`] calls
+    /// are no-ops, so an idle-cycle replay can stop early.
+    pub fn is_saturated(&self) -> bool {
+        self.tokens == self.burst
+    }
+
+    /// The exact bit pattern of the token count, for detecting periodic
+    /// orbits when replaying long idle stretches bit-identically.
+    pub fn tokens_bits(&self) -> u64 {
+        self.tokens.to_bits()
     }
 }
 
@@ -241,6 +260,30 @@ mod tests {
         assert!(r.available() <= 15.0);
         assert!(r.try_consume(15.0));
         assert!(!r.try_consume(0.1));
+    }
+
+    #[test]
+    fn rate_limiter_reports_saturation() {
+        let mut r = RateLimiter::new(10.0, 15.0);
+        assert!(!r.is_saturated());
+        r.accrue();
+        assert!(!r.is_saturated());
+        r.accrue();
+        assert!(r.is_saturated(), "capped at burst");
+        let bits = r.tokens_bits();
+        r.accrue();
+        assert_eq!(r.tokens_bits(), bits, "accrue at saturation is a no-op");
+    }
+
+    #[test]
+    fn delay_queue_exposes_next_ready() {
+        let mut q: DelayQueue<char> = DelayQueue::new();
+        assert_eq!(q.next_ready(), None);
+        q.push(5, 'x');
+        q.push(9, 'y');
+        assert_eq!(q.next_ready(), Some(5));
+        q.pop_ready(5);
+        assert_eq!(q.next_ready(), Some(9));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use netcrafter_proto::{
     AccessId, GpuId, LatencyStat, LineMask, MemReq, Message, Metrics, Origin, TrafficClass,
     TransReq, TransRsp,
 };
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass};
+use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake};
 
 use crate::pagetable::PageTable;
 use crate::tlb::Tlb;
@@ -332,6 +332,23 @@ impl Component for TranslationUnit {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        // Retries get re-attempted every cycle; otherwise the next thing
+        // to happen locally is a pipeline completion. Active walks and
+        // queued walkers advance on PT-read response messages.
+        if !self.retry.is_empty() {
+            return Wake::EveryCycle;
+        }
+        let mut wake = Wake::OnMessage;
+        if let Some(t) = self.tlb_pipe.next_ready() {
+            wake = wake.earliest(Wake::At(t));
+        }
+        if let Some(t) = self.pwc_pipe.next_ready() {
+            wake = wake.earliest(Wake::At(t));
+        }
+        wake
     }
 }
 
