@@ -92,8 +92,7 @@ fn emit(args: &[String]) -> ! {
         stats
             .iter()
             .find(|s| s.memo_key == key)
-            .map(|s| s.cycles_per_sec())
-            .unwrap_or(0.0)
+            .map_or(0.0, netcrafter_bench::JobStat::cycles_per_sec)
     };
 
     let mut runs = String::new();
@@ -183,7 +182,7 @@ fn gated_numbers(report: &json::Value) -> Result<Vec<(String, f64)>, String> {
                 .ok_or("entry missing `variant`")?;
             let value = entry
                 .get(value_key)
-                .and_then(|v| v.as_f64())
+                .and_then(json::Value::as_f64)
                 .ok_or_else(|| format!("entry missing `{value_key}`"))?;
             out.push((format!("{section}:{workload}|{variant}"), value));
         }
@@ -196,7 +195,7 @@ fn gated_numbers(report: &json::Value) -> Result<Vec<(String, f64)>, String> {
                 .ok_or("geomean entry missing `variant`")?;
             let value = entry
                 .get("speedup")
-                .and_then(|v| v.as_f64())
+                .and_then(json::Value::as_f64)
                 .ok_or("geomean entry missing `speedup`")?;
             out.push((format!("geomean:{variant}"), value));
         }
@@ -222,14 +221,12 @@ fn check(args: &[String]) -> ! {
     ) else {
         usage()
     };
-    let tolerance_pct: f64 = flag_value(args, "--tolerance")
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--tolerance expects a percentage, got {v:?}");
-                std::process::exit(2);
-            })
+    let tolerance_pct: f64 = flag_value(args, "--tolerance").map_or(0.0, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--tolerance expects a percentage, got {v:?}");
+            std::process::exit(2);
         })
-        .unwrap_or(0.0);
+    });
 
     let base = load(base_path);
     let cur = load(cur_path);
@@ -268,7 +265,7 @@ fn check(args: &[String]) -> ! {
         }
     }
 
-    let rate = |v: &json::Value| v.get("cycles_per_sec").and_then(|n| n.as_f64());
+    let rate = |v: &json::Value| v.get("cycles_per_sec").and_then(json::Value::as_f64);
     if let (Some(b), Some(c)) = (rate(&base), rate(&cur)) {
         eprintln!(
             "bench_gate: host rate {c:.0} cycles/s vs baseline {b:.0} ({:+.1}%, informational)",

@@ -42,14 +42,12 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let big = args.iter().any(|a| a == "--big");
     let verbose = args.iter().any(|a| a == "--verbose");
-    let jobs: usize = flag_value(&args, "--jobs")
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--jobs expects a positive integer, got {v:?}");
-                std::process::exit(2);
-            })
+    let jobs: usize = flag_value(&args, "--jobs").map_or(1, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects a positive integer, got {v:?}");
+            std::process::exit(2);
         })
-        .unwrap_or(1);
+    });
     let cache_dir = flag_value(&args, "--cache-dir");
 
     // Everything that is not a flag (or a flag's value) is a figure id.
@@ -71,7 +69,7 @@ fn main() {
         std::process::exit(2);
     });
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = figures::all_ids().iter().map(|s| s.to_string()).collect();
+        ids = figures::all_ids().iter().map(ToString::to_string).collect();
     }
     for id in &ids {
         if !figures::all_ids().contains(&id.as_str()) {

@@ -81,7 +81,7 @@ fn main() {
              [--legacy-scheduler]\n\
              workloads: {:?}\n\
              variants: baseline ideal netcrafter stitch trim seq sector stitchtrim all",
-            Workload::ALL.map(|w| w.abbrev())
+            Workload::ALL.map(Workload::abbrev)
         );
         std::process::exit(2);
     };

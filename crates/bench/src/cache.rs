@@ -88,13 +88,11 @@ impl DiskCache {
 
     /// Number of cached results on disk.
     pub fn len(&self) -> usize {
-        fs::read_dir(&self.dir)
-            .map(|it| {
-                it.filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
-                    .count()
-            })
-            .unwrap_or(0)
+        fs::read_dir(&self.dir).map_or(0, |it| {
+            it.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
+                .count()
+        })
     }
 
     /// Whether the cache holds no results.

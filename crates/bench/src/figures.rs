@@ -77,7 +77,7 @@ pub fn sweep_jobs(id: &str, r: &Runner) -> Vec<JobSpec> {
     match id {
         "table1" | "table3" | "fig17" => {}
         "fig3" | "fig4" | "fig5" => {
-            for_all(&[SystemVariant::Baseline, SystemVariant::Ideal], &mut jobs)
+            for_all(&[SystemVariant::Baseline, SystemVariant::Ideal], &mut jobs);
         }
         "fig6" | "fig7" | "fig9" => for_all(&[SystemVariant::Baseline], &mut jobs),
         "fig8" => for_all(

@@ -124,7 +124,7 @@ mod tests {
     use super::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
-        s.iter().map(|a| a.to_string()).collect()
+        s.iter().map(ToString::to_string).collect()
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! A minimal Rust lexer: just enough to walk a token stream with line
+//! numbers, skip string/char literals and comments, and harvest
+//! `lint:allow` annotations from comments.
+//!
+//! This is deliberately *not* a full Rust grammar (the workspace stays
+//! dependency-free, so no `syn`): the rules in [`crate::rules`] only
+//! need identifiers, punctuation and brace structure. The lexer must
+//! however get the *boundaries* right — a `HashMap` inside a string
+//! literal or a doc-comment example must not fire a rule — so string
+//! escapes, raw strings, nested block comments, char literals and
+//! lifetimes are all handled.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `::` is `Punct(':') Punct(':')`).
+    Punct(char),
+    /// A literal (string, char, number); the payload is dropped.
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `// lint:allow(<rule>) reason` annotation harvested from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the closing parenthesis (trimmed).
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<SpannedTok>,
+    /// Every `lint:allow` annotation found in comments.
+    pub allows: Vec<Allow>,
+    /// Lines that contain only whitespace and/or comments (1-based).
+    /// Used to let an annotation cover the next code line even when
+    /// separated by further comment lines.
+    pub comment_only_lines: Vec<u32>,
+}
+
+/// Lexes `src` into tokens, annotations and comment-line info.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Lines on which at least one token starts (to derive comment-only
+    // lines at the end).
+    let mut code_lines: Vec<u32> = Vec::new();
+
+    macro_rules! bump_lines {
+        ($text:expr) => {
+            line += $text.iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): scan for annotations.
+                let end = b[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(b.len(), |p| i + p);
+                harvest_allows(&src[i..end], line, &mut out.allows);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                harvest_allows(&src[start..i], line, &mut out.allows);
+                bump_lines!(&b[start..i]);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i + 1);
+                bump_lines!(&b[start..i]);
+                code_lines.push(line);
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start = i;
+                i = skip_raw_or_byte_string(b, i);
+                bump_lines!(&b[start..i]);
+                code_lines.push(line);
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                code_lines.push(line);
+                if is_lifetime(b, i) {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(SpannedTok {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i = skip_char_literal(b, i);
+                    bump_lines!(&b[start..i]);
+                    out.tokens.push(SpannedTok {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                code_lines.push(line);
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (incl. 0x..., suffixes). `1.5` lexes as
+                // Literal '.' Literal, which is fine for our rules.
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                code_lines.push(line);
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            c => {
+                code_lines.push(line);
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    // Comment-only lines: every line up to the last seen that has no
+    // token starting on it. (Blank lines count too — harmless, since
+    // they cannot carry an annotation.)
+    code_lines.dedup();
+    let mut code = code_lines.into_iter().peekable();
+    for l in 1..=line {
+        while code.peek().is_some_and(|&cl| cl < l) {
+            code.next();
+        }
+        if code.peek() != Some(&l) {
+            out.comment_only_lines.push(l);
+        }
+    }
+    out
+}
+
+/// True if position `i` starts a raw string (`r"`, `r#`), byte string
+/// (`b"`), or raw byte string (`br"`, `br#`).
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a (raw/byte) string or byte-char literal starting at `i`;
+/// returns the index just past it.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'\'' {
+            return skip_char_literal(b, i);
+        }
+    }
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        // Possibly preceded by `r`: plain cooked string (b"...").
+        return skip_string(b, i + 1);
+    }
+    // Raw string: count hashes, find closing `"###`.
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+        'scan: while i < b.len() {
+            if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut h = 0;
+                while j < b.len() && b[j] == b'#' && h < hashes {
+                    j += 1;
+                    h += 1;
+                }
+                if h == hashes {
+                    return j;
+                }
+                i += 1;
+                continue 'scan;
+            }
+            i += 1;
+        }
+    }
+    b.len()
+}
+
+/// Skips a cooked string body (opening quote already consumed).
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a char literal starting at the opening `'`.
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if i < b.len() && b[i] == b'\\' {
+        i += 2;
+        // Escapes like \u{1F600} or \x7f: scan to the closing quote.
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    // One (possibly multi-byte UTF-8) character, then the closing quote.
+    i += 1;
+    while i < b.len() && b[i] != b'\'' {
+        i += 1;
+    }
+    (i + 1).min(b.len())
+}
+
+/// Distinguishes a lifetime (`'a`, `'static`) from a char literal
+/// (`'a'`, `'\n'`, `'}'`) at position `i` of a `'`.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&next) = b.get(i + 1) else {
+        return false;
+    };
+    if next == b'\\' || !(next == b'_' || next.is_ascii_alphabetic()) {
+        return false;
+    }
+    // `'a'` is a char literal; `'a,` / `'a>` / `'a ` are lifetimes.
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+/// Extracts every `lint:allow(<rule>) reason` from one comment's text.
+/// Multiple annotations in one comment are all collected; the reason of
+/// each runs to the next annotation or the end of the comment.
+fn harvest_allows(comment: &str, line: u32, out: &mut Vec<Allow>) {
+    const NEEDLE: &str = "lint:allow(";
+    let mut rest = comment;
+    let mut consumed_lines = 0u32;
+    while let Some(pos) = rest.find(NEEDLE) {
+        consumed_lines += rest[..pos].matches('\n').count() as u32;
+        let after = &rest[pos + NEEDLE.len()..];
+        let Some(close) = after.find(')') else {
+            return;
+        };
+        let rule = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        let reason_end = tail.find(NEEDLE).unwrap_or(tail.len());
+        let reason = tail[..reason_end]
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        out.push(Allow {
+            rule,
+            reason,
+            line: line + consumed_lines,
+        });
+        rest = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skips_strings_comments_and_chars() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw "string""#;
+            let c = 'H';
+            let d = '\'';
+            let e: Vec<&'static str> = vec![];
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "ids: {ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+        let toks = lex(src).tokens;
+        assert!(
+            toks.iter().any(|t| t.tok == Tok::Lifetime),
+            "'static lexes as a lifetime, not a char literal"
+        );
+    }
+
+    #[test]
+    fn char_literal_brace_does_not_break_structure() {
+        let src = "fn f() { let x = '}'; g(); }";
+        let toks = lex(src).tokens;
+        let braces: Vec<char> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) if c == '{' || c == '}' => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(braces, ['{', '}']);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let src = "a\nb\n\nc";
+        let toks = lex(src).tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn harvests_allow_annotations() {
+        let src = "\n// lint:allow(no-wall-clock) bench timing only\nlet t = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "no-wall-clock");
+        assert_eq!(a.reason, "bench timing only");
+        assert_eq!(a.line, 2);
+        assert!(lexed.comment_only_lines.contains(&2));
+        assert!(!lexed.comment_only_lines.contains(&3));
+    }
+
+    #[test]
+    fn harvests_multiple_allows_in_one_comment() {
+        let src = "// lint:allow(a) one lint:allow(b) two\nx();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "a");
+        assert_eq!(lexed.allows[0].reason, "one");
+        assert_eq!(lexed.allows[1].rule, "b");
+        assert_eq!(lexed.allows[1].reason, "two");
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes() {
+        let ids = idents("let x = 0xFFu64 + 1_000 - 2.5e3;");
+        assert_eq!(ids, ["let", "x"]);
+    }
+}

@@ -1,0 +1,130 @@
+//! `netcrafter-lint`: the in-tree determinism & invariant static-
+//! analysis pass.
+//!
+//! The simulator's evaluation rests on bit-exact determinism: the
+//! scheduler-equivalence CI step, the perf-regression gate and the
+//! Chrome-trace byte-diffs all assume two runs of one config produce
+//! identical flit streams. This crate makes the determinism rules
+//! machine-checked instead of tribal knowledge: a small Rust lexer (no
+//! `syn`; the workspace stays offline and dependency-free) feeds a rule
+//! engine with per-site `// lint:allow(<rule>) reason` waivers and a
+//! machine-readable findings report.
+//!
+//! Run it over the workspace with `cargo run -p netcrafter-lint`; see
+//! DESIGN.md §"Determinism rules" for the rule catalogue and rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{render_json, render_text, summarize, Summary};
+pub use rules::{check_file, Finding, Rule, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// The workspace crate a source path belongs to: `crates/<name>/…` maps
+/// to `<name>`, the root `src/` to `netcrafter`, anything else to
+/// `None` (every rule applies — used for fixtures and ad-hoc files).
+pub fn crate_of(path: &Path) -> Option<String> {
+    let mut comps = path.components().map(|c| c.as_os_str().to_string_lossy());
+    while let Some(c) = comps.next() {
+        if c == "crates" {
+            return comps.next().map(|n| n.to_string());
+        }
+        if c == "src" {
+            return Some("netcrafter".to_string());
+        }
+    }
+    None
+}
+
+/// Collects the `.rs` files the workspace pass scans, sorted for
+/// deterministic reports: every `crates/<c>/src/**/*.rs` (the linter's
+/// own crate excluded — its sources quote rule patterns and its test
+/// fixtures are violations on purpose) plus the root `src/`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "lint"))
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file from disk. `as_crate` overrides crate detection
+/// (fixtures use this to activate every rule); `root` makes reported
+/// paths repo-relative when possible.
+pub fn check_path(
+    path: &Path,
+    root: &Path,
+    as_crate: Option<&str>,
+) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let crate_name = match as_crate {
+        Some(name) => Some(name.to_string()),
+        None => crate_of(rel),
+    };
+    Ok(check_file(
+        &rel.to_string_lossy(),
+        &src,
+        crate_name.as_deref(),
+    ))
+}
+
+/// Lints the whole workspace under `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace_files(root)? {
+        findings.extend(check_path(&file, root, None)?);
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_detection() {
+        assert_eq!(
+            crate_of(Path::new("crates/net/src/seg.rs")).as_deref(),
+            Some("net")
+        );
+        assert_eq!(
+            crate_of(Path::new("src/lib.rs")).as_deref(),
+            Some("netcrafter")
+        );
+        assert_eq!(crate_of(Path::new("ci.sh")), None);
+    }
+}

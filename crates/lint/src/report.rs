@@ -1,0 +1,134 @@
+//! Human- and machine-readable output for lint findings.
+//!
+//! The machine-readable report is JSON, written with a local escaper
+//! (the workspace is dependency-free; this mirrors the in-tree JSON
+//! *parser* in `netcrafter_sim::trace`). CI uploads it to
+//! `CI_ARTIFACT_DIR` so a failing lint run can be inspected without
+//! re-running locally.
+
+use crate::rules::Finding;
+
+/// Summary counts over a finding set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// All findings, including waived ones.
+    pub total: usize,
+    /// Findings waived by a justified `lint:allow`.
+    pub allowed: usize,
+    /// Findings that fail the run.
+    pub violations: usize,
+}
+
+/// Counts findings.
+pub fn summarize(findings: &[Finding]) -> Summary {
+    let allowed = findings.iter().filter(|f| f.allowed.is_some()).count();
+    Summary {
+        total: findings.len(),
+        allowed,
+        violations: findings.len() - allowed,
+    }
+}
+
+/// Renders the human-readable report: one line per unwaived finding
+/// (`file:line: [rule] message`), then a summary line.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings.iter().filter(|f| f.allowed.is_none()) {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    let s = summarize(findings);
+    out.push_str(&format!(
+        "netcrafter-lint: {} violation(s), {} waived finding(s), {} total\n",
+        s.violations, s.allowed, s.total
+    ));
+    out
+}
+
+/// Renders the machine-readable JSON report (all findings, waived ones
+/// included with their justification).
+pub fn render_json(findings: &[Finding]) -> String {
+    let s = summarize(findings);
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+        out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+        match &f.allowed {
+            Some(reason) => out.push_str(&format!("\"allowed\": {}", json_str(reason))),
+            None => out.push_str("\"allowed\": null"),
+        }
+        out.push('}');
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"total\": {}, \"allowed\": {}, \"violations\": {}}}\n}}\n",
+        s.total, s.allowed, s.violations
+    ));
+    out
+}
+
+/// JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, allowed: Option<&str>) -> Finding {
+        Finding {
+            rule,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "bad \"thing\"".into(),
+            allowed: allowed.map(String::from),
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let fs = [finding("a", None), finding("b", Some("ok"))];
+        let s = summarize(&fs);
+        assert_eq!((s.total, s.allowed, s.violations), (2, 1, 1));
+    }
+
+    #[test]
+    fn text_hides_waived_findings() {
+        let fs = [finding("a", None), finding("b", Some("ok"))];
+        let text = render_text(&fs);
+        assert!(text.contains("[a]"));
+        assert!(!text.contains("[b]"));
+        assert!(text.contains("1 violation(s), 1 waived"));
+    }
+
+    #[test]
+    fn json_escapes_and_includes_waived() {
+        let fs = [finding("b", Some("it's fine"))];
+        let json = render_json(&fs);
+        assert!(json.contains("\\\"thing\\\""));
+        assert!(json.contains("\"allowed\": \"it's fine\""));
+        assert!(json.contains("\"violations\": 0"));
+    }
+}

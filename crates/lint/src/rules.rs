@@ -1,0 +1,509 @@
+//! The determinism & invariant rules, and the engine that runs them
+//! over a lexed file.
+//!
+//! Each rule is grounded in a real hazard this workspace has hit (or is
+//! one contributor away from hitting); DESIGN.md §"Determinism rules"
+//! documents the rationale for each. Rules are scoped to the crates
+//! where the hazard matters, skip `#[cfg(test)]` modules, and can be
+//! waived per-site with `// lint:allow(<rule>) reason` — an annotation
+//! must carry a non-empty reason, and an annotation that suppresses
+//! nothing is itself reported (`unused-allow`), so stale waivers cannot
+//! accumulate.
+
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Crates whose state feeds simulation outcomes: iteration order,
+/// timing or dropped invariants here silently invalidate cross-run
+/// comparisons.
+pub const SIM_CRATES: &[&str] = &[
+    "sim", "net", "mem", "vm", "gpu", "core", "proto", "multigpu",
+];
+
+/// Event-emission entry points that must thread the engine [`Tracer`]
+/// (or a `Ctx`, which carries it): dropping the tracer from one of
+/// these signatures silently blinds the tracing layer to the
+/// stitch/pool/trim/sequence decisions the figures are built on.
+pub const TRACED_ENTRY_POINTS: &[&str] = &[
+    "pop",
+    "push_flit",
+    "stitch_into",
+    "unstitch",
+    "request_bits",
+    "record_response",
+];
+
+/// One rule violation (or waived violation) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (kebab-case, matches the allow-annotation spelling).
+    pub rule: &'static str,
+    /// Path as given to the engine (repo-relative in workspace runs).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` when a `lint:allow` annotation waives this
+    /// finding; waived findings do not fail the run but are kept in the
+    /// machine-readable report.
+    pub allowed: Option<String>,
+}
+
+/// Static description of one rule.
+pub struct Rule {
+    /// Kebab-case name used in reports and allow-annotations.
+    pub name: &'static str,
+    /// One-line rationale shown by `--list-rules`.
+    pub summary: &'static str,
+    /// Crates the rule applies to; `None` applies everywhere.
+    pub crates: Option<&'static [&'static str]>,
+    check: fn(&[SpannedTok], &mut Vec<(u32, String)>),
+}
+
+/// The rule registry, in report order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-unordered-iteration",
+        summary: "std HashMap/HashSet banned in sim-facing crates; \
+                  iteration order leaks host randomness into simulation \
+                  state — use proto::collections::OrderedMap",
+        crates: Some(SIM_CRATES),
+        check: check_unordered_iteration,
+    },
+    Rule {
+        name: "no-wall-clock",
+        summary: "std::time::{Instant,SystemTime} banned outside bench; \
+                  wall-clock reads in sim logic break bit-exact replay",
+        crates: Some(SIM_CRATES),
+        check: check_wall_clock,
+    },
+    Rule {
+        name: "wake-contract",
+        summary: "every non-test `impl Component` must define `next_wake` \
+                  explicitly; relying on the EveryCycle default silently \
+                  forfeits the event-driven scheduler's contract audit",
+        crates: Some(&["sim", "net", "mem", "vm", "gpu", "core", "multigpu"]),
+        check: check_wake_contract,
+    },
+    Rule {
+        name: "no-unchecked-narrowing",
+        summary: "bare `as u16`/`as u8` narrowing banned in net/sim hot \
+                  paths; use try_into/try_from with an expect message",
+        crates: Some(&["net", "sim"]),
+        check: check_narrowing,
+    },
+    Rule {
+        name: "tracer-threading",
+        summary: "event-emission entry points (pop, push_flit, stitch/\
+                  trim/seq) must take a Tracer or Ctx so scheduling \
+                  decisions stay visible in traces",
+        crates: Some(&["net", "core"]),
+        check: check_tracer_threading,
+    },
+];
+
+/// Looks a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Runs every applicable rule over one file's source text.
+///
+/// `crate_name` is the workspace crate the file belongs to (`None`
+/// applies every rule — used for fixtures). Returns findings with
+/// allow-annotations already resolved, plus `unused-allow` /
+/// `allow-missing-reason` meta-findings.
+pub fn check_file(path: &str, src: &str, crate_name: Option<&str>) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = strip_test_modules(&lexed.tokens);
+
+    let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
+    for rule in RULES {
+        let applies = match (rule.crates, crate_name) {
+            (Some(crates), Some(name)) => crates.contains(&name),
+            _ => true,
+        };
+        if !applies {
+            continue;
+        }
+        let mut hits = Vec::new();
+        (rule.check)(&tokens, &mut hits);
+        for (line, message) in hits {
+            raw.push((line, rule.name, message));
+        }
+    }
+    raw.sort_by_key(|&(line, rule, _)| (line, rule));
+
+    let mut used_allows = vec![false; lexed.allows.len()];
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .map(|(line, rule, message)| Finding {
+            rule,
+            file: path.to_string(),
+            line,
+            message,
+            allowed: match_allow(&lexed, line, rule, &mut used_allows),
+        })
+        .collect();
+
+    // Meta-findings: annotations must be justified and must be load-
+    // bearing. Neither can itself be allow-annotated away.
+    for (ix, allow) in lexed.allows.iter().enumerate() {
+        if allow.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-missing-reason",
+                file: path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "lint:allow({}) has no justification; write \
+                     `// lint:allow({}) <why this site is safe>`",
+                    allow.rule, allow.rule
+                ),
+                allowed: None,
+            });
+        } else if !used_allows[ix] {
+            findings.push(Finding {
+                rule: "unused-allow",
+                file: path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "lint:allow({}) suppresses nothing on this or the \
+                     next code line; remove the stale annotation",
+                    allow.rule
+                ),
+                allowed: None,
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Resolves the allow-annotation for a finding of `rule` at `line`, if
+/// any: an annotation counts when it sits on the finding's own line or
+/// on a comment line directly above it (further comment-only lines may
+/// stack in between). Annotations without a reason never match — they
+/// are reported separately.
+fn match_allow(
+    lexed: &crate::lexer::Lexed,
+    line: u32,
+    rule: &str,
+    used: &mut [bool],
+) -> Option<String> {
+    let candidate = |l: u32, used: &mut [bool]| -> Option<String> {
+        for (ix, a) in lexed.allows.iter().enumerate() {
+            if a.line == l && a.rule == rule && !a.reason.is_empty() {
+                used[ix] = true;
+                return Some(a.reason.clone());
+            }
+        }
+        None
+    };
+    if let Some(reason) = candidate(line, used) {
+        return Some(reason);
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && lexed.comment_only_lines.binary_search(&l).is_ok() {
+        if let Some(reason) = candidate(l, used) {
+            return Some(reason);
+        }
+        l -= 1;
+    }
+    None
+}
+
+/// Removes the token ranges of `#[cfg(test)] mod … { … }` blocks: the
+/// rules guard simulation logic, not its test harnesses (which freely
+/// use unwrap, wall-clock-free defaults, etc.). Removing a balanced
+/// brace region keeps the surrounding structure intact.
+fn strip_test_modules(tokens: &[SpannedTok]) -> Vec<SpannedTok> {
+    let mut drop = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // `#` `[` `cfg` `(` `test` `)` `]` is 7 tokens; then allow
+            // further attributes, then expect `mod name {`.
+            let mut j = i + 7;
+            while j < tokens.len() && tokens[j].tok == Tok::Punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            if matches!(&tokens[j].tok, Tok::Ident(k) if k == "mod") {
+                if let Some(open) = tokens[j..]
+                    .iter()
+                    .position(|t| t.tok == Tok::Punct('{'))
+                    .map(|p| j + p)
+                {
+                    let close = matching_brace(tokens, open);
+                    for flag in &mut drop[i..=close.min(tokens.len() - 1)] {
+                        *flag = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    tokens
+        .iter()
+        .zip(&drop)
+        .filter(|(_, &d)| !d)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// True if `#` at index `i` begins exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[SpannedTok], i: usize) -> bool {
+    let pat: [&Tok; 7] = [
+        &Tok::Punct('#'),
+        &Tok::Punct('['),
+        &Tok::Ident("cfg".into()),
+        &Tok::Punct('('),
+        &Tok::Ident("test".into()),
+        &Tok::Punct(')'),
+        &Tok::Punct(']'),
+    ];
+    tokens.len() >= i + pat.len() && pat.iter().zip(&tokens[i..]).all(|(p, t)| **p == t.tok)
+}
+
+/// Skips one `#[...]` attribute starting at the `#`; returns the index
+/// just past its closing `]`.
+fn skip_attr(tokens: &[SpannedTok], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < tokens.len() && tokens[j].tok == Tok::Punct('[') {
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[SpannedTok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (ix, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return ix;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+fn ident_at(tokens: &[SpannedTok], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[SpannedTok], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn check_unordered_iteration(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    for t in tokens {
+        if let Tok::Ident(name) = &t.tok {
+            if name == "HashMap" || name == "HashSet" {
+                out.push((
+                    t.line,
+                    format!(
+                        "{name} iterates in RandomState order, which can leak \
+                         host randomness into simulation state; use \
+                         netcrafter_proto::collections::OrderedMap (or a \
+                         BTreeMap for sorted-key semantics)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_wall_clock(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let hit = match ident_at(tokens, i) {
+            Some("std")
+                if punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && ident_at(tokens, i + 3) == Some("time") =>
+            {
+                Some("std::time")
+            }
+            Some(id @ ("Instant" | "SystemTime"))
+                if punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && ident_at(tokens, i + 3) == Some("now") =>
+            {
+                Some(id)
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push((
+                tokens[i].line,
+                format!(
+                    "wall-clock access via {what}: host time must never \
+                     reach simulation logic (cycle counts come from the \
+                     engine); host timing belongs in the bench crate"
+                ),
+            ));
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident_at(tokens, i) != Some("impl") {
+            i += 1;
+            continue;
+        }
+        let impl_line = tokens[i].line;
+        // Skip optional `<generics>`.
+        let mut j = i + 1;
+        if punct_at(tokens, j, '<') {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('<') => depth += 1,
+                    Tok::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Collect the path up to `for`; the trait is its last segment.
+        let mut last_seg: Option<&str> = None;
+        while let Some(id) = ident_at(tokens, j) {
+            if id == "for" {
+                break;
+            }
+            last_seg = Some(id);
+            j += 1;
+            while punct_at(tokens, j, ':') {
+                j += 1;
+            }
+        }
+        if last_seg != Some("Component") || ident_at(tokens, j) != Some("for") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens[j..]
+            .iter()
+            .position(|t| t.tok == Tok::Punct('{'))
+            .map(|p| j + p)
+        else {
+            i += 1;
+            continue;
+        };
+        let close = matching_brace(tokens, open);
+        let defines_next_wake = (open..close).any(|ix| {
+            ident_at(tokens, ix) == Some("fn") && ident_at(tokens, ix + 1) == Some("next_wake")
+        });
+        if !defines_next_wake {
+            out.push((
+                impl_line,
+                "impl Component without an explicit `next_wake`: the \
+                 EveryCycle default is correct but hides the component \
+                 from the wake-contract audit — state the wake policy \
+                 (and its justification) explicitly"
+                    .to_string(),
+            ));
+        }
+        i = close + 1;
+    }
+}
+
+fn check_narrowing(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) == Some("as") {
+            if let Some(ty @ ("u8" | "u16")) = ident_at(tokens, i + 1) {
+                out.push((
+                    tokens[i].line,
+                    format!(
+                        "bare `as {ty}` silently truncates on overflow; on \
+                         cycle/flit-size arithmetic that corrupts results \
+                         instead of failing — use `{ty}::try_from(..).expect(..)` \
+                         or a checked helper"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_tracer_threading(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if ident_at(tokens, i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !TRACED_ENTRY_POINTS.contains(&name) || !punct_at(tokens, i + 2, '(') {
+            i += 1;
+            continue;
+        }
+        let name = name.to_string();
+        // Scan the parameter list for a Tracer or Ctx.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut has_tracer = false;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(id) if id == "Tracer" || id == "Ctx" => has_tracer = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_tracer {
+            out.push((
+                tokens[i].line,
+                format!(
+                    "`fn {name}` is a traced event-emission entry point but \
+                     its signature drops the Tracer: decisions made here \
+                     become invisible in traces — take `&mut Tracer` (or a \
+                     `Ctx`, which carries one)"
+                ),
+            ));
+        }
+        i = j + 1;
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a justified narrowing cast is waived; checked conversions
+//! never fire.
+
+pub fn node_of(index: usize) -> u16 {
+    // lint:allow(no-unchecked-narrowing) index < 4 by construction (two clusters x two switches)
+    index as u16
+}
+
+pub fn checked(index: usize) -> u16 {
+    u16::try_from(index).expect("node id fits u16")
+}

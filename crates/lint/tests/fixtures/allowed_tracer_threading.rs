@@ -1,0 +1,20 @@
+//! Fixture: entry points that thread the Tracer (or a Ctx) are clean;
+//! an annotated convenience wrapper is waived.
+
+impl EgressQueue for LoudQueue {
+    fn pop(&mut self, now: Cycle, tracer: &mut Tracer) -> Option<Flit> {
+        self.q.pop_front()
+    }
+}
+
+pub fn push_flit(ctx: &mut Ctx<'_>, flit: Flit) {
+    ctx.send_flit(flit);
+}
+
+impl LoudQueue {
+    // lint:allow(tracer-threading) test-only convenience wrapper over EgressQueue::pop
+    pub fn pop(&mut self, now: Cycle) -> Option<Flit> {
+        let mut tracer = Tracer::off();
+        EgressQueue::pop(self, now, &mut tracer)
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a justified allow-annotation waives the finding.
+
+// lint:allow(no-unordered-iteration) membership-only set, never iterated
+use std::collections::HashSet;
+
+pub struct Dedup {
+    // lint:allow(no-unordered-iteration) membership-only set, never iterated
+    seen: HashSet<u64>,
+}

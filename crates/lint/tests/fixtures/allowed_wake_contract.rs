@@ -1,0 +1,29 @@
+//! Fixture: annotated impl relying on the EveryCycle default is waived,
+//! and a test-module impl is out of scope entirely.
+
+pub struct Widget;
+
+// lint:allow(wake-contract) dense component, genuinely ticks every cycle
+impl Component for Widget {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn busy(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "widget"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct Stub;
+    impl Component for Stub {
+        fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "stub"
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: an annotated host-timing site is waived.
+
+pub fn host_elapsed() -> u128 {
+    // lint:allow(no-wall-clock) host-side progress reporting, never read by sim logic
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

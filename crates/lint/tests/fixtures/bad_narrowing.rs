@@ -1,0 +1,9 @@
+//! Fixture: bare narrowing casts must fire no-unchecked-narrowing.
+
+pub fn node_of(index: usize) -> u16 {
+    index as u16
+}
+
+pub fn sector_count(bytes: u32) -> u8 {
+    (bytes / 32) as u8
+}

@@ -1,0 +1,13 @@
+//! Fixture: an event-emission entry point whose signature drops the
+//! Tracer must fire tracer-threading.
+
+impl EgressQueue for SilentQueue {
+    fn pop(&mut self, now: Cycle) -> Option<Flit> {
+        self.q.pop_front()
+    }
+}
+
+pub fn stitch_into(parent: &mut Flit, cand: Flit) -> u64 {
+    parent.stitch(cand);
+    1
+}

@@ -1,0 +1,15 @@
+//! Fixture: std hash collections in sim-facing code must fire
+//! no-unordered-iteration.
+use std::collections::{HashMap, HashSet};
+
+pub struct RouteTable {
+    routes: HashMap<u16, usize>,
+    seen: HashSet<u64>,
+}
+
+impl RouteTable {
+    pub fn total(&self) -> usize {
+        // Iteration over a RandomState map: the classic leak.
+        self.routes.values().sum()
+    }
+}

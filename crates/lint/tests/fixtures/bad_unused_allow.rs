@@ -1,0 +1,13 @@
+//! Fixture: a stale annotation (nothing to suppress) and a reason-less
+//! annotation both fire meta-rules.
+
+// lint:allow(no-unordered-iteration) nothing here actually uses one
+pub fn clean() -> u32 {
+    42
+}
+
+pub fn also_clean() -> u32 {
+    // lint:allow(no-wall-clock)
+    let t = 7;
+    t
+}

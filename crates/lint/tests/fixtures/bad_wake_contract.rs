@@ -1,0 +1,18 @@
+//! Fixture: an `impl Component` without `next_wake` must fire
+//! wake-contract.
+
+pub struct Widget {
+    busy: bool,
+}
+
+impl Component for Widget {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn busy(&self) -> bool {
+        self.busy
+    }
+
+    fn name(&self) -> &str {
+        "widget"
+    }
+}

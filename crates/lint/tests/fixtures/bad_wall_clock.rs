@@ -1,0 +1,13 @@
+//! Fixture: wall-clock reads in sim logic must fire no-wall-clock.
+use std::time::Instant;
+
+pub fn tick_duration() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn epoch() -> u64 {
+    let now = std::time::SystemTime::now();
+    let _ = now;
+    0
+}

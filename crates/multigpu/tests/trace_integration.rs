@@ -101,7 +101,7 @@ fn chrome_json_from_a_real_run_round_trips() {
         let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
         assert!(matches!(ph, "M" | "i" | "b" | "e" | "C"), "phase {ph:?}");
         if ph != "M" {
-            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("ts").and_then(json::Value::as_f64).is_some());
             assert!(e.get("cat").and_then(|v| v.as_str()).is_some());
         }
     }

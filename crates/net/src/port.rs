@@ -56,6 +56,17 @@ pub trait EgressQueue {
             Some(now)
         }
     }
+
+    /// Total packet chunks held, counting pooled side-slots. This is the
+    /// conserved quantity behind the debug-build flit-conservation
+    /// invariant ([`EgressPort`] asserts `pushed == popped + held_chunks()`
+    /// in chunks around every push and pop): stitching merges flits but
+    /// never creates or destroys chunks. The default is only correct for
+    /// queues that hold single-chunk flits exclusively; every in-tree
+    /// queue overrides it with an exact count.
+    fn held_chunks(&self) -> usize {
+        self.len()
+    }
 }
 
 /// The default strictly-FIFO egress queue.
@@ -82,6 +93,10 @@ impl EgressQueue for FifoQueue {
 
     fn len(&self) -> usize {
         self.q.len()
+    }
+
+    fn held_chunks(&self) -> usize {
+        self.q.iter().map(|f| f.chunks.len()).sum()
     }
 }
 
@@ -215,6 +230,14 @@ pub struct EgressPort {
     /// replayed by [`EgressPort::catch_up`] so the rate limiter's token
     /// level stays bit-identical to ticking every cycle.
     last_tick: Cycle,
+    /// Debug-build flit-conservation ledger: chunks that entered the
+    /// output buffer. Chunks (not flits) are the conserved unit because
+    /// stitching merges flits without creating or destroying chunks.
+    #[cfg(debug_assertions)]
+    dbg_pushed_chunks: u64,
+    /// Debug-build flit-conservation ledger: chunks transmitted.
+    #[cfg(debug_assertions)]
+    dbg_popped_chunks: u64,
 }
 
 impl std::fmt::Debug for EgressPort {
@@ -258,7 +281,31 @@ impl EgressPort {
             stats: PortStats::default(),
             series: None,
             last_tick: 0,
+            #[cfg(debug_assertions)]
+            dbg_pushed_chunks: 0,
+            #[cfg(debug_assertions)]
+            dbg_popped_chunks: 0,
         }
+    }
+
+    /// Debug-build invariant: every chunk pushed was either transmitted
+    /// or is still held (queued or pooled). Checked around each push and
+    /// at the end of each tick, so at quiescence (empty queue) it is
+    /// exactly "flits injected == flits ejected" in chunk units. Compiles
+    /// to nothing in release builds.
+    #[inline]
+    fn debug_assert_conserved(&self) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.dbg_pushed_chunks,
+            self.dbg_popped_chunks + self.queue.held_chunks() as u64,
+            "chunk conservation violated on egress port at {}: \
+             {} pushed != {} popped + {} held",
+            self.self_node,
+            self.dbg_pushed_chunks,
+            self.dbg_popped_chunks,
+            self.queue.held_chunks(),
+        );
     }
 
     /// Turns on windowed time-series sampling with `window` cycles per
@@ -301,7 +348,12 @@ impl EgressPort {
             "egress buffer overflow at {}",
             self.self_node
         );
+        #[cfg(debug_assertions)]
+        {
+            self.dbg_pushed_chunks += flit.chunks.len() as u64;
+        }
         self.queue.push(flit, now);
+        self.debug_assert_conserved();
     }
 
     /// Handles a returned credit from the downstream buffer.
@@ -420,6 +472,10 @@ impl EgressPort {
                 break;
             };
             self.credits -= 1;
+            #[cfg(debug_assertions)]
+            {
+                self.dbg_popped_chunks += flit.chunks.len() as u64;
+            }
             self.stats.record(&flit);
             let used = flit.used_bytes() as u64;
             if let Some(series) = self.series.as_deref_mut() {
@@ -428,7 +484,7 @@ impl EgressPort {
             }
             let tracer = ctx.tracer();
             if tracer.wants(EventClass::Flit) {
-                let id = flit.chunks.first().map(|c| c.packet.0).unwrap_or(0);
+                let id = flit.chunks.first().map_or(0, |c| c.packet.0);
                 tracer.instant(EventClass::Flit, "flit.tx", id, used);
             }
             sent_any = true;
@@ -444,6 +500,7 @@ impl EgressPort {
         if sent_any {
             self.stats.busy_cycles += 1;
         }
+        self.debug_assert_conserved();
     }
 
     /// Queue-specific statistics (Cluster Queue counters when NetCrafter

@@ -9,9 +9,7 @@
 //! "reunites each extracted flit with the remaining portion of its
 //! original packet" by id.
 
-use std::collections::HashMap;
-
-use netcrafter_proto::{Chunk, Flit, Packet, PacketId};
+use netcrafter_proto::{Chunk, Flit, OrderedMap, Packet, PacketId};
 
 /// Segments packets into fixed-size flits.
 #[derive(Debug, Clone)]
@@ -77,7 +75,12 @@ struct Partial {
 /// arrival (tails may overtake bodies when stitched).
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    pending: HashMap<PacketId, Partial>,
+    /// Keyed by packet id in first-flit-arrival order. An `OrderedMap`
+    /// (not `std::collections::HashMap`, which the no-unordered-iteration
+    /// lint bans from sim-facing crates) so that any future iteration —
+    /// and the [`Reassembler::pending_ids`] diagnostic today — observes a
+    /// deterministic order.
+    pending: OrderedMap<PacketId, Partial>,
     completed: u64,
 }
 
@@ -94,7 +97,9 @@ impl Reassembler {
     pub fn accept(&mut self, flit: Flit) -> Vec<Packet> {
         let mut done = Vec::new();
         for chunk in flit.chunks {
-            let entry = self.pending.entry(chunk.packet).or_default();
+            let entry = self
+                .pending
+                .get_or_insert_with(chunk.packet, Partial::default);
             entry.received_bytes += chunk.bytes;
             if let Some(info) = chunk.packet_info {
                 debug_assert!(entry.info.is_none(), "duplicate tail for {}", chunk.packet);
@@ -123,6 +128,12 @@ impl Reassembler {
     /// Packets still awaiting flits.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Ids of the packets still awaiting flits, in first-flit-arrival
+    /// order (deterministic across runs — see the regression test).
+    pub fn pending_ids(&self) -> Vec<PacketId> {
+        self.pending.keys().copied().collect()
     }
 
     /// Packets completed so far.
@@ -270,6 +281,63 @@ mod tests {
         assert_eq!(done.len(), 2);
         assert!(done.contains(&a));
         assert!(done.contains(&b));
+    }
+
+    /// One seeded run of a pseudo-random segment/shuffle/reassemble
+    /// workload: returns the completion order plus a mid-run and final
+    /// snapshot of the pending-id order.
+    fn seeded_reassembly_run(seed: u64) -> (Vec<PacketId>, Vec<PacketId>, Vec<PacketId>) {
+        let seg = Segmenter::new(16);
+        let mut flits = Vec::new();
+        for id in 0..40u64 {
+            let kind = match id % 3 {
+                0 => PacketKind::ReadRsp,
+                1 => PacketKind::WriteReq,
+                _ => PacketKind::ReadRsp,
+            };
+            flits.extend(seg.segment(packet(id, kind, 64)));
+        }
+        // Deterministic Fisher–Yates with an in-tree LCG: same seed, same
+        // interleaving of packets' flits.
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in (1..flits.len()).rev() {
+            flits.swap(i, next() as usize % (i + 1));
+        }
+        let mut r = Reassembler::new();
+        let mut completed_order = Vec::new();
+        let mut mid_pending = Vec::new();
+        let half = flits.len() / 2;
+        for (i, f) in flits.into_iter().enumerate() {
+            completed_order.extend(r.accept(f).into_iter().map(|p| p.id));
+            if i + 1 == half {
+                mid_pending = r.pending_ids();
+            }
+        }
+        (completed_order, mid_pending, r.pending_ids())
+    }
+
+    #[test]
+    fn reassembly_is_deterministic_across_identical_seeded_runs() {
+        // Regression test for the HashMap → OrderedMap migration: two
+        // runs of the same seed must produce the same completion order
+        // *and* the same pending-set order at every point. With a
+        // RandomState-seeded map the pending order differed run to run.
+        let a = seeded_reassembly_run(0x5EED);
+        let b = seeded_reassembly_run(0x5EED);
+        assert_eq!(a, b);
+        assert_eq!(a.0.len(), 40, "every packet completes");
+        assert!(a.2.is_empty(), "nothing in flight at the end");
+        assert!(!a.1.is_empty(), "mid-run snapshot saw in-flight packets");
+        // A different interleaving still completes everything.
+        let c = seeded_reassembly_run(0xBEEF);
+        assert_eq!(c.0.len(), 40);
+        assert_ne!(a.0, c.0, "different seeds interleave differently");
     }
 
     #[test]

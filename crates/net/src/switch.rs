@@ -228,7 +228,7 @@ impl Switch {
                 tracer.instant(
                     EventClass::Stitch,
                     "stitch.unpack",
-                    flit.chunks.first().map(|c| c.packet.0).unwrap_or(0),
+                    flit.chunks.first().map_or(0, |c| c.packet.0),
                     flit.chunks.len() as u64,
                 );
             }
@@ -280,7 +280,7 @@ impl Component for Switch {
                     self.stats.arrived += 1;
                     let tracer = ctx.tracer();
                     if tracer.wants(EventClass::Flit) {
-                        let id = flit.chunks.first().map(|c| c.packet.0).unwrap_or(0);
+                        let id = flit.chunks.first().map_or(0, |c| c.packet.0);
                         tracer.instant(EventClass::Flit, "flit.rx", id, flit.used_bytes() as u64);
                     }
                     port.in_pipe.push(now + self.pipeline_cycles as Cycle, flit);

@@ -213,14 +213,15 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
     let sw0 = b.reserve();
     let sw1 = b.reserve();
     let stats = Rc::new(RefCell::new(SinkStats::default()));
-    let all_nodes: Vec<NodeId> = (0..total_eps as u16).map(NodeId).collect();
+    let total_eps_u16 = u16::try_from(total_eps).expect("endpoint count fits in u16 node ids");
+    let all_nodes: Vec<NodeId> = (0..total_eps_u16).map(NodeId).collect();
 
     for i in 0..total_eps {
         let my_switch = if i < n as usize { sw0 } else { sw1 };
         b.install(
             ep_ids[2 * i],
             Box::new(Source {
-                node: NodeId(i as u16),
+                node: all_nodes[i],
                 switch: my_switch,
                 // Burst of rate+1 so fractional accrual is never clipped
                 // before a whole-flit consume opportunity.
@@ -228,7 +229,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
                 dsts: all_nodes
                     .iter()
                     .copied()
-                    .filter(|d| d.raw() != i as u16)
+                    .filter(|&d| d != all_nodes[i])
                     .collect(),
                 remaining: cfg.flits_per_source,
                 credits: cfg.buffer_entries,
@@ -239,7 +240,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
         b.install(
             ep_ids[2 * i + 1],
             Box::new(Sink {
-                node: NodeId(i as u16),
+                node: all_nodes[i],
                 switch: my_switch,
                 source: ep_ids[2 * i],
                 stats: Rc::clone(&stats),
@@ -255,10 +256,10 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
         let mut specs = Vec::new();
         let mut route = BTreeMap::new();
         for i in locals.clone() {
-            route.insert(NodeId(i as u16), specs.len());
+            route.insert(all_nodes[i], specs.len());
             specs.push(SwitchPortSpec {
                 peer: ep_ids[2 * i + 1], // deliver to the sink
-                peer_node: NodeId(i as u16),
+                peer_node: all_nodes[i],
                 flits_per_cycle: cfg.intra_fpc,
                 initial_credits: cfg.buffer_entries,
                 input_capacity: cfg.buffer_entries as usize,
@@ -270,9 +271,9 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
         }
         let port = specs.len();
         route.insert(other.1, port);
-        for i in 0..total_eps {
+        for (i, &node) in all_nodes.iter().enumerate() {
             if !locals.contains(&i) {
-                route.insert(NodeId(i as u16), port);
+                route.insert(node, port);
             }
         }
         specs.push(SwitchPortSpec {
@@ -294,8 +295,8 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
             route,
         )
     };
-    let sw0_node = NodeId(total_eps as u16);
-    let sw1_node = NodeId(total_eps as u16 + 1);
+    let sw0_node = NodeId(total_eps_u16);
+    let sw1_node = NodeId(total_eps_u16 + 1);
     b.install(
         sw0,
         Box::new(mk_switch(sw0_node, 0..n as usize, (sw1, sw1_node))),

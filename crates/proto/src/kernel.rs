@@ -102,7 +102,7 @@ impl KernelSpec {
         self.ctas
             .iter()
             .flat_map(|c| &c.waves)
-            .map(|w| w.mem_ops())
+            .map(super::access::WavefrontTrace::mem_ops)
             .sum()
     }
 }

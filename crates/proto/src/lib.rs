@@ -21,9 +21,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod access;
 pub mod addr;
+pub mod collections;
 pub mod config;
 pub mod flit;
 pub mod ids;
@@ -34,6 +37,7 @@ pub mod stats;
 
 pub use access::{AccessKind, CoalescedAccess, WavefrontOp, WavefrontTrace};
 pub use addr::{LineAddr, LineMask, PAddr, VAddr, LINE_BYTES, PAGE_BYTES, SECTOR_BYTES};
+pub use collections::OrderedMap;
 pub use config::{fnv1a64, NetCrafterConfig, SectorFillPolicy, SystemConfig, TopologyConfig};
 pub use flit::{Chunk, Flit, STITCH_META_BYTES};
 pub use ids::{AccessId, ClusterId, CtaId, CuId, GpuId, NodeId, PacketId, WavefrontId};

@@ -202,7 +202,7 @@ impl TraceConfig {
                         let class = EventClass::from_label(label).ok_or_else(|| {
                             format!(
                                 "unknown event class `{label}` (expected one of: {})",
-                                ALL_CLASSES.map(|c| c.label()).join(", ")
+                                ALL_CLASSES.map(EventClass::label).join(", ")
                             )
                         })?;
                         mask |= class.bit();
@@ -480,8 +480,7 @@ impl Trace {
             let track = self
                 .tracks
                 .get(ev.track as usize)
-                .map(String::as_str)
-                .unwrap_or("?");
+                .map_or("?", String::as_str);
             out.push_str(&format!(
                 "{{\"cycle\":{},\"track\":{},\"class\":\"{}\",\"phase\":\"{}\",\
                  \"name\":{},\"id\":{},\"value\":{}}}\n",
@@ -706,7 +705,10 @@ pub mod json {
                     // Consume one UTF-8 scalar (input is a &str, so byte
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("peeked Some(_) above, so at least one scalar remains");
                     out.push(c);
                     *pos += c.len_utf8();
                 }

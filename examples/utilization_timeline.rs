@@ -53,7 +53,7 @@ fn main() {
             "",
             cycles,
             100.0 * avg,
-            100.0 * utils.iter().cloned().fold(0.0, f64::max)
+            100.0 * utils.iter().copied().fold(0.0, f64::max)
         );
     }
     println!("Each column is one {INTERVAL}-cycle bucket; height is link utilization.");

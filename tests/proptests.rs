@@ -81,7 +81,7 @@ fn segment_reassemble_round_trips() {
         let mut exhausted = false;
         while !exhausted {
             exhausted = true;
-            for s in streams.iter_mut() {
+            for s in &mut streams {
                 for _ in 0..lace {
                     if let Some(f) = s.next() {
                         flits.push(f);
