@@ -77,12 +77,15 @@ if [[ "$seq_out" != "$par_out" ]]; then
 fi
 
 echo "==> figures cache smoke run: warm cache must re-simulate nothing"
+# The warm run adds --threads 4: thread count is excluded from the cache
+# key (parallel results are bit-identical), so a cache filled by a
+# sequential run must fully satisfy a parallel one.
 cache_dir=$(mktemp -d)
 trap 'rm -rf "$cache_dir"; rm -f "$seq_err" "$par_err"' EXIT
 cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
     --quick fig14 --jobs 4 --cache-dir "$cache_dir" >/dev/null 2>&1
 warm_stderr=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 --jobs 4 --cache-dir "$cache_dir" 2>&1 >/dev/null)
+    --quick fig14 --jobs 4 --threads 4 --cache-dir "$cache_dir" 2>&1 >/dev/null)
 if ! grep -q "0 simulated" <<<"$warm_stderr"; then
     echo "FAIL: warm cache re-simulated configurations:" >&2
     echo "$warm_stderr" >&2
@@ -112,9 +115,10 @@ mv "$artifact_dir/trace-a.json" "$artifact_dir/fig14-trace.json"
 mv "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/fig14-timeseries.jsonl"
 rm -f "$artifact_dir/trace-b.json" "$artifact_dir/timeseries-b.jsonl"
 
-echo "==> scheduler equivalence: event-driven vs --legacy-scheduler"
-# The event-driven scheduler is a pure host-speed optimisation: the fig14
-# matrix and the event trace must be bit-identical under both schedulers.
+echo "==> scheduler equivalence: event-driven vs --legacy-scheduler vs --threads 4"
+# The event-driven and conservative-parallel schedulers are pure
+# host-speed optimisations: the fig14 matrix and the event trace must be
+# bit-identical under all three.
 if ! legacy_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
     --quick fig14 --legacy-scheduler 2>"$seq_err"); then
     echo "FAIL: legacy-scheduler figures run failed:" >&2
@@ -142,6 +146,40 @@ if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-leg
     exit 1
 fi
 rm -f "$artifact_dir/trace-legacy.json" "$artifact_dir/timeseries-legacy.jsonl"
+if ! thr_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+    --quick fig14 --threads 4 2>"$seq_err"); then
+    echo "FAIL: --threads 4 figures run failed:" >&2
+    cat "$seq_err" >&2
+    exit 1
+fi
+if [[ "$seq_out" != "$thr_out" ]]; then
+    echo "FAIL: --threads 4 figure output differs from sequential" >&2
+    diff <(echo "$seq_out") <(echo "$thr_out") >&2 || true
+    exit 1
+fi
+cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+    --threads 4 \
+    --trace "$artifact_dir/trace-par.json" \
+    --timeseries "$artifact_dir/timeseries-par.jsonl" >/dev/null
+if ! cmp -s "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-par.json"; then
+    echo "FAIL: --threads 4 event trace differs from event-driven" >&2
+    cmp "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-par.json" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-par.jsonl"; then
+    echo "FAIL: --threads 4 time series differs from event-driven" >&2
+    cmp "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-par.jsonl" >&2 || true
+    exit 1
+fi
+rm -f "$artifact_dir/trace-par.json" "$artifact_dir/timeseries-par.jsonl"
+
+echo "==> scheduler microbench: speedup numbers kept as a CI artifact"
+# Informational (never gated — CI hosts have arbitrary core counts): the
+# idle-heavy/dense/parallel-domain numbers land next to the other
+# artifacts so a PR's claimed speedups can be checked against CI metal.
+cargo bench --offline -q -p netcrafter-bench --features criterion-bench \
+    --bench engine_scheduler | tee "$artifact_dir/engine-scheduler-bench.txt"
 
 echo "==> perf-regression gate: fig14 headline numbers vs committed baseline"
 cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \

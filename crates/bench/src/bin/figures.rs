@@ -1,9 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--big] [--verbose] [--jobs N] [--cache-dir DIR]
-//!         [--trace FILE] [--timeseries FILE] [--trace-filter SPEC]
-//!         [--sample-window N] [--legacy-scheduler] <id>... | all
+//! figures [--quick] [--big] [--verbose] [--jobs N] [--threads N]
+//!         [--cache-dir DIR] [--trace FILE] [--timeseries FILE]
+//!         [--trace-filter SPEC] [--sample-window N] [--legacy-scheduler]
+//!         <id>... | all
 //! ```
 //!
 //! Ids: table1, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig12,
@@ -11,9 +12,11 @@
 //! ablation, scaling.
 //!
 //! `--jobs N` resolves the figures' simulations on N worker threads;
-//! `--cache-dir DIR` persists every result so a re-run only simulates
-//! configurations it has never seen. Both leave the printed tables
-//! byte-identical to a sequential, uncached run.
+//! `--threads N` runs each simulation's cluster domains on N worker
+//! threads (the conservative parallel scheduler); `--cache-dir DIR`
+//! persists every result so a re-run only simulates configurations it
+//! has never seen. All three leave the printed tables byte-identical to
+//! a sequential, uncached run.
 //!
 //! `--trace FILE` / `--timeseries FILE` re-run the *first* simulation of
 //! the first requested figure with observability on and write a
@@ -48,6 +51,12 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let threads: usize = flag_value(&args, "--threads").map_or(1, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--threads expects a positive integer, got {v:?}");
+            std::process::exit(2);
+        })
+    });
     let cache_dir = flag_value(&args, "--cache-dir");
 
     // Everything that is not a flag (or a flag's value) is a figure id.
@@ -58,7 +67,11 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if arg == "--jobs" || arg == "--cache-dir" || TRACE_VALUE_FLAGS.contains(&arg.as_str()) {
+        if arg == "--jobs"
+            || arg == "--threads"
+            || arg == "--cache-dir"
+            || TRACE_VALUE_FLAGS.contains(&arg.as_str())
+        {
             skip_next = true;
         } else if !arg.starts_with("--") {
             ids.push(arg.clone());
@@ -91,7 +104,7 @@ fn main() {
         runner.scale.mem_ops_per_wave *= 2;
     }
     runner.verbose = verbose;
-    runner = runner.with_jobs(jobs);
+    runner = runner.with_jobs(jobs).with_threads(threads);
     if let Some(dir) = &cache_dir {
         runner = runner.with_cache_dir(dir).unwrap_or_else(|e| {
             eprintln!("cannot open cache dir {dir}: {e}");

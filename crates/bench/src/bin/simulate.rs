@@ -7,7 +7,7 @@
 //!          [--intra 128] [--inter 16] [--flit 16]
 //!          [--scale tiny|small|paper] [--seed N]
 //!          [--pool-window N] [--trim-granularity 4|8|16]
-//!          [--jobs N] [--cache-dir DIR]
+//!          [--jobs N] [--threads N] [--cache-dir DIR]
 //!          [--dump-metrics] [--csv FILE]
 //!          [--trace FILE] [--timeseries FILE]
 //!          [--trace-filter SPEC] [--sample-window N]
@@ -15,9 +15,11 @@
 //! ```
 //!
 //! `--variant all` sweeps every variant of the workload (in parallel
-//! with `--jobs N`) and prints a comparison table. `--cache-dir DIR`
-//! replays identical configurations from the persistent result cache
-//! instead of re-simulating.
+//! with `--jobs N`) and prints a comparison table. `--threads N` runs
+//! each simulation's cluster domains on N worker threads under the
+//! conservative parallel scheduler — output stays byte-identical.
+//! `--cache-dir DIR` replays identical configurations from the
+//! persistent result cache instead of re-simulating.
 //!
 //! `--trace FILE` records a Chrome-trace JSON event trace (load it in
 //! `chrome://tracing` or Perfetto), optionally filtered by
@@ -76,7 +78,7 @@ fn main() {
             "usage: simulate [--workload NAME] [--variant V|all] [--cus N] [--clusters N] \
              [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
              [--scale tiny|small|paper] [--seed N] [--pool-window N] \
-             [--trim-granularity N] [--jobs N] [--cache-dir DIR] [--dump-metrics] \
+             [--trim-granularity N] [--jobs N] [--threads N] [--cache-dir DIR] [--dump-metrics] \
              [--trace FILE] [--timeseries FILE] [--trace-filter SPEC] [--sample-window N] \
              [--legacy-scheduler]\n\
              workloads: {:?}\n\
@@ -134,6 +136,7 @@ fn main() {
         .unwrap_or(0xC0FFEE);
     runner.max_cycles = 1_000_000_000;
     runner = runner.with_jobs(get("--jobs").and_then(|v| v.parse().ok()).unwrap_or(1));
+    runner = runner.with_threads(get("--threads").and_then(|v| v.parse().ok()).unwrap_or(1));
     if let Some(dir) = get("--cache-dir") {
         runner = runner.with_cache_dir(&dir).unwrap_or_else(|e| {
             eprintln!("cannot open cache dir {dir}: {e}");

@@ -228,6 +228,11 @@ pub struct Runner {
     pub verbose: bool,
     /// Worker threads used by [`Runner::sweep`].
     pub jobs: usize,
+    /// Worker threads *inside* each simulation (the engine's conservative
+    /// parallel scheduler); 1 runs sequentially. Orthogonal to `jobs`,
+    /// which parallelizes across simulations. Excluded from cache keys:
+    /// results are bit-identical at any thread count.
+    pub threads: usize,
     memo: Mutex<HashMap<String, Arc<RunResult>>>,
     disk: Option<DiskCache>,
     stats: Mutex<Vec<JobStat>>,
@@ -255,6 +260,7 @@ impl Runner {
             max_cycles: 300_000_000,
             verbose: false,
             jobs: 1,
+            threads: 1,
             memo: Mutex::new(HashMap::new()),
             disk: None,
             stats: Mutex::new(Vec::new()),
@@ -265,6 +271,12 @@ impl Runner {
     /// as 1).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the per-simulation worker-thread count (0 is treated as 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -300,6 +312,7 @@ impl Runner {
             scale: self.scale,
             seed: self.seed,
             max_cycles: self.max_cycles,
+            threads: self.threads,
             tag: tag.to_owned(),
         }
     }

@@ -504,14 +504,14 @@ mod tests {
     use netcrafter_proto::LineMask;
     use netcrafter_proto::{CtaId, MemRsp, SystemConfig, VAddr, WavefrontId};
     use netcrafter_sim::EngineBuilder;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Answers translations (identity: pfn = vpn + base) and memory
     /// requests (full-line fills) after fixed delays.
     struct Backend {
-        reqs: Rc<RefCell<Vec<MemReq>>>,
-        trans: Rc<RefCell<Vec<TransReq>>>,
+        reqs: Arc<Mutex<Vec<MemReq>>>,
+        trans: Arc<Mutex<Vec<TransReq>>>,
         mem_latency: u64,
         pfn_base: u64,
     }
@@ -520,7 +520,7 @@ mod tests {
             while let Some(msg) = ctx.recv() {
                 match msg {
                     Message::TransReq(req) => {
-                        self.trans.borrow_mut().push(req);
+                        self.trans.lock().unwrap().push(req);
                         ctx.send(
                             netcrafter_sim::ComponentId(0),
                             Message::TransRsp(netcrafter_proto::TransRsp {
@@ -533,7 +533,7 @@ mod tests {
                         );
                     }
                     Message::MemReq(req) => {
-                        self.reqs.borrow_mut().push(req);
+                        self.reqs.lock().unwrap().push(req);
                         ctx.send(
                             netcrafter_sim::ComponentId(0),
                             Message::MemRsp(MemRsp::for_req(&req, req.sectors)),
@@ -563,8 +563,8 @@ mod tests {
     struct H {
         engine: netcrafter_sim::Engine,
         cu: ComponentId,
-        reqs: Rc<RefCell<Vec<MemReq>>>,
-        trans: Rc<RefCell<Vec<TransReq>>>,
+        reqs: Arc<Mutex<Vec<MemReq>>>,
+        trans: Arc<Mutex<Vec<TransReq>>>,
     }
 
     fn harness(waves: Vec<WavefrontTrace>, pfn_base: u64) -> H {
@@ -573,13 +573,13 @@ mod tests {
         let mut b = EngineBuilder::new();
         let cu_id = b.reserve(); // must be ComponentId(0): Backend replies there
         let be = b.reserve();
-        let reqs = Rc::new(RefCell::new(Vec::new()));
-        let trans = Rc::new(RefCell::new(Vec::new()));
+        let reqs = Arc::new(Mutex::new(Vec::new()));
+        let trans = Arc::new(Mutex::new(Vec::new()));
         b.install(
             be,
             Box::new(Backend {
-                reqs: Rc::clone(&reqs),
-                trans: Rc::clone(&trans),
+                reqs: Arc::clone(&reqs),
+                trans: Arc::clone(&trans),
                 mem_latency: 50,
                 pfn_base,
             }),
@@ -615,9 +615,9 @@ mod tests {
         let mut h = harness(vec![w], 0);
         let _ = h.cu;
         h.engine.run_to_quiescence(10_000);
-        assert_eq!(h.trans.borrow().len(), 1, "one TLB miss");
-        assert_eq!(h.reqs.borrow().len(), 1, "one L1 miss");
-        let req = h.reqs.borrow()[0];
+        assert_eq!(h.trans.lock().unwrap().len(), 1, "one TLB miss");
+        assert_eq!(h.reqs.lock().unwrap().len(), 1, "one L1 miss");
+        let req = h.reqs.lock().unwrap()[0];
         assert!(!req.write);
         assert_eq!(req.line.0, 0x1000);
     }
@@ -634,8 +634,8 @@ mod tests {
         );
         let mut h = harness(vec![w], 0);
         h.engine.run_to_quiescence(10_000);
-        assert_eq!(h.trans.borrow().len(), 1);
-        assert_eq!(h.reqs.borrow().len(), 1);
+        assert_eq!(h.trans.lock().unwrap().len(), 1);
+        assert_eq!(h.reqs.lock().unwrap().len(), 1);
     }
 
     #[test]
@@ -649,7 +649,7 @@ mod tests {
         );
         let mut h = harness(vec![w], 0);
         h.engine.run_to_quiescence(10_000);
-        let reqs = h.reqs.borrow();
+        let reqs = h.reqs.lock().unwrap();
         assert_eq!(reqs.len(), 1);
         assert!(reqs[0].write);
     }
@@ -671,7 +671,7 @@ mod tests {
         // Run just past issue: both memory requests out by cycle ~40
         // (translation round-trip ~10 + L1 lookup 20).
         h.engine.run_while(60, |_| true);
-        assert_eq!(h.reqs.borrow().len(), 2, "misses overlap");
+        assert_eq!(h.reqs.lock().unwrap().len(), 2, "misses overlap");
         h.engine.run_to_quiescence(10_000);
     }
 
@@ -686,7 +686,7 @@ mod tests {
         );
         let mut h = harness(vec![w], frames);
         h.engine.run_to_quiescence(10_000);
-        assert_eq!(h.reqs.borrow()[0].owner, GpuId(1));
+        assert_eq!(h.reqs.lock().unwrap()[0].owner, GpuId(1));
     }
 
     #[test]
@@ -695,7 +695,7 @@ mod tests {
         let mut h = harness(vec![w], 0);
         let end = h.engine.run_to_quiescence(10_000);
         assert!(end >= 100, "compute burns 100 cycles, got {end}");
-        assert!(h.reqs.borrow().is_empty());
+        assert!(h.reqs.lock().unwrap().is_empty());
     }
 
     #[test]
@@ -716,6 +716,6 @@ mod tests {
         let waves = (0..4).map(|i| wave(i, ops.clone())).collect();
         let mut h = harness(waves, 0);
         h.engine.run_to_quiescence(100_000);
-        assert!(h.reqs.borrow().len() >= 10);
+        assert!(h.reqs.lock().unwrap().len() >= 10);
     }
 }

@@ -302,13 +302,13 @@ mod tests {
     use super::*;
     use netcrafter_proto::{AccessId, LineAddr, LineMask, MemReq, Origin};
     use netcrafter_sim::EngineBuilder;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Collects flits (pretending to be the switch) and other messages.
     struct Collector {
-        flits: Rc<RefCell<Vec<Flit>>>,
-        msgs: Rc<RefCell<Vec<Message>>>,
+        flits: Arc<Mutex<Vec<Flit>>>,
+        msgs: Arc<Mutex<Vec<Message>>>,
         node: NodeId,
         credit_back: Option<ComponentId>,
     }
@@ -317,7 +317,7 @@ mod tests {
             while let Some(msg) = ctx.recv() {
                 match msg {
                     Message::Flit { flit, .. } => {
-                        self.flits.borrow_mut().push(flit);
+                        self.flits.lock().unwrap().push(flit);
                         if let Some(peer) = self.credit_back {
                             ctx.send(
                                 peer,
@@ -329,7 +329,7 @@ mod tests {
                             );
                         }
                     }
-                    other => self.msgs.borrow_mut().push(other),
+                    other => self.msgs.lock().unwrap().push(other),
                 }
             }
         }
@@ -344,8 +344,8 @@ mod tests {
     struct H {
         engine: netcrafter_sim::Engine,
         rdma: ComponentId,
-        flits: Rc<RefCell<Vec<Flit>>>,
-        msgs: Rc<RefCell<Vec<Message>>>,
+        flits: Arc<Mutex<Vec<Flit>>>,
+        msgs: Arc<Mutex<Vec<Message>>>,
     }
 
     fn harness(trimming: bool) -> H {
@@ -359,14 +359,14 @@ mod tests {
         let gmmu = b.reserve();
         let cu = b.reserve();
         let rdma = b.reserve();
-        let flits = Rc::new(RefCell::new(Vec::new()));
-        let msgs = Rc::new(RefCell::new(Vec::new()));
+        let flits = Arc::new(Mutex::new(Vec::new()));
+        let msgs = Arc::new(Mutex::new(Vec::new()));
         for id in [l2, gmmu, cu] {
             b.install(
                 id,
                 Box::new(Collector {
-                    flits: Rc::clone(&flits),
-                    msgs: Rc::clone(&msgs),
+                    flits: Arc::clone(&flits),
+                    msgs: Arc::clone(&msgs),
                     node: NodeId(4),
                     credit_back: None,
                 }),
@@ -375,8 +375,8 @@ mod tests {
         b.install(
             sw,
             Box::new(Collector {
-                flits: Rc::clone(&flits),
-                msgs: Rc::clone(&msgs),
+                flits: Arc::clone(&flits),
+                msgs: Arc::clone(&msgs),
                 node: NodeId(4),
                 credit_back: Some(rdma),
             }),
@@ -425,7 +425,7 @@ mod tests {
         h.engine
             .inject(h.rdma, Message::MemReq(remote_read(0b1111, 2)), 1);
         h.engine.run_to_quiescence(1000);
-        let flits = h.flits.borrow();
+        let flits = h.flits.lock().unwrap();
         assert_eq!(flits.len(), 1);
         assert_eq!(flits[0].chunks[0].kind, PacketKind::ReadReq);
         assert_eq!(flits[0].used_bytes(), 12);
@@ -437,7 +437,7 @@ mod tests {
         h.engine
             .inject(h.rdma, Message::MemReq(remote_read(0b0010, 2)), 1);
         h.engine.run_to_quiescence(1000);
-        let flits = h.flits.borrow();
+        let flits = h.flits.lock().unwrap();
         let info = flits[0].chunks[0].packet_info.as_ref().unwrap();
         assert_eq!(
             info.trim,
@@ -455,7 +455,7 @@ mod tests {
         h.engine
             .inject(h.rdma, Message::MemReq(remote_read(0b0010, 1)), 1);
         h.engine.run_to_quiescence(1000);
-        let flits = h.flits.borrow();
+        let flits = h.flits.lock().unwrap();
         let info = flits[0].chunks[0].packet_info.as_ref().unwrap();
         assert_eq!(info.trim, None);
     }
@@ -475,8 +475,11 @@ mod tests {
         };
         h.engine.inject(h.rdma, Message::MemRsp(rsp), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.flits.borrow().len(), 5);
-        assert_eq!(h.flits.borrow()[0].chunks[0].kind, PacketKind::ReadRsp);
+        assert_eq!(h.flits.lock().unwrap().len(), 5);
+        assert_eq!(
+            h.flits.lock().unwrap()[0].chunks[0].kind,
+            PacketKind::ReadRsp
+        );
     }
 
     #[test]
@@ -494,7 +497,7 @@ mod tests {
         };
         h.engine.inject(h.rdma, Message::MemRsp(rsp), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.flits.borrow().len(), 2, "trimmed 20 B response");
+        assert_eq!(h.flits.lock().unwrap().len(), 2, "trimmed 20 B response");
     }
 
     #[test]
@@ -512,7 +515,7 @@ mod tests {
         };
         h.engine.inject(h.rdma, Message::MemRsp(rsp), 1);
         h.engine.run_to_quiescence(1000);
-        let flits = h.flits.borrow();
+        let flits = h.flits.lock().unwrap();
         assert_eq!(flits.len(), 1);
         assert_eq!(flits[0].chunks[0].kind, PacketKind::PageTableRsp);
         assert_eq!(flits[0].used_bytes(), 12);
@@ -548,7 +551,7 @@ mod tests {
             );
         }
         h.engine.run_to_quiescence(1000);
-        let msgs = h.msgs.borrow();
+        let msgs = h.msgs.lock().unwrap();
         assert!(msgs
             .iter()
             .any(|m| matches!(m, Message::MemReq(r) if r.requester == GpuId(2))));
@@ -588,7 +591,7 @@ mod tests {
             );
         }
         h.engine.run_to_quiescence(1000);
-        let msgs = h.msgs.borrow();
+        let msgs = h.msgs.lock().unwrap();
         assert!(msgs
             .iter()
             .any(|m| matches!(m, Message::MemRsp(r) if !r.write)));

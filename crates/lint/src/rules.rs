@@ -32,6 +32,34 @@ pub const TRACED_ENTRY_POINTS: &[&str] = &[
     "record_response",
 ];
 
+/// Type names that provide interior mutability: a non-`const` `static`
+/// holding one of these is ambient mutable state, which component code
+/// could reach without going through the engine — invisible to domain
+/// partitioning and racy under [`ParallelEventDriven`] workers.
+pub const INTERIOR_MUTABLE_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "Cell",
+    "LazyCell",
+    "LazyLock",
+    "Mutex",
+    "OnceCell",
+    "OnceLock",
+    "RefCell",
+    "RwLock",
+    "UnsafeCell",
+];
+
 /// One rule violation (or waived violation) at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -91,6 +119,15 @@ pub const RULES: &[Rule] = &[
                   paths; use try_into/try_from with an expect message",
         crates: Some(&["net", "sim"]),
         check: check_narrowing,
+    },
+    Rule {
+        name: "no-ambient-state",
+        summary: "static mut, thread_local! and statics with interior \
+                  mutability banned in sim-facing crates; ambient state \
+                  bypasses the engine and silently breaks domain \
+                  partitioning under the parallel scheduler",
+        crates: Some(SIM_CRATES),
+        check: check_ambient_state,
     },
     Rule {
         name: "tracer-threading",
@@ -456,6 +493,69 @@ fn check_narrowing(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
                 ));
             }
         }
+    }
+}
+
+fn check_ambient_state(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident_at(tokens, i) == Some("thread_local") && punct_at(tokens, i + 1, '!') {
+            out.push((
+                tokens[i].line,
+                "thread_local! is ambient per-thread state: a component \
+                 migrated to a parallel-scheduler worker silently reads a \
+                 different instance — thread simulation state through the \
+                 component or the engine instead"
+                    .to_string(),
+            ));
+            i += 2;
+            continue;
+        }
+        // `'static` lexes as a Lifetime token, so an Ident here is the
+        // `static` item keyword.
+        if ident_at(tokens, i) != Some("static") {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        if ident_at(tokens, i + 1) == Some("mut") {
+            out.push((
+                line,
+                "`static mut` is unsynchronized ambient state: any write \
+                 races under the parallel scheduler and breaks bit-exact \
+                 replay — own the state in a component"
+                    .to_string(),
+            ));
+            i += 2;
+            continue;
+        }
+        // `static NAME: Type = init;` — scan the item for interior-
+        // mutability types. The engine cannot see state that lives here,
+        // so domain partitioning cannot keep it deterministic.
+        let mut j = i + 1;
+        while j < tokens.len() && tokens[j].tok != Tok::Punct(';') {
+            if let Some(id) = ident_at(tokens, j) {
+                if INTERIOR_MUTABLE_TYPES.contains(&id) {
+                    out.push((
+                        line,
+                        format!(
+                            "non-const `static` holding {id}: interior \
+                             mutability makes this ambient simulation state \
+                             that bypasses the engine and the domain \
+                             partition — own it in a component, or waive \
+                             with a justification if it never feeds \
+                             simulation outcomes"
+                        ),
+                    ));
+                    break;
+                }
+            }
+            j += 1;
+        }
+        while j < tokens.len() && tokens[j].tok != Tok::Punct(';') {
+            j += 1;
+        }
+        i = j + 1;
     }
 }
 

@@ -1,0 +1,10 @@
+//! Fixture: an annotated process-wide default that never feeds
+//! simulation outcomes is waived.
+use std::sync::atomic::AtomicBool;
+
+// lint:allow(no-ambient-state) CLI default read once before the engine is built; never mutated mid-run
+static LEGACY_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+pub fn legacy() -> &'static AtomicBool {
+    &LEGACY_DEFAULT
+}

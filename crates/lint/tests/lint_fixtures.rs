@@ -80,6 +80,13 @@ fn bad_tracer_threading_fires() {
 }
 
 #[test]
+fn bad_ambient_state_fires() {
+    // static mut, the atomic static, the Mutex static and thread_local!
+    // each fire.
+    assert_fires("bad_ambient_state.rs", "no-ambient-state", 4);
+}
+
+#[test]
 fn unused_and_reasonless_allows_fire() {
     assert_fires("bad_unused_allow.rs", "unused-allow", 1);
     assert_fires("bad_unused_allow.rs", "allow-missing-reason", 1);
@@ -93,6 +100,7 @@ fn allowed_fixtures_are_fully_waived() {
         "allowed_wake_contract.rs",
         "allowed_narrowing.rs",
         "allowed_tracer_threading.rs",
+        "allowed_ambient_state.rs",
     ] {
         assert_fully_waived(name);
     }
@@ -131,6 +139,7 @@ fn every_rule_has_bad_and_allowed_coverage() {
         "bad_wake_contract.rs",
         "bad_narrowing.rs",
         "bad_tracer_threading.rs",
+        "bad_ambient_state.rs",
     ] {
         for f in lint(name) {
             if !covered.contains(&f.rule) {

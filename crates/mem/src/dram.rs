@@ -127,17 +127,17 @@ mod tests {
     use super::*;
     use netcrafter_proto::{AccessId, LineAddr, LineMask, Origin, TrafficClass};
     use netcrafter_sim::EngineBuilder;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     struct Sink {
-        got: Rc<RefCell<Vec<(u64, MemRsp)>>>,
+        got: Arc<Mutex<Vec<(u64, MemRsp)>>>,
     }
     impl Component for Sink {
         fn tick(&mut self, ctx: &mut Ctx<'_>) {
             while let Some(msg) = ctx.recv() {
                 if let Message::MemRsp(rsp) = msg {
-                    self.got.borrow_mut().push((ctx.cycle(), rsp));
+                    self.got.lock().unwrap().push((ctx.cycle(), rsp));
                 }
             }
         }
@@ -168,11 +168,11 @@ mod tests {
         let mut b = EngineBuilder::new();
         let sink = b.reserve();
         let dram = b.reserve();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         b.install(
             sink,
             Box::new(Sink {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         b.install(
@@ -189,7 +189,7 @@ mod tests {
         let mut e = b.build();
         e.inject(dram, Message::MemReq(req(1, false)), 1);
         e.run_to_quiescence(1000);
-        let got = got.borrow();
+        let got = got.lock().unwrap();
         assert_eq!(got.len(), 1);
         // Inject arrives at 1, served same cycle, +100 latency => ~101.
         assert!(
@@ -204,11 +204,11 @@ mod tests {
         let mut b = EngineBuilder::new();
         let sink = b.reserve();
         let dram = b.reserve();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         b.install(
             sink,
             Box::new(Sink {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         b.install(
@@ -225,7 +225,7 @@ mod tests {
         let mut e = b.build();
         e.inject(dram, Message::MemReq(req(1, true)), 1);
         e.run_to_quiescence(1000);
-        assert!(got.borrow().is_empty());
+        assert!(got.lock().unwrap().is_empty());
     }
 
     #[test]
@@ -234,11 +234,11 @@ mod tests {
         let mut b = EngineBuilder::new();
         let sink = b.reserve();
         let dram = b.reserve();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         b.install(
             sink,
             Box::new(Sink {
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
             }),
         );
         let mut d = Dram::new(
@@ -256,7 +256,7 @@ mod tests {
             e.inject(dram, Message::MemReq(req(i, false)), 1);
         }
         e.run_to_quiescence(1000);
-        let got = got.borrow();
+        let got = got.lock().unwrap();
         assert_eq!(got.len(), 4);
         // At 0.5 lines/cycle, 4 lines take ~8 cycles: arrivals spread out.
         let first = got.first().expect("responses").0;

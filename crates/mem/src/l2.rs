@@ -365,14 +365,14 @@ mod tests {
     use super::*;
     use netcrafter_proto::{AccessId, LineAddr, LineMask, TrafficClass};
     use netcrafter_sim::EngineBuilder;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Captures responses; also acts as the DRAM stand-in that answers
     /// fills after a fixed delay.
     struct Stub {
-        responses: Rc<RefCell<Vec<MemRsp>>>,
-        fills_seen: Rc<RefCell<Vec<MemReq>>>,
+        responses: Arc<Mutex<Vec<MemRsp>>>,
+        fills_seen: Arc<Mutex<Vec<MemReq>>>,
         reply_to: Option<ComponentId>,
         latency: u64,
     }
@@ -380,9 +380,9 @@ mod tests {
         fn tick(&mut self, ctx: &mut Ctx<'_>) {
             while let Some(msg) = ctx.recv() {
                 match msg {
-                    Message::MemRsp(rsp) => self.responses.borrow_mut().push(rsp),
+                    Message::MemRsp(rsp) => self.responses.lock().unwrap().push(rsp),
                     Message::MemReq(req) => {
-                        self.fills_seen.borrow_mut().push(req);
+                        self.fills_seen.lock().unwrap().push(req);
                         if !req.write {
                             if let Some(target) = self.reply_to {
                                 ctx.send(
@@ -408,8 +408,8 @@ mod tests {
     struct Harness {
         engine: netcrafter_sim::Engine,
         l2: ComponentId,
-        responses: Rc<RefCell<Vec<MemRsp>>>,
-        fills: Rc<RefCell<Vec<MemReq>>>,
+        responses: Arc<Mutex<Vec<MemRsp>>>,
+        fills: Arc<Mutex<Vec<MemReq>>>,
     }
 
     fn harness() -> Harness {
@@ -419,14 +419,14 @@ mod tests {
         let rdma = b.reserve();
         let dram = b.reserve();
         let l2 = b.reserve();
-        let responses = Rc::new(RefCell::new(Vec::new()));
-        let fills = Rc::new(RefCell::new(Vec::new()));
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let fills = Arc::new(Mutex::new(Vec::new()));
         for id in [cu, gmmu, rdma] {
             b.install(
                 id,
                 Box::new(Stub {
-                    responses: Rc::clone(&responses),
-                    fills_seen: Rc::clone(&fills),
+                    responses: Arc::clone(&responses),
+                    fills_seen: Arc::clone(&fills),
                     reply_to: None,
                     latency: 0,
                 }),
@@ -435,8 +435,8 @@ mod tests {
         b.install(
             dram,
             Box::new(Stub {
-                responses: Rc::clone(&responses),
-                fills_seen: Rc::clone(&fills),
+                responses: Arc::clone(&responses),
+                fills_seen: Arc::clone(&fills),
                 reply_to: Some(l2),
                 latency: 100,
             }),
@@ -491,8 +491,8 @@ mod tests {
         h.engine
             .inject(h.l2, Message::MemReq(read(1, 0, Origin::Cu(0))), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 1);
-        assert_eq!(h.fills.borrow().len(), 1, "one DRAM fill");
+        assert_eq!(h.responses.lock().unwrap().len(), 1);
+        assert_eq!(h.fills.lock().unwrap().len(), 1, "one DRAM fill");
         let t_miss = h.engine.cycle();
         assert!(t_miss >= 200, "lookup (100) + DRAM (100), got {t_miss}");
 
@@ -500,8 +500,8 @@ mod tests {
         h.engine
             .inject(h.l2, Message::MemReq(read(1, 0, Origin::Cu(0))), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 2);
-        assert_eq!(h.fills.borrow().len(), 1, "no second fill");
+        assert_eq!(h.responses.lock().unwrap().len(), 2);
+        assert_eq!(h.fills.lock().unwrap().len(), 1, "no second fill");
     }
 
     #[test]
@@ -513,8 +513,8 @@ mod tests {
         h.engine
             .inject(h.l2, Message::MemReq(read(2, 2, Origin::Cu(5))), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 1);
-        assert_eq!(h.responses.borrow()[0].requester, GpuId(2));
+        assert_eq!(h.responses.lock().unwrap().len(), 1);
+        assert_eq!(h.responses.lock().unwrap()[0].requester, GpuId(2));
     }
 
     #[test]
@@ -525,8 +525,8 @@ mod tests {
         h.engine
             .inject(h.l2, Message::MemReq(read(3, 0, Origin::Gmmu)), 2);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 2, "both waiters woken");
-        assert_eq!(h.fills.borrow().len(), 1, "one fill serves both");
+        assert_eq!(h.responses.lock().unwrap().len(), 2, "both waiters woken");
+        assert_eq!(h.fills.lock().unwrap().len(), 1, "one fill serves both");
     }
 
     #[test]
@@ -537,8 +537,11 @@ mod tests {
         w.mask = LineMask::FULL;
         h.engine.inject(h.l2, Message::MemReq(w), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 1, "write ack");
-        assert!(h.fills.borrow().is_empty(), "no fetch for full-line write");
+        assert_eq!(h.responses.lock().unwrap().len(), 1, "write ack");
+        assert!(
+            h.fills.lock().unwrap().is_empty(),
+            "no fetch for full-line write"
+        );
     }
 
     #[test]
@@ -549,8 +552,16 @@ mod tests {
         w.mask = LineMask::span(0, 8);
         h.engine.inject(h.l2, Message::MemReq(w), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 1, "write ack after allocate");
-        assert_eq!(h.fills.borrow().len(), 1, "fetch before merging write");
+        assert_eq!(
+            h.responses.lock().unwrap().len(),
+            1,
+            "write ack after allocate"
+        );
+        assert_eq!(
+            h.fills.lock().unwrap().len(),
+            1,
+            "fetch before merging write"
+        );
     }
 
     #[test]
@@ -566,10 +577,10 @@ mod tests {
             h.engine.inject(h.l2, Message::MemReq(w), 1 + i);
         }
         h.engine.run_to_quiescence(5000);
-        assert_eq!(h.responses.borrow().len(), 5);
+        assert_eq!(h.responses.lock().unwrap().len(), 5);
         // 5 dirty lines into a 4-way set: one eviction -> one write-back
         // (a write MemReq arriving at the DRAM stub).
-        let wbs = h.fills.borrow().iter().filter(|r| r.write).count();
+        let wbs = h.fills.lock().unwrap().iter().filter(|r| r.write).count();
         assert_eq!(wbs, 1, "exactly one dirty write-back");
     }
 
@@ -580,6 +591,6 @@ mod tests {
         r.class = TrafficClass::Ptw;
         h.engine.inject(h.l2, Message::MemReq(r), 1);
         h.engine.run_to_quiescence(1000);
-        assert_eq!(h.responses.borrow().len(), 1);
+        assert_eq!(h.responses.lock().unwrap().len(), 1);
     }
 }

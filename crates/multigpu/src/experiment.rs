@@ -261,6 +261,10 @@ pub struct Experiment {
     pub seed: u64,
     /// Watchdog limit.
     pub max_cycles: u64,
+    /// Worker threads for the conservative parallel scheduler; 1 runs
+    /// sequentially. Results are bit-identical either way, so this is
+    /// host-side tuning, not a simulation input.
+    pub threads: usize,
 }
 
 impl Experiment {
@@ -273,6 +277,7 @@ impl Experiment {
             scale: Scale::small(),
             seed: 0xC0FFEE,
             max_cycles: 80_000_000,
+            threads: 1,
         }
     }
 
@@ -286,6 +291,7 @@ impl Experiment {
             scale: Scale::tiny(),
             seed: 0xC0FFEE,
             max_cycles: 20_000_000,
+            threads: 1,
         }
     }
 
@@ -307,6 +313,12 @@ impl Experiment {
         self
     }
 
+    /// Replaces the worker-thread count (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Builds the system, runs the workload to completion and harvests.
     pub fn run(&self) -> RunResult {
         let cfg = self.variant.apply(self.base_cfg);
@@ -314,6 +326,7 @@ impl Experiment {
             .workload
             .generate(&self.scale, cfg.total_gpus(), self.seed);
         let mut sys = System::build(cfg, &kernel);
+        sys.set_threads(self.threads);
         let exec_cycles = sys.run(self.max_cycles);
         RunResult {
             exec_cycles,
@@ -337,6 +350,7 @@ impl Experiment {
         if let Some(window) = opts.sample_window {
             sys.enable_link_sampling(window);
         }
+        sys.set_threads(self.threads);
         let exec_cycles = sys.run(self.max_cycles);
         let result = RunResult {
             exec_cycles,
@@ -446,6 +460,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Watchdog limit.
     pub max_cycles: u64,
+    /// Worker threads for the parallel scheduler. Deliberately excluded
+    /// from both [`JobSpec::memo_key`] and [`JobSpec::cache_key`]:
+    /// parallel execution is bit-identical to sequential, so results are
+    /// interchangeable across thread counts.
+    pub threads: usize,
     /// Display tag distinguishing sweep points of one variant (e.g.
     /// `"clusters4"`); empty for plain runs.
     pub tag: String,
@@ -461,6 +480,7 @@ impl JobSpec {
             scale: exp.scale,
             seed: exp.seed,
             max_cycles: exp.max_cycles,
+            threads: exp.threads,
             tag: tag.into(),
         }
     }
@@ -474,6 +494,7 @@ impl JobSpec {
             scale: self.scale,
             seed: self.seed,
             max_cycles: self.max_cycles,
+            threads: self.threads,
         }
     }
 

@@ -2,7 +2,7 @@
 //! non-uniform bandwidth multi-GPU system (Figure 2 / Table 2).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use netcrafter_core::ClusterQueue;
 use netcrafter_gpu::{lasp, Cu, CuWiring, Rdma, RdmaWiring};
@@ -128,7 +128,7 @@ impl System {
             })
             .collect();
         let (page_table, pages_per_gpu) = placer.finish();
-        let page_table = Rc::new(page_table);
+        let page_table = Arc::new(page_table);
         let (kernel_name, mut cu_waves) = dispatches.pop_front().expect("non-empty");
 
         // Reserve ids: per GPU (cus…, gmmu, l2, dram, rdma), then switches.
@@ -190,7 +190,7 @@ impl System {
                     &cfg.l2_tlb,
                     &cfg.gmmu,
                     cfg.on_chip_hop_cycles,
-                    Rc::clone(&page_table),
+                    Arc::clone(&page_table),
                     TranslationWiring {
                         cus: ids.cus[gix].clone(),
                         l2: ids.l2s[gix],
@@ -251,7 +251,7 @@ impl System {
                     input_capacity: buf as usize,
                     output_capacity: buf as usize,
                     queue: Box::new(FifoQueue::new()),
-                    wire_latency: 1,
+                    wire_latency: netcrafter_net::WIRE_LATENCY,
                     is_inter: false,
                 });
             }
@@ -278,7 +278,7 @@ impl System {
                     input_capacity: buf as usize,
                     output_capacity: buf as usize,
                     queue,
-                    wire_latency: 1,
+                    wire_latency: netcrafter_net::WIRE_LATENCY,
                     is_inter: true,
                 });
             }
@@ -339,6 +339,42 @@ impl System {
     /// The configuration the node was built with.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Derives the conservative-parallel partition of the node from its
+    /// topology: one domain per GPU cluster (that cluster's CUs, GMMUs,
+    /// caches, DRAM stacks and RDMA engines) plus one domain for the
+    /// switch fabric. Every message crossing a domain boundary rides a
+    /// GPU↔switch or switch↔switch wire, so the partition lookahead is
+    /// [`Topology::min_cross_link_latency`].
+    pub fn partition(&self) -> netcrafter_sim::Partition {
+        let topo = Topology::new(&self.cfg.topology);
+        let switch_domain = topo.clusters() as usize;
+        let total = self.ids.switches.last().expect("at least one switch").0 + 1;
+        let mut domain_of = vec![switch_domain; total];
+        for (g, cus) in self.ids.cus.iter().enumerate() {
+            let dom = topo.gpu_cluster(GpuId(g as u16)).index();
+            for &cu in cus {
+                domain_of[cu.0] = dom;
+            }
+            domain_of[self.ids.gmmus[g].0] = dom;
+            domain_of[self.ids.l2s[g].0] = dom;
+            domain_of[self.ids.drams[g].0] = dom;
+            domain_of[self.ids.rdmas[g].0] = dom;
+        }
+        netcrafter_sim::Partition::new(domain_of, topo.min_cross_link_latency())
+    }
+
+    /// Runs subsequent simulation on `threads` worker threads under the
+    /// conservative parallel scheduler (bit-identical results; see
+    /// DESIGN.md §3.3). A single thread — or a single-cluster topology,
+    /// which has only cluster+fabric concurrency to harvest anyway —
+    /// leaves the sequential event-driven scheduler in place.
+    pub fn set_threads(&mut self, threads: usize) {
+        if threads > 1 {
+            let partition = self.partition();
+            self.engine.set_parallel(partition, threads);
+        }
     }
 
     /// Turns on structured event tracing for every component, filtered by

@@ -1,0 +1,72 @@
+//! Bit-exactness of the conservative parallel scheduler on real
+//! multi-GPU simulations: a run with `threads = 4` must reproduce the
+//! sequential event-driven run byte for byte — `Metrics`, chrome-trace
+//! JSON, and per-link time series. ci.sh enforces the same contract on
+//! the full fig14 figure matrix; these tests pin it per-run so a
+//! violation is caught next to the scheduler, not in a table diff.
+
+use netcrafter_multigpu::{Experiment, RunResult, SystemVariant, TraceData, TraceOptions};
+use netcrafter_sim::TraceConfig;
+use netcrafter_workloads::Workload;
+
+fn traced(threads: usize) -> (RunResult, TraceData) {
+    let opts = TraceOptions {
+        config: Some(TraceConfig::default()),
+        sample_window: Some(256),
+    };
+    Experiment::quick(Workload::Gups, SystemVariant::NetCrafter)
+        .with_threads(threads)
+        .run_traced(&opts)
+}
+
+#[test]
+fn parallel_metrics_are_bit_identical_across_the_fig14_variants() {
+    // A slice of the fig14 matrix: every NetCrafter mechanism
+    // (stitching, pooling, sequencing, trimming) crosses domains.
+    for variant in [
+        SystemVariant::Baseline,
+        SystemVariant::NetCrafter,
+        SystemVariant::StitchOnly,
+    ] {
+        for workload in [Workload::Gups, Workload::Atax] {
+            let seq = Experiment::quick(workload, variant).run();
+            let par = Experiment::quick(workload, variant).with_threads(4).run();
+            assert_eq!(
+                seq.exec_cycles, par.exec_cycles,
+                "{workload:?}/{variant:?}: cycle counts diverge"
+            );
+            assert_eq!(
+                seq.metrics.to_kv(),
+                par.metrics.to_kv(),
+                "{workload:?}/{variant:?}: metrics diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_trace_and_timeseries_bytes_are_identical() {
+    let (seq_result, seq_data) = traced(1);
+    let (par_result, par_data) = traced(4);
+    assert_eq!(seq_result.exec_cycles, par_result.exec_cycles);
+    assert_eq!(seq_result.metrics.to_kv(), par_result.metrics.to_kv());
+    assert_eq!(
+        seq_data.trace.to_chrome_json(),
+        par_data.trace.to_chrome_json(),
+        "chrome-trace JSON must be byte-identical"
+    );
+    assert_eq!(
+        seq_data.links_to_jsonl(),
+        par_data.links_to_jsonl(),
+        "per-link time series must be byte-identical"
+    );
+}
+
+#[test]
+fn thread_counts_beyond_the_domain_count_are_harmless() {
+    let seq = Experiment::quick(Workload::Mt, SystemVariant::NetCrafter).run();
+    let par = Experiment::quick(Workload::Mt, SystemVariant::NetCrafter)
+        .with_threads(64)
+        .run();
+    assert_eq!(seq.metrics.to_kv(), par.metrics.to_kv());
+}

@@ -30,4 +30,4 @@ pub use port::{EgressPort, EgressQueue, FifoQueue, PortSeries, PortStats};
 pub use seg::{Reassembler, Segmenter};
 pub use switch::{Switch, SwitchPortSpec};
 pub use synthetic::{load_latency_sweep, LoadPoint, SyntheticConfig};
-pub use topology::Topology;
+pub use topology::{Topology, WIRE_LATENCY};

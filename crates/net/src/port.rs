@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 
 /// The queue behind an egress port. `pop` may return `None` even when the
 /// queue is non-empty — that is exactly how Flit Pooling delays ejection.
-pub trait EgressQueue {
+/// Queues are `Send` because the owning component may run on a domain
+/// worker thread under [`netcrafter_sim::SchedulerMode::ParallelEventDriven`].
+pub trait EgressQueue: Send {
     /// Enqueues a flit at cycle `now`.
     fn push(&mut self, flit: Flit, now: Cycle);
 
@@ -407,18 +409,23 @@ impl EgressPort {
             // accrue + one burnt token per cycle. The token level follows
             // a short periodic orbit (it is a deterministic map on one
             // f64); detect the period from exact bit patterns and jump.
-            let mut seen: Vec<u64> = Vec::new();
+            // The history lives on the stack: catch_up runs before every
+            // pop under the event-driven schedulers, and a heap buffer
+            // here was the last per-call allocation on the transmit path.
+            let mut seen = [0u64; 64];
+            let mut n = 0usize;
             while left > 0 {
                 let bits = self.rate.tokens_bits();
-                if let Some(pos) = seen.iter().position(|&b| b == bits) {
-                    let period = (seen.len() - pos) as u64;
+                if let Some(pos) = seen[..n].iter().position(|&b| b == bits) {
+                    let period = (n - pos) as u64;
                     left %= period;
-                    seen.clear();
+                    n = 0;
                     if left == 0 {
                         break;
                     }
-                } else if seen.len() < 64 {
-                    seen.push(bits);
+                } else if n < 64 {
+                    seen[n] = bits;
+                    n += 1;
                 }
                 self.rate.accrue();
                 self.rate.try_consume(1.0);

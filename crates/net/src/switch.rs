@@ -385,8 +385,8 @@ mod tests {
         TrafficClass,
     };
     use netcrafter_sim::EngineBuilder;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Endpoint that sends a burst of flits into the switch at startup and
     /// records everything it receives.
@@ -394,7 +394,7 @@ mod tests {
         node: NodeId,
         switch: ComponentId,
         outbound: Vec<Flit>,
-        received: Rc<RefCell<Vec<Flit>>>,
+        received: Arc<Mutex<Vec<Flit>>>,
         sent: bool,
         switch_credits: u32,
     }
@@ -404,7 +404,7 @@ mod tests {
             while let Some(msg) = ctx.recv() {
                 match msg {
                     Message::Flit { flit, from } => {
-                        self.received.borrow_mut().push(flit);
+                        self.received.lock().unwrap().push(flit);
                         ctx.send(
                             self.switch,
                             Message::Credit {
@@ -484,7 +484,7 @@ mod tests {
         let e0 = b.reserve();
         let e1 = b.reserve();
         let sw = b.reserve();
-        let received = Rc::new(RefCell::new(Vec::new()));
+        let received = Arc::new(Mutex::new(Vec::new()));
 
         let seg = Segmenter::new(16);
         let flits = seg.segment(packet(1, NodeId(1)));
@@ -494,7 +494,7 @@ mod tests {
                 node: NodeId(0),
                 switch: sw,
                 outbound: flits,
-                received: Rc::new(RefCell::new(Vec::new())),
+                received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -505,7 +505,7 @@ mod tests {
                 node: NodeId(1),
                 switch: sw,
                 outbound: vec![],
-                received: Rc::clone(&received),
+                received: Arc::clone(&received),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -523,7 +523,7 @@ mod tests {
         );
         let mut e = b.build();
         let end = e.run_to_quiescence(500);
-        assert_eq!(received.borrow().len(), 1);
+        assert_eq!(received.lock().unwrap().len(), 1);
         // Path: send (1) + pipeline (30) + wire (1) and change.
         assert!(
             end >= 32,
@@ -539,7 +539,7 @@ mod tests {
         let e1 = b.reserve();
         let sw0 = b.reserve();
         let sw1 = b.reserve();
-        let received = Rc::new(RefCell::new(Vec::new()));
+        let received = Arc::new(Mutex::new(Vec::new()));
 
         let seg = Segmenter::new(16);
         let mut outbound = Vec::new();
@@ -553,7 +553,7 @@ mod tests {
                 node: NodeId(0),
                 switch: sw0,
                 outbound,
-                received: Rc::new(RefCell::new(Vec::new())),
+                received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -564,7 +564,7 @@ mod tests {
                 node: NodeId(1),
                 switch: sw1,
                 outbound: vec![],
-                received: Rc::clone(&received),
+                received: Arc::clone(&received),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -593,7 +593,7 @@ mod tests {
         );
         let mut e = b.build();
         let end = e.run_to_quiescence(1000);
-        assert_eq!(received.borrow().len(), n_flits);
+        assert_eq!(received.lock().unwrap().len(), n_flits);
         assert!(end > 60, "two switch pipelines, got {end}");
     }
 
@@ -606,7 +606,7 @@ mod tests {
         let e1 = b.reserve();
         let sw0 = b.reserve();
         let sw1 = b.reserve();
-        let received = Rc::new(RefCell::new(Vec::new()));
+        let received = Arc::new(Mutex::new(Vec::new()));
 
         let seg = Segmenter::new(16);
         let mut outbound = Vec::new();
@@ -620,7 +620,7 @@ mod tests {
                 node: NodeId(0),
                 switch: sw0,
                 outbound,
-                received: Rc::new(RefCell::new(Vec::new())),
+                received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -631,7 +631,7 @@ mod tests {
                 node: NodeId(1),
                 switch: sw1,
                 outbound: vec![],
-                received: Rc::clone(&received),
+                received: Arc::clone(&received),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -673,7 +673,7 @@ mod tests {
         // flits/cycle inter link with 4-credit windows.
         let mut e = b.build();
         e.run_to_quiescence(5000);
-        assert_eq!(received.borrow().len(), n);
+        assert_eq!(received.lock().unwrap().len(), n);
     }
 
     /// Stitched flit addressed to the switch gets un-stitched and each
@@ -685,8 +685,8 @@ mod tests {
         let e1 = b.reserve();
         let e2 = b.reserve();
         let sw = b.reserve();
-        let r1 = Rc::new(RefCell::new(Vec::new()));
-        let r2 = Rc::new(RefCell::new(Vec::new()));
+        let r1 = Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::new(Mutex::new(Vec::new()));
 
         let seg = Segmenter::new(16);
         let mut parent = seg.segment(packet(1, NodeId(1))).remove(0);
@@ -701,7 +701,7 @@ mod tests {
                 node: NodeId(0),
                 switch: sw,
                 outbound: vec![parent],
-                received: Rc::new(RefCell::new(Vec::new())),
+                received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
                 switch_credits: 0,
             }),
@@ -713,7 +713,7 @@ mod tests {
                     node,
                     switch: sw,
                     outbound: vec![],
-                    received: Rc::clone(rx),
+                    received: Arc::clone(rx),
                     sent: false,
                     switch_credits: 0,
                 }),
@@ -734,11 +734,11 @@ mod tests {
         b.install(sw, Box::new(sw_comp));
         let mut e = b.build();
         e.run_to_quiescence(200);
-        assert_eq!(r1.borrow().len(), 1, "chunk for node1 delivered");
-        assert_eq!(r2.borrow().len(), 1, "chunk for node2 delivered");
-        assert!(!r1.borrow()[0].is_stitched());
-        assert!(!r2.borrow()[0].is_stitched());
-        assert_eq!(r1.borrow()[0].chunks[0].packet, PacketId(1));
-        assert_eq!(r2.borrow()[0].chunks[0].packet, PacketId(2));
+        assert_eq!(r1.lock().unwrap().len(), 1, "chunk for node1 delivered");
+        assert_eq!(r2.lock().unwrap().len(), 1, "chunk for node2 delivered");
+        assert!(!r1.lock().unwrap()[0].is_stitched());
+        assert!(!r2.lock().unwrap()[0].is_stitched());
+        assert_eq!(r1.lock().unwrap()[0].chunks[0].packet, PacketId(1));
+        assert_eq!(r2.lock().unwrap()[0].chunks[0].packet, PacketId(2));
     }
 }

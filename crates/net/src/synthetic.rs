@@ -8,9 +8,8 @@
 //! flits/cycle, back-pressure must keep buffers bounded, and latency
 //! under light load must equal the sum of pipeline and wire delays.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use netcrafter_proto::{Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EngineBuilder, RateLimiter, Wake};
@@ -126,7 +125,7 @@ struct Sink {
     /// traffic (including returned input-buffer credits) to the sink, so
     /// the sink forwards credits to the source that actually needs them.
     source: ComponentId,
-    stats: Rc<RefCell<SinkStats>>,
+    stats: Arc<Mutex<SinkStats>>,
 }
 
 impl Component for Sink {
@@ -134,7 +133,7 @@ impl Component for Sink {
         while let Some(msg) = ctx.recv() {
             match msg {
                 Message::Flit { flit, .. } => {
-                    let mut s = self.stats.borrow_mut();
+                    let mut s = self.stats.lock().expect("sink stats lock");
                     for chunk in &flit.chunks {
                         let lat = ctx.cycle() - chunk.packet.raw();
                         s.received += 1;
@@ -212,7 +211,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
     // Nodes total_eps and total_eps+1 are the two cluster switches.
     let sw0 = b.reserve();
     let sw1 = b.reserve();
-    let stats = Rc::new(RefCell::new(SinkStats::default()));
+    let stats = Arc::new(Mutex::new(SinkStats::default()));
     let total_eps_u16 = u16::try_from(total_eps).expect("endpoint count fits in u16 node ids");
     let all_nodes: Vec<NodeId> = (0..total_eps_u16).map(NodeId).collect();
 
@@ -243,7 +242,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
                 node: all_nodes[i],
                 switch: my_switch,
                 source: ep_ids[2 * i],
-                stats: Rc::clone(&stats),
+                stats: Arc::clone(&stats),
             }),
         );
     }
@@ -265,7 +264,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
                 input_capacity: cfg.buffer_entries as usize,
                 output_capacity: cfg.buffer_entries as usize,
                 queue: Box::new(FifoQueue::new()),
-                wire_latency: 1,
+                wire_latency: crate::topology::WIRE_LATENCY,
                 is_inter: false,
             });
         }
@@ -284,7 +283,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
             input_capacity: cfg.buffer_entries as usize,
             output_capacity: cfg.buffer_entries as usize,
             queue: Box::new(FifoQueue::new()),
-            wire_latency: 1,
+            wire_latency: crate::topology::WIRE_LATENCY,
             is_inter: true,
         });
         Switch::new(
@@ -308,7 +307,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
 
     let mut engine = b.build();
     let end: Cycle = engine.run_to_quiescence(100_000_000);
-    let s = stats.borrow();
+    let s = stats.lock().expect("sink stats lock");
     assert_eq!(
         s.received,
         cfg.flits_per_source * total_eps as u64,

@@ -3,6 +3,15 @@
 //! cluster switches fully meshed over lower-bandwidth links.
 
 use netcrafter_proto::{ClusterId, GpuId, NodeId, TopologyConfig};
+use netcrafter_sim::Cycle;
+
+/// Cycle latency of every switch-attached wire: GPU↔switch and
+/// switch↔switch links all take one cycle (bandwidth differences are
+/// modelled by the port rate limiters, not by latency). System assembly
+/// uses this constant for every `SwitchPortSpec::wire_latency`, and the
+/// parallel scheduler derives its lookahead from it — keep the two in
+/// sync by never hardcoding `1` at a port-construction site.
+pub const WIRE_LATENCY: Cycle = 1;
 
 /// The static shape of the interconnect: which node ids exist and how they
 /// map to GPUs, clusters and switches.
@@ -97,6 +106,15 @@ impl Topology {
     /// All clusters, in id order.
     pub fn all_clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
         (0..self.clusters).map(ClusterId)
+    }
+
+    /// Minimum cycle latency of any link that crosses between a GPU
+    /// cluster's component set and the switch fabric — the conservative
+    /// lookahead for running clusters and the fabric in separate
+    /// parallel-scheduler domains. Every such crossing is a wire
+    /// (GPU↔switch or switch↔switch), so this is [`WIRE_LATENCY`].
+    pub fn min_cross_link_latency(&self) -> Cycle {
+        WIRE_LATENCY
     }
 }
 

@@ -73,10 +73,16 @@ pub enum SchedulerMode {
     Legacy,
     /// Tick only woken components; fast-forward idle cycles.
     EventDriven,
+    /// Event-driven semantics, but [`Engine::run_to_quiescence`] executes
+    /// the partition's domains on worker threads under a conservative
+    /// epoch barrier (see [`Engine::set_parallel`] and DESIGN.md §3.3).
+    /// Identical to [`SchedulerMode::EventDriven`] for single stepping.
+    ParallelEventDriven,
 }
 
 /// Process-wide default scheduler for newly built engines (set by the
 /// `--legacy-scheduler` CLI escape hatch before any simulation starts).
+// lint:allow(no-ambient-state) process-wide CLI default, read once per engine build; never mutated mid-run
 static LEGACY_DEFAULT: AtomicBool = AtomicBool::new(false);
 
 /// Sets the scheduler used by engines built after this call.
@@ -95,7 +101,7 @@ pub fn default_scheduler() -> SchedulerMode {
 }
 
 /// Sentinel for "no scheduled wake" in the armed-cycle table.
-const NEVER: Cycle = Cycle::MAX;
+pub(crate) const NEVER: Cycle = Cycle::MAX;
 
 /// The interface every simulated hardware block implements.
 ///
@@ -107,7 +113,11 @@ const NEVER: Cycle = Cycle::MAX;
 /// Under the event-driven scheduler a component is only ticked when a
 /// message arrives or its [`Component::next_wake`] comes due; the default
 /// (`EveryCycle`) preserves the tick-always behaviour.
-pub trait Component: std::any::Any {
+///
+/// Components are `Send` so domains of them can execute on worker threads
+/// under [`SchedulerMode::ParallelEventDriven`]; they are never shared
+/// (each domain owns its components), so `Sync` is not required.
+pub trait Component: std::any::Any + Send {
     /// Advances the component by one cycle.
     fn tick(&mut self, ctx: &mut Ctx<'_>);
 
@@ -136,11 +146,11 @@ pub trait Component: std::any::Any {
 /// Per-tick context handed to a component: its own mailbox, the current
 /// cycle, and a staging buffer for outgoing messages.
 pub struct Ctx<'a> {
-    cycle: Cycle,
-    inbox: &'a mut VecDeque<Message>,
-    outbox: &'a mut Vec<(Cycle, ComponentId, Message)>,
-    self_id: ComponentId,
-    tracer: &'a mut Tracer,
+    pub(crate) cycle: Cycle,
+    pub(crate) inbox: &'a mut VecDeque<Message>,
+    pub(crate) outbox: &'a mut Vec<(Cycle, ComponentId, Message)>,
+    pub(crate) self_id: ComponentId,
+    pub(crate) tracer: &'a mut Tracer,
 }
 
 impl Ctx<'_> {
@@ -293,13 +303,16 @@ impl EngineBuilder {
             busy_count,
             dirty: Vec::new(),
             dirty_flags: vec![false; n],
+            slot_scratch: Vec::new(),
+            overflow_scratch: Vec::new(),
+            parallel: None,
         }
     }
 }
 
 /// Delay-wheel size: delays below this are O(1); longer delays take the
 /// (rare) overflow path.
-const WHEEL_SLOTS: usize = 512;
+pub(crate) const WHEEL_SLOTS: usize = 512;
 
 /// One recorded message delivery (see [`Engine::enable_trace`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,20 +328,20 @@ pub struct TraceEvent {
 /// The simulation engine: owns all components and mailboxes and advances
 /// simulated time.
 pub struct Engine {
-    components: Vec<Box<dyn Component>>,
-    inboxes: Vec<VecDeque<Message>>,
+    pub(crate) components: Vec<Box<dyn Component>>,
+    pub(crate) inboxes: Vec<VecDeque<Message>>,
     /// Ring buffer of future deliveries indexed by `cycle % WHEEL_SLOTS`.
-    wheel: Vec<Vec<(ComponentId, Message)>>,
+    pub(crate) wheel: Vec<Vec<(ComponentId, Message)>>,
     /// Deliveries further than `WHEEL_SLOTS` cycles out (rare).
-    overflow: Vec<(Cycle, ComponentId, Message)>,
+    pub(crate) overflow: Vec<(Cycle, ComponentId, Message)>,
     /// Earliest delivery cycle in `overflow` (`NEVER` when empty).
-    overflow_min: Cycle,
-    cycle: Cycle,
-    in_flight: usize,
-    delivered: u64,
+    pub(crate) overflow_min: Cycle,
+    pub(crate) cycle: Cycle,
+    pub(crate) in_flight: usize,
+    pub(crate) delivered: u64,
     outbox: Vec<(Cycle, ComponentId, Message)>,
-    trace: Option<(VecDeque<TraceEvent>, usize)>,
-    tracer: Tracer,
+    pub(crate) trace: Option<(VecDeque<TraceEvent>, usize)>,
+    pub(crate) tracer: Tracer,
     mode: SchedulerMode,
     /// Next cycle each component must tick (`NEVER` = waiting on a
     /// message). Only meaningful under the event-driven scheduler.
@@ -348,15 +361,25 @@ pub struct Engine {
     woken: Vec<usize>,
     /// Cached `busy()` per component, maintained incrementally after each
     /// tick so quiescence needs no O(n) rescan.
-    busy_flags: Vec<bool>,
+    pub(crate) busy_flags: Vec<bool>,
     /// Number of `true` entries in `busy_flags`.
-    busy_count: usize,
+    pub(crate) busy_count: usize,
     /// Components handed out via `get_mut`/`component_mut` since the last
     /// step: external code may have changed their state behind the
     /// scheduler's back, so their cached busy flag is suspect and they
     /// are re-ticked on the next cycle.
     dirty: Vec<usize>,
     dirty_flags: Vec<bool>,
+    /// Persistent buffer swapped with the due wheel slot during delivery,
+    /// so `step` allocates nothing in the steady state (the slot and the
+    /// scratch trade capacities back and forth).
+    slot_scratch: Vec<(ComponentId, Message)>,
+    /// Persistent buffer for the (stable, order-preserving) overflow
+    /// refill — `swap_remove` would scramble same-cycle delivery order.
+    overflow_scratch: Vec<(Cycle, ComponentId, Message)>,
+    /// Domain partition + worker count for
+    /// [`SchedulerMode::ParallelEventDriven`] (see [`Engine::set_parallel`]).
+    pub(crate) parallel: Option<crate::parallel::ParallelConfig>,
 }
 
 impl Engine {
@@ -392,7 +415,24 @@ impl Engine {
     /// the previous mode is trusted.
     pub fn set_scheduler(&mut self, mode: SchedulerMode) {
         self.mode = mode;
-        let next = self.cycle + 1;
+        self.rearm_all_at(self.cycle + 1);
+        self.busy_count = 0;
+        for (i, c) in self.components.iter().enumerate() {
+            let b = c.busy();
+            self.busy_flags[i] = b;
+            self.busy_count += b as usize;
+        }
+        for &i in &self.dirty {
+            self.dirty_flags[i] = false;
+        }
+        self.dirty.clear();
+    }
+
+    /// Discards every derived wake and schedules a fresh tick for every
+    /// component at `next`. Always bit-exact: ticking an idle component
+    /// is observable-effect-free by the [`Component::next_wake`] contract
+    /// (the Legacy scheduler ticks everything every cycle and must agree).
+    pub(crate) fn rearm_all_at(&mut self, next: Cycle) {
         self.wake_heap.clear();
         self.active.clear();
         self.every_count = 0;
@@ -405,16 +445,26 @@ impl Engine {
         for i in 0..self.components.len() {
             self.arm(i, next);
         }
-        self.busy_count = 0;
-        for (i, c) in self.components.iter().enumerate() {
-            let b = c.busy();
-            self.busy_flags[i] = b;
-            self.busy_count += b as usize;
-        }
-        for &i in &self.dirty {
-            self.dirty_flags[i] = false;
-        }
-        self.dirty.clear();
+    }
+
+    /// Installs the domain partition and worker-thread count used by
+    /// [`SchedulerMode::ParallelEventDriven`], and switches to that mode.
+    /// With `threads <= 1` (or a single domain) execution stays on the
+    /// calling thread and is plain event-driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover exactly this engine's
+    /// components (see [`crate::parallel::Partition::new`] for the
+    /// domain-density and lookahead requirements).
+    pub fn set_parallel(&mut self, partition: crate::parallel::Partition, threads: usize) {
+        assert_eq!(
+            partition.domain_of.len(),
+            self.components.len(),
+            "partition must assign a domain to every component"
+        );
+        self.parallel = Some(crate::parallel::ParallelConfig { partition, threads });
+        self.set_scheduler(SchedulerMode::ParallelEventDriven);
     }
 
     /// Starts recording the last `capacity` message deliveries — the
@@ -536,7 +586,7 @@ impl Engine {
 
     /// Re-syncs the busy cache for externally mutated components (they
     /// were armed for a tick by `mark_dirty`).
-    fn flush_dirty(&mut self) {
+    pub(crate) fn flush_dirty(&mut self) {
         if self.dirty.is_empty() {
             return;
         }
@@ -590,17 +640,22 @@ impl Engine {
     pub fn step(&mut self) {
         self.cycle += 1;
         self.flush_dirty();
-        let event_mode = self.mode == SchedulerMode::EventDriven;
+        let event_mode = self.mode != SchedulerMode::Legacy;
         // Hoisted so the per-delivery cost is a plain push when the
         // delivery ring is off (the common case).
         let tracing = self.trace.is_some();
 
-        // Deliver messages due this cycle.
+        // Deliver messages due this cycle. The slot vector and the
+        // persistent scratch buffer trade places (and capacities), so the
+        // steady-state delivery loop allocates nothing.
         let slot = (self.cycle % WHEEL_SLOTS as u64) as usize;
-        let due = std::mem::take(&mut self.wheel[slot]);
+        let mut due = std::mem::replace(
+            &mut self.wheel[slot],
+            std::mem::take(&mut self.slot_scratch),
+        );
         self.in_flight -= due.len();
         self.delivered += due.len() as u64;
-        for (dst, msg) in due {
+        for (dst, msg) in due.drain(..) {
             if tracing {
                 self.record(dst, msg.label());
             }
@@ -609,15 +664,21 @@ impl Engine {
             }
             self.inboxes[dst.0].push_back(msg);
         }
-        // Refill the wheel from the overflow list when anything comes into
-        // range (checked lazily: overflow is rare).
-        if !self.overflow.is_empty() {
-            let horizon = self.cycle + WHEEL_SLOTS as u64;
+        self.slot_scratch = due;
+        // Refill the wheel from the overflow list when anything has come
+        // into range (checked against the cached minimum: overflow is
+        // rare, and the scan must not run on every step). The drain is
+        // order-preserving — a `swap_remove` here would scramble the
+        // same-cycle delivery order of the survivors on a later refill.
+        let horizon = self.cycle + WHEEL_SLOTS as u64;
+        if self.overflow_min < horizon {
+            let mut pending = std::mem::replace(
+                &mut self.overflow,
+                std::mem::take(&mut self.overflow_scratch),
+            );
             let mut min_left = NEVER;
-            let mut i = 0;
-            while i < self.overflow.len() {
-                if self.overflow[i].0 < horizon {
-                    let (when, dst, msg) = self.overflow.swap_remove(i);
+            for (when, dst, msg) in pending.drain(..) {
+                if when < horizon {
                     if when == self.cycle {
                         self.in_flight -= 1;
                         self.delivered += 1;
@@ -632,11 +693,12 @@ impl Engine {
                         self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((dst, msg));
                     }
                 } else {
-                    min_left = min_left.min(self.overflow[i].0);
-                    i += 1;
+                    min_left = min_left.min(when);
+                    self.overflow.push((when, dst, msg));
                 }
             }
             self.overflow_min = min_left;
+            self.overflow_scratch = pending;
         }
 
         // Tick components.
@@ -800,6 +862,24 @@ impl Engine {
     /// Panics if the cycle limit is hit while work remains — a livelocked
     /// simulation is always a modelling bug and must not pass silently.
     pub fn run_to_quiescence(&mut self, max_cycles: Cycle) -> Cycle {
+        if self.mode == SchedulerMode::ParallelEventDriven {
+            if let Some(cfg) = self.parallel.take() {
+                let worth_it = cfg.threads > 1 && cfg.partition.domains > 1;
+                let end = if worth_it {
+                    crate::parallel::run_parallel(self, &cfg, max_cycles)
+                } else {
+                    self.run_sequential(max_cycles)
+                };
+                self.parallel = Some(cfg);
+                return end;
+            }
+        }
+        self.run_sequential(max_cycles)
+    }
+
+    /// The sequential body of [`Engine::run_to_quiescence`] (also used by
+    /// the parallel path when the partition or thread count degenerates).
+    fn run_sequential(&mut self, max_cycles: Cycle) -> Cycle {
         let limit = self.cycle + max_cycles;
         while !self.quiescent() {
             assert!(
@@ -807,7 +887,7 @@ impl Engine {
                 "simulation did not quiesce within {max_cycles} cycles; busy: {:?}",
                 self.busy_components()
             );
-            if self.mode == SchedulerMode::EventDriven {
+            if self.mode != SchedulerMode::Legacy {
                 self.fast_forward(limit);
             }
             self.step();
@@ -824,7 +904,7 @@ impl Engine {
     pub fn run_while(&mut self, max_cycles: Cycle, mut cond: impl FnMut(&Engine) -> bool) -> Cycle {
         let limit = self.cycle + max_cycles;
         while self.cycle < limit && cond(self) && !self.quiescent() {
-            if self.mode == SchedulerMode::EventDriven {
+            if self.mode != SchedulerMode::Legacy {
                 self.fast_forward(limit);
             }
             self.step();

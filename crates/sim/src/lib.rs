@@ -24,6 +24,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod engine;
+pub mod parallel;
 pub mod timing;
 pub mod trace;
 
@@ -31,6 +32,7 @@ pub use engine::{
     default_scheduler, set_default_scheduler, Component, ComponentId, Ctx, Engine, EngineBuilder,
     SchedulerMode, TraceEvent, Wake,
 };
+pub use parallel::Partition;
 pub use timing::{DelayQueue, RateLimiter, Ticker};
 pub use trace::{Event, EventClass, Phase, Trace, TraceConfig, Tracer};
 

@@ -1,0 +1,995 @@
+//! Conservative parallel discrete-event execution across domains.
+//!
+//! [`SchedulerMode::ParallelEventDriven`](crate::SchedulerMode) splits the
+//! component set into *domains* (one per GPU cluster plus the switch/root
+//! domain, derived from the topology by `multigpu::system`), runs each
+//! domain's event-driven loop on a worker thread, and synchronizes at a
+//! conservative epoch barrier. The epoch length is the partition
+//! *lookahead* `L`: the minimum `Ctx::send` delay of any cross-domain
+//! message, asserted at partition build time and re-checked on every
+//! cross-domain send. Because an epoch starting at the globally earliest
+//! pending event `g` never executes past `g + L - 1`, and any message
+//! sent inside the epoch arrives at `>= g + L`, no domain can receive a
+//! message for a cycle it has already executed — causality is preserved
+//! without rollback.
+//!
+//! **Bit-exactness.** Every delivery carries a canonical key
+//! `(send_cycle, src component id, per-src sequence)`. The sequential
+//! scheduler delivers same-cycle messages in wheel push order, which is
+//! exactly ascending key order (sends commit in tick order — ascending
+//! id — within a cycle, and the overflow refill is order-preserving), so
+//! sorting each slot by key before delivery reproduces the sequential
+//! delivery order no matter how the barrier interleaved cross-domain
+//! transfers. Tracer shards and delivery-ring logs are merged at each
+//! barrier in `(cycle, track)` / `(cycle, key)` order, which likewise
+//! equals the sequential emission order. See DESIGN.md §3.3 for the full
+//! determinism argument.
+//!
+//! **Quiescence.** Sampling components tick every cycle until *global*
+//! quiescence, so a domain must not free-run past the final cycle. A
+//! domain therefore executes events only while *locally* active (busy
+//! components or local messages in flight); once locally quiescent its
+//! remaining wakes are pure observation ticks, which the barrier replays
+//! afterwards — through the epoch end while the system is still globally
+//! active, or through the global quiescence cycle `X = max` over domains
+//! of the last driving cycle on the final barrier. `X` equals the
+//! sequential stop cycle because the sequential run's last step always
+//! delivers a message or retires the last busy component.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::mpsc;
+
+use netcrafter_proto::Message;
+
+use crate::engine::{Component, ComponentId, Ctx, Engine, TraceEvent, NEVER, WHEEL_SLOTS};
+use crate::trace::{Event, Tracer};
+use crate::Cycle;
+
+/// Canonical delivery key: `(send cycle, src component id, per-src
+/// sequence)`. Sorting same-cycle deliveries by this key reproduces the
+/// sequential wheel push order exactly.
+type Key = (Cycle, u32, u32);
+
+/// Pseudo-source for messages injected from outside the simulation (or
+/// already in flight when the parallel run starts): they sort after any
+/// same-cycle real send, which is safe because injections only happen
+/// while the engine is paused (their recorded send cycle predates every
+/// in-run send cycle).
+const SRC_EXTERNAL: u32 = u32::MAX;
+
+/// A message crossing a domain boundary, exchanged at epoch barriers.
+struct CrossMsg {
+    when: Cycle,
+    key: Key,
+    dst: ComponentId,
+    msg: Message,
+}
+
+/// Static assignment of components to domains plus the proven lookahead.
+///
+/// Build one with [`Partition::new`] and install it with
+/// [`Engine::set_parallel`]. Domain indices must be dense (`0..domains`)
+/// and the lookahead is the minimum cross-domain `Ctx::send` delay in
+/// cycles — every cross-domain send is asserted against it at runtime.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub(crate) domain_of: Vec<usize>,
+    pub(crate) domains: usize,
+    pub(crate) lookahead: u64,
+}
+
+impl Partition {
+    /// Builds a partition from a component-id-indexed domain table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero or any domain index in
+    /// `0..max(domain_of)+1` is unused (domains must be dense).
+    pub fn new(domain_of: Vec<usize>, lookahead: u64) -> Partition {
+        assert!(
+            lookahead >= 1,
+            "partition lookahead must be at least one cycle"
+        );
+        let domains = domain_of.iter().map(|&d| d + 1).max().unwrap_or(0);
+        let mut seen = vec![false; domains];
+        for &d in &domain_of {
+            seen[d] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "partition domain indices must be dense (0..{domains})"
+        );
+        Partition {
+            domain_of,
+            domains,
+            lookahead,
+        }
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The proven minimum cross-domain send delay, in cycles.
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+}
+
+/// Partition plus worker-thread count, installed by
+/// [`Engine::set_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    pub(crate) partition: Partition,
+    pub(crate) threads: usize,
+}
+
+/// One domain's slice of the engine: components, mailboxes, a keyed delay
+/// wheel, and a private event-driven scheduler mirroring `Engine::step`.
+struct DomainState {
+    /// This domain's index.
+    dom: usize,
+    /// Global component ids owned here, ascending (so ascending local
+    /// index equals ascending global id — the sequential tick order).
+    ids: Vec<usize>,
+    comps: Vec<Box<dyn Component>>,
+    inboxes: Vec<VecDeque<Message>>,
+    /// Global id -> local index (valid only for this domain's members).
+    local_of: Vec<usize>,
+    /// Global id -> owning domain (shared table, cloned per domain).
+    domain_of: Vec<usize>,
+    /// Keyed delay wheel: `(key, local dst, message)` per slot, sorted by
+    /// key at delivery time.
+    wheel: Vec<Vec<(Key, usize, Message)>>,
+    overflow: Vec<(Cycle, Key, usize, Message)>,
+    overflow_scratch: Vec<(Cycle, Key, usize, Message)>,
+    overflow_min: Cycle,
+    slot_scratch: Vec<(Key, usize, Message)>,
+    cycle: Cycle,
+    in_flight: usize,
+    delivered: u64,
+    outbox: Vec<(Cycle, ComponentId, Message)>,
+    armed: Vec<Cycle>,
+    wake_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+    active: Vec<usize>,
+    every: Vec<bool>,
+    every_count: usize,
+    woken: Vec<usize>,
+    busy_flags: Vec<bool>,
+    busy_count: usize,
+    /// Per-local-component send sequence counter (third key field).
+    send_seq: Vec<u32>,
+    /// Structured-event tracer shard (global track table).
+    tracer: Tracer,
+    /// Delivery-ring logging on (`Engine::enable_trace`)?
+    ring_on: bool,
+    ring_log: Vec<(Key, TraceEvent)>,
+    /// Cross-domain sends staged during the current epoch.
+    cross_out: Vec<CrossMsg>,
+    lookahead: u64,
+    /// Last executed cycle that delivered a message or saw a busy
+    /// component — the domain's contribution to the global stop cycle.
+    last_driving: Cycle,
+}
+
+impl DomainState {
+    fn new(dom: usize, n_global: usize, start: Cycle, lookahead: u64) -> DomainState {
+        DomainState {
+            dom,
+            ids: Vec::new(),
+            comps: Vec::new(),
+            inboxes: Vec::new(),
+            local_of: vec![usize::MAX; n_global],
+            domain_of: Vec::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            overflow_scratch: Vec::new(),
+            overflow_min: NEVER,
+            slot_scratch: Vec::new(),
+            cycle: start,
+            in_flight: 0,
+            delivered: 0,
+            outbox: Vec::new(),
+            armed: Vec::new(),
+            wake_heap: BinaryHeap::new(),
+            active: Vec::new(),
+            every: Vec::new(),
+            every_count: 0,
+            woken: Vec::new(),
+            busy_flags: Vec::new(),
+            busy_count: 0,
+            send_seq: Vec::new(),
+            tracer: Tracer::off(),
+            ring_on: false,
+            ring_log: Vec::new(),
+            cross_out: Vec::new(),
+            lookahead,
+            last_driving: start,
+        }
+    }
+
+    fn push_component(
+        &mut self,
+        global: usize,
+        comp: Box<dyn Component>,
+        inbox: VecDeque<Message>,
+    ) {
+        let busy = comp.busy();
+        self.local_of[global] = self.ids.len();
+        self.ids.push(global);
+        self.comps.push(comp);
+        self.inboxes.push(inbox);
+        self.armed.push(NEVER);
+        self.every.push(false);
+        self.busy_flags.push(busy);
+        self.busy_count += busy as usize;
+        self.send_seq.push(0);
+    }
+
+    fn locally_quiescent(&self) -> bool {
+        self.busy_count == 0 && self.in_flight == 0
+    }
+
+    #[inline]
+    fn arm(&mut self, l: usize, when: Cycle) {
+        if when < self.armed[l] {
+            self.armed[l] = when;
+            self.wake_heap.push(Reverse((when, l)));
+        }
+    }
+
+    #[inline]
+    fn unevery(&mut self, l: usize) {
+        if self.every[l] {
+            self.every[l] = false;
+            self.every_count -= 1;
+        }
+    }
+
+    fn schedule_local(&mut self, when: Cycle, key: Key, l: usize, msg: Message) {
+        debug_assert!(when > self.cycle);
+        self.in_flight += 1;
+        if (when - self.cycle) < WHEEL_SLOTS as u64 {
+            self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((key, l, msg));
+        } else {
+            self.overflow_min = self.overflow_min.min(when);
+            self.overflow.push((when, key, l, msg));
+        }
+    }
+
+    /// Applies a cross-domain message received at an epoch barrier. Its
+    /// delivery cycle is strictly beyond the epoch it was sent in, so it
+    /// can never target an already-executed cycle.
+    fn apply_cross(&mut self, m: CrossMsg) {
+        assert!(
+            m.when > self.cycle,
+            "cross-domain message for executed cycle {} (domain {} at {})",
+            m.when,
+            self.dom,
+            self.cycle
+        );
+        let l = self.local_of[m.dst.0];
+        self.schedule_local(m.when, m.key, l, m.msg);
+    }
+
+    /// Mirror of `Engine::next_event_cycle` over this domain's state.
+    fn next_event_cycle(&mut self) -> Cycle {
+        if self.every_count > 0 {
+            return self.cycle + 1;
+        }
+        let mut wake = NEVER;
+        while let Some(&Reverse((when, l))) = self.wake_heap.peek() {
+            if self.armed[l] == when {
+                wake = when;
+                break;
+            }
+            self.wake_heap.pop();
+        }
+        if wake <= self.cycle + 1 {
+            return wake;
+        }
+        let mut next = wake.min(self.overflow_min);
+        let in_wheel = self.in_flight - self.overflow.len();
+        if in_wheel > 0 {
+            for d in 1..=WHEEL_SLOTS as u64 {
+                let c = self.cycle + d;
+                if c >= next {
+                    break;
+                }
+                if !self.wheel[(c % WHEEL_SLOTS as u64) as usize].is_empty() {
+                    next = c;
+                    break;
+                }
+            }
+        }
+        next
+    }
+
+    /// Executes cycle `c` for this domain: delivers due messages in
+    /// canonical key order, ticks woken components in ascending id order,
+    /// and commits their sends (locally, or to `cross_out`).
+    fn step_at(&mut self, c: Cycle) {
+        debug_assert!(c > self.cycle);
+        self.cycle = c;
+        self.tracer.set_now(c);
+        let was_busy = self.busy_count > 0;
+
+        // Order-preserving overflow refill into the wheel.
+        let horizon = c + WHEEL_SLOTS as u64;
+        if self.overflow_min < horizon {
+            let mut pending = std::mem::replace(
+                &mut self.overflow,
+                std::mem::take(&mut self.overflow_scratch),
+            );
+            let mut min_left = NEVER;
+            for (when, key, l, msg) in pending.drain(..) {
+                if when < horizon {
+                    self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((key, l, msg));
+                } else {
+                    min_left = min_left.min(when);
+                    self.overflow.push((when, key, l, msg));
+                }
+            }
+            self.overflow_min = min_left;
+            self.overflow_scratch = pending;
+        }
+
+        // Deliver slot `c` in canonical order. Keys are unique, so the
+        // unstable sort is deterministic.
+        let slot = (c % WHEEL_SLOTS as u64) as usize;
+        let mut due = std::mem::replace(
+            &mut self.wheel[slot],
+            std::mem::take(&mut self.slot_scratch),
+        );
+        due.sort_unstable_by_key(|&(key, _, _)| key);
+        let delivered_now = due.len();
+        self.in_flight -= delivered_now;
+        self.delivered += delivered_now as u64;
+        for (key, l, msg) in due.drain(..) {
+            if self.ring_on {
+                self.ring_log.push((
+                    key,
+                    TraceEvent {
+                        cycle: c,
+                        dst: ComponentId(self.ids[l]),
+                        kind: msg.label(),
+                    },
+                ));
+            }
+            self.arm(l, c);
+            self.inboxes[l].push_back(msg);
+        }
+        self.slot_scratch = due;
+
+        // Wake collection, mirroring `Engine::step`.
+        let mut woken = std::mem::take(&mut self.woken);
+        woken.clear();
+        while let Some(&Reverse((when, l))) = self.wake_heap.peek() {
+            if when > c {
+                break;
+            }
+            self.wake_heap.pop();
+            if self.armed[l] <= c {
+                self.armed[l] = NEVER;
+                woken.push(l);
+            }
+        }
+        let heap_woken = woken.len();
+        if !self.active.is_empty() {
+            let mut keep = 0;
+            for k in 0..self.active.len() {
+                let l = self.active[k];
+                if self.every[l] {
+                    self.active[keep] = l;
+                    keep += 1;
+                    woken.push(l);
+                }
+            }
+            self.active.truncate(keep);
+        }
+        if heap_woken > 0 {
+            woken.sort_unstable();
+            woken.dedup();
+        }
+
+        for &l in &woken {
+            let global = self.ids[l];
+            self.tracer.focus(global as u32);
+            let mut ctx = Ctx {
+                cycle: c,
+                inbox: &mut self.inboxes[l],
+                outbox: &mut self.outbox,
+                self_id: ComponentId(global),
+                tracer: &mut self.tracer,
+            };
+            self.comps[l].tick(&mut ctx);
+            let busy = self.comps[l].busy();
+            if busy != self.busy_flags[l] {
+                self.busy_flags[l] = busy;
+                if busy {
+                    self.busy_count += 1;
+                } else {
+                    self.busy_count -= 1;
+                }
+            }
+            // Commit this component's sends now (per tick, in tick order:
+            // the same final order as the sequential end-of-step commit)
+            // so each message gets its canonical key as it is staged.
+            if !self.outbox.is_empty() {
+                let src = global as u32;
+                let mut staged = std::mem::take(&mut self.outbox);
+                for (when, dst, msg) in staged.drain(..) {
+                    let key = (c, src, self.send_seq[l]);
+                    self.send_seq[l] += 1;
+                    let dd = self.domain_of[dst.0];
+                    if dd == self.dom {
+                        self.schedule_local(when, key, self.local_of[dst.0], msg);
+                    } else {
+                        assert!(
+                            when - c >= self.lookahead,
+                            "cross-domain send comp{src} -> {dst} with delay {} \
+                             below the partition lookahead {}",
+                            when - c,
+                            self.lookahead
+                        );
+                        self.cross_out.push(CrossMsg {
+                            when,
+                            key,
+                            dst,
+                            msg,
+                        });
+                    }
+                }
+                self.outbox = staged;
+            }
+            match self.comps[l].next_wake(c) {
+                crate::Wake::EveryCycle => {
+                    if !self.every[l] {
+                        self.every[l] = true;
+                        self.every_count += 1;
+                        let pos = self.active.partition_point(|&x| x < l);
+                        self.active.insert(pos, l);
+                    }
+                }
+                crate::Wake::At(t) => {
+                    self.unevery(l);
+                    self.arm(l, t.max(c + 1));
+                }
+                crate::Wake::OnMessage => self.unevery(l),
+            }
+        }
+        self.woken = woken;
+
+        if delivered_now > 0 || was_busy || self.busy_count > 0 {
+            self.last_driving = c;
+        }
+    }
+
+    /// Runs this domain's events up to (and including) `end`, pausing as
+    /// soon as it is locally quiescent: any wakes left are pure
+    /// observation ticks, deferred to [`DomainState::catch_up`] so the
+    /// domain cannot free-run past the (unknown) global stop cycle.
+    fn run_epoch(&mut self, end: Cycle) {
+        while !self.locally_quiescent() {
+            let next = self.next_event_cycle();
+            if next > end {
+                break;
+            }
+            self.step_at(next);
+        }
+    }
+
+    /// Replays the deferred observation ticks through `through` (the
+    /// epoch end while globally active, or the global stop cycle on the
+    /// final barrier), then advances the local clock to `through`.
+    fn catch_up(&mut self, through: Cycle) {
+        while self.locally_quiescent() {
+            let next = self.next_event_cycle();
+            if next > through {
+                break;
+            }
+            self.step_at(next);
+            assert!(
+                self.locally_quiescent() && self.cross_out.is_empty(),
+                "a deferred observation tick changed simulation state \
+                 (next_wake contract violation in domain {})",
+                self.dom
+            );
+        }
+        self.cycle = self.cycle.max(through);
+    }
+
+    /// Names of busy components, as `(global id, name)` pairs.
+    fn busy_names(&self) -> Vec<(usize, String)> {
+        self.ids
+            .iter()
+            .zip(&self.comps)
+            .filter(|(_, c)| c.busy())
+            .map(|(&g, c)| (g, c.name().to_string()))
+            .collect()
+    }
+}
+
+/// Worker commands, one barrier round = `Epoch` then `CatchUp`.
+enum Cmd {
+    /// Apply the routed cross-domain messages (one vec per owned domain,
+    /// in ownership order), then run every owned domain to `end`.
+    Epoch {
+        end: Cycle,
+        incoming: Vec<Vec<CrossMsg>>,
+    },
+    /// Replay deferred observation ticks through `through`.
+    CatchUp { through: Cycle },
+    /// Report busy component names (for the livelock panic message).
+    Names,
+    /// Return the domain states to the main thread and exit.
+    Finish,
+}
+
+/// Per-domain epoch report.
+struct EpochReport {
+    busy_count: usize,
+    in_flight: usize,
+    last_driving: Cycle,
+    cross: Vec<CrossMsg>,
+    events: Vec<Event>,
+    ring: Vec<(Key, TraceEvent)>,
+}
+
+enum Reply {
+    Epoch(Vec<EpochReport>),
+    CatchUp {
+        next_events: Vec<Cycle>,
+        events: Vec<Vec<Event>>,
+    },
+    Names(Vec<(usize, String)>),
+    Finished(Vec<DomainState>),
+}
+
+/// The parallel body of `Engine::run_to_quiescence`: decomposes the
+/// engine into domains, runs the epoch-barrier loop on `cfg.threads`
+/// workers, and reassembles the engine bit-identically to what the
+/// sequential event-driven scheduler would have produced.
+pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles: Cycle) -> Cycle {
+    if engine.quiescent() {
+        return engine.cycle;
+    }
+    engine.flush_dirty();
+    let part = &cfg.partition;
+    let n_domains = part.domains;
+    let threads = cfg.threads.min(n_domains);
+    let lookahead = part.lookahead;
+    let start = engine.cycle;
+    let limit = start + max_cycles;
+
+    // ---- decompose ----
+    let n = engine.components.len();
+    let ring_on = engine.trace.is_some();
+    let mut domains: Vec<DomainState> = (0..n_domains)
+        .map(|d| DomainState::new(d, n, start, lookahead))
+        .collect();
+    let components = std::mem::take(&mut engine.components);
+    let inboxes = std::mem::take(&mut engine.inboxes);
+    for (g, (comp, inbox)) in components.into_iter().zip(inboxes).enumerate() {
+        domains[part.domain_of[g]].push_component(g, comp, inbox);
+    }
+    for d in &mut domains {
+        d.domain_of = part.domain_of.clone();
+        d.tracer = engine.tracer.shard();
+        d.ring_on = ring_on;
+        // Every component gets a fresh tick at start+1 and re-arms itself
+        // from there — always bit-exact (ticking an idle component is
+        // observable-effect-free by the next_wake contract).
+        for l in 0..d.ids.len() {
+            d.arm(l, start + 1);
+        }
+    }
+    // Transfer in-flight deliveries. All predate the run, so they keep a
+    // shared external key prefix; per-slot vec order is preserved through
+    // ascending sequence numbers.
+    let mut ext_seq = 0u32;
+    for s in 0..WHEEL_SLOTS {
+        // Wheel slot s holds deliveries for the unique matching cycle in
+        // (start, start + WHEEL_SLOTS].
+        let when = start
+            + 1
+            + ((s as u64 + WHEEL_SLOTS as u64 - ((start + 1) % WHEEL_SLOTS as u64))
+                % WHEEL_SLOTS as u64);
+        for (dst, msg) in engine.wheel[s].drain(..) {
+            let key = (start, SRC_EXTERNAL, ext_seq);
+            ext_seq += 1;
+            let d = part.domain_of[dst.0];
+            let l = domains[d].local_of[dst.0];
+            domains[d].schedule_local(when, key, l, msg);
+        }
+    }
+    for (when, dst, msg) in engine.overflow.drain(..) {
+        let key = (start, SRC_EXTERNAL, ext_seq);
+        ext_seq += 1;
+        let d = part.domain_of[dst.0];
+        let l = domains[d].local_of[dst.0];
+        domains[d].overflow_min = domains[d].overflow_min.min(when);
+        domains[d].overflow.push((when, key, l, msg));
+        domains[d].in_flight += 1;
+    }
+    engine.overflow_min = NEVER;
+    engine.in_flight = 0;
+
+    // ---- worker assignment: worker w owns domains w, w+threads, … ----
+    let mut worker_domains: Vec<Vec<DomainState>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut owned: Vec<Vec<usize>> = (0..threads).map(|_| Vec::new()).collect();
+    for (d, state) in domains.into_iter().enumerate() {
+        owned[d % threads].push(d);
+        worker_domains[d % threads].push(state);
+    }
+
+    let mut final_state: Vec<Option<DomainState>> = (0..n_domains).map(|_| None).collect();
+    let mut end_cycle = start;
+
+    std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(threads);
+        let mut reply_rxs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for doms in worker_domains {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+            handles.push(scope.spawn(move || {
+                let mut doms = doms;
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let reply = match cmd {
+                        Cmd::Epoch { end, incoming } => {
+                            let mut reports = Vec::with_capacity(doms.len());
+                            for (d, inc) in doms.iter_mut().zip(incoming) {
+                                for m in inc {
+                                    d.apply_cross(m);
+                                }
+                                d.run_epoch(end);
+                                reports.push(EpochReport {
+                                    busy_count: d.busy_count,
+                                    in_flight: d.in_flight,
+                                    last_driving: d.last_driving,
+                                    cross: std::mem::take(&mut d.cross_out),
+                                    events: d.tracer.drain_events(),
+                                    ring: std::mem::take(&mut d.ring_log),
+                                });
+                            }
+                            Reply::Epoch(reports)
+                        }
+                        Cmd::CatchUp { through } => {
+                            let mut next_events = Vec::with_capacity(doms.len());
+                            let mut events = Vec::with_capacity(doms.len());
+                            for d in &mut doms {
+                                d.catch_up(through);
+                                next_events.push(d.next_event_cycle());
+                                events.push(d.tracer.drain_events());
+                            }
+                            Reply::CatchUp {
+                                next_events,
+                                events,
+                            }
+                        }
+                        Cmd::Names => {
+                            let mut names = Vec::new();
+                            for d in &doms {
+                                names.extend(d.busy_names());
+                            }
+                            Reply::Names(names)
+                        }
+                        Cmd::Finish => {
+                            let _ = reply_tx.send(Reply::Finished(doms));
+                            return;
+                        }
+                    };
+                    if reply_tx.send(reply).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+
+        // ---- barrier loop (main thread) ----
+        // On any channel failure a worker has panicked: bail out quietly
+        // and let `thread::scope` propagate the worker's own panic.
+        let mut routed: Vec<Vec<CrossMsg>> = (0..n_domains).map(|_| Vec::new()).collect();
+        // Everything is armed at start+1, so the first epoch window is
+        // exactly one lookahead long.
+        let mut epoch_end = limit.min(start + lookahead);
+        'run: loop {
+            for (w, tx) in cmd_txs.iter().enumerate() {
+                let incoming = owned[w]
+                    .iter()
+                    .map(|&d| std::mem::take(&mut routed[d]))
+                    .collect();
+                if tx
+                    .send(Cmd::Epoch {
+                        end: epoch_end,
+                        incoming,
+                    })
+                    .is_err()
+                {
+                    break 'run;
+                }
+            }
+            let mut any_busy = false;
+            let mut any_flight = false;
+            let mut last_driving = start;
+            let mut round_events: Vec<Event> = Vec::new();
+            let mut round_ring: Vec<(Key, TraceEvent)> = Vec::new();
+            for rx in &reply_rxs {
+                let Ok(Reply::Epoch(reports)) = rx.recv() else {
+                    break 'run;
+                };
+                for rep in reports {
+                    any_busy |= rep.busy_count > 0;
+                    any_flight |= rep.in_flight > 0;
+                    last_driving = last_driving.max(rep.last_driving);
+                    for m in rep.cross {
+                        routed[part.domain_of[m.dst.0]].push(m);
+                    }
+                    round_events.extend(rep.events);
+                    round_ring.extend(rep.ring);
+                }
+            }
+            let any_routed = routed.iter().any(|v| !v.is_empty());
+            let active = any_busy || any_flight || any_routed;
+            // Deferred observation ticks run through the epoch end while
+            // the system is still active, or through the global stop
+            // cycle X on the final barrier.
+            let through = if active { epoch_end } else { last_driving };
+            for tx in &cmd_txs {
+                if tx.send(Cmd::CatchUp { through }).is_err() {
+                    break 'run;
+                }
+            }
+            let mut global_next = NEVER;
+            for rx in &reply_rxs {
+                let Ok(Reply::CatchUp {
+                    next_events,
+                    events,
+                }) = rx.recv()
+                else {
+                    break 'run;
+                };
+                for ne in next_events {
+                    global_next = global_next.min(ne);
+                }
+                for ev in events {
+                    round_events.extend(ev);
+                }
+            }
+            // Merge this round's observability shards in canonical order.
+            // All events are <= `through` and later rounds only produce
+            // later cycles, so per-round appends keep the global order.
+            round_events.sort_by_key(|e| (e.cycle, e.track));
+            engine.tracer.absorb_events(round_events);
+            round_ring.sort_unstable_by_key(|&(key, ref ev)| (ev.cycle, key));
+            if let Some((buf, cap)) = engine.trace.as_mut() {
+                for (_, ev) in round_ring {
+                    if buf.len() == *cap {
+                        buf.pop_front();
+                    }
+                    buf.push_back(ev);
+                }
+            }
+            if !active {
+                end_cycle = through;
+                break 'run;
+            }
+            for msgs in &routed {
+                for m in msgs {
+                    global_next = global_next.min(m.when);
+                }
+            }
+            if global_next == NEVER || global_next > limit || epoch_end == limit {
+                // The sequential scheduler would hit its cycle limit with
+                // work remaining: reproduce its panic, byte for byte.
+                let mut busy: Vec<(usize, String)> = Vec::new();
+                for tx in &cmd_txs {
+                    let _ = tx.send(Cmd::Names);
+                }
+                for rx in &reply_rxs {
+                    if let Ok(Reply::Names(names)) = rx.recv() {
+                        busy.extend(names);
+                    }
+                }
+                busy.sort();
+                let names: Vec<String> = busy.into_iter().map(|(_, n)| n).collect();
+                panic!("simulation did not quiesce within {max_cycles} cycles; busy: {names:?}");
+            }
+            epoch_end = limit.min(global_next + lookahead - 1);
+        }
+
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Finish);
+        }
+        for rx in &reply_rxs {
+            if let Ok(Reply::Finished(doms)) = rx.recv() {
+                for d in doms {
+                    let idx = d.dom;
+                    final_state[idx] = Some(d);
+                }
+            }
+        }
+        drop(cmd_txs);
+        // Join explicitly so a worker's own panic payload propagates
+        // verbatim (`thread::scope` would replace it with a generic
+        // "a scoped thread panicked" message).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    // ---- reassemble ----
+    type Slot = (Box<dyn Component>, VecDeque<Message>);
+    let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
+    let mut delivered = 0u64;
+    for state in final_state {
+        let Some(state) = state else {
+            // A worker died before returning its domains; its panic has
+            // already propagated out of `thread::scope` above, so this is
+            // unreachable — but avoid masking anything if it ever isn't.
+            panic!("parallel run lost a domain's components");
+        };
+        assert!(
+            state.in_flight == 0 && state.cross_out.is_empty(),
+            "domain {} finished with undelivered messages",
+            state.dom
+        );
+        delivered += state.delivered;
+        for ((g, comp), inbox) in state.ids.into_iter().zip(state.comps).zip(state.inboxes) {
+            slots[g] = Some((comp, inbox));
+        }
+    }
+    for slot in slots {
+        let (comp, inbox) = slot.expect("partition covered every component");
+        engine.components.push(comp);
+        engine.inboxes.push(inbox);
+    }
+    engine.delivered += delivered;
+    engine.cycle = end_cycle;
+    engine.tracer.set_now(end_cycle);
+    // Re-arm everything and refresh the busy cache, exactly like a
+    // scheduler switch (conservative and bit-exact).
+    engine.set_scheduler(crate::SchedulerMode::ParallelEventDriven);
+    end_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use crate::Wake;
+
+    /// Forwards each message onward after `delay`, up to `hops_left`.
+    struct Relay {
+        peer: ComponentId,
+        delay: u64,
+        hops_left: u64,
+    }
+    impl Component for Relay {
+        fn tick(&mut self, ctx: &mut Ctx<'_>) {
+            while let Some(msg) = ctx.recv() {
+                if self.hops_left > 0 {
+                    self.hops_left -= 1;
+                    ctx.send(self.peer, msg, self.delay);
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "relay"
+        }
+        fn next_wake(&self, _now: Cycle) -> Wake {
+            Wake::OnMessage
+        }
+    }
+
+    fn credit(n: u32) -> Message {
+        Message::Credit {
+            from: netcrafter_proto::NodeId(0),
+            count: n,
+        }
+    }
+
+    fn ring(n: usize, delay: u64, hops: u64) -> (Engine, Vec<ComponentId>) {
+        let mut b = EngineBuilder::new();
+        let ids: Vec<ComponentId> = (0..n).map(|_| b.reserve()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            b.install(
+                id,
+                Box::new(Relay {
+                    peer: ids[(i + 1) % n],
+                    delay,
+                    hops_left: hops,
+                }),
+            );
+        }
+        (b.build(), ids)
+    }
+
+    /// 3-domain relay ring: the parallel scheduler must reproduce the
+    /// sequential end cycle, delivery count, and the exact recorded
+    /// delivery sequence (cycle, dst, kind) — the unit-level version of
+    /// the fig14 byte-equivalence test in `multigpu`.
+    #[test]
+    fn three_domain_ring_matches_sequential_delivery_order() {
+        let run = |threads: usize| {
+            let (mut e, ids) = ring(6, 37, 9);
+            if threads > 1 {
+                // Domains {0,1} {2,3} {4,5}; every cross-domain hop
+                // (1→2, 3→4, 5→0) has delay 37 = the lookahead.
+                e.set_parallel(Partition::new(vec![0, 0, 1, 1, 2, 2], 37), threads);
+            }
+            e.enable_trace(1024);
+            // Several same-cycle injections across domains exercise the
+            // canonical merge order.
+            e.inject(ids[0], credit(1), 1);
+            e.inject(ids[2], credit(2), 1);
+            e.inject(ids[4], credit(3), 1);
+            let end = e.run_to_quiescence(100_000);
+            let seq: Vec<(Cycle, ComponentId, &str)> =
+                e.trace().map(|t| (t.cycle, t.dst, t.kind)).collect();
+            (end, e.messages_delivered(), seq)
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(3), "parallel must match sequential");
+        assert_eq!(sequential.1, 57, "3 injections + 6x9 forwarded hops");
+    }
+
+    #[test]
+    fn parallel_engine_stays_usable_after_a_run() {
+        let (mut e, ids) = ring(4, 5, 3);
+        e.set_parallel(Partition::new(vec![0, 0, 1, 1], 5), 2);
+        e.inject(ids[0], credit(9), 1);
+        let first = e.run_to_quiescence(10_000);
+        e.inject(ids[2], credit(9), 2);
+        let second = e.run_to_quiescence(10_000);
+        assert!(second > first, "second kernel advances from the first");
+        assert_eq!(e.messages_delivered(), 14, "13 first run + 1 second");
+    }
+
+    #[test]
+    #[should_panic(expected = "below the partition lookahead")]
+    fn undersized_lookahead_is_caught_at_the_send() {
+        let (mut e, ids) = ring(4, 5, 8);
+        // Claimed lookahead 50 but the ring's cross-domain hops are 5.
+        e.set_parallel(Partition::new(vec![0, 0, 1, 1], 50), 2);
+        e.inject(ids[0], credit(1), 1);
+        e.run_to_quiescence(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn parallel_livelock_is_detected() {
+        struct Forever;
+        impl Component for Forever {
+            fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn busy(&self) -> bool {
+                true
+            }
+            fn name(&self) -> &str {
+                "forever"
+            }
+        }
+        let mut b = EngineBuilder::new();
+        b.add(Box::new(Forever));
+        b.add(Box::new(Forever));
+        let mut e = b.build();
+        e.set_parallel(Partition::new(vec![0, 1], 1), 2);
+        e.run_to_quiescence(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_partition_is_rejected() {
+        let _ = Partition::new(vec![0, 2], 1);
+    }
+}

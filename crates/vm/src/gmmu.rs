@@ -22,7 +22,7 @@ use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass,
 use crate::pagetable::PageTable;
 use crate::tlb::Tlb;
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Where the translation unit's outputs go.
 #[derive(Debug, Clone)]
@@ -99,7 +99,7 @@ pub struct TranslationUnit {
     pwc_cycles: u32,
     max_walkers: usize,
     hop_cycles: u32,
-    page_table: Rc<PageTable>,
+    page_table: Arc<PageTable>,
     wiring: TranslationWiring,
 
     tlb_pipe: DelayQueue<TransReq>,
@@ -122,7 +122,7 @@ impl TranslationUnit {
         l2_tlb_cfg: &TlbConfig,
         gmmu_cfg: &GmmuConfig,
         hop_cycles: u32,
-        page_table: Rc<PageTable>,
+        page_table: Arc<PageTable>,
         wiring: TranslationWiring,
     ) -> Self {
         Self {
@@ -357,17 +357,17 @@ mod tests {
     use super::*;
     use netcrafter_proto::MemRsp;
     use netcrafter_sim::EngineBuilder;
-    use std::cell::RefCell;
+    use std::sync::Mutex;
 
     /// Stub CU: records TransRsp arrivals.
     struct CuStub {
-        got: Rc<RefCell<Vec<(Cycle, TransRsp)>>>,
+        got: Arc<Mutex<Vec<(Cycle, TransRsp)>>>,
     }
     impl Component for CuStub {
         fn tick(&mut self, ctx: &mut Ctx<'_>) {
             while let Some(msg) = ctx.recv() {
                 if let Message::TransRsp(r) = msg {
-                    self.got.borrow_mut().push((ctx.cycle(), r));
+                    self.got.lock().unwrap().push((ctx.cycle(), r));
                 }
             }
         }
@@ -383,13 +383,13 @@ mod tests {
     struct MemStub {
         reply_to: ComponentId,
         latency: u64,
-        seen: Rc<RefCell<Vec<MemReq>>>,
+        seen: Arc<Mutex<Vec<MemReq>>>,
     }
     impl Component for MemStub {
         fn tick(&mut self, ctx: &mut Ctx<'_>) {
             while let Some(msg) = ctx.recv() {
                 if let Message::MemReq(req) = msg {
-                    self.seen.borrow_mut().push(req);
+                    self.seen.lock().unwrap().push(req);
                     ctx.send(
                         self.reply_to,
                         Message::MemRsp(MemRsp::for_req(&req, req.sectors)),
@@ -409,9 +409,9 @@ mod tests {
     struct H {
         engine: netcrafter_sim::Engine,
         tu: ComponentId,
-        rsp: Rc<RefCell<Vec<(Cycle, TransRsp)>>>,
-        local_reads: Rc<RefCell<Vec<MemReq>>>,
-        remote_reads: Rc<RefCell<Vec<MemReq>>>,
+        rsp: Arc<Mutex<Vec<(Cycle, TransRsp)>>>,
+        local_reads: Arc<Mutex<Vec<MemReq>>>,
+        remote_reads: Arc<Mutex<Vec<MemReq>>>,
     }
 
     fn harness(pt: PageTable, walkers: u32) -> H {
@@ -420,13 +420,13 @@ mod tests {
         let l2 = b.reserve();
         let rdma = b.reserve();
         let tu = b.reserve();
-        let rsp = Rc::new(RefCell::new(Vec::new()));
-        let local_reads = Rc::new(RefCell::new(Vec::new()));
-        let remote_reads = Rc::new(RefCell::new(Vec::new()));
+        let rsp = Arc::new(Mutex::new(Vec::new()));
+        let local_reads = Arc::new(Mutex::new(Vec::new()));
+        let remote_reads = Arc::new(Mutex::new(Vec::new()));
         b.install(
             cu,
             Box::new(CuStub {
-                got: Rc::clone(&rsp),
+                got: Arc::clone(&rsp),
             }),
         );
         b.install(
@@ -434,7 +434,7 @@ mod tests {
             Box::new(MemStub {
                 reply_to: tu,
                 latency: 50,
-                seen: Rc::clone(&local_reads),
+                seen: Arc::clone(&local_reads),
             }),
         );
         b.install(
@@ -442,7 +442,7 @@ mod tests {
             Box::new(MemStub {
                 reply_to: tu,
                 latency: 400,
-                seen: Rc::clone(&remote_reads),
+                seen: Arc::clone(&remote_reads),
             }),
         );
         b.install(
@@ -461,7 +461,7 @@ mod tests {
                     walkers,
                 },
                 2,
-                Rc::new(pt),
+                Arc::new(pt),
                 TranslationWiring {
                     cus: vec![cu],
                     l2,
@@ -493,12 +493,12 @@ mod tests {
         let mut h = harness(pt, 16);
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.run_to_quiescence(5000);
-        assert_eq!(h.rsp.borrow().len(), 1);
-        assert_eq!(h.rsp.borrow()[0].1.pfn, 0x7);
-        assert_eq!(h.local_reads.borrow().len(), 4, "4-level walk");
-        assert!(h.remote_reads.borrow().is_empty());
+        assert_eq!(h.rsp.lock().unwrap().len(), 1);
+        assert_eq!(h.rsp.lock().unwrap()[0].1.pfn, 0x7);
+        assert_eq!(h.local_reads.lock().unwrap().len(), 4, "4-level walk");
+        assert!(h.remote_reads.lock().unwrap().is_empty());
         // Latency: 10 (TLB) + 10 (PWC) + 4 sequential reads of ~52 each.
-        let t = h.rsp.borrow()[0].0;
+        let t = h.rsp.lock().unwrap()[0].0;
         assert!(t > 220, "sequential walk latency, got {t}");
     }
 
@@ -510,11 +510,11 @@ mod tests {
         let mut h = harness(pt, 16);
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.run_to_quiescence(5000);
-        assert_eq!(h.local_reads.borrow().len(), 4);
+        assert_eq!(h.local_reads.lock().unwrap().len(), 4);
         // Second walk: PWC has levels 1-3 cached -> only the leaf read.
         h.engine.inject(h.tu, treq(0x43), 1);
         h.engine.run_to_quiescence(5000);
-        assert_eq!(h.local_reads.borrow().len(), 5, "only 1 extra read");
+        assert_eq!(h.local_reads.lock().unwrap().len(), 5, "only 1 extra read");
     }
 
     #[test]
@@ -524,12 +524,12 @@ mod tests {
         let mut h = harness(pt, 16);
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.run_to_quiescence(5000);
-        let reads_after_first = h.local_reads.borrow().len();
+        let reads_after_first = h.local_reads.lock().unwrap().len();
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.run_to_quiescence(5000);
-        assert_eq!(h.rsp.borrow().len(), 2);
+        assert_eq!(h.rsp.lock().unwrap().len(), 2);
         assert_eq!(
-            h.local_reads.borrow().len(),
+            h.local_reads.lock().unwrap().len(),
             reads_after_first,
             "no new reads"
         );
@@ -544,8 +544,8 @@ mod tests {
         h.engine.inject(h.tu, treq(0x42), 2);
         h.engine.inject(h.tu, treq(0x42), 3);
         h.engine.run_to_quiescence(5000);
-        assert_eq!(h.rsp.borrow().len(), 3, "all requesters answered");
-        assert_eq!(h.local_reads.borrow().len(), 4, "single walk");
+        assert_eq!(h.rsp.lock().unwrap().len(), 3, "all requesters answered");
+        assert_eq!(h.local_reads.lock().unwrap().len(), 4, "single walk");
     }
 
     #[test]
@@ -555,15 +555,21 @@ mod tests {
         let mut h = harness(pt, 16);
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.run_to_quiescence(10_000);
-        assert_eq!(h.rsp.borrow().len(), 1);
-        assert_eq!(h.remote_reads.borrow().len(), 4);
-        assert!(h.local_reads.borrow().is_empty());
+        assert_eq!(h.rsp.lock().unwrap().len(), 1);
+        assert_eq!(h.remote_reads.lock().unwrap().len(), 4);
+        assert!(h.local_reads.lock().unwrap().is_empty());
         assert!(h
             .remote_reads
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .all(|r| r.class == TrafficClass::Ptw));
-        assert!(h.remote_reads.borrow().iter().all(|r| r.owner == GpuId(2)));
+        assert!(h
+            .remote_reads
+            .lock()
+            .unwrap()
+            .iter()
+            .all(|r| r.owner == GpuId(2)));
     }
 
     #[test]
@@ -579,7 +585,11 @@ mod tests {
             h.engine.inject(h.tu, treq(0x100 + i * (1 << 12)), 1);
         }
         h.engine.run_to_quiescence(50_000);
-        assert_eq!(h.rsp.borrow().len(), 6, "capped MSHR retries, never drops");
+        assert_eq!(
+            h.rsp.lock().unwrap().len(),
+            6,
+            "capped MSHR retries, never drops"
+        );
     }
 
     #[test]
@@ -609,6 +619,10 @@ mod tests {
         h.engine.inject(h.tu, treq(0x42), 1);
         h.engine.inject(h.tu, treq(0x42 + (1 << 18)), 1);
         h.engine.run_to_quiescence(10_000);
-        assert_eq!(h.rsp.borrow().len(), 2, "both walks complete eventually");
+        assert_eq!(
+            h.rsp.lock().unwrap().len(),
+            2,
+            "both walks complete eventually"
+        );
     }
 }
