@@ -3,188 +3,339 @@
 # cargo registry (the workspace has no external dependencies by design —
 # see README "Offline builds"). Run locally with ./ci.sh.
 #
-# Artifacts (fig14 trace + time series, fresh bench report) are left in
-# $CI_ARTIFACT_DIR (default: ./ci-artifacts) for the workflow to upload.
+# The pipeline is split into three groups so the GitHub workflow can run
+# them as parallel jobs; with no argument every group runs in order:
+#
+#   ./ci.sh lint        # fmt, clippy, netcrafter-lint (+ fixture corpus)
+#   ./ci.sh build-test  # release build, bench check, workspace tests
+#   ./ci.sh figures     # figure/trace/scheduler/checkpoint equivalence,
+#                       # scheduler microbench, perf-regression gate
+#   ./ci.sh all         # everything (default)
+#
+# Artifacts (fig14 trace + time series, checkpoint snapshot, fresh bench
+# report) are left in $CI_ARTIFACT_DIR (default: ./ci-artifacts) for the
+# workflow to upload. When $GITHUB_STEP_SUMMARY is set, per-step wall
+# times are appended to it as a markdown table.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+mode=${1:-all}
+case "$mode" in
+    lint | build-test | figures | all) ;;
+    *)
+        echo "usage: ./ci.sh [lint|build-test|figures|all]" >&2
+        exit 2
+        ;;
+esac
 
 artifact_dir=${CI_ARTIFACT_DIR:-ci-artifacts}
 mkdir -p "$artifact_dir"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+seq_err=$(mktemp)
+par_err=$(mktemp)
+cache_dir=$(mktemp -d)
+ckpt_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir" "$ckpt_dir"; rm -f "$seq_err" "$par_err"' EXIT
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings + curated pedantic subset"
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+        echo ""
+        echo "### ci.sh $mode step timing"
+        echo ""
+        echo "| step | seconds |"
+        echo "| --- | --- |"
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
+
+# Runs one named step (a function below), echoing it and recording its
+# wall time in the GitHub step summary when available.
+run_step() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0=$SECONDS
+    "$@"
+    local dt=$((SECONDS - t0))
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        echo "| $name | $dt |" >>"$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+step_fmt() {
+    cargo fmt --check
+}
+
 # Beyond the default warn set, a curated subset of pedantic lints is
 # denied (kept small on purpose: each one either hardens determinism
 # reasoning or removes a class of silent fallback). `clippy::unwrap_used`
 # is enforced through crate-root `#![warn(...)]` attributes in every
 # sim-facing crate (tests are exempt via cfg_attr), which -D warnings
 # turns into errors here.
-cargo clippy --workspace --all-targets --offline -- -D warnings \
-    -D clippy::explicit_iter_loop \
-    -D clippy::semicolon_if_nothing_returned \
-    -D clippy::redundant_closure_for_method_calls \
-    -D clippy::map_unwrap_or \
-    -D clippy::cloned_instead_of_copied
+step_clippy() {
+    cargo clippy --workspace --all-targets --offline -- -D warnings \
+        -D clippy::explicit_iter_loop \
+        -D clippy::semicolon_if_nothing_returned \
+        -D clippy::redundant_closure_for_method_calls \
+        -D clippy::map_unwrap_or \
+        -D clippy::cloned_instead_of_copied
+}
 
-echo "==> netcrafter-lint: determinism & invariant static analysis"
 # The in-tree linter must pass the workspace with zero unwaived findings;
 # the JSON report is kept as a CI artifact. Each known-bad fixture must
 # keep failing (nonzero exit) so a linter regression cannot silently turn
 # the workspace pass into a no-op.
-cargo run --offline -q -p netcrafter-lint -- --report "$artifact_dir/lint-report.json"
-for bad in crates/lint/tests/fixtures/bad_*.rs; do
-    if cargo run --offline -q -p netcrafter-lint -- --as-crate net "$bad" >/dev/null; then
-        echo "FAIL: netcrafter-lint passed known-bad fixture $bad" >&2
+step_netcrafter_lint() {
+    cargo run --offline -q -p netcrafter-lint -- --report "$artifact_dir/lint-report.json"
+    local bad
+    for bad in crates/lint/tests/fixtures/bad_*.rs; do
+        if cargo run --offline -q -p netcrafter-lint -- --as-crate net "$bad" >/dev/null; then
+            echo "FAIL: netcrafter-lint passed known-bad fixture $bad" >&2
+            exit 1
+        fi
+    done
+}
+
+step_build_release() {
+    cargo build --release --offline
+}
+
+step_check_benches() {
+    cargo check --offline -p netcrafter-bench --benches --features criterion-bench
+}
+
+step_test_workspace() {
+    cargo test -q --workspace --offline
+}
+
+step_figures_smoke() {
+    if ! seq_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 2>"$seq_err"); then
+        echo "FAIL: sequential figures run failed:" >&2
+        cat "$seq_err" >&2
         exit 1
     fi
-done
+    if ! par_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 --jobs 4 2>"$par_err"); then
+        echo "FAIL: parallel figures run failed:" >&2
+        cat "$par_err" >&2
+        exit 1
+    fi
+    if [[ "$seq_out" != "$par_out" ]]; then
+        echo "FAIL: parallel figure output differs from sequential" >&2
+        diff <(echo "$seq_out") <(echo "$par_out") >&2 || true
+        echo "--- sequential stderr ---" >&2
+        cat "$seq_err" >&2
+        echo "--- parallel stderr ---" >&2
+        cat "$par_err" >&2
+        exit 1
+    fi
+}
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
-
-echo "==> cargo check benches (criterion-bench feature)"
-cargo check --offline -p netcrafter-bench --benches --features criterion-bench
-
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace --offline
-
-echo "==> figures smoke run: --quick fig14, sequential vs 4 workers"
-seq_err=$(mktemp)
-par_err=$(mktemp)
-trap 'rm -f "$seq_err" "$par_err"' EXIT
-if ! seq_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 2>"$seq_err"); then
-    echo "FAIL: sequential figures run failed:" >&2
-    cat "$seq_err" >&2
-    exit 1
-fi
-if ! par_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 --jobs 4 2>"$par_err"); then
-    echo "FAIL: parallel figures run failed:" >&2
-    cat "$par_err" >&2
-    exit 1
-fi
-if [[ "$seq_out" != "$par_out" ]]; then
-    echo "FAIL: parallel figure output differs from sequential" >&2
-    diff <(echo "$seq_out") <(echo "$par_out") >&2 || true
-    echo "--- sequential stderr ---" >&2
-    cat "$seq_err" >&2
-    echo "--- parallel stderr ---" >&2
-    cat "$par_err" >&2
-    exit 1
-fi
-
-echo "==> figures cache smoke run: warm cache must re-simulate nothing"
 # The warm run adds --threads 4: thread count is excluded from the cache
 # key (parallel results are bit-identical), so a cache filled by a
 # sequential run must fully satisfy a parallel one.
-cache_dir=$(mktemp -d)
-trap 'rm -rf "$cache_dir"; rm -f "$seq_err" "$par_err"' EXIT
-cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 --jobs 4 --cache-dir "$cache_dir" >/dev/null 2>&1
-warm_stderr=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 --jobs 4 --threads 4 --cache-dir "$cache_dir" 2>&1 >/dev/null)
-if ! grep -q "0 simulated" <<<"$warm_stderr"; then
-    echo "FAIL: warm cache re-simulated configurations:" >&2
-    echo "$warm_stderr" >&2
-    exit 1
-fi
+step_figures_cache() {
+    cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 --jobs 4 --cache-dir "$cache_dir" >/dev/null 2>&1
+    local warm_stderr
+    warm_stderr=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 --jobs 4 --threads 4 --cache-dir "$cache_dir" 2>&1 >/dev/null)
+    if ! grep -q "0 simulated" <<<"$warm_stderr"; then
+        echo "FAIL: warm cache re-simulated configurations:" >&2
+        echo "$warm_stderr" >&2
+        exit 1
+    fi
+}
 
-echo "==> trace determinism: two identical --trace runs must be byte-identical"
-cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
-    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
-    --trace "$artifact_dir/trace-a.json" \
-    --timeseries "$artifact_dir/timeseries-a.jsonl" >/dev/null
-cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
-    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
-    --trace "$artifact_dir/trace-b.json" \
-    --timeseries "$artifact_dir/timeseries-b.jsonl" >/dev/null
-if ! cmp -s "$artifact_dir/trace-a.json" "$artifact_dir/trace-b.json"; then
-    echo "FAIL: event traces of identical runs differ" >&2
-    cmp "$artifact_dir/trace-a.json" "$artifact_dir/trace-b.json" >&2 || true
-    exit 1
-fi
-if ! cmp -s "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/timeseries-b.jsonl"; then
-    echo "FAIL: time series of identical runs differ" >&2
-    cmp "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/timeseries-b.jsonl" >&2 || true
-    exit 1
-fi
-mv "$artifact_dir/trace-a.json" "$artifact_dir/fig14-trace.json"
-mv "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/fig14-timeseries.jsonl"
-rm -f "$artifact_dir/trace-b.json" "$artifact_dir/timeseries-b.jsonl"
+step_trace_determinism() {
+    cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+        --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+        --trace "$artifact_dir/trace-a.json" \
+        --timeseries "$artifact_dir/timeseries-a.jsonl" >/dev/null
+    cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+        --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+        --trace "$artifact_dir/trace-b.json" \
+        --timeseries "$artifact_dir/timeseries-b.jsonl" >/dev/null
+    if ! cmp -s "$artifact_dir/trace-a.json" "$artifact_dir/trace-b.json"; then
+        echo "FAIL: event traces of identical runs differ" >&2
+        cmp "$artifact_dir/trace-a.json" "$artifact_dir/trace-b.json" >&2 || true
+        exit 1
+    fi
+    if ! cmp -s "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/timeseries-b.jsonl"; then
+        echo "FAIL: time series of identical runs differ" >&2
+        cmp "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/timeseries-b.jsonl" >&2 || true
+        exit 1
+    fi
+    mv "$artifact_dir/trace-a.json" "$artifact_dir/fig14-trace.json"
+    mv "$artifact_dir/timeseries-a.jsonl" "$artifact_dir/fig14-timeseries.jsonl"
+    rm -f "$artifact_dir/trace-b.json" "$artifact_dir/timeseries-b.jsonl"
+}
 
-echo "==> scheduler equivalence: event-driven vs --legacy-scheduler vs --threads 4"
 # The event-driven and conservative-parallel schedulers are pure
 # host-speed optimisations: the fig14 matrix and the event trace must be
 # bit-identical under all three.
-if ! legacy_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 --legacy-scheduler 2>"$seq_err"); then
-    echo "FAIL: legacy-scheduler figures run failed:" >&2
-    cat "$seq_err" >&2
-    exit 1
-fi
-if [[ "$seq_out" != "$legacy_out" ]]; then
-    echo "FAIL: legacy-scheduler figure output differs from event-driven" >&2
-    diff <(echo "$seq_out") <(echo "$legacy_out") >&2 || true
-    exit 1
-fi
-cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
-    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
-    --legacy-scheduler \
-    --trace "$artifact_dir/trace-legacy.json" \
-    --timeseries "$artifact_dir/timeseries-legacy.jsonl" >/dev/null
-if ! cmp -s "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-legacy.json"; then
-    echo "FAIL: legacy-scheduler event trace differs from event-driven" >&2
-    cmp "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-legacy.json" >&2 || true
-    exit 1
-fi
-if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-legacy.jsonl"; then
-    echo "FAIL: legacy-scheduler time series differs from event-driven" >&2
-    cmp "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-legacy.jsonl" >&2 || true
-    exit 1
-fi
-rm -f "$artifact_dir/trace-legacy.json" "$artifact_dir/timeseries-legacy.jsonl"
-if ! thr_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
-    --quick fig14 --threads 4 2>"$seq_err"); then
-    echo "FAIL: --threads 4 figures run failed:" >&2
-    cat "$seq_err" >&2
-    exit 1
-fi
-if [[ "$seq_out" != "$thr_out" ]]; then
-    echo "FAIL: --threads 4 figure output differs from sequential" >&2
-    diff <(echo "$seq_out") <(echo "$thr_out") >&2 || true
-    exit 1
-fi
-cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
-    --workload GUPS --variant netcrafter --cus 2 --scale tiny \
-    --threads 4 \
-    --trace "$artifact_dir/trace-par.json" \
-    --timeseries "$artifact_dir/timeseries-par.jsonl" >/dev/null
-if ! cmp -s "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-par.json"; then
-    echo "FAIL: --threads 4 event trace differs from event-driven" >&2
-    cmp "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-par.json" >&2 || true
-    exit 1
-fi
-if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-par.jsonl"; then
-    echo "FAIL: --threads 4 time series differs from event-driven" >&2
-    cmp "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-par.jsonl" >&2 || true
-    exit 1
-fi
-rm -f "$artifact_dir/trace-par.json" "$artifact_dir/timeseries-par.jsonl"
+step_scheduler_equivalence() {
+    local legacy_out thr_out
+    if ! legacy_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 --legacy-scheduler 2>"$seq_err"); then
+        echo "FAIL: legacy-scheduler figures run failed:" >&2
+        cat "$seq_err" >&2
+        exit 1
+    fi
+    if [[ "$seq_out" != "$legacy_out" ]]; then
+        echo "FAIL: legacy-scheduler figure output differs from event-driven" >&2
+        diff <(echo "$seq_out") <(echo "$legacy_out") >&2 || true
+        exit 1
+    fi
+    cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+        --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+        --legacy-scheduler \
+        --trace "$artifact_dir/trace-legacy.json" \
+        --timeseries "$artifact_dir/timeseries-legacy.jsonl" >/dev/null
+    if ! cmp -s "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-legacy.json"; then
+        echo "FAIL: legacy-scheduler event trace differs from event-driven" >&2
+        cmp "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-legacy.json" >&2 || true
+        exit 1
+    fi
+    if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-legacy.jsonl"; then
+        echo "FAIL: legacy-scheduler time series differs from event-driven" >&2
+        cmp "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-legacy.jsonl" >&2 || true
+        exit 1
+    fi
+    rm -f "$artifact_dir/trace-legacy.json" "$artifact_dir/timeseries-legacy.jsonl"
+    if ! thr_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 --threads 4 2>"$seq_err"); then
+        echo "FAIL: --threads 4 figures run failed:" >&2
+        cat "$seq_err" >&2
+        exit 1
+    fi
+    if [[ "$seq_out" != "$thr_out" ]]; then
+        echo "FAIL: --threads 4 figure output differs from sequential" >&2
+        diff <(echo "$seq_out") <(echo "$thr_out") >&2 || true
+        exit 1
+    fi
+    cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+        --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+        --threads 4 \
+        --trace "$artifact_dir/trace-par.json" \
+        --timeseries "$artifact_dir/timeseries-par.jsonl" >/dev/null
+    if ! cmp -s "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-par.json"; then
+        echo "FAIL: --threads 4 event trace differs from event-driven" >&2
+        cmp "$artifact_dir/fig14-trace.json" "$artifact_dir/trace-par.json" >&2 || true
+        exit 1
+    fi
+    if ! cmp -s "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-par.jsonl"; then
+        echo "FAIL: --threads 4 time series differs from event-driven" >&2
+        cmp "$artifact_dir/fig14-timeseries.jsonl" "$artifact_dir/timeseries-par.jsonl" >&2 || true
+        exit 1
+    fi
+    rm -f "$artifact_dir/trace-par.json" "$artifact_dir/timeseries-par.jsonl"
+}
 
-echo "==> scheduler microbench: speedup numbers kept as a CI artifact"
+# Checkpoint → restore → continue must be byte-identical to the
+# uninterrupted run: metrics dump, event trace and time series alike,
+# with the snapshot taken at the cold run's midpoint and the restored
+# half replayed under all three schedulers (a snapshot is scheduler-
+# portable by design). The snapshot itself is kept as a CI artifact.
+step_checkpoint_equivalence() {
+    local base=(--workload GUPS --variant netcrafter --cus 2 --scale tiny)
+    local sim=(cargo run --release --offline -q -p netcrafter-bench --bin simulate --)
+    "${sim[@]}" "${base[@]}" \
+        --trace "$ckpt_dir/cold-trace.json" \
+        --timeseries "$ckpt_dir/cold-ts.jsonl" \
+        --dump-metrics >"$ckpt_dir/cold.txt"
+    local cycles mid
+    cycles=$(awk -F': *' '/^execution cycles/ {print $2}' "$ckpt_dir/cold.txt")
+    if [[ -z "$cycles" || "$cycles" -lt 2 ]]; then
+        echo "FAIL: cannot read execution cycles from the cold run" >&2
+        exit 1
+    fi
+    mid=$((cycles / 2))
+    "${sim[@]}" "${base[@]}" \
+        --checkpoint-at "$mid" --checkpoint-dir "$ckpt_dir/snaps" \
+        --trace "$ckpt_dir/mid-trace.json" \
+        --timeseries "$ckpt_dir/mid-ts.jsonl" \
+        --dump-metrics >"$ckpt_dir/mid.txt"
+    if ! diff "$ckpt_dir/cold.txt" "$ckpt_dir/mid.txt" >&2 ||
+        ! cmp -s "$ckpt_dir/cold-trace.json" "$ckpt_dir/mid-trace.json" ||
+        ! cmp -s "$ckpt_dir/cold-ts.jsonl" "$ckpt_dir/mid-ts.jsonl"; then
+        echo "FAIL: pausing at cycle $mid to checkpoint perturbed the run" >&2
+        exit 1
+    fi
+    local snap
+    snap=$(echo "$ckpt_dir"/snaps/ckpt-*.bin)
+    if [[ ! -f "$snap" ]]; then
+        echo "FAIL: --checkpoint-at $mid wrote no snapshot" >&2
+        exit 1
+    fi
+    cp "$snap" "$artifact_dir/fig14-checkpoint.bin"
+    local sched
+    for sched in "" "--legacy-scheduler" "--threads 4"; do
+        local tag="event"
+        [[ -n "$sched" ]] && tag="${sched#--}"
+        # shellcheck disable=SC2086  # $sched is intentionally word-split
+        "${sim[@]}" "${base[@]}" $sched \
+            --restore-from "$snap" \
+            --trace "$ckpt_dir/warm-trace.json" \
+            --timeseries "$ckpt_dir/warm-ts.jsonl" \
+            --dump-metrics >"$ckpt_dir/warm.txt" 2>"$ckpt_dir/warm.err"
+        if ! grep -q "simulated from cycle $mid" "$ckpt_dir/warm.err"; then
+            echo "FAIL ($tag): restored run did not resume from cycle $mid:" >&2
+            cat "$ckpt_dir/warm.err" >&2
+            exit 1
+        fi
+        if ! diff "$ckpt_dir/cold.txt" "$ckpt_dir/warm.txt" >&2; then
+            echo "FAIL ($tag): restored metrics differ from the uninterrupted run" >&2
+            exit 1
+        fi
+        if ! cmp -s "$ckpt_dir/cold-trace.json" "$ckpt_dir/warm-trace.json"; then
+            echo "FAIL ($tag): restored event trace differs from the uninterrupted run" >&2
+            cmp "$ckpt_dir/cold-trace.json" "$ckpt_dir/warm-trace.json" >&2 || true
+            exit 1
+        fi
+        if ! cmp -s "$ckpt_dir/cold-ts.jsonl" "$ckpt_dir/warm-ts.jsonl"; then
+            echo "FAIL ($tag): restored time series differs from the uninterrupted run" >&2
+            cmp "$ckpt_dir/cold-ts.jsonl" "$ckpt_dir/warm-ts.jsonl" >&2 || true
+            exit 1
+        fi
+    done
+}
+
 # Informational (never gated — CI hosts have arbitrary core counts): the
 # idle-heavy/dense/parallel-domain numbers land next to the other
 # artifacts so a PR's claimed speedups can be checked against CI metal.
-cargo bench --offline -q -p netcrafter-bench --features criterion-bench \
-    --bench engine_scheduler | tee "$artifact_dir/engine-scheduler-bench.txt"
+step_scheduler_microbench() {
+    cargo bench --offline -q -p netcrafter-bench --features criterion-bench \
+        --bench engine_scheduler | tee "$artifact_dir/engine-scheduler-bench.txt"
+}
 
-echo "==> perf-regression gate: fig14 headline numbers vs committed baseline"
-cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
-    emit "$artifact_dir/BENCH_fig14.json" --jobs 4
-cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
-    check ci/BENCH_fig14.baseline.json "$artifact_dir/BENCH_fig14.json"
+step_perf_gate() {
+    cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+        emit "$artifact_dir/BENCH_fig14.json" --jobs 4
+    cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+        check ci/BENCH_fig14.baseline.json "$artifact_dir/BENCH_fig14.json"
+}
 
-echo "CI OK"
+if [[ "$mode" == lint || "$mode" == all ]]; then
+    run_step "cargo fmt --check" step_fmt
+    run_step "cargo clippy --workspace --all-targets -- -D warnings + curated pedantic subset" step_clippy
+    run_step "netcrafter-lint: determinism & invariant static analysis" step_netcrafter_lint
+fi
+
+if [[ "$mode" == build-test || "$mode" == all ]]; then
+    run_step "cargo build --release --offline" step_build_release
+    run_step "cargo check benches (criterion-bench feature)" step_check_benches
+    run_step "cargo test -q --workspace" step_test_workspace
+fi
+
+if [[ "$mode" == figures || "$mode" == all ]]; then
+    run_step "figures smoke run: --quick fig14, sequential vs 4 workers" step_figures_smoke
+    run_step "figures cache smoke run: warm cache must re-simulate nothing" step_figures_cache
+    run_step "trace determinism: two identical --trace runs must be byte-identical" step_trace_determinism
+    run_step "scheduler equivalence: event-driven vs --legacy-scheduler vs --threads 4" step_scheduler_equivalence
+    run_step "checkpoint equivalence: uninterrupted vs midpoint checkpoint + restore" step_checkpoint_equivalence
+    run_step "scheduler microbench: speedup numbers kept as a CI artifact" step_scheduler_microbench
+    run_step "perf-regression gate: fig14 headline numbers vs committed baseline" step_perf_gate
+fi
+
+echo "CI OK ($mode)"

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--quick] [--big] [--verbose] [--jobs N] [--threads N]
-//!         [--cache-dir DIR] [--trace FILE] [--timeseries FILE]
+//!         [--cache-dir DIR] [--checkpoint-at CYCLE] [--checkpoint-dir DIR]
+//!         [--restore-from FILE] [--trace FILE] [--timeseries FILE]
 //!         [--trace-filter SPEC] [--sample-window N] [--legacy-scheduler]
 //!         <id>... | all
 //! ```
@@ -22,11 +23,18 @@
 //! the first requested figure with observability on and write a
 //! Chrome-trace JSON event trace / per-link time-series JSONL. See the
 //! `simulate` binary for the filter syntax.
+//!
+//! `--checkpoint-dir DIR` warm-starts every sweep simulation from the
+//! longest cached prefix snapshot and persists any new checkpoint taken
+//! via `--checkpoint-at CYCLE`; `--restore-from FILE` resumes the traced
+//! re-run from a specific snapshot. All checkpointed paths stay
+//! byte-identical to uninterrupted runs.
 
 use std::time::Instant;
 
 use netcrafter_bench::traceio::TRACE_VALUE_FLAGS;
 use netcrafter_bench::{figures, stats_report, Runner, TraceArgs};
+use netcrafter_multigpu::CheckpointPlan;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -58,6 +66,14 @@ fn main() {
         })
     });
     let cache_dir = flag_value(&args, "--cache-dir");
+    let checkpoint_at: Option<u64> = flag_value(&args, "--checkpoint-at").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--checkpoint-at expects a cycle count, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let checkpoint_dir = flag_value(&args, "--checkpoint-dir");
+    let restore_path = flag_value(&args, "--restore-from");
 
     // Everything that is not a flag (or a flag's value) is a figure id.
     let mut ids: Vec<String> = Vec::new();
@@ -70,6 +86,9 @@ fn main() {
         if arg == "--jobs"
             || arg == "--threads"
             || arg == "--cache-dir"
+            || arg == "--checkpoint-at"
+            || arg == "--checkpoint-dir"
+            || arg == "--restore-from"
             || TRACE_VALUE_FLAGS.contains(&arg.as_str())
         {
             skip_next = true;
@@ -108,6 +127,15 @@ fn main() {
     if let Some(dir) = &cache_dir {
         runner = runner.with_cache_dir(dir).unwrap_or_else(|e| {
             eprintln!("cannot open cache dir {dir}: {e}");
+            std::process::exit(1);
+        });
+    }
+    if let Some(at) = checkpoint_at {
+        runner = runner.with_checkpoint_at(at);
+    }
+    if let Some(dir) = &checkpoint_dir {
+        runner = runner.with_checkpoint_dir(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open checkpoint dir {dir}: {e}");
             std::process::exit(1);
         });
     }
@@ -166,7 +194,43 @@ fn main() {
                 std::process::exit(2);
             });
         eprintln!("[tracing {} …]", job.memo_key());
-        let (_, data) = job.to_experiment().run_traced(&opts);
+        let plan = CheckpointPlan {
+            checkpoint_at,
+            restore_from: restore_path.as_ref().map(|path| {
+                std::fs::read(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read snapshot {path}: {e}");
+                    std::process::exit(1);
+                })
+            }),
+        };
+        let (run, data) = job
+            .to_experiment()
+            .run_traced_checkpointed(&opts, &plan)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot restore snapshot: {e}");
+                std::process::exit(1);
+            });
+        if run.resumed_at > 0 {
+            eprintln!(
+                "[restored snapshot: simulated from cycle {} instead of 0]",
+                run.resumed_at
+            );
+        }
+        if let Some((cycle, bytes)) = &run.snapshot {
+            if let Some(store) = runner.checkpoint_store() {
+                let path = store.path_for(&job.cache_key(), *cycle);
+                store
+                    .store(&job.cache_key(), *cycle, bytes)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot write checkpoint {}: {e}", path.display());
+                        std::process::exit(1);
+                    });
+                eprintln!(
+                    "[checkpoint at cycle {cycle} written to {}]",
+                    path.display()
+                );
+            }
+        }
         trace_args.write(&data).unwrap_or_else(|e| {
             eprintln!("cannot write trace output: {e}");
             std::process::exit(1);

@@ -8,6 +8,8 @@
 //!          [--scale tiny|small|paper] [--seed N]
 //!          [--pool-window N] [--trim-granularity 4|8|16]
 //!          [--jobs N] [--threads N] [--cache-dir DIR]
+//!          [--checkpoint-at CYCLE] [--checkpoint-dir DIR]
+//!          [--restore-from FILE]
 //!          [--dump-metrics] [--csv FILE]
 //!          [--trace FILE] [--timeseries FILE]
 //!          [--trace-filter SPEC] [--sample-window N]
@@ -27,9 +29,17 @@
 //! records per-link bandwidth/occupancy curves as JSONL with
 //! `--sample-window`-cycle buckets. Both force a fresh (uncached) run and
 //! are ignored by `--variant all`.
+//!
+//! `--checkpoint-at CYCLE` pauses the simulation at the first epoch
+//! barrier at or after CYCLE and snapshots the full engine state;
+//! `--checkpoint-dir DIR` persists the snapshot there (and lets plain
+//! runs warm-start from the longest cached prefix automatically).
+//! `--restore-from FILE` resumes from a specific snapshot file instead.
+//! Checkpoint → restore → continue is byte-identical to an
+//! uninterrupted run — metrics, traces and time series alike.
 
 use netcrafter_bench::{f2, pct, stats_report, Runner, Table, TraceArgs};
-use netcrafter_multigpu::SystemVariant;
+use netcrafter_multigpu::{CheckpointPlan, SystemVariant};
 use netcrafter_proto::SystemConfig;
 use netcrafter_workloads::{Scale, Workload};
 
@@ -78,7 +88,9 @@ fn main() {
             "usage: simulate [--workload NAME] [--variant V|all] [--cus N] [--clusters N] \
              [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
              [--scale tiny|small|paper] [--seed N] [--pool-window N] \
-             [--trim-granularity N] [--jobs N] [--threads N] [--cache-dir DIR] [--dump-metrics] \
+             [--trim-granularity N] [--jobs N] [--threads N] [--cache-dir DIR] \
+             [--checkpoint-at CYCLE] [--checkpoint-dir DIR] [--restore-from FILE] \
+             [--dump-metrics] \
              [--trace FILE] [--timeseries FILE] [--trace-filter SPEC] [--sample-window N] \
              [--legacy-scheduler]\n\
              workloads: {:?}\n\
@@ -143,8 +155,25 @@ fn main() {
             std::process::exit(1);
         });
     }
+    let checkpoint_at: Option<u64> =
+        get("--checkpoint-at").map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let restore_path = get("--restore-from");
+    if let Some(at) = checkpoint_at {
+        runner = runner.with_checkpoint_at(at);
+    }
+    if let Some(dir) = get("--checkpoint-dir") {
+        runner = runner.with_checkpoint_dir(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot open checkpoint dir {dir}: {e}");
+            std::process::exit(1);
+        });
+    }
 
     if sweep_all {
+        if restore_path.is_some() {
+            eprintln!("--restore-from names one snapshot and cannot drive --variant all;");
+            eprintln!("use --checkpoint-dir to warm-start a sweep instead");
+            std::process::exit(2);
+        }
         eprintln!(
             "sweeping {workload} across {} variants on {} worker(s) …",
             ALL_VARIANTS.len(),
@@ -194,20 +223,69 @@ fn main() {
         runner.base_cfg.topology.gpus_per_cluster,
         runner.base_cfg.cus_per_gpu,
     );
-    let r = if trace_args.active() {
-        let opts = trace_args.options().unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-        let (result, data) = runner
-            .job(workload, variant)
-            .to_experiment()
-            .run_traced(&opts);
-        trace_args.write(&data).unwrap_or_else(|e| {
-            eprintln!("cannot write trace output: {e}");
+    let r = if trace_args.active() || checkpoint_at.is_some() || restore_path.is_some() {
+        // Checkpointed and traced runs drive the experiment directly:
+        // both must actually simulate, not replay the result cache.
+        let plan = CheckpointPlan {
+            checkpoint_at,
+            restore_from: restore_path.as_ref().map(|path| {
+                std::fs::read(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read snapshot {path}: {e}");
+                    std::process::exit(1);
+                })
+            }),
+        };
+        let job = runner.job(workload, variant);
+        let exp = job.to_experiment();
+        let snapshot_err = |e| -> ! {
+            eprintln!("cannot restore snapshot: {e}");
             std::process::exit(1);
-        });
-        std::sync::Arc::new(result)
+        };
+        let (run, data) = if trace_args.active() {
+            let opts = trace_args.options().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let (run, data) = exp
+                .run_traced_checkpointed(&opts, &plan)
+                .unwrap_or_else(|e| snapshot_err(e));
+            (run, Some(data))
+        } else {
+            let run = exp
+                .run_checkpointed(&plan)
+                .unwrap_or_else(|e| snapshot_err(e));
+            (run, None)
+        };
+        if run.resumed_at > 0 {
+            eprintln!(
+                "restored snapshot: simulated from cycle {} instead of 0",
+                run.resumed_at
+            );
+        }
+        if let Some((cycle, bytes)) = &run.snapshot {
+            match runner.checkpoint_store() {
+                Some(store) => {
+                    let path = store.path_for(&job.cache_key(), *cycle);
+                    store
+                        .store(&job.cache_key(), *cycle, bytes)
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot write checkpoint {}: {e}", path.display());
+                            std::process::exit(1);
+                        });
+                    eprintln!("checkpoint at cycle {cycle} written to {}", path.display());
+                }
+                None => eprintln!(
+                    "checkpoint at cycle {cycle} taken but discarded (no --checkpoint-dir)"
+                ),
+            }
+        }
+        if let Some(data) = &data {
+            trace_args.write(data).unwrap_or_else(|e| {
+                eprintln!("cannot write trace output: {e}");
+                std::process::exit(1);
+            });
+        }
+        std::sync::Arc::new(run.result)
     } else {
         runner.run(workload, variant)
     };

@@ -31,11 +31,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use netcrafter_multigpu::{JobSpec, RunResult, SystemVariant};
+use netcrafter_multigpu::{CheckpointPlan, JobSpec, RunResult, SystemVariant};
 use netcrafter_proto::SystemConfig;
 use netcrafter_workloads::{Scale, Workload};
 
-pub use cache::DiskCache;
+pub use cache::{CheckpointStore, DiskCache};
 pub use traceio::TraceArgs;
 
 /// Geometric mean of strictly positive values (0.0 for an empty slice).
@@ -144,6 +144,9 @@ pub struct JobStat {
     pub wall: Duration,
     /// Simulated cycles of the resolved result.
     pub exec_cycles: u64,
+    /// Cycle the simulation started stepping from: 0 for a cold run,
+    /// the checkpoint's cycle after a warm start.
+    pub resumed_at: u64,
 }
 
 impl JobStat {
@@ -172,8 +175,13 @@ pub fn stats_report(stats: &[JobStat]) -> String {
             JobSource::Fresh => "sim",
             JobSource::DiskHit => "disk",
         };
+        let warm = if s.resumed_at > 0 {
+            format!("  warm-start from cycle {}", s.resumed_at)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "  {:<40} {src:>4}  {:>9.1?}  {:>12} cyc  {:>7.1} Mcyc/s\n",
+            "  {:<40} {src:>4}  {:>9.1?}  {:>12} cyc  {:>7.1} Mcyc/s{warm}\n",
             s.memo_key,
             s.wall,
             s.exec_cycles,
@@ -235,6 +243,8 @@ pub struct Runner {
     pub threads: usize,
     memo: Mutex<HashMap<String, Arc<RunResult>>>,
     disk: Option<DiskCache>,
+    ckpt: Option<CheckpointStore>,
+    checkpoint_at: Option<u64>,
     stats: Mutex<Vec<JobStat>>,
 }
 
@@ -263,6 +273,8 @@ impl Runner {
             threads: 1,
             memo: Mutex::new(HashMap::new()),
             disk: None,
+            ckpt: None,
+            checkpoint_at: None,
             stats: Mutex::new(Vec::new()),
         }
     }
@@ -289,6 +301,30 @@ impl Runner {
     /// The attached disk cache, if any.
     pub fn disk_cache(&self) -> Option<&DiskCache> {
         self.disk.as_ref()
+    }
+
+    /// Attaches a snapshot store rooted at `dir`: fresh simulations
+    /// warm-start from the longest cached prefix checkpoint of their
+    /// physical cache key, and checkpoints requested via
+    /// [`Runner::with_checkpoint_at`] are persisted there.
+    pub fn with_checkpoint_dir(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
+        self.ckpt = Some(CheckpointStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// Requests a snapshot at `cycle` from every fresh simulation; stored
+    /// in the checkpoint dir when one is attached.
+    pub fn with_checkpoint_at(mut self, cycle: u64) -> Self {
+        self.checkpoint_at = Some(cycle);
+        self
+    }
+
+    /// The attached checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref()
     }
 
     /// The job spec for `workload` × `variant` on the base config.
@@ -351,7 +387,41 @@ impl Runner {
         if self.verbose {
             eprintln!("  running {memo_key} …");
         }
-        let result = job.to_experiment().run();
+        let mut plan = CheckpointPlan {
+            checkpoint_at: self.checkpoint_at,
+            restore_from: None,
+        };
+        if let Some(store) = &self.ckpt {
+            if let Some((_, bytes)) = store.load_longest_prefix(&job.cache_key()) {
+                plan.restore_from = Some(bytes);
+            }
+        }
+        let exp = job.to_experiment();
+        let run = match exp.run_checkpointed(&plan) {
+            Ok(run) => run,
+            Err(e) => {
+                // A stale checkpoint (older snapshot version, changed
+                // component roster) is a cache miss, not a fatal error.
+                eprintln!("warning: unusable checkpoint for {memo_key} ({e}); simulating cold");
+                plan.restore_from = None;
+                exp.run_checkpointed(&plan)
+                    .expect("cold run restores nothing")
+            }
+        };
+        if run.resumed_at > 0 {
+            eprintln!(
+                "  warm-start {memo_key}: simulated from cycle {} instead of 0",
+                run.resumed_at
+            );
+        }
+        if let Some(store) = &self.ckpt {
+            if let Some((cycle, bytes)) = &run.snapshot {
+                if let Err(e) = store.store(&job.cache_key(), *cycle, bytes) {
+                    eprintln!("warning: cannot persist checkpoint for {memo_key}: {e}");
+                }
+            }
+        }
+        let result = run.result;
         let wall = t0.elapsed();
         if let Some(disk) = &self.disk {
             if let Err(e) = disk.store(&job.cache_key(), &result) {
@@ -359,16 +429,28 @@ impl Runner {
             }
         }
         let result = Arc::new(result);
-        self.finish(memo_key, JobSource::Fresh, wall, &result);
+        self.finish_at(memo_key, JobSource::Fresh, wall, &result, run.resumed_at);
         result
     }
 
     fn finish(&self, memo_key: String, source: JobSource, wall: Duration, result: &Arc<RunResult>) {
+        self.finish_at(memo_key, source, wall, result, 0);
+    }
+
+    fn finish_at(
+        &self,
+        memo_key: String,
+        source: JobSource,
+        wall: Duration,
+        result: &Arc<RunResult>,
+        resumed_at: u64,
+    ) {
         self.stats.lock().unwrap().push(JobStat {
             memo_key: memo_key.clone(),
             source,
             wall,
             exec_cycles: result.exec_cycles,
+            resumed_at,
         });
         self.memo
             .lock()
@@ -496,18 +578,21 @@ mod tests {
                 source: JobSource::Fresh,
                 wall: std::time::Duration::from_millis(10),
                 exec_cycles: 1_000_000,
+                resumed_at: 0,
             },
             JobStat {
                 memo_key: "GUPS|Ideal|".into(),
                 source: JobSource::DiskHit,
                 wall: std::time::Duration::from_micros(50),
                 exec_cycles: 900_000,
+                resumed_at: 250_000,
             },
         ];
         let report = stats_report(&stats);
         assert!(report.contains("GUPS|Baseline|"));
         assert!(report.contains("1 simulated"));
         assert!(report.contains("1 replayed from disk"));
+        assert!(report.contains("warm-start from cycle 250000"));
         assert!((stats[0].cycles_per_sec() - 1e8).abs() < 1e3);
     }
 }

@@ -1,0 +1,88 @@
+//! Integration tests for sweep warm-starts: a `Runner` given a
+//! checkpoint directory must resume each job from the longest cached
+//! prefix snapshot and still reproduce the cold run bit for bit.
+
+use std::path::PathBuf;
+
+use netcrafter_bench::Runner;
+use netcrafter_multigpu::SystemVariant;
+use netcrafter_workloads::Workload;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netcrafter-warmstart-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_start_reproduces_the_cold_run_and_skips_the_prefix() {
+    let dir = tempdir("bit-exact");
+    let cold = Runner::quick();
+    let cold_result = cold.run(Workload::Gups, SystemVariant::NetCrafter);
+    let mid = cold_result.exec_cycles / 2;
+    assert!(mid > 0);
+
+    // Seed the store: a fresh runner pauses at the midpoint and persists
+    // the snapshot under the job's physical cache key.
+    let seeding = Runner::quick()
+        .with_checkpoint_dir(&dir)
+        .expect("checkpoint dir opens")
+        .with_checkpoint_at(mid);
+    let seeded = seeding.run(Workload::Gups, SystemVariant::NetCrafter);
+    assert_eq!(cold_result.to_kv(), seeded.to_kv());
+    let stats = seeding.job_stats();
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].resumed_at, 0, "the seeding run itself is cold");
+
+    // A later runner (a process restart, modelled as a fresh Runner over
+    // the same directory) warm-starts from the snapshot: same bytes out,
+    // but the shared prefix is skipped, which the stats record.
+    let warm = Runner::quick()
+        .with_checkpoint_dir(&dir)
+        .expect("checkpoint dir opens");
+    let warm_result = warm.run(Workload::Gups, SystemVariant::NetCrafter);
+    assert_eq!(
+        cold_result.to_kv(),
+        warm_result.to_kv(),
+        "warm-start must be bit-identical to the cold run"
+    );
+    let stats = warm.job_stats();
+    assert_eq!(stats.len(), 1);
+    assert_eq!(
+        stats[0].resumed_at, mid,
+        "warm-start must resume from the snapshot's cycle"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_checkpoints_fall_back_to_a_cold_run() {
+    let dir = tempdir("fallback");
+    let cold = Runner::quick();
+    let cold_result = cold.run(Workload::Gups, SystemVariant::NetCrafter);
+
+    // Forge a corrupt snapshot under the job's key prefix: the runner
+    // must warn, discard it, and simulate from cycle 0.
+    let runner = Runner::quick()
+        .with_checkpoint_dir(&dir)
+        .expect("checkpoint dir opens");
+    let key = runner
+        .job(Workload::Gups, SystemVariant::NetCrafter)
+        .cache_key();
+    let store = runner.checkpoint_store().expect("store configured");
+    store.store(&key, 500, b"not a snapshot").expect("writes");
+
+    let result = runner.run(Workload::Gups, SystemVariant::NetCrafter);
+    assert_eq!(
+        cold_result.to_kv(),
+        result.to_kv(),
+        "fallback run must match the cold run"
+    );
+    assert_eq!(runner.job_stats()[0].resumed_at, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

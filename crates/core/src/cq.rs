@@ -25,6 +25,7 @@ use std::collections::VecDeque;
 
 use netcrafter_net::EgressQueue;
 use netcrafter_proto::{Flit, Metrics, NetCrafterConfig, NodeId, PacketKind, ALL_PACKET_KINDS};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Cycle, EventClass, Tracer};
 
 /// Smallest parent free space worth pooling for: a 4-byte write response
@@ -55,6 +56,31 @@ pub struct ClusterQueueStats {
     pub ptw_priority_pops: u64,
     /// High-water mark of total occupancy.
     pub peak_occupancy: u64,
+}
+
+impl Snap for ClusterQueueStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.pushed.save(w);
+        self.popped.save(w);
+        self.stitched_parents.save(w);
+        self.absorbed_candidates.save(w);
+        self.pool_events.save(w);
+        self.pool_expired_unstitched.save(w);
+        self.ptw_priority_pops.save(w);
+        self.peak_occupancy.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(ClusterQueueStats {
+            pushed: Snap::load(r)?,
+            popped: Snap::load(r)?,
+            stitched_parents: Snap::load(r)?,
+            absorbed_candidates: Snap::load(r)?,
+            pool_events: Snap::load(r)?,
+            pool_expired_unstitched: Snap::load(r)?,
+            ptw_priority_pops: Snap::load(r)?,
+            peak_occupancy: Snap::load(r)?,
+        })
+    }
 }
 
 impl ClusterQueueStats {
@@ -428,6 +454,31 @@ impl EgressQueue for ClusterQueue {
 
     fn report(&self, metrics: &mut Metrics, prefix: &str) {
         self.stats.report(metrics, prefix);
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.queues.save(w);
+        self.pooled.save(w);
+        self.rr.save(w);
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.queues = Snap::load(r)?;
+        self.pooled = Snap::load(r)?;
+        let rr: usize = Snap::load(r)?;
+        if rr >= 6 {
+            return Err(SnapshotError::Corrupt(format!(
+                "cluster queue round-robin cursor {rr} out of range"
+            )));
+        }
+        self.rr = rr;
+        self.stats = Snap::load(r)?;
+        // Occupancy is derived, not stored: recomputing it keeps the
+        // counter consistent with the restored queues by construction.
+        self.len = self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + self.pooled.iter().flatten().count();
+        Ok(())
     }
 }
 

@@ -7,6 +7,8 @@
 //! part of the experiment-reproducibility contract (EXPERIMENTS.md
 //! records figures generated from these streams).
 
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// SplitMix64: Sebastiano Vigna's 64-bit mixer-based generator.
 ///
 /// Every workload generator derives one `SplitMix64` from
@@ -15,6 +17,17 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
+}
+
+impl Snap for SplitMix64 {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.state.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SplitMix64 {
+            state: Snap::load(r)?,
+        })
+    }
 }
 
 impl SplitMix64 {

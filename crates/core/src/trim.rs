@@ -16,6 +16,7 @@
 //! same on the lower-bandwidth network — see DESIGN.md §1).
 
 use netcrafter_proto::{MemReq, Metrics, TrimInfo};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Trim statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,6 +27,21 @@ pub struct TrimStats {
     pub trimmed: u64,
     /// Payload bytes removed from the network by trimming.
     pub bytes_saved: u64,
+}
+
+impl Snap for TrimStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.considered.save(w);
+        self.trimmed.save(w);
+        self.bytes_saved.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TrimStats {
+            considered: Snap::load(r)?,
+            trimmed: Snap::load(r)?,
+            bytes_saved: Snap::load(r)?,
+        })
+    }
 }
 
 impl TrimStats {

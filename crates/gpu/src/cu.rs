@@ -19,6 +19,7 @@ use netcrafter_proto::{
     AccessId, CuId, GpuId, LatencyStat, MemReq, Message, Metrics, Origin, PAddr, TrafficClass,
     TransReq, PAGE_BYTES,
 };
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass, Wake};
 use netcrafter_vm::Tlb;
 
@@ -55,6 +56,33 @@ pub struct CuStats {
     pub idle_cycles: u64,
     /// Wavefronts completed.
     pub waves_done: u64,
+}
+
+impl Snap for CuStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.instructions.save(w);
+        self.mem_ops.save(w);
+        self.remote_reads.save(w);
+        self.inter_cluster_reads.save(w);
+        self.fig7.save(w);
+        self.inter_cluster_read_latency.save(w);
+        self.read_latency.save(w);
+        self.idle_cycles.save(w);
+        self.waves_done.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CuStats {
+            instructions: Snap::load(r)?,
+            mem_ops: Snap::load(r)?,
+            remote_reads: Snap::load(r)?,
+            inter_cluster_reads: Snap::load(r)?,
+            fig7: Snap::load(r)?,
+            inter_cluster_read_latency: Snap::load(r)?,
+            read_latency: Snap::load(r)?,
+            idle_cycles: Snap::load(r)?,
+            waves_done: Snap::load(r)?,
+        })
+    }
 }
 
 impl CuStats {
@@ -97,6 +125,44 @@ enum WfState {
     Done,
 }
 
+impl Snap for WfState {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            WfState::Ready => 0u8.save(w),
+            WfState::BusyUntil(t) => {
+                1u8.save(w);
+                t.save(w);
+            }
+            WfState::WaitTranslation(acc) => {
+                2u8.save(w);
+                acc.save(w);
+            }
+            WfState::WaitMem => 3u8.save(w),
+            WfState::RetryAccess(acc, pfn) => {
+                4u8.save(w);
+                acc.save(w);
+                pfn.save(w);
+            }
+            WfState::Done => 5u8.save(w),
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match u8::load(r)? {
+            0 => WfState::Ready,
+            1 => WfState::BusyUntil(Snap::load(r)?),
+            2 => WfState::WaitTranslation(Snap::load(r)?),
+            3 => WfState::WaitMem,
+            4 => WfState::RetryAccess(Snap::load(r)?, Snap::load(r)?),
+            5 => WfState::Done,
+            tag => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown wavefront state tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
 #[derive(Debug)]
 struct Wavefront {
     trace: WavefrontTrace,
@@ -105,6 +171,31 @@ struct Wavefront {
     /// Loads in flight for this wavefront (non-blocking up to the CU's
     /// `max_loads_per_wave`).
     loads_in_flight: u16,
+}
+
+impl Snap for Wavefront {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.trace.save(w);
+        self.pc.save(w);
+        self.state.save(w);
+        self.loads_in_flight.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let trace: WavefrontTrace = Snap::load(r)?;
+        let pc: usize = Snap::load(r)?;
+        if pc > trace.ops.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "wavefront pc {pc} past {} trace ops",
+                trace.ops.len()
+            )));
+        }
+        Ok(Wavefront {
+            trace,
+            pc,
+            state: Snap::load(r)?,
+            loads_in_flight: Snap::load(r)?,
+        })
+    }
 }
 
 /// A compute unit component.
@@ -494,6 +585,47 @@ impl Component for Cu {
         } else {
             Wake::OnMessage
         }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.l1.save_state(w);
+        self.l1_tlb.save(w);
+        self.resident.save(w);
+        self.pending.save(w);
+        self.rr.save(w);
+        self.ids.save(w);
+        self.trans_waiters.save(w);
+        self.read_waiters.save(w);
+        self.issue_times.save(w);
+        self.outstanding.save(w);
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.l1.load_state(r)?;
+        self.l1_tlb = Snap::load(r)?;
+        self.resident = Snap::load(r)?;
+        self.pending = Snap::load(r)?;
+        self.rr = Snap::load(r)?;
+        self.ids = Snap::load(r)?;
+        self.trans_waiters = Snap::load(r)?;
+        self.read_waiters = Snap::load(r)?;
+        self.issue_times = Snap::load(r)?;
+        self.outstanding = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        let waves = self.resident.len();
+        for (which, waiters) in [
+            ("translation", &self.trans_waiters),
+            ("read", &self.read_waiters),
+        ] {
+            if let Some((id, wf_ix)) = waiters.iter().find(|&(_, &wf_ix)| wf_ix >= waves) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{}: {which} waiter {id} points at wavefront {wf_ix} of {waves}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

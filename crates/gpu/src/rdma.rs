@@ -18,6 +18,7 @@ use netcrafter_proto::{
     Flit, GpuId, MemRsp, Message, Metrics, NodeId, Packet, PacketId, PacketKind, PacketPayload,
     TrafficClass, TrimInfo,
 };
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass, Tracer, Wake};
 
 /// Where the RDMA engine's traffic goes.
@@ -48,6 +49,23 @@ pub struct RdmaStats {
     pub requests_served: u64,
     /// Wire bytes of all packets sent (before flit padding).
     pub wire_bytes_out: u64,
+}
+
+impl Snap for RdmaStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.packets_out.save(w);
+        self.packets_in.save(w);
+        self.requests_served.save(w);
+        self.wire_bytes_out.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RdmaStats {
+            packets_out: Snap::load(r)?,
+            packets_in: Snap::load(r)?,
+            requests_served: Snap::load(r)?,
+            wire_bytes_out: Snap::load(r)?,
+        })
+    }
 }
 
 impl RdmaStats {
@@ -294,6 +312,25 @@ impl Component for Rdma {
             return Wake::EveryCycle;
         }
         self.egress.next_wake(now)
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.reasm.save(w);
+        self.trim.stats.save(w);
+        self.egress.save_state(w);
+        self.staging.save(w);
+        self.next_packet.save(w);
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.reasm = Snap::load(r)?;
+        self.trim.stats = Snap::load(r)?;
+        self.egress.load_state(r)?;
+        self.staging = Snap::load(r)?;
+        self.next_packet = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -114,6 +114,15 @@ pub const RULES: &[Rule] = &[
         check: check_wake_contract,
     },
     Rule {
+        name: "snapshot-coverage",
+        summary: "every non-test `impl Component` must implement the \
+                  `save_state`/`load_state` pair; a component the trait \
+                  defaults would panic for makes every checkpoint of a \
+                  system containing it abort at snapshot time",
+        crates: Some(&["sim", "net", "mem", "vm", "gpu", "core", "multigpu"]),
+        check: check_snapshot_coverage,
+    },
+    Rule {
         name: "no-unchecked-narrowing",
         summary: "bare `as u16`/`as u8` narrowing banned in net/sim hot \
                   paths; use try_into/try_from with an expect message",
@@ -409,7 +418,11 @@ fn check_wall_clock(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
     }
 }
 
-fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+/// Finds every `impl … Component for … { … }` block, yielding the
+/// `impl` keyword's line and the body's `{`/`}` token range. Shared by
+/// the trait-contract rules (`wake-contract`, `snapshot-coverage`).
+fn component_impl_bodies(tokens: &[SpannedTok]) -> Vec<(u32, usize, usize)> {
+    let mut found = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
         if ident_at(tokens, i) != Some("impl") {
@@ -461,6 +474,14 @@ fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
             continue;
         };
         let close = matching_brace(tokens, open);
+        found.push((impl_line, open, close));
+        i = close + 1;
+    }
+    found
+}
+
+fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    for (impl_line, open, close) in component_impl_bodies(tokens) {
         let defines_next_wake = (open..close).any(|ix| {
             ident_at(tokens, ix) == Some("fn") && ident_at(tokens, ix + 1) == Some("next_wake")
         });
@@ -474,7 +495,34 @@ fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
                     .to_string(),
             ));
         }
-        i = close + 1;
+    }
+}
+
+fn check_snapshot_coverage(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    for (impl_line, open, close) in component_impl_bodies(tokens) {
+        let defines = |name: &str| {
+            (open..close).any(|ix| {
+                ident_at(tokens, ix) == Some("fn") && ident_at(tokens, ix + 1) == Some(name)
+            })
+        };
+        let missing: Vec<&str> = ["save_state", "load_state"]
+            .into_iter()
+            .filter(|n| !defines(n))
+            .collect();
+        if !missing.is_empty() {
+            out.push((
+                impl_line,
+                format!(
+                    "impl Component without {}: the trait defaults panic, \
+                     so any checkpoint of a system containing this \
+                     component aborts at snapshot time — implement the \
+                     save_state/load_state pair (or waive with a reason \
+                     if the component can never appear in a \
+                     checkpointable system)",
+                    missing.join(" and "),
+                ),
+            ));
+        }
     }
 }
 

@@ -1,0 +1,32 @@
+//! Fixture: a waived snapshot-less impl passes, and test-module impls
+//! are out of scope entirely.
+
+pub struct Probe;
+
+// lint:allow(snapshot-coverage) debug-only probe, never built into a checkpointable system
+impl Component for Probe {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn busy(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "probe"
+    }
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct Stub;
+    impl Component for Stub {
+        fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn busy(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "stub"
+        }
+    }
+}

@@ -12,6 +12,10 @@ impl Component for Widget {
     fn name(&self) -> &str {
         "widget"
     }
+    fn save_state(&self, _w: &mut SnapshotWriter) {}
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,48 @@
+//! Fixture: an `impl Component` missing the `save_state`/`load_state`
+//! pair must fire snapshot-coverage (the trait defaults panic, so a
+//! checkpoint of any system containing the component aborts).
+
+pub struct Opaque {
+    queued: Vec<u64>,
+}
+
+impl Component for Opaque {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn busy(&self) -> bool {
+        !self.queued.is_empty()
+    }
+
+    fn name(&self) -> &str {
+        "opaque"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+}
+
+pub struct HalfDone {
+    queued: Vec<u64>,
+}
+
+impl Component for HalfDone {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "half-done"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    // Saving without loading still fires: both halves are required.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.queued.save(w);
+    }
+}

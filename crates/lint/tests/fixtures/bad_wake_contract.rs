@@ -15,4 +15,13 @@ impl Component for Widget {
     fn name(&self) -> &str {
         "widget"
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.busy.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.busy = Snap::load(r)?;
+        Ok(())
+    }
 }

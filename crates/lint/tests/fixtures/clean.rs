@@ -18,6 +18,13 @@ impl Component for Table {
     fn next_wake(&self, _now: Cycle) -> Wake {
         Wake::OnMessage
     }
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.routes.save(w);
+    }
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.routes = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 impl EgressQueue for Table {

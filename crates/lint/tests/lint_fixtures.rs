@@ -69,6 +69,12 @@ fn bad_wake_contract_fires() {
 }
 
 #[test]
+fn bad_snapshot_coverage_fires() {
+    // Both the pairless impl and the save-only impl fire.
+    assert_fires("bad_snapshot_coverage.rs", "snapshot-coverage", 2);
+}
+
+#[test]
 fn bad_narrowing_fires() {
     assert_fires("bad_narrowing.rs", "no-unchecked-narrowing", 2);
 }
@@ -98,6 +104,7 @@ fn allowed_fixtures_are_fully_waived() {
         "allowed_unordered_iteration.rs",
         "allowed_wall_clock.rs",
         "allowed_wake_contract.rs",
+        "allowed_snapshot_coverage.rs",
         "allowed_narrowing.rs",
         "allowed_tracer_threading.rs",
         "allowed_ambient_state.rs",
@@ -137,6 +144,7 @@ fn every_rule_has_bad_and_allowed_coverage() {
         "bad_unordered_iteration.rs",
         "bad_wall_clock.rs",
         "bad_wake_contract.rs",
+        "bad_snapshot_coverage.rs",
         "bad_narrowing.rs",
         "bad_tracer_threading.rs",
         "bad_ambient_state.rs",

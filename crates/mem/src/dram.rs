@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 
 use netcrafter_proto::config::DramConfig;
 use netcrafter_proto::{GpuId, MemReq, MemRsp, Message, Metrics, LINE_BYTES};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, RateLimiter, Wake};
 
 /// DRAM statistics.
@@ -19,6 +20,23 @@ pub struct DramStats {
     pub bytes: u64,
     /// Cycles a request waited for bandwidth.
     pub queue_wait_cycles: u64,
+}
+
+impl Snap for DramStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.reads.save(w);
+        self.writes.save(w);
+        self.bytes.save(w);
+        self.queue_wait_cycles.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DramStats {
+            reads: Snap::load(r)?,
+            writes: Snap::load(r)?,
+            bytes: Snap::load(r)?,
+            queue_wait_cycles: Snap::load(r)?,
+        })
+    }
 }
 
 impl DramStats {
@@ -119,6 +137,21 @@ impl Component for Dram {
         } else {
             Wake::EveryCycle
         }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.queue.save(w);
+        self.rate.save(w);
+        self.last_tick.save(w);
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.queue = Snap::load(r)?;
+        self.rate = Snap::load(r)?;
+        self.last_tick = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use netcrafter_proto::config::{CacheConfig, SectorFillPolicy};
 use netcrafter_proto::{AccessId, LineAddr, LineMask, Metrics, LINE_BYTES};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::tagstore::TagStore;
@@ -51,6 +52,29 @@ pub struct L1Stats {
     pub fills: u64,
     /// Lines evicted by fills.
     pub evictions: u64,
+}
+
+impl Snap for L1Stats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.reads.save(w);
+        self.writes.save(w);
+        self.hits.save(w);
+        self.misses.save(w);
+        self.sector_misses.save(w);
+        self.fills.save(w);
+        self.evictions.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(L1Stats {
+            reads: Snap::load(r)?,
+            writes: Snap::load(r)?,
+            hits: Snap::load(r)?,
+            misses: Snap::load(r)?,
+            sector_misses: Snap::load(r)?,
+            fills: Snap::load(r)?,
+            evictions: Snap::load(r)?,
+        })
+    }
 }
 
 impl L1Stats {
@@ -241,6 +265,23 @@ impl L1Cache {
     /// MSHR stall count (diagnostics).
     pub fn mshr_stalls(&self) -> u64 {
         self.mshr.full_stalls
+    }
+
+    /// Appends the cache's dynamic state (tags, MSHR, stats) to `w`; the
+    /// configuration (policy, granularity, latency) stays builder-time.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.tags.save(w);
+        self.mshr.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores the state written by [`L1Cache::save_state`] into this
+    /// (identically configured) cache.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.tags = Snap::load(r)?;
+        self.mshr = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use netcrafter_proto::config::CacheConfig;
 use netcrafter_proto::{GpuId, MemReq, MemRsp, Message, Metrics, Origin, LINE_BYTES};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake};
 
 use crate::mshr::{Mshr, MshrOutcome};
@@ -40,6 +41,35 @@ pub struct L2Stats {
     pub mshr_retries: u64,
 }
 
+impl Snap for L2Stats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.reads.save(w);
+        self.writes.save(w);
+        self.read_hits.save(w);
+        self.read_misses.save(w);
+        self.write_hits.save(w);
+        self.write_misses.save(w);
+        self.writebacks.save(w);
+        self.remote_served.save(w);
+        self.ptw_reads.save(w);
+        self.mshr_retries.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(L2Stats {
+            reads: Snap::load(r)?,
+            writes: Snap::load(r)?,
+            read_hits: Snap::load(r)?,
+            read_misses: Snap::load(r)?,
+            write_hits: Snap::load(r)?,
+            write_misses: Snap::load(r)?,
+            writebacks: Snap::load(r)?,
+            remote_served: Snap::load(r)?,
+            ptw_reads: Snap::load(r)?,
+            mshr_retries: Snap::load(r)?,
+        })
+    }
+}
+
 impl L2Stats {
     /// Dumps counters under `prefix`.
     pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
@@ -62,6 +92,23 @@ struct Bank {
     pipe: DelayQueue<MemReq>,
     tags: TagStore<bool>, // payload: dirty flag
     mshr: Mshr<MemReq>,
+}
+
+impl Snap for Bank {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.input.save(w);
+        self.pipe.save(w);
+        self.tags.save(w);
+        self.mshr.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Bank {
+            input: Snap::load(r)?,
+            pipe: Snap::load(r)?,
+            tags: Snap::load(r)?,
+            mshr: Snap::load(r)?,
+        })
+    }
 }
 
 /// Reply-routing table: where responses to each origin go.
@@ -357,6 +404,26 @@ impl Component for L2Cache {
             }
         }
         wake
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.banks.save(w);
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let banks: Vec<Bank> = Snap::load(r)?;
+        if banks.len() != self.banks.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{}: snapshot has {} banks, cache has {}",
+                self.name,
+                banks.len(),
+                self.banks.len()
+            )));
+        }
+        self.banks = banks;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -1,6 +1,8 @@
 //! A generic set-associative tag array with LRU replacement, shared by
 //! the caches and (via `netcrafter-vm`) the TLBs.
 
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// One resident entry: the caller's payload plus replacement state.
 #[derive(Debug, Clone)]
 struct Slot<T> {
@@ -151,6 +153,52 @@ impl<T> TagStore<T> {
             set.iter()
                 .map(move |s| (s.tag * n_sets + set_ix as u64, &s.data))
         })
+    }
+}
+
+/// The sets are serialized verbatim — within-set slot order and the LRU
+/// stamps are observable through victim selection (`invalidate` uses
+/// `swap_remove`, so slot order is not derivable from insertion history).
+impl<T: Snap> Snap for TagStore<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.ways);
+        w.put_len(self.sets.len());
+        for set in &self.sets {
+            w.put_len(set.len());
+            for slot in set {
+                slot.tag.save(w);
+                slot.last_used.save(w);
+                slot.data.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let ways = r.get_len()?;
+        let n_sets = r.get_len()?;
+        if ways == 0 || n_sets == 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "TagStore geometry {n_sets} sets x {ways} ways"
+            )));
+        }
+        let mut sets = Vec::with_capacity(n_sets);
+        for _ in 0..n_sets {
+            let len = r.get_len()?;
+            if len > ways {
+                return Err(SnapshotError::Corrupt(format!(
+                    "TagStore set holds {len} slots but has only {ways} ways"
+                )));
+            }
+            let mut set = Vec::with_capacity(ways);
+            for _ in 0..len {
+                set.push(Slot {
+                    tag: Snap::load(r)?,
+                    last_used: Snap::load(r)?,
+                    data: Snap::load(r)?,
+                });
+            }
+            sets.push(set);
+        }
+        Ok(Self { sets, ways })
     }
 }
 

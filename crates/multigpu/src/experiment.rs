@@ -2,6 +2,7 @@
 //! the paper's evaluation section (§5).
 
 use netcrafter_proto::{Metrics, NetCrafterConfig, SectorFillPolicy, SystemConfig};
+use netcrafter_sim::snapshot::SnapshotError;
 use netcrafter_sim::{Trace, TraceConfig};
 use netcrafter_workloads::{Scale, Workload};
 
@@ -321,17 +322,10 @@ impl Experiment {
 
     /// Builds the system, runs the workload to completion and harvests.
     pub fn run(&self) -> RunResult {
-        let cfg = self.variant.apply(self.base_cfg);
-        let kernel = self
-            .workload
-            .generate(&self.scale, cfg.total_gpus(), self.seed);
-        let mut sys = System::build(cfg, &kernel);
-        sys.set_threads(self.threads);
-        let exec_cycles = sys.run(self.max_cycles);
-        RunResult {
-            exec_cycles,
-            metrics: sys.harvest(),
-        }
+        let (run, _) = self
+            .run_inner(None, &CheckpointPlan::default())
+            .expect("no snapshot restore involved");
+        run.result
     }
 
     /// Like [`Experiment::run`], but with the requested observability
@@ -339,29 +333,121 @@ impl Experiment {
     /// time-series sampling when `opts.sample_window` is set. Returns the
     /// normal result plus everything recorded.
     pub fn run_traced(&self, opts: &TraceOptions) -> (RunResult, TraceData) {
+        let (run, data) = self
+            .run_inner(Some(opts), &CheckpointPlan::default())
+            .expect("no snapshot restore involved");
+        (run.result, data.expect("tracing requested"))
+    }
+
+    /// Like [`Experiment::run`], but driven by a [`CheckpointPlan`]: the
+    /// run can warm-start from a snapshot and/or pause at a cycle to take
+    /// one. Checkpoint → restore → continue is byte-identical to the
+    /// uninterrupted run (metrics, traces and time series alike).
+    ///
+    /// # Errors
+    ///
+    /// Returns the restore error when `plan.restore_from` is corrupt, has
+    /// a version mismatch, or was taken on a different configuration.
+    pub fn run_checkpointed(
+        &self,
+        plan: &CheckpointPlan,
+    ) -> Result<CheckpointedRun, SnapshotError> {
+        Ok(self.run_inner(None, plan)?.0)
+    }
+
+    /// [`Experiment::run_traced`] with a [`CheckpointPlan`]. The snapshot
+    /// carries the tracer and time-series state, so a restored run's trace
+    /// is complete from cycle 0, not from the restore point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the restore error when `plan.restore_from` is invalid.
+    pub fn run_traced_checkpointed(
+        &self,
+        opts: &TraceOptions,
+        plan: &CheckpointPlan,
+    ) -> Result<(CheckpointedRun, TraceData), SnapshotError> {
+        let (run, data) = self.run_inner(Some(opts), plan)?;
+        Ok((run, data.expect("tracing requested")))
+    }
+
+    fn run_inner(
+        &self,
+        opts: Option<&TraceOptions>,
+        plan: &CheckpointPlan,
+    ) -> Result<(CheckpointedRun, Option<TraceData>), SnapshotError> {
         let cfg = self.variant.apply(self.base_cfg);
         let kernel = self
             .workload
             .generate(&self.scale, cfg.total_gpus(), self.seed);
         let mut sys = System::build(cfg, &kernel);
-        if let Some(config) = &opts.config {
-            sys.enable_tracing(config.clone());
-        }
-        if let Some(window) = opts.sample_window {
-            sys.enable_link_sampling(window);
+        if let Some(opts) = opts {
+            if let Some(config) = &opts.config {
+                sys.enable_tracing(config.clone());
+            }
+            if let Some(window) = opts.sample_window {
+                sys.enable_link_sampling(window);
+            }
         }
         sys.set_threads(self.threads);
+        if let Some(bytes) = &plan.restore_from {
+            sys.restore(bytes)?;
+        }
+        let resumed_at = sys.engine.cycle();
+        let snapshot = match plan.checkpoint_at {
+            Some(at) if at > resumed_at => {
+                sys.run_until(at);
+                // The run may quiesce before the requested cycle; the
+                // snapshot is tagged with the cycle actually paused at.
+                Some((sys.engine.cycle(), sys.save_snapshot()))
+            }
+            _ => None,
+        };
         let exec_cycles = sys.run(self.max_cycles);
         let result = RunResult {
             exec_cycles,
             metrics: sys.harvest(),
         };
-        let data = TraceData {
+        let data = opts.map(|_| TraceData {
             trace: sys.take_trace(),
             links: sys.take_link_series(),
-        };
-        (result, data)
+        });
+        Ok((
+            CheckpointedRun {
+                result,
+                snapshot,
+                resumed_at,
+            },
+            data,
+        ))
     }
+}
+
+/// Checkpoint/restore controls for one run. The default plan (no
+/// checkpoint, no restore) reproduces [`Experiment::run`] exactly.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPlan {
+    /// Pause at this cycle and snapshot the state. No snapshot is taken
+    /// when the run quiesces first or a restore already starts past it.
+    pub checkpoint_at: Option<u64>,
+    /// Snapshot bytes (from [`CheckpointedRun::snapshot`]) to warm-start
+    /// from; the experiment's configuration must match the run that
+    /// produced them.
+    pub restore_from: Option<Vec<u8>>,
+}
+
+/// Outcome of [`Experiment::run_checkpointed`].
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// The run's result, identical to an uninterrupted run's.
+    pub result: RunResult,
+    /// `(cycle, bytes)` of the snapshot taken at `checkpoint_at`, when
+    /// one was requested (the cycle is earlier when the run quiesced
+    /// before the requested pause point).
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Cycle the simulation actually started stepping from: 0 for a cold
+    /// run, the snapshot's cycle after a warm start.
+    pub resumed_at: u64,
 }
 
 /// What [`Experiment::run_traced`] should record.

@@ -24,5 +24,8 @@
 pub mod experiment;
 pub mod system;
 
-pub use experiment::{Experiment, JobSpec, RunResult, SystemVariant, TraceData, TraceOptions};
+pub use experiment::{
+    CheckpointPlan, CheckpointedRun, Experiment, JobSpec, RunResult, SystemVariant, TraceData,
+    TraceOptions,
+};
 pub use system::{LinkSeries, System};

@@ -13,6 +13,9 @@ use netcrafter_net::{FifoQueue, Switch, SwitchPortSpec, Topology};
 use netcrafter_proto::config::PA_GPU_REGION_BITS;
 use netcrafter_proto::WavefrontTrace;
 use netcrafter_proto::{GpuId, KernelSpec, Metrics, SystemConfig};
+use netcrafter_sim::snapshot::{
+    read_header, write_header, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use netcrafter_sim::{ComponentId, Cycle, Engine, EngineBuilder, Trace, TraceConfig};
 use netcrafter_vm::{TranslationUnit, TranslationWiring};
 
@@ -438,6 +441,60 @@ impl System {
     /// deadlock or livelock in the model.
     pub fn run(&mut self, max_cycles: Cycle) -> Cycle {
         self.engine.run_to_quiescence(max_cycles)
+    }
+
+    /// Runs forward to `cycle` without requiring quiescence. Pausing here
+    /// is always a global epoch barrier (sequential stepping under every
+    /// scheduler mode), so the paused state is a valid snapshot point.
+    pub fn run_until(&mut self, cycle: Cycle) -> Cycle {
+        self.engine.run_until(cycle)
+    }
+
+    /// Serializes the node's full dynamic state — the kernel-barrier
+    /// bookkeeping plus the engine body (every component, mailboxes,
+    /// in-flight messages, the tracer) — behind the versioned snapshot
+    /// header. Restore with [`System::restore`] on a node built from the
+    /// *same* config and kernels.
+    pub fn save_snapshot(&mut self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        write_header(&mut w);
+        self.kernel_name.save(&mut w);
+        self.pending_kernels.save(&mut w);
+        self.kernel_cycles.save(&mut w);
+        self.engine.save_state_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores a snapshot produced by [`System::save_snapshot`] onto a
+    /// freshly built identical node, validating the header and that every
+    /// byte is consumed. Continuing the run afterwards is byte-identical
+    /// to the run that produced the snapshot — including the structured
+    /// trace and time series, which the snapshot carries from cycle 0.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        read_header(&mut r)?;
+        self.kernel_name = Snap::load(&mut r)?;
+        self.pending_kernels = Snap::load(&mut r)?;
+        self.kernel_cycles = Snap::load(&mut r)?;
+        self.engine.load_state_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing byte(s) after system state",
+                r.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint of the node's canonical state encoding (kernel
+    /// bookkeeping + engine body, no header).
+    pub fn state_hash(&mut self) -> u64 {
+        let mut w = SnapshotWriter::new();
+        self.kernel_name.save(&mut w);
+        self.pending_kernels.save(&mut w);
+        self.kernel_cycles.save(&mut w);
+        self.engine.save_state_into(&mut w);
+        netcrafter_proto::fnv1a64(&w.into_bytes())
     }
 
     /// Total flits transmitted so far on inter-cluster egress ports.

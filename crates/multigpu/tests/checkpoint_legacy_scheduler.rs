@@ -1,0 +1,36 @@
+//! Restore equivalence under the legacy tick-everything scheduler.
+//!
+//! This lives in its own integration-test binary because the scheduler
+//! default is process-global: flipping it here must not race the other
+//! checkpoint tests, which run under the event-driven default.
+
+use netcrafter_multigpu::{CheckpointPlan, Experiment, SystemVariant};
+use netcrafter_workloads::Workload;
+
+#[test]
+fn snapshot_taken_under_legacy_scheduler_round_trips() {
+    netcrafter_sim::set_default_scheduler(netcrafter_sim::SchedulerMode::Legacy);
+    let exp = || Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+
+    let cold = exp().run();
+    let mid = cold.exec_cycles / 2;
+    assert!(mid > 0);
+
+    let take = CheckpointPlan {
+        checkpoint_at: Some(mid),
+        restore_from: None,
+    };
+    let ckpt = exp().run_checkpointed(&take).expect("no restore involved");
+    let (cycle, bytes) = ckpt.snapshot.expect("checkpoint requested");
+    assert_eq!(cycle, mid);
+    assert_eq!(cold.metrics.to_kv(), ckpt.result.metrics.to_kv());
+
+    let restore = CheckpointPlan {
+        checkpoint_at: None,
+        restore_from: Some(bytes),
+    };
+    let warm = exp().run_checkpointed(&restore).expect("snapshot restores");
+    assert_eq!(warm.resumed_at, mid);
+    assert_eq!(cold.exec_cycles, warm.result.exec_cycles);
+    assert_eq!(cold.metrics.to_kv(), warm.result.metrics.to_kv());
+}

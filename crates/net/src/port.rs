@@ -9,6 +9,7 @@
 //! its `pop`.
 
 use netcrafter_proto::{Flit, Message, Metrics, NodeId, TimeSeries, TrafficClass};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{ComponentId, Ctx, Cycle, EventClass, RateLimiter, Tracer, Wake};
 use std::collections::VecDeque;
 
@@ -69,6 +70,14 @@ pub trait EgressQueue: Send {
     fn held_chunks(&self) -> usize {
         self.len()
     }
+
+    /// Appends the queue's dynamic state to `w` (part of the engine
+    /// snapshot of the owning component).
+    fn save_state(&self, w: &mut SnapshotWriter);
+
+    /// Restores the state written by [`EgressQueue::save_state`] into
+    /// this (identically configured) queue.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError>;
 }
 
 /// The default strictly-FIFO egress queue.
@@ -99,6 +108,15 @@ impl EgressQueue for FifoQueue {
 
     fn held_chunks(&self) -> usize {
         self.q.iter().map(|f| f.chunks.len()).sum()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.q.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.q = Snap::load(r)?;
+        Ok(())
     }
 }
 
@@ -153,6 +171,36 @@ impl PortStats {
         }
     }
 
+    /// Appends every counter to `w`.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        self.flits.save(w);
+        self.used_bytes.save(w);
+        self.meta_bytes.save(w);
+        self.busy_cycles.save(w);
+        self.stitched_flits.save(w);
+        self.chunks.save(w);
+        self.padding_hist.save(w);
+        self.class_flits.save(w);
+        self.class_bytes.save(w);
+        self.kind_chunks.save(w);
+    }
+
+    /// Reads counters written by [`PortStats::save`].
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(PortStats {
+            flits: Snap::load(r)?,
+            used_bytes: Snap::load(r)?,
+            meta_bytes: Snap::load(r)?,
+            busy_cycles: Snap::load(r)?,
+            stitched_flits: Snap::load(r)?,
+            chunks: Snap::load(r)?,
+            padding_hist: Snap::load(r)?,
+            class_flits: Snap::load(r)?,
+            class_bytes: Snap::load(r)?,
+            kind_chunks: Snap::load(r)?,
+        })
+    }
+
     /// Writes all counters under `prefix` into `metrics`.
     pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
         metrics.add(&format!("{prefix}.flits"), self.flits);
@@ -204,6 +252,23 @@ impl PortSeries {
             occupancy: TimeSeries::new(window),
             pooled: TimeSeries::new(window),
         }
+    }
+}
+
+impl Snap for PortSeries {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.bytes.save(w);
+        self.flits.save(w);
+        self.occupancy.save(w);
+        self.pooled.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(PortSeries {
+            bytes: Snap::load(r)?,
+            flits: Snap::load(r)?,
+            occupancy: Snap::load(r)?,
+            pooled: Snap::load(r)?,
+        })
     }
 }
 
@@ -514,6 +579,51 @@ impl EgressPort {
     /// is installed on this port).
     pub fn report_queue(&self, metrics: &mut Metrics, prefix: &str) {
         self.queue.report(metrics, prefix);
+    }
+
+    /// Appends the port's dynamic state (queue contents, rate-limiter
+    /// tokens, credits, stats, telemetry, conservation ledger). The byte
+    /// layout is identical in debug and release builds: the debug-only
+    /// conservation counters are written as zeros by release builds.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.queue.save_state(w);
+        self.rate.save(w);
+        self.credits.save(w);
+        self.stats.save(w);
+        self.series.as_deref().cloned().save(w);
+        self.last_tick.save(w);
+        #[cfg(debug_assertions)]
+        {
+            self.dbg_pushed_chunks.save(w);
+            self.dbg_popped_chunks.save(w);
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0u64.save(w);
+            0u64.save(w);
+        }
+    }
+
+    /// Restores the state written by [`EgressPort::save_state`] into this
+    /// (identically configured) port.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.queue.load_state(r)?;
+        self.rate = Snap::load(r)?;
+        self.credits = Snap::load(r)?;
+        self.stats = PortStats::load(r)?;
+        let series: Option<PortSeries> = Snap::load(r)?;
+        self.series = series.map(Box::new);
+        self.last_tick = Snap::load(r)?;
+        let pushed: u64 = Snap::load(r)?;
+        let popped: u64 = Snap::load(r)?;
+        #[cfg(debug_assertions)]
+        {
+            self.dbg_pushed_chunks = pushed;
+            self.dbg_popped_chunks = popped;
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (pushed, popped);
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! original packet" by id.
 
 use netcrafter_proto::{Chunk, Flit, OrderedMap, Packet, PacketId};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Segments packets into fixed-size flits.
 #[derive(Debug, Clone)]
@@ -139,6 +140,32 @@ impl Reassembler {
     /// Packets completed so far.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+}
+
+impl Snap for Partial {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.received_bytes.save(w);
+        self.info.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Partial {
+            received_bytes: Snap::load(r)?,
+            info: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for Reassembler {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.pending.save(w);
+        self.completed.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Reassembler {
+            pending: Snap::load(r)?,
+            completed: Snap::load(r)?,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 
 use netcrafter_proto::{Flit, Message, Metrics, NodeId};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Tracer, Wake};
 
 use crate::port::{EgressPort, EgressQueue, PortSeries};
@@ -53,6 +54,18 @@ impl Port {
     fn input_occupancy(&self) -> usize {
         self.in_pipe.len() + usize::from(self.stalled.is_some())
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.in_pipe.save(w);
+        self.stalled.save(w);
+        self.egress.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.in_pipe = Snap::load(r)?;
+        self.stalled = Snap::load(r)?;
+        self.egress.load_state(r)
+    }
 }
 
 /// Aggregate switch statistics.
@@ -66,6 +79,23 @@ pub struct SwitchStats {
     pub unstitched_chunks: u64,
     /// Routing stalls due to full output buffers (back-pressure events).
     pub output_stalls: u64,
+}
+
+impl Snap for SwitchStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.arrived.save(w);
+        self.unstitched_flits.save(w);
+        self.unstitched_chunks.save(w);
+        self.output_stalls.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SwitchStats {
+            arrived: Snap::load(r)?,
+            unstitched_flits: Snap::load(r)?,
+            unstitched_chunks: Snap::load(r)?,
+            output_stalls: Snap::load(r)?,
+        })
+    }
 }
 
 /// A cluster switch component.
@@ -372,6 +402,30 @@ impl Component for Switch {
             }
         }
         wake
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.ports.len());
+        for port in &self.ports {
+            port.save_state(w);
+        }
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_len()?;
+        if n != self.ports.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{}: snapshot has {n} ports, switch has {}",
+                self.name,
+                self.ports.len()
+            )));
+        }
+        for port in &mut self.ports {
+            port.load_state(r)?;
+        }
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use netcrafter_proto::{Chunk, Flit, Message, NodeId, PacketId, PacketKind, TrafficClass};
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EngineBuilder, RateLimiter, Wake};
 
 use crate::port::FifoQueue;
@@ -108,6 +109,21 @@ impl Component for Source {
             Wake::OnMessage
         }
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.rate.save(w);
+        self.remaining.save(w);
+        self.credits.save(w);
+        self.rng_state.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rate = Snap::load(r)?;
+        self.remaining = Snap::load(r)?;
+        self.credits = Snap::load(r)?;
+        self.rng_state = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 /// Shared latency accumulator across all sinks.
@@ -164,6 +180,26 @@ impl Component for Sink {
     }
     fn next_wake(&self, _now: Cycle) -> Wake {
         Wake::OnMessage
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // The accumulator is shared by every sink; each saves (and each
+        // restores) the same totals, so the repetition is idempotent.
+        let s = self.stats.lock().expect("sink stats lock");
+        s.received.save(w);
+        s.latency_sum.save(w);
+        s.latency_max.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let received = Snap::load(r)?;
+        let latency_sum = Snap::load(r)?;
+        let latency_max = Snap::load(r)?;
+        let mut s = self.stats.lock().expect("sink stats lock");
+        s.received = received;
+        s.latency_sum = latency_sum;
+        s.latency_max = latency_max;
+        Ok(())
     }
 }
 

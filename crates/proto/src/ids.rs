@@ -160,6 +160,15 @@ impl<T: From<u64>> IdAlloc<T> {
     pub const fn issued(&self) -> u64 {
         self.next
     }
+
+    /// Recreates an allocator that has already handed out `issued` ids,
+    /// so the next id is `issued`. Used when restoring saved state.
+    pub const fn with_issued(issued: u64) -> Self {
+        Self {
+            next: issued,
+            _marker: core::marker::PhantomData,
+        }
+    }
 }
 
 impl<T: From<u64>> Default for IdAlloc<T> {

@@ -20,6 +20,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use netcrafter_proto::Message;
 
+use crate::snapshot::{
+    read_header, write_header, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use crate::trace::{Trace, TraceConfig, Tracer};
 use crate::Cycle;
 
@@ -140,6 +143,26 @@ pub trait Component: std::any::Any + Send {
     /// regardless of the returned value.
     fn next_wake(&self, _now: Cycle) -> Wake {
         Wake::EveryCycle
+    }
+
+    /// Appends this component's full dynamic state to `w` (see
+    /// `netcrafter_sim::snapshot`). Together with
+    /// [`Component::load_state`] the pair must be a fixed point: saving,
+    /// loading into a freshly built instance and saving again yields the
+    /// same bytes. Static configuration derived from the builder need not
+    /// be written — only state that changes as the simulation runs.
+    ///
+    /// The default panics: a component that can appear in a
+    /// checkpointed engine must implement the pair (enforced by the
+    /// `snapshot-coverage` lint rule).
+    fn save_state(&self, _w: &mut SnapshotWriter) {
+        panic!("component `{}` does not support snapshotting", self.name());
+    }
+
+    /// Restores the dynamic state written by [`Component::save_state`]
+    /// into this (identically configured) instance.
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        panic!("component `{}` does not support snapshotting", self.name());
     }
 }
 
@@ -945,6 +968,187 @@ impl Engine {
     pub fn get_mut<T: Component>(&mut self, id: ComponentId) -> Option<&mut T> {
         self.mark_dirty(id.0);
         (self.components[id.0].as_mut() as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    // ---- checkpoint / restore ----
+
+    /// Runs (event-driven, sequentially) until the clock reaches `target`
+    /// or the system quiesces, whichever comes first. Every cycle boundary
+    /// reached this way is a global epoch barrier, so the paused state is
+    /// a valid checkpoint under all scheduler modes (DESIGN.md §3.4).
+    pub fn run_until(&mut self, target: Cycle) -> Cycle {
+        if target <= self.cycle {
+            return self.cycle;
+        }
+        let budget = target - self.cycle;
+        self.run_while(budget, |_| true)
+    }
+
+    /// Appends the engine's full dynamic state — clock, every component's
+    /// saved state, mailboxes, in-flight messages and the structured
+    /// tracer — to `w`, in the canonical order described in DESIGN.md
+    /// §3.4. Scheduler-derived state (wake heap, armed table, busy cache)
+    /// is intentionally excluded: it is reconstructed bit-exactly on load,
+    /// which also makes snapshots portable across scheduler modes.
+    pub fn save_state_into(&mut self, w: &mut SnapshotWriter) {
+        self.flush_dirty();
+        assert!(
+            self.outbox.is_empty(),
+            "snapshot taken mid-tick: staged sends present"
+        );
+        w.put_len(self.components.len());
+        w.put_u64(self.cycle);
+        w.put_u64(self.delivered);
+        for comp in &self.components {
+            w.put_str(comp.name());
+            let mut body = SnapshotWriter::new();
+            comp.save_state(&mut body);
+            w.put_bytes(&body.into_bytes());
+        }
+        for inbox in &self.inboxes {
+            inbox.save(w);
+        }
+        // In-flight messages in canonical order: ascending delivery cycle,
+        // send order within a cycle (each wheel slot holds exactly one
+        // future cycle's deliveries in push order), then the overflow list.
+        w.put_len(self.in_flight);
+        for d in 1..WHEEL_SLOTS as u64 {
+            let when = self.cycle + d;
+            for (dst, msg) in &self.wheel[(when % WHEEL_SLOTS as u64) as usize] {
+                w.put_u64(when);
+                w.put_len(dst.0);
+                msg.save(w);
+            }
+        }
+        for (when, dst, msg) in &self.overflow {
+            w.put_u64(*when);
+            w.put_len(dst.0);
+            msg.save(w);
+        }
+        self.tracer.save(w);
+    }
+
+    /// Restores the state written by [`Engine::save_state_into`] into
+    /// this engine, which must contain the same components (same count,
+    /// names and order — i.e. be built from the same configuration).
+    /// The active scheduler mode is kept and all of its derived state is
+    /// rebuilt from scratch, exactly as [`Engine::set_scheduler`] does.
+    pub fn load_state_from(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_len()?;
+        if n != self.components.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n} components, engine has {}",
+                self.components.len()
+            )));
+        }
+        let cycle = r.get_u64()?;
+        let delivered = r.get_u64()?;
+        let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for comp in &self.components {
+            let name = r.get_str()?;
+            if name != comp.name() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "component mismatch: snapshot has `{name}`, engine has `{}`",
+                    comp.name()
+                )));
+            }
+            bodies.push(r.get_bytes()?.to_vec());
+        }
+        let mut inboxes: Vec<VecDeque<Message>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            inboxes.push(Snap::load(r)?);
+        }
+        let in_flight = r.get_len()?;
+        let mut deliveries = Vec::with_capacity(in_flight);
+        for _ in 0..in_flight {
+            let when = r.get_u64()?;
+            let dst = r.get_len()?;
+            let msg = Message::load(r)?;
+            if when <= cycle {
+                return Err(SnapshotError::Corrupt(format!(
+                    "in-flight message due at {when}, not after cycle {cycle}"
+                )));
+            }
+            if dst >= n {
+                return Err(SnapshotError::Corrupt(format!(
+                    "in-flight message for unknown component {dst}"
+                )));
+            }
+            deliveries.push((when, ComponentId(dst), msg));
+        }
+        let tracer = Tracer::load(r)?;
+
+        // Everything decoded — only now mutate the engine.
+        self.cycle = cycle;
+        self.delivered = delivered;
+        for (comp, body) in self.components.iter_mut().zip(&bodies) {
+            let mut br = SnapshotReader::new(body);
+            comp.load_state(&mut br)?;
+            if br.remaining() != 0 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "component `{}` left {} unread byte(s) in its state blob",
+                    comp.name(),
+                    br.remaining()
+                )));
+            }
+        }
+        self.inboxes = inboxes;
+        for slot in &mut self.wheel {
+            slot.clear();
+        }
+        self.overflow.clear();
+        self.overflow_min = NEVER;
+        self.in_flight = 0;
+        for (when, dst, msg) in deliveries {
+            self.schedule(when, dst, msg);
+        }
+        self.tracer = tracer;
+        self.tracer.set_now(self.cycle);
+        // Rebuild every piece of scheduler-derived state (armed table,
+        // wake heap, always-on set, busy cache, dirty list) for the
+        // current mode — bit-exact by the `next_wake` contract.
+        self.set_scheduler(self.mode);
+        Ok(())
+    }
+
+    /// Serializes the engine into a standalone versioned snapshot
+    /// (header + [`Engine::save_state_into`] body).
+    pub fn save_snapshot(&mut self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        write_header(&mut w);
+        self.save_state_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores a snapshot produced by [`Engine::save_snapshot`],
+    /// validating the header (magic, version) and that every byte is
+    /// consumed.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        read_header(&mut r)?;
+        self.load_state_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing byte(s) after engine state",
+                r.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a hash over the canonical state encoding — a cheap
+    /// fingerprint for "are these two paused simulations identical?".
+    pub fn state_hash(&mut self) -> u64 {
+        let mut w = SnapshotWriter::new();
+        self.save_state_into(&mut w);
+        netcrafter_proto::fnv1a64(&w.into_bytes())
+    }
+
+    /// Runs until `cycle` (see [`Engine::run_until`]) and returns the
+    /// snapshot of the paused state.
+    pub fn checkpoint_at(&mut self, cycle: Cycle) -> Vec<u8> {
+        self.run_until(cycle);
+        self.save_snapshot()
     }
 }
 

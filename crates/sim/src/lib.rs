@@ -25,6 +25,7 @@
 
 pub mod engine;
 pub mod parallel;
+pub mod snapshot;
 pub mod timing;
 pub mod trace;
 
@@ -33,6 +34,10 @@ pub use engine::{
     SchedulerMode, TraceEvent, Wake,
 };
 pub use parallel::Partition;
+pub use snapshot::{
+    read_header, write_header, Snap, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use timing::{DelayQueue, RateLimiter, Ticker};
 pub use trace::{Event, EventClass, Phase, Trace, TraceConfig, Tracer};
 

@@ -1,0 +1,1279 @@
+//! Versioned, dependency-free binary serialization of simulation state.
+//!
+//! A *snapshot* is the byte-exact dynamic state of a paused simulation:
+//! every component's internal queues and statistics, the engine's event
+//! wheel and in-flight messages, and the structured-event tracer. The
+//! encoding is little-endian, length-prefixed where variable, and fully
+//! deterministic — the same paused state always encodes to the same
+//! bytes, so `fnv1a64` over the encoding is a cheap state fingerprint
+//! (see [`crate::Engine::state_hash`]).
+//!
+//! The format is versioned: every snapshot file starts with
+//! [`SNAPSHOT_MAGIC`] and [`SNAPSHOT_VERSION`], and a reader rejects a
+//! mismatch loudly instead of deserializing garbage state (see
+//! DESIGN.md §3.4).
+//!
+//! Serialization is structured around the [`Snap`] trait (implemented
+//! here for primitives, standard containers and the `proto` data types)
+//! plus the [`crate::Component::save_state`]/
+//! [`crate::Component::load_state`] pair that every snapshottable
+//! component implements.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netcrafter_proto::access::{AccessKind, CoalescedAccess, WavefrontOp, WavefrontTrace};
+use netcrafter_proto::collections::OrderedMap;
+use netcrafter_proto::ids::IdAlloc;
+use netcrafter_proto::message::Origin;
+use netcrafter_proto::packet::{PacketPayload, TrimInfo};
+use netcrafter_proto::{
+    AccessId, Chunk, ClusterId, CtaId, CuId, Flit, GpuId, Histogram, LatencyStat, LineAddr,
+    LineMask, MemReq, MemRsp, Message, Metrics, NodeId, PAddr, Packet, PacketId, PacketKind,
+    TimeSeries, TrafficClass, TransReq, TransRsp, VAddr, WavefrontId,
+};
+
+/// First four bytes of every snapshot: `"NCSP"` as a little-endian u32.
+pub const SNAPSHOT_MAGIC: u32 = 0x5053_434E;
+
+/// Current snapshot format version. Bump whenever the encoding of any
+/// serialized structure changes; old snapshots then fail loudly with
+/// [`SnapshotError::VersionMismatch`] instead of restoring garbage.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`] — not a
+    /// snapshot at all, or corrupted at the very start.
+    BadMagic(u32),
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The buffer ended before the value being read was complete.
+    Truncated {
+        /// Byte offset at which the read started.
+        offset: usize,
+        /// Bytes the read needed.
+        wanted: usize,
+    },
+    /// The bytes decoded, but the value they describe is invalid (bad
+    /// enum tag, component-name mismatch, malformed embedded text, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic(found) => {
+                write!(
+                    f,
+                    "not a snapshot: magic {found:#010x} (expected {SNAPSHOT_MAGIC:#010x})"
+                )
+            }
+            SnapshotError::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot version mismatch: file has v{found}, this build reads v{expected}; \
+                 re-create the checkpoint with the current binary"
+            ),
+            SnapshotError::Truncated { offset, wanted } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {wanted} byte(s) at offset {offset}"
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Append-only little-endian encoder for snapshot bytes.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a u64 (lengths, counts).
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes an `f64` by exact bit pattern, so restore is bit-identical.
+    pub fn put_f64_bits(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a snapshot byte slice.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                offset: self.pos,
+                wanted: n,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(
+            b.try_into().expect("take returned 2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(
+            b.try_into().expect("take returned 4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(
+            b.try_into().expect("take returned 8 bytes"),
+        ))
+    }
+
+    /// Reads a length/count written by [`SnapshotWriter::put_len`],
+    /// rejecting values that could not possibly fit in the remaining
+    /// buffer (guards allocations against corrupt length fields).
+    pub fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.get_u64()?;
+        let n = usize::try_from(v)
+            .map_err(|_| SnapshotError::Corrupt(format!("length {v} exceeds address space")))?;
+        if n > self.remaining().saturating_mul(8).saturating_add(8) {
+            return Err(SnapshotError::Corrupt(format!(
+                "length {n} at offset {} larger than the rest of the snapshot",
+                self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a bool byte, rejecting anything but 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Reads an `f64` stored by exact bit pattern.
+    pub fn get_f64_bits(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.get_len()?;
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                offset: self.pos,
+                wanted: n,
+            });
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| SnapshotError::Corrupt(format!("non-UTF-8 string: {e}")))
+    }
+}
+
+/// Writes the snapshot file header (magic + version).
+pub fn write_header(w: &mut SnapshotWriter) {
+    w.put_u32(SNAPSHOT_MAGIC);
+    w.put_u32(SNAPSHOT_VERSION);
+}
+
+/// Reads and validates the snapshot file header, failing loudly on a
+/// foreign file or a version mismatch.
+pub fn read_header(r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+    let magic = r.get_u32()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = r.get_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            found: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// A value with a canonical binary snapshot encoding.
+///
+/// `load(save(x)) == x` for every observable aspect of the value; the
+/// encoding itself is deterministic, so it doubles as hashing input.
+pub trait Snap: Sized {
+    /// Appends this value's canonical encoding to `w`.
+    fn save(&self, w: &mut SnapshotWriter);
+
+    /// Decodes a value previously written by [`Snap::save`].
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+// ---- primitives ----
+
+impl Snap for u8 {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u8()
+    }
+}
+
+impl Snap for u16 {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u16(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u16()
+    }
+}
+
+impl Snap for u32 {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u32(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u32()
+    }
+}
+
+impl Snap for u64 {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_u64()
+    }
+}
+
+impl Snap for usize {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let v = r.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| SnapshotError::Corrupt(format!("usize {v} exceeds address space")))
+    }
+}
+
+impl Snap for bool {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_bool(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_bool()
+    }
+}
+
+impl Snap for () {
+    fn save(&self, _w: &mut SnapshotWriter) {}
+    fn load(_r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(())
+    }
+}
+
+impl Snap for f64 {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_f64_bits(*self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_f64_bits()
+    }
+}
+
+impl Snap for String {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_str(self);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_str()
+    }
+}
+
+// ---- containers ----
+
+impl<T: Snap> Snap for Vec<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.len());
+        for item in self {
+            item.save(w);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.len());
+        for item in self {
+            item.save(w);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Vec::<T>::load(r)?.into())
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            tag => Err(SnapshotError::Corrupt(format!("Option tag {tag}"))),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Box<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.as_ref().save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Box::new(T::load(r)?))
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.len());
+        for (k, v) in self {
+            k.save(w);
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl<T: Snap, const N: usize> Snap for [T; N] {
+    fn save(&self, w: &mut SnapshotWriter) {
+        for item in self {
+            item.save(w);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::load(r)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| SnapshotError::Corrupt("array length mismatch".to_string()))
+    }
+}
+
+/// Insertion order is the [`OrderedMap`]'s observable iteration order,
+/// so saving in iteration order and rebuilding by `insert` reproduces
+/// the map exactly.
+impl<K: Snap + std::hash::Hash + Eq, V: Snap> Snap for OrderedMap<K, V> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.len());
+        for (k, v) in self.iter() {
+            k.save(w);
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = OrderedMap::new();
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+// ---- proto identifiers and addresses ----
+
+macro_rules! snap_newtype {
+    ($($ty:ty => $repr:ty),* $(,)?) => {
+        $(impl Snap for $ty {
+            fn save(&self, w: &mut SnapshotWriter) {
+                self.0.save(w);
+            }
+            fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+                Ok(Self(<$repr>::load(r)?))
+            }
+        })*
+    };
+}
+
+snap_newtype!(
+    GpuId => u16,
+    ClusterId => u16,
+    CuId => u16,
+    CtaId => u32,
+    WavefrontId => u32,
+    NodeId => u16,
+    AccessId => u64,
+    PacketId => u64,
+    VAddr => u64,
+    PAddr => u64,
+    LineAddr => u64,
+    LineMask => u64,
+);
+
+impl<T: From<u64>> Snap for IdAlloc<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.issued());
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(IdAlloc::with_issued(r.get_u64()?))
+    }
+}
+
+// ---- proto protocol types ----
+
+impl Snap for TrafficClass {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Ptw => 1,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(TrafficClass::Data),
+            1 => Ok(TrafficClass::Ptw),
+            tag => Err(SnapshotError::Corrupt(format!("TrafficClass tag {tag}"))),
+        }
+    }
+}
+
+impl Snap for PacketKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(u8::try_from(self.index()).expect("six packet kinds"));
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let tag = r.get_u8()?;
+        netcrafter_proto::ALL_PACKET_KINDS
+            .get(usize::from(tag))
+            .copied()
+            .ok_or_else(|| SnapshotError::Corrupt(format!("PacketKind tag {tag}")))
+    }
+}
+
+impl Snap for Origin {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            Origin::Cu(cu) => {
+                w.put_u8(0);
+                w.put_u16(*cu);
+            }
+            Origin::Gmmu => w.put_u8(1),
+            Origin::Rdma => w.put_u8(2),
+            Origin::L2 => w.put_u8(3),
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(Origin::Cu(r.get_u16()?)),
+            1 => Ok(Origin::Gmmu),
+            2 => Ok(Origin::Rdma),
+            3 => Ok(Origin::L2),
+            tag => Err(SnapshotError::Corrupt(format!("Origin tag {tag}"))),
+        }
+    }
+}
+
+impl Snap for MemReq {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.access.save(w);
+        self.line.save(w);
+        self.write.save(w);
+        self.mask.save(w);
+        self.sectors.save(w);
+        self.class.save(w);
+        self.requester.save(w);
+        self.owner.save(w);
+        self.origin.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MemReq {
+            access: Snap::load(r)?,
+            line: Snap::load(r)?,
+            write: Snap::load(r)?,
+            mask: Snap::load(r)?,
+            sectors: Snap::load(r)?,
+            class: Snap::load(r)?,
+            requester: Snap::load(r)?,
+            owner: Snap::load(r)?,
+            origin: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for MemRsp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.access.save(w);
+        self.line.save(w);
+        self.write.save(w);
+        self.sectors_valid.save(w);
+        self.class.save(w);
+        self.requester.save(w);
+        self.owner.save(w);
+        self.origin.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MemRsp {
+            access: Snap::load(r)?,
+            line: Snap::load(r)?,
+            write: Snap::load(r)?,
+            sectors_valid: Snap::load(r)?,
+            class: Snap::load(r)?,
+            requester: Snap::load(r)?,
+            owner: Snap::load(r)?,
+            origin: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for TransReq {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.access.save(w);
+        self.vpn.save(w);
+        self.cu.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TransReq {
+            access: Snap::load(r)?,
+            vpn: Snap::load(r)?,
+            cu: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for TransRsp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.access.save(w);
+        self.vpn.save(w);
+        self.pfn.save(w);
+        self.cu.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TransRsp {
+            access: Snap::load(r)?,
+            vpn: Snap::load(r)?,
+            pfn: Snap::load(r)?,
+            cu: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for TrimInfo {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.granularity.save(w);
+        self.sector.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TrimInfo {
+            granularity: Snap::load(r)?,
+            sector: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for PacketPayload {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            PacketPayload::Req(req) => {
+                w.put_u8(0);
+                req.save(w);
+            }
+            PacketPayload::Rsp(rsp) => {
+                w.put_u8(1);
+                rsp.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(PacketPayload::Req(Snap::load(r)?)),
+            1 => Ok(PacketPayload::Rsp(Snap::load(r)?)),
+            tag => Err(SnapshotError::Corrupt(format!("PacketPayload tag {tag}"))),
+        }
+    }
+}
+
+impl Snap for Packet {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.id.save(w);
+        self.kind.save(w);
+        self.src.save(w);
+        self.dst.save(w);
+        self.payload_bytes.save(w);
+        self.trim.save(w);
+        self.inner.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Packet {
+            id: Snap::load(r)?,
+            kind: Snap::load(r)?,
+            src: Snap::load(r)?,
+            dst: Snap::load(r)?,
+            payload_bytes: Snap::load(r)?,
+            trim: Snap::load(r)?,
+            inner: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for Chunk {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.packet.save(w);
+        self.kind.save(w);
+        self.bytes.save(w);
+        self.meta_bytes.save(w);
+        self.has_header.save(w);
+        self.is_tail.save(w);
+        self.seq.save(w);
+        self.dst.save(w);
+        self.class.save(w);
+        self.packet_info.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Chunk {
+            packet: Snap::load(r)?,
+            kind: Snap::load(r)?,
+            bytes: Snap::load(r)?,
+            meta_bytes: Snap::load(r)?,
+            has_header: Snap::load(r)?,
+            is_tail: Snap::load(r)?,
+            seq: Snap::load(r)?,
+            dst: Snap::load(r)?,
+            class: Snap::load(r)?,
+            packet_info: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for Flit {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.capacity.save(w);
+        self.chunks.save(w);
+        self.dst.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Flit {
+            capacity: Snap::load(r)?,
+            chunks: Snap::load(r)?,
+            dst: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for Message {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            Message::MemReq(req) => {
+                w.put_u8(0);
+                req.save(w);
+            }
+            Message::MemRsp(rsp) => {
+                w.put_u8(1);
+                rsp.save(w);
+            }
+            Message::TransReq(req) => {
+                w.put_u8(2);
+                req.save(w);
+            }
+            Message::TransRsp(rsp) => {
+                w.put_u8(3);
+                rsp.save(w);
+            }
+            Message::Flit { flit, from } => {
+                w.put_u8(4);
+                flit.save(w);
+                from.save(w);
+            }
+            Message::Credit { from, count } => {
+                w.put_u8(5);
+                from.save(w);
+                count.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(Message::MemReq(Snap::load(r)?)),
+            1 => Ok(Message::MemRsp(Snap::load(r)?)),
+            2 => Ok(Message::TransReq(Snap::load(r)?)),
+            3 => Ok(Message::TransRsp(Snap::load(r)?)),
+            4 => Ok(Message::Flit {
+                flit: Snap::load(r)?,
+                from: Snap::load(r)?,
+            }),
+            5 => Ok(Message::Credit {
+                from: Snap::load(r)?,
+                count: Snap::load(r)?,
+            }),
+            tag => Err(SnapshotError::Corrupt(format!("Message tag {tag}"))),
+        }
+    }
+}
+
+// ---- proto workload types ----
+
+impl Snap for AccessKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(AccessKind::Read),
+            1 => Ok(AccessKind::Write),
+            tag => Err(SnapshotError::Corrupt(format!("AccessKind tag {tag}"))),
+        }
+    }
+}
+
+impl Snap for CoalescedAccess {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.vaddr.save(w);
+        self.kind.save(w);
+        self.mask.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let vaddr = Snap::load(r)?;
+        let kind = Snap::load(r)?;
+        let mask: LineMask = Snap::load(r)?;
+        if mask.is_empty() {
+            return Err(SnapshotError::Corrupt("empty access mask".to_string()));
+        }
+        Ok(CoalescedAccess::with_mask(vaddr, kind, mask))
+    }
+}
+
+impl Snap for WavefrontOp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            WavefrontOp::Mem(access) => {
+                w.put_u8(0);
+                access.save(w);
+            }
+            WavefrontOp::Compute(cycles) => {
+                w.put_u8(1);
+                cycles.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(WavefrontOp::Mem(Snap::load(r)?)),
+            1 => Ok(WavefrontOp::Compute(Snap::load(r)?)),
+            tag => Err(SnapshotError::Corrupt(format!("WavefrontOp tag {tag}"))),
+        }
+    }
+}
+
+impl Snap for WavefrontTrace {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.id.save(w);
+        self.cta.save(w);
+        self.ops.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(WavefrontTrace {
+            id: Snap::load(r)?,
+            cta: Snap::load(r)?,
+            ops: Snap::load(r)?,
+        })
+    }
+}
+
+// ---- proto statistics types ----
+
+impl Snap for LatencyStat {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.count.save(w);
+        self.sum.save(w);
+        self.max.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(LatencyStat {
+            count: Snap::load(r)?,
+            sum: Snap::load(r)?,
+            max: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for Histogram {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.iter().count());
+        for (bucket, count) in self.iter() {
+            w.put_u64(bucket);
+            w.put_u64(count);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = Histogram::new();
+        for _ in 0..n {
+            let bucket = r.get_u64()?;
+            let count = r.get_u64()?;
+            out.add(bucket, count);
+        }
+        Ok(out)
+    }
+}
+
+/// Rebuilds through `new(window)` + `add`, including trailing
+/// zero-valued buckets (bucket count is observable via
+/// [`TimeSeries::len`]).
+impl Snap for TimeSeries {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.window());
+        w.put_len(self.len());
+        for ix in 0..self.len() {
+            w.put_u64(self.bucket(ix));
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let window = r.get_u64()?;
+        if window == 0 {
+            return Err(SnapshotError::Corrupt("TimeSeries window 0".to_string()));
+        }
+        let n = r.get_len()?;
+        let mut out = TimeSeries::new(window);
+        for ix in 0..n {
+            out.add(ix as u64 * window, r.get_u64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// [`Metrics`] round-trips losslessly through its own `to_kv` text form
+/// (covered by the proto test `kv_round_trip_is_lossless`), so the
+/// snapshot embeds that canonical text instead of duplicating the
+/// registry layout.
+impl Snap for Metrics {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.to_kv());
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let text = r.get_str()?;
+        Metrics::from_kv(&text)
+            .ok_or_else(|| SnapshotError::Corrupt("malformed Metrics kv text".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Snap + PartialEq + std::fmt::Debug>(value: &T) {
+        let mut w = SnapshotWriter::new();
+        value.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let back = T::load(&mut r).expect("round trip decodes");
+        assert_eq!(&back, value);
+        assert_eq!(r.remaining(), 0, "decoder consumed every byte");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0u8);
+        round_trip(&0xA5u8);
+        round_trip(&0xBEEFu16);
+        round_trip(&0xDEAD_BEEFu32);
+        round_trip(&u64::MAX);
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&3.25f64);
+        round_trip(&String::from("net.inter.flits"));
+        round_trip(&String::new());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Vec::<u64>::new());
+        round_trip(&VecDeque::from([7u32, 8, 9]));
+        round_trip(&Some(42u64));
+        round_trip(&Option::<u64>::None);
+        round_trip(&Box::new(5u8));
+        round_trip(&BTreeMap::from([(1u64, 2u64), (3, 4)]));
+        round_trip(&(1u32, 2u64));
+        round_trip(&(1u8, 2u16, 3u32));
+        round_trip(&[5u64, 6, 7]);
+    }
+
+    #[test]
+    fn ordered_map_preserves_insertion_order() {
+        let mut m = OrderedMap::new();
+        for k in [9u64, 2, 7, 4] {
+            m.insert(k, k * 10);
+        }
+        let mut w = SnapshotWriter::new();
+        m.save(&mut w);
+        let bytes = w.into_bytes();
+        let back: OrderedMap<u64, u64> =
+            Snap::load(&mut SnapshotReader::new(&bytes)).expect("decodes");
+        let keys: Vec<u64> = back.keys().copied().collect();
+        assert_eq!(keys, [9, 2, 7, 4]);
+        assert_eq!(back.get(&7), Some(&70));
+    }
+
+    #[test]
+    fn id_alloc_round_trip_preserves_next_id() {
+        let mut alloc = IdAlloc::<AccessId>::new();
+        alloc.next();
+        alloc.next();
+        let mut w = SnapshotWriter::new();
+        alloc.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut back: IdAlloc<AccessId> =
+            Snap::load(&mut SnapshotReader::new(&bytes)).expect("decodes");
+        assert_eq!(back.next(), AccessId(2));
+    }
+
+    fn sample_req() -> MemReq {
+        MemReq {
+            access: AccessId(5),
+            line: LineAddr(0x40),
+            write: false,
+            mask: LineMask::span(0, 16),
+            sectors: 0b1111,
+            class: TrafficClass::Data,
+            requester: GpuId(3),
+            owner: GpuId(1),
+            origin: Origin::Cu(2),
+        }
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        round_trip(&Message::MemReq(sample_req()));
+        round_trip(&Message::MemRsp(MemRsp::for_req(&sample_req(), 0b0001)));
+        round_trip(&Message::TransReq(TransReq {
+            access: AccessId(9),
+            vpn: 0x123,
+            cu: 4,
+        }));
+        round_trip(&Message::TransRsp(TransRsp {
+            access: AccessId(9),
+            vpn: 0x123,
+            pfn: 0x456,
+            cu: 4,
+        }));
+        round_trip(&Message::Credit {
+            from: NodeId(3),
+            count: 2,
+        });
+        let packet = Packet {
+            id: PacketId(7),
+            kind: PacketKind::ReadRsp,
+            src: NodeId(0),
+            dst: NodeId(3),
+            payload_bytes: 64,
+            trim: Some(TrimInfo {
+                granularity: 16,
+                sector: 2,
+            }),
+            inner: PacketPayload::Rsp(MemRsp::for_req(&sample_req(), 0b1111)),
+        };
+        let chunk = Chunk {
+            packet: PacketId(7),
+            kind: PacketKind::ReadRsp,
+            bytes: 4,
+            meta_bytes: 2,
+            has_header: false,
+            is_tail: true,
+            seq: 4,
+            dst: NodeId(3),
+            class: TrafficClass::Data,
+            packet_info: Some(Box::new(packet)),
+        };
+        round_trip(&Message::Flit {
+            flit: Flit {
+                capacity: 16,
+                chunks: vec![chunk],
+                dst: NodeId(3),
+            },
+            from: NodeId(1),
+        });
+    }
+
+    #[test]
+    fn wavefront_traces_round_trip() {
+        let trace = WavefrontTrace {
+            id: WavefrontId(3),
+            cta: CtaId(1),
+            ops: vec![
+                WavefrontOp::Compute(10),
+                WavefrontOp::Mem(CoalescedAccess::read(VAddr(0x100), 8)),
+                WavefrontOp::Mem(CoalescedAccess::write(VAddr(0x140), 64)),
+            ],
+        };
+        let mut w = SnapshotWriter::new();
+        trace.save(&mut w);
+        let bytes = w.into_bytes();
+        let back: WavefrontTrace = Snap::load(&mut SnapshotReader::new(&bytes)).expect("decodes");
+        assert_eq!(back.id, trace.id);
+        assert_eq!(back.cta, trace.cta);
+        assert_eq!(back.ops, trace.ops);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let mut lat = LatencyStat::default();
+        lat.record(10);
+        lat.record(30);
+        round_trip(&lat);
+
+        let mut hist = Histogram::new();
+        hist.add(16, 2);
+        hist.add(64, 1);
+        round_trip(&hist);
+        round_trip(&Histogram::new());
+
+        let mut ts = TimeSeries::new(100);
+        ts.add(0, 5);
+        ts.add(950, 1); // forces trailing zero buckets in between
+        round_trip(&ts);
+        round_trip(&TimeSeries::new(7));
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let mut m = Metrics::new();
+        m.add("net.inter.flits", 15);
+        m.latency_mut("net.read").record(56);
+        m.histogram_mut("net.occupancy").add(16, 2);
+        let mut w = SnapshotWriter::new();
+        m.save(&mut w);
+        let bytes = w.into_bytes();
+        let back: Metrics = Snap::load(&mut SnapshotReader::new(&bytes)).expect("decodes");
+        assert_eq!(back.to_kv(), m.to_kv());
+    }
+
+    #[test]
+    fn header_round_trip_and_version_gate() {
+        let mut w = SnapshotWriter::new();
+        write_header(&mut w);
+        let good = w.into_bytes();
+        assert!(read_header(&mut SnapshotReader::new(&good)).is_ok());
+
+        // Wrong magic: a foreign file.
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            read_header(&mut SnapshotReader::new(&bad_magic)),
+            Err(SnapshotError::BadMagic(_))
+        ));
+
+        // Old version: must name both versions, not decode garbage.
+        let mut old = SnapshotWriter::new();
+        old.put_u32(SNAPSHOT_MAGIC);
+        old.put_u32(SNAPSHOT_VERSION + 1);
+        let err = read_header(&mut SnapshotReader::new(&old.into_bytes()))
+            .expect_err("future version rejected");
+        match err {
+            SnapshotError::VersionMismatch { found, expected } => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_reads_fail_loudly() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes[..4]);
+        assert!(matches!(
+            r.get_u64(),
+            Err(SnapshotError::Truncated {
+                offset: 0,
+                wanted: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn absurd_length_fields_are_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(u64::MAX); // claimed element count
+        let bytes = w.into_bytes();
+        let got: Result<Vec<u64>, _> = Snap::load(&mut SnapshotReader::new(&bytes));
+        assert!(matches!(got, Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_enum_tags_are_rejected() {
+        let bytes = [9u8];
+        let got: Result<TrafficClass, _> = Snap::load(&mut SnapshotReader::new(&bytes));
+        assert!(matches!(got, Err(SnapshotError::Corrupt(_))));
+        let got: Result<Message, _> = Snap::load(&mut SnapshotReader::new(&bytes));
+        assert!(matches!(got, Err(SnapshotError::Corrupt(_))));
+        let got: Result<Option<u8>, _> = Snap::load(&mut SnapshotReader::new(&bytes));
+        assert!(matches!(got, Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let msg = Message::MemReq(sample_req());
+        let mut a = SnapshotWriter::new();
+        msg.save(&mut a);
+        let mut b = SnapshotWriter::new();
+        msg.save(&mut b);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use crate::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::Cycle;
 
 /// A fixed- or variable-latency pipeline: items pushed at cycle `t` with
@@ -96,6 +97,25 @@ impl<T> Default for DelayQueue<T> {
     }
 }
 
+impl<T: Snap> Snap for DelayQueue<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.items.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let items: VecDeque<(Cycle, T)> = Snap::load(r)?;
+        if items
+            .iter()
+            .zip(items.iter().skip(1))
+            .any(|((a, _), (b, _))| a > b)
+        {
+            return Err(SnapshotError::Corrupt(
+                "DelayQueue ready cycles not non-decreasing".to_string(),
+            ));
+        }
+        Ok(Self { items })
+    }
+}
+
 /// A token-bucket rate limiter supporting fractional rates, used to model
 /// link and DRAM bandwidth.
 ///
@@ -172,6 +192,35 @@ impl RateLimiter {
     }
 }
 
+/// Rate and burst are builder-time configuration, but they are saved
+/// anyway and validated on load: restoring a snapshot into a limiter
+/// built from a different config is a config mismatch, not a silent
+/// behavior change. The token count restores by exact bit pattern.
+impl Snap for RateLimiter {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.rate.save(w);
+        self.burst.save(w);
+        self.tokens.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let rate: f64 = Snap::load(r)?;
+        let burst: f64 = Snap::load(r)?;
+        let tokens: f64 = Snap::load(r)?;
+        // Positive comparisons so NaNs in any field also fail validation.
+        let valid = rate > 0.0 && burst >= rate && (0.0..=burst).contains(&tokens);
+        if !valid {
+            return Err(SnapshotError::Corrupt(format!(
+                "RateLimiter state rate={rate} burst={burst} tokens={tokens}"
+            )));
+        }
+        Ok(Self {
+            rate,
+            burst,
+            tokens,
+        })
+    }
+}
+
 /// Fires every `period` cycles, for round-robin scheduling epochs and
 /// periodic statistics sampling.
 #[derive(Debug, Clone)]
@@ -199,6 +248,21 @@ impl Ticker {
         } else {
             false
         }
+    }
+}
+
+impl Snap for Ticker {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.period.save(w);
+        self.next.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let period: Cycle = Snap::load(r)?;
+        let next: Cycle = Snap::load(r)?;
+        if period == 0 {
+            return Err(SnapshotError::Corrupt("Ticker period 0".to_string()));
+        }
+        Ok(Self { period, next })
     }
 }
 

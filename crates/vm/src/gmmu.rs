@@ -17,6 +17,7 @@ use netcrafter_proto::{
     AccessId, GpuId, LatencyStat, LineMask, MemReq, Message, Metrics, Origin, TrafficClass,
     TransReq, TransRsp,
 };
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake};
 
 use crate::pagetable::PageTable;
@@ -54,6 +55,29 @@ pub struct GmmuStats {
     pub walker_queue_events: u64,
 }
 
+impl Snap for GmmuStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.requests.save(w);
+        self.walks.save(w);
+        self.walk_reads_hist.save(w);
+        self.local_pt_reads.save(w);
+        self.remote_pt_reads.save(w);
+        self.walk_latency.save(w);
+        self.walker_queue_events.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(GmmuStats {
+            requests: Snap::load(r)?,
+            walks: Snap::load(r)?,
+            walk_reads_hist: Snap::load(r)?,
+            local_pt_reads: Snap::load(r)?,
+            remote_pt_reads: Snap::load(r)?,
+            walk_latency: Snap::load(r)?,
+            walker_queue_events: Snap::load(r)?,
+        })
+    }
+}
+
 impl GmmuStats {
     /// Dumps counters under `prefix`.
     pub fn report(&self, metrics: &mut Metrics, prefix: &str) {
@@ -84,6 +108,32 @@ struct Walk {
     reads: Vec<(GpuId, netcrafter_proto::LineAddr)>,
     next_read: usize,
     started: Cycle,
+}
+
+impl Snap for Walk {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.vpn.save(w);
+        self.reads.save(w);
+        self.next_read.save(w);
+        self.started.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let vpn: u64 = Snap::load(r)?;
+        let reads: Vec<(GpuId, netcrafter_proto::LineAddr)> = Snap::load(r)?;
+        let next_read: usize = Snap::load(r)?;
+        if next_read > reads.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "walk read cursor {next_read} past {} reads",
+                reads.len()
+            )));
+        }
+        Ok(Walk {
+            vpn,
+            reads,
+            next_read,
+            started: Snap::load(r)?,
+        })
+    }
 }
 
 /// A walk waiting for a free walker: `(vpn, page-table reads, enqueue cycle)`.
@@ -349,6 +399,35 @@ impl Component for TranslationUnit {
             wake = wake.earliest(Wake::At(t));
         }
         wake
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.l2_tlb.save(w);
+        self.pwc.save(w);
+        self.tlb_pipe.save(w);
+        self.pwc_pipe.save(w);
+        self.retry.save(w);
+        self.waiters.save(w);
+        self.active.save(w);
+        self.pending_walks.save(w);
+        self.inflight_reads.save(w);
+        self.read_ids.save(w);
+        self.stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.l2_tlb = Snap::load(r)?;
+        self.pwc = Snap::load(r)?;
+        self.tlb_pipe = Snap::load(r)?;
+        self.pwc_pipe = Snap::load(r)?;
+        self.retry = Snap::load(r)?;
+        self.waiters = Snap::load(r)?;
+        self.active = Snap::load(r)?;
+        self.pending_walks = Snap::load(r)?;
+        self.inflight_reads = Snap::load(r)?;
+        self.read_ids = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 use netcrafter_mem::TagStore;
 use netcrafter_proto::config::TlbConfig;
 use netcrafter_proto::Metrics;
+use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// TLB hit/miss counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,6 +17,21 @@ pub struct TlbStats {
     pub misses: u64,
     /// Entries displaced by insertions.
     pub evictions: u64,
+}
+
+impl Snap for TlbStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.hits.save(w);
+        self.misses.save(w);
+        self.evictions.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TlbStats {
+            hits: Snap::load(r)?,
+            misses: Snap::load(r)?,
+            evictions: Snap::load(r)?,
+        })
+    }
 }
 
 impl TlbStats {
@@ -101,6 +117,24 @@ impl Tlb {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// The lookup latency is builder-time configuration; it is saved and
+/// checked on load so restoring into a differently configured TLB fails
+/// loudly instead of silently changing timing.
+impl Snap for Tlb {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.entries.save(w);
+        self.lookup_cycles.save(w);
+        self.stats.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Tlb {
+            entries: Snap::load(r)?,
+            lookup_cycles: Snap::load(r)?,
+            stats: Snap::load(r)?,
+        })
     }
 }
 
