@@ -3,13 +3,16 @@
 # cargo registry (the workspace has no external dependencies by design —
 # see README "Offline builds"). Run locally with ./ci.sh.
 #
-# The pipeline is split into three groups so the GitHub workflow can run
+# The pipeline is split into four groups so the GitHub workflow can run
 # them as parallel jobs; with no argument every group runs in order:
 #
 #   ./ci.sh lint        # fmt, clippy, netcrafter-lint (+ fixture corpus)
 #   ./ci.sh build-test  # release build, bench check, workspace tests
 #   ./ci.sh figures     # figure/trace/scheduler/checkpoint equivalence,
 #                       # scheduler microbench, perf-regression gate
+#   ./ci.sh topology    # scale-out fabrics: fat-tree-8/torus-8 smoke
+#                       # sweeps, three-way scheduler + checkpoint
+#                       # equivalence, PDES scaling, topology perf gate
 #   ./ci.sh all         # everything (default)
 #
 # Artifacts (fig14 trace + time series, checkpoint snapshot, fresh bench
@@ -21,9 +24,9 @@ cd "$(dirname "$0")"
 
 mode=${1:-all}
 case "$mode" in
-    lint | build-test | figures | all) ;;
+    lint | build-test | figures | topology | all) ;;
     *)
-        echo "usage: ./ci.sh [lint|build-test|figures|all]" >&2
+        echo "usage: ./ci.sh [lint|build-test|figures|topology|all]" >&2
         exit 2
         ;;
 esac
@@ -236,9 +239,14 @@ step_scheduler_equivalence() {
 # uninterrupted run: metrics dump, event trace and time series alike,
 # with the snapshot taken at the cold run's midpoint and the restored
 # half replayed under all three schedulers (a snapshot is scheduler-
-# portable by design). The snapshot itself is kept as a CI artifact.
+# portable by design). The snapshot itself is kept as a CI artifact
+# under the name given as $1; any further arguments (e.g. --topology)
+# are appended to every simulate invocation.
 step_checkpoint_equivalence() {
-    local base=(--workload GUPS --variant netcrafter --cus 2 --scale tiny)
+    local artifact_name="$1"
+    shift
+    rm -rf "$ckpt_dir/snaps"
+    local base=(--workload GUPS --variant netcrafter --cus 2 --scale tiny "$@")
     local sim=(cargo run --release --offline -q -p netcrafter-bench --bin simulate --)
     "${sim[@]}" "${base[@]}" \
         --trace "$ckpt_dir/cold-trace.json" \
@@ -268,7 +276,7 @@ step_checkpoint_equivalence() {
         echo "FAIL: --checkpoint-at $mid wrote no snapshot" >&2
         exit 1
     fi
-    cp "$snap" "$artifact_dir/fig14-checkpoint.bin"
+    cp "$snap" "$artifact_dir/$artifact_name"
     local sched
     for sched in "" "--legacy-scheduler" "--threads 4"; do
         local tag="event"
@@ -316,6 +324,145 @@ step_perf_gate() {
         check ci/BENCH_fig14.baseline.json "$artifact_dir/BENCH_fig14.json"
 }
 
+# The topology sweep figure (mesh / fat-tree-8 / fat-tree-16 / torus-8 ×
+# baseline/NetCrafter) must render identically sequential and on 4
+# workers; the rendered table is kept as a CI artifact.
+step_topology_figure() {
+    if ! topo_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick topology 2>"$seq_err"); then
+        echo "FAIL: topology figure run failed:" >&2
+        cat "$seq_err" >&2
+        exit 1
+    fi
+    local par_out
+    if ! par_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick topology --jobs 4 2>"$par_err"); then
+        echo "FAIL: parallel topology figure run failed:" >&2
+        cat "$par_err" >&2
+        exit 1
+    fi
+    if [[ "$topo_out" != "$par_out" ]]; then
+        echo "FAIL: parallel topology figure output differs from sequential" >&2
+        diff <(echo "$topo_out") <(echo "$par_out") >&2 || true
+        exit 1
+    fi
+    printf '%s\n' "$topo_out" >"$artifact_dir/topology-figure.txt"
+}
+
+# Multi-hop routing is deterministic: the topology figure and a traced
+# fat-tree-8/torus-8 simulate run must be byte-identical under the
+# event-driven, legacy, and 4-thread conservative-parallel schedulers.
+step_topology_scheduler_equivalence() {
+    local sched out
+    for sched in "--legacy-scheduler" "--threads 4"; do
+        # shellcheck disable=SC2086  # $sched is intentionally word-split
+        if ! out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+            --quick topology $sched 2>"$seq_err"); then
+            echo "FAIL ($sched): topology figure run failed:" >&2
+            cat "$seq_err" >&2
+            exit 1
+        fi
+        if [[ "$topo_out" != "$out" ]]; then
+            echo "FAIL ($sched): topology figure output differs from event-driven" >&2
+            diff <(echo "$topo_out") <(echo "$out") >&2 || true
+            exit 1
+        fi
+    done
+    local spec fabric
+    for spec in fat-tree:k=4 torus:2x2x2; do
+        fabric=${spec%%:*}
+        local ref_trace="$artifact_dir/topology-$fabric-trace.json"
+        local ref_ts="$artifact_dir/topology-$fabric-timeseries.jsonl"
+        cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+            --topology "$spec" --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+            --trace "$ref_trace" --timeseries "$ref_ts" >/dev/null
+        for sched in "--legacy-scheduler" "--threads 4"; do
+            # shellcheck disable=SC2086  # $sched is intentionally word-split
+            cargo run --release --offline -q -p netcrafter-bench --bin simulate -- \
+                --topology "$spec" --workload GUPS --variant netcrafter --cus 2 --scale tiny \
+                $sched \
+                --trace "$ckpt_dir/alt-trace.json" \
+                --timeseries "$ckpt_dir/alt-ts.jsonl" >/dev/null
+            if ! cmp -s "$ref_trace" "$ckpt_dir/alt-trace.json"; then
+                echo "FAIL ($spec $sched): event trace differs from event-driven" >&2
+                cmp "$ref_trace" "$ckpt_dir/alt-trace.json" >&2 || true
+                exit 1
+            fi
+            if ! cmp -s "$ref_ts" "$ckpt_dir/alt-ts.jsonl"; then
+                echo "FAIL ($spec $sched): time series differs from event-driven" >&2
+                cmp "$ref_ts" "$ckpt_dir/alt-ts.jsonl" >&2 || true
+                exit 1
+            fi
+        done
+    done
+}
+
+# Times `reps` back-to-back fat-tree-8 paper-scale simulate runs at the
+# given thread count, printing whole-run wall seconds.
+time_fat_tree_reps() {
+    local threads="$1" reps="$2" t0 t1 i
+    t0=$(date +%s%N)
+    for ((i = 0; i < reps; i++)); do
+        target/release/simulate --topology fat-tree:k=4 --workload GUPS \
+            --variant netcrafter --cus 4 --scale paper --threads "$threads" \
+            >/dev/null 2>&1
+    done
+    t1=$(date +%s%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+
+# Multicore-aware PDES scaling check on the fat-tree fabric. The
+# numbers always land in the artifacts and the step summary; the 1.5x
+# speedup floor for --threads 4 is only enforced when the host really
+# has >= 4 cores (on a 1-core CI container the parallel scheduler is a
+# pure-overhead measurement, so there it records and skips).
+step_topology_scaling() {
+    cargo build --release --offline -p netcrafter-bench
+    local cores reps=6
+    cores=$(nproc)
+    # One warm-up run so neither timing pays first-touch costs.
+    target/release/simulate --topology fat-tree:k=4 --workload GUPS \
+        --variant netcrafter --cus 4 --scale paper >/dev/null 2>&1
+    local t1s t4s speedup efficiency
+    t1s=$(time_fat_tree_reps 1 "$reps")
+    t4s=$(time_fat_tree_reps 4 "$reps")
+    speedup=$(awk -v a="$t1s" -v b="$t4s" 'BEGIN { printf "%.2f", a / b }')
+    efficiency=$(awk -v s="$speedup" 'BEGIN { printf "%.2f", s / 4 }')
+    {
+        echo "cores=$cores"
+        echo "reps=$reps"
+        echo "threads1_seconds=$t1s"
+        echo "threads4_seconds=$t4s"
+        echo "speedup=$speedup"
+        echo "efficiency_per_core=$efficiency"
+    } | tee "$artifact_dir/topology-scaling.txt"
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        {
+            echo ""
+            echo "### PDES scaling (fat-tree-8, GUPS paper scale, $reps reps)"
+            echo ""
+            echo "| cores | 1 thread | 4 threads | speedup | efficiency/core |"
+            echo "| --- | --- | --- | --- | --- |"
+            echo "| $cores | ${t1s}s | ${t4s}s | ${speedup}x | $efficiency |"
+        } >>"$GITHUB_STEP_SUMMARY"
+    fi
+    if ((cores >= 4)); then
+        if awk -v s="$speedup" 'BEGIN { exit !(s < 1.5) }'; then
+            echo "FAIL: --threads 4 speedup ${speedup}x < 1.5x on a $cores-core host" >&2
+            exit 1
+        fi
+    else
+        echo "note: $cores core(s) < 4 — recording scaling numbers, skipping the 1.5x floor"
+    fi
+}
+
+step_topology_perf_gate() {
+    cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+        emit "$artifact_dir/BENCH_topology.json" --matrix topology --jobs 4
+    cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+        check ci/BENCH_topology.baseline.json "$artifact_dir/BENCH_topology.json"
+}
+
 if [[ "$mode" == lint || "$mode" == all ]]; then
     run_step "cargo fmt --check" step_fmt
     run_step "cargo clippy --workspace --all-targets -- -D warnings + curated pedantic subset" step_clippy
@@ -333,9 +480,17 @@ if [[ "$mode" == figures || "$mode" == all ]]; then
     run_step "figures cache smoke run: warm cache must re-simulate nothing" step_figures_cache
     run_step "trace determinism: two identical --trace runs must be byte-identical" step_trace_determinism
     run_step "scheduler equivalence: event-driven vs --legacy-scheduler vs --threads 4" step_scheduler_equivalence
-    run_step "checkpoint equivalence: uninterrupted vs midpoint checkpoint + restore" step_checkpoint_equivalence
+    run_step "checkpoint equivalence: uninterrupted vs midpoint checkpoint + restore" step_checkpoint_equivalence fig14-checkpoint.bin
     run_step "scheduler microbench: speedup numbers kept as a CI artifact" step_scheduler_microbench
     run_step "perf-regression gate: fig14 headline numbers vs committed baseline" step_perf_gate
+fi
+
+if [[ "$mode" == topology || "$mode" == all ]]; then
+    run_step "topology figure: --quick topology, sequential vs 4 workers" step_topology_figure
+    run_step "topology scheduler equivalence: fat-tree-8 & torus-8 under all three schedulers" step_topology_scheduler_equivalence
+    run_step "topology checkpoint equivalence: fat-tree-8 midpoint checkpoint + restore" step_checkpoint_equivalence topology-checkpoint.bin --topology fat-tree:k=4
+    run_step "PDES scaling: per-core efficiency on fat-tree-8" step_topology_scaling
+    run_step "perf-regression gate: topology matrix vs committed baseline" step_topology_perf_gate
 fi
 
 echo "CI OK ($mode)"

@@ -139,6 +139,7 @@ fn build_idle_heavy(n: usize, delay: u64, mode: SchedulerMode) -> Engine {
         Message::Credit {
             from: NodeId(0),
             count: 1,
+            link: 0,
         },
         1,
     );
@@ -210,6 +211,7 @@ fn build_dense_domains(threads: usize) -> Engine {
         Message::Credit {
             from: NodeId(0),
             count: 1,
+            link: 0,
         },
         1,
     );

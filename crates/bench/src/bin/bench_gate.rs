@@ -1,16 +1,21 @@
-//! CI perf-regression gate over the Figure 14 headline numbers.
+//! CI perf-regression gate over the Figure 14 headline numbers and the
+//! scale-out topology matrix.
 //!
 //! ```text
-//! bench_gate emit OUT.json [--jobs N] [--threads N] [--reps N]
+//! bench_gate emit OUT.json [--matrix fig14|topology] [--jobs N]
+//!            [--threads N] [--reps N]
 //! bench_gate check BASELINE.json CURRENT.json [--tolerance PCT]
 //!            [--no-throughput-gate]
 //! ```
 //!
-//! `emit` runs the quick-scale Figure 14 experiment matrix (every
-//! workload × the cumulative NetCrafter variants) and writes a JSON
-//! report: per-run execution cycles, per-variant speedups over baseline,
-//! geomean speedups, and the host simulation rate (aggregate plus
-//! per-run `host_cycles_per_sec`). The simulator is deterministic, so
+//! `emit` runs a quick-scale experiment matrix and writes a JSON report:
+//! per-run execution cycles, per-variant speedups over baseline, geomean
+//! speedups, and the host simulation rate (aggregate plus per-run
+//! `host_cycles_per_sec`). `--matrix fig14` (the default) is every
+//! workload × the cumulative NetCrafter variants on the paper's 2×2
+//! mesh; `--matrix topology` drives baseline vs full NetCrafter across
+//! the fat-tree-8 and torus-8 scale-out fabrics, keying each run as
+//! `WORKLOAD@FABRIC`. The simulator is deterministic, so
 //! cycles and speedups are exactly reproducible; `check` compares two
 //! reports and fails (exit 1) with a readable diff when any gated number
 //! drifts beyond `--tolerance` percent (default 0, i.e. exact). The
@@ -32,8 +37,12 @@
 
 use std::time::Instant;
 
-use netcrafter_bench::{geomean, Runner};
-use netcrafter_multigpu::SystemVariant;
+use netcrafter_bench::{
+    figures::{topology_job, TOPOLOGY_WORKLOADS},
+    geomean, Runner,
+};
+use netcrafter_multigpu::{JobSpec, SystemVariant};
+use netcrafter_proto::SystemConfig;
 use netcrafter_sim::trace::{json, json_string};
 use netcrafter_workloads::Workload;
 
@@ -50,11 +59,66 @@ const VARIANTS: [SystemVariant; 4] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate emit OUT.json [--jobs N] [--threads N] [--reps N] [--legacy-scheduler]\n\
+        "usage: bench_gate emit OUT.json [--matrix fig14|topology] [--jobs N] [--threads N] \
+         [--reps N] [--legacy-scheduler]\n\
          \u{20}      bench_gate check BASELINE.json CURRENT.json [--tolerance PCT] \
          [--no-throughput-gate]"
     );
     std::process::exit(2);
+}
+
+/// One gated run of an emit matrix: the JSON identity keys (`workload`
+/// may embed a fabric name) plus the job that produces its numbers.
+/// `speedup_base` rows anchor the speedups of the non-base rows sharing
+/// their `workload` key.
+struct Cell {
+    workload: String,
+    variant: String,
+    job: JobSpec,
+    speedup_base: bool,
+}
+
+/// The Figure 14 matrix: every workload × baseline + the cumulative
+/// NetCrafter variants, all on the runner's 2×2 mesh.
+fn fig14_cells(r: &Runner) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        for v in std::iter::once(SystemVariant::Baseline).chain(VARIANTS) {
+            cells.push(Cell {
+                workload: w.abbrev().to_owned(),
+                variant: v.label(),
+                job: r.job(w, v),
+                speedup_base: v == SystemVariant::Baseline,
+            });
+        }
+    }
+    cells
+}
+
+/// The scale-out matrix: baseline vs full NetCrafter on the fat-tree-8
+/// and torus-8 fabrics (the figure's workload subset), keyed
+/// `WORKLOAD@FABRIC` so the gate distinguishes fabrics.
+fn topology_cells(r: &Runner) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (name, preset) in [
+        ("fat-tree-8", SystemConfig::fat_tree_8()),
+        ("torus-8", SystemConfig::torus_8()),
+    ] {
+        let mut cfg = r.base_cfg;
+        cfg.topology = preset.topology;
+        let tag = format!("topo-{name}");
+        for w in TOPOLOGY_WORKLOADS {
+            for v in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
+                cells.push(Cell {
+                    workload: format!("{}@{name}", w.abbrev()),
+                    variant: v.label(),
+                    job: topology_job(r, w, v, cfg, &tag),
+                    speedup_base: v == SystemVariant::Baseline,
+                });
+            }
+        }
+    }
+    cells
 }
 
 fn main() {
@@ -89,30 +153,29 @@ fn emit(args: &[String]) -> ! {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
         .max(1);
-
-    let matrix = |r: &Runner| -> Vec<netcrafter_multigpu::JobSpec> {
-        let mut list = Vec::new();
-        for w in Workload::ALL {
-            list.push(r.job(w, SystemVariant::Baseline));
-            for &v in &VARIANTS {
-                list.push(r.job(w, v));
-            }
+    let matrix_name = flag_value(args, "--matrix").unwrap_or_else(|| "fig14".into());
+    let matrix: fn(&Runner) -> Vec<Cell> = match matrix_name.as_str() {
+        "fig14" => fig14_cells,
+        "topology" => topology_cells,
+        other => {
+            eprintln!("bench_gate: unknown matrix {other:?} (fig14 | topology)");
+            std::process::exit(2);
         }
-        list
     };
 
     // Host throughput is noisy, so the sweep is timed `reps` times on
     // fresh (memo-cold) runners and the gate uses the median. The first
     // repetition's runner also supplies the deterministic numbers below.
     let runner = Runner::quick().with_jobs(jobs).with_threads(threads);
-    let jobs_list = matrix(&runner);
+    let cells = matrix(&runner);
+    let jobs_list: Vec<JobSpec> = cells.iter().map(|c| c.job.clone()).collect();
     let mut walls = Vec::with_capacity(reps);
     let t0 = Instant::now();
     runner.sweep(&jobs_list);
     walls.push(t0.elapsed().as_secs_f64());
     for _ in 1..reps {
         let rep = Runner::quick().with_jobs(jobs).with_threads(threads);
-        let rep_jobs = matrix(&rep);
+        let rep_jobs: Vec<JobSpec> = matrix(&rep).into_iter().map(|c| c.job).collect();
         let t = Instant::now();
         rep.sweep(&rep_jobs);
         walls.push(t.elapsed().as_secs_f64());
@@ -139,52 +202,63 @@ fn emit(args: &[String]) -> ! {
             .map_or(0.0, netcrafter_bench::JobStat::cycles_per_sec)
     };
 
+    // Cells are ordered with each group's baseline first, so the base
+    // cycles for a `workload` key are always known before its speedup
+    // rows; geomean columns keep first-seen variant order (the VARIANTS
+    // order for fig14).
     let mut runs = String::new();
     let mut speedups = String::new();
     let mut total_cycles = 0u64;
-    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); VARIANTS.len()];
-    for w in Workload::ALL {
-        let base = runner.run(w, SystemVariant::Baseline);
-        for v in std::iter::once(SystemVariant::Baseline).chain(VARIANTS) {
-            let r = runner.run(w, v);
-            total_cycles += r.exec_cycles;
-            if !runs.is_empty() {
-                runs.push_str(",\n    ");
+    let mut base_cycles: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    let mut variant_order: Vec<&str> = Vec::new();
+    let mut per_variant: std::collections::HashMap<&str, Vec<f64>> =
+        std::collections::HashMap::new();
+    for cell in &cells {
+        let r = runner.run_job(&cell.job);
+        total_cycles += r.exec_cycles;
+        if !runs.is_empty() {
+            runs.push_str(",\n    ");
+        }
+        runs.push_str(&format!(
+            "{{\"workload\":{},\"variant\":{},\"exec_cycles\":{},\
+             \"host_cycles_per_sec\":{:.0}}}",
+            json_string(&cell.workload),
+            json_string(&cell.variant),
+            r.exec_cycles,
+            host_rate(&cell.job.memo_key()),
+        ));
+        if cell.speedup_base {
+            base_cycles.insert(cell.workload.as_str(), r.exec_cycles);
+        } else {
+            let base = base_cycles[cell.workload.as_str()];
+            let s = base as f64 / r.exec_cycles as f64;
+            if !variant_order.contains(&cell.variant.as_str()) {
+                variant_order.push(cell.variant.as_str());
             }
-            runs.push_str(&format!(
-                "{{\"workload\":{},\"variant\":{},\"exec_cycles\":{},\
-                 \"host_cycles_per_sec\":{:.0}}}",
-                json_string(w.abbrev()),
-                json_string(&v.label()),
-                r.exec_cycles,
-                host_rate(&runner.job(w, v).memo_key()),
+            per_variant
+                .entry(cell.variant.as_str())
+                .or_default()
+                .push(s);
+            if !speedups.is_empty() {
+                speedups.push_str(",\n    ");
+            }
+            speedups.push_str(&format!(
+                "{{\"workload\":{},\"variant\":{},\"speedup\":{:.6}}}",
+                json_string(&cell.workload),
+                json_string(&cell.variant),
+                s,
             ));
-            if v != SystemVariant::Baseline {
-                let s = base.exec_cycles as f64 / r.exec_cycles as f64;
-                if let Some(ix) = VARIANTS.iter().position(|&x| x == v) {
-                    per_variant[ix].push(s);
-                }
-                if !speedups.is_empty() {
-                    speedups.push_str(",\n    ");
-                }
-                speedups.push_str(&format!(
-                    "{{\"workload\":{},\"variant\":{},\"speedup\":{:.6}}}",
-                    json_string(w.abbrev()),
-                    json_string(&v.label()),
-                    s,
-                ));
-            }
         }
     }
     let mut geo = String::new();
-    for (v, col) in VARIANTS.iter().zip(&per_variant) {
+    for v in &variant_order {
         if !geo.is_empty() {
             geo.push_str(",\n    ");
         }
         geo.push_str(&format!(
             "{{\"variant\":{},\"speedup\":{:.6}}}",
-            json_string(&v.label()),
-            geomean(col),
+            json_string(v),
+            geomean(&per_variant[v]),
         ));
     }
     let rate_reps: Vec<f64> = walls

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! simulate [--workload GUPS] [--variant netcrafter|all] [--cus 8]
+//!          [--topology mesh:CxG|fat-tree:k=K|torus:XxYxZ]
 //!          [--clusters 2] [--gpus-per-cluster 2]
 //!          [--intra 128] [--inter 16] [--flit 16]
 //!          [--scale tiny|small|paper] [--seed N]
@@ -40,7 +41,7 @@
 
 use netcrafter_bench::{f2, pct, stats_report, Runner, Table, TraceArgs};
 use netcrafter_multigpu::{CheckpointPlan, SystemVariant};
-use netcrafter_proto::SystemConfig;
+use netcrafter_proto::{SystemConfig, TopologyConfig};
 use netcrafter_workloads::{Scale, Workload};
 
 fn parse_variant(s: &str) -> Option<SystemVariant> {
@@ -85,7 +86,8 @@ fn main() {
     };
     let usage = || -> ! {
         eprintln!(
-            "usage: simulate [--workload NAME] [--variant V|all] [--cus N] [--clusters N] \
+            "usage: simulate [--workload NAME] [--variant V|all] [--cus N] \
+             [--topology mesh:CxG|fat-tree:k=K[:g=G][:cores=N]|torus:XxYxZ[:g=G]] [--clusters N] \
              [--gpus-per-cluster N] [--intra GBPS] [--inter GBPS] [--flit BYTES] \
              [--scale tiny|small|paper] [--seed N] [--pool-window N] \
              [--trim-granularity N] [--jobs N] [--threads N] [--cache-dir DIR] \
@@ -114,6 +116,14 @@ fn main() {
     };
 
     let mut cfg = SystemConfig::small(get("--cus").and_then(|v| v.parse().ok()).unwrap_or(8));
+    // --topology replaces the whole fabric shape first; the individual
+    // knobs below still override its fields afterwards.
+    if let Some(spec) = get("--topology") {
+        cfg.topology = TopologyConfig::parse_spec(&spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
     if let Some(v) = get("--clusters") {
         cfg.topology.clusters = v.parse().unwrap_or_else(|_| usage());
     }

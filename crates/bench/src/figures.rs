@@ -3,9 +3,10 @@
 //! a full paper-scale output next to the published values.
 
 use netcrafter_multigpu::{JobSpec, System, SystemVariant};
+use netcrafter_net::Topology;
 use netcrafter_proto::{
     AccessId, GpuId, LineAddr, LineMask, MemReq, NodeId, Origin, Packet, PacketId, PacketKind,
-    PacketPayload, TrafficClass, ALL_PACKET_KINDS,
+    PacketPayload, SystemConfig, TrafficClass, ALL_PACKET_KINDS,
 };
 use netcrafter_workloads::Workload;
 
@@ -16,7 +17,7 @@ pub fn all_ids() -> Vec<&'static str> {
     vec![
         "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig12",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
-        "ablation", "scaling",
+        "ablation", "scaling", "topology",
     ]
 }
 
@@ -48,6 +49,7 @@ pub fn generate(id: &str, runner: &Runner) -> Table {
         "fig22" => fig22(runner),
         "ablation" => ablation_search_depth(runner),
         "scaling" => extension_cluster_scaling(runner),
+        "topology" => extension_topology_sweep(runner),
         other => panic!("unknown figure id {other:?}"),
     }
 }
@@ -168,6 +170,15 @@ pub fn sweep_jobs(id: &str, r: &Runner) -> Vec<JobSpec> {
                     let tag = format!("clusters{clusters}");
                     for v in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
                         jobs.push(r.job_with(w, v, cfg, &tag));
+                    }
+                }
+            }
+        }
+        "topology" => {
+            for (tag, cfg) in topology_sweep_points(r) {
+                for w in TOPOLOGY_WORKLOADS {
+                    for v in [SystemVariant::Baseline, SystemVariant::NetCrafter] {
+                        jobs.push(topology_job(r, w, v, cfg, &tag));
                     }
                 }
             }
@@ -858,6 +869,90 @@ pub fn extension_cluster_scaling(r: &Runner) -> Table {
     t
 }
 
+/// Workloads driven across every fabric by the `topology` figure and the
+/// CI topology perf gate: a latency-bound, a sparse, and an
+/// iterative-graph pattern, so multi-hop effects show on more than one
+/// traffic shape without sweeping the full 15-workload matrix per fabric.
+pub const TOPOLOGY_WORKLOADS: [Workload; 3] = [Workload::Gups, Workload::Spmv, Workload::Pr];
+
+/// The fabric points of the `topology` figure: `(memo tag, config)` for
+/// the mesh baseline plus each scale-out preset. Presets contribute only
+/// their topology; every compute parameter (CUs, caches, scale) comes
+/// from the runner's base config so `--quick` stays quick. The mesh
+/// point keeps the empty tag and therefore shares its runs with the
+/// other figures' memo entries.
+pub fn topology_sweep_points(r: &Runner) -> Vec<(String, SystemConfig)> {
+    let mut points = vec![(String::new(), r.base_cfg)];
+    for (name, preset) in [
+        ("fat-tree-8", SystemConfig::fat_tree_8()),
+        ("fat-tree-16", SystemConfig::fat_tree_16()),
+        ("torus-8", SystemConfig::torus_8()),
+    ] {
+        let mut cfg = r.base_cfg;
+        cfg.topology = preset.topology;
+        points.push((format!("topo-{name}"), cfg));
+    }
+    points
+}
+
+/// The job for one topology-sweep cell. The launch is re-scaled with
+/// `Scale::for_gpus` so bigger fabrics keep the 4-GPU mesh's per-GPU
+/// load instead of spreading one mesh-sized kernel ever thinner (the
+/// mesh point itself is the identity, so it still shares memo entries
+/// with the other figures).
+pub fn topology_job(
+    r: &Runner,
+    w: Workload,
+    v: SystemVariant,
+    cfg: SystemConfig,
+    tag: &str,
+) -> JobSpec {
+    let mut job = r.job_with(w, v, cfg, tag);
+    job.scale = job.scale.for_gpus(cfg.topology.total_gpus());
+    job
+}
+
+/// Extension study (not in the paper): how much of the NetCrafter win
+/// survives scale-out fabrics? Each row is one fabric with its geometry
+/// (mean cross-cluster hop count, edge-switch oversubscription ratio)
+/// next to the per-workload baseline→NetCrafter speedups and their
+/// geomean, so the benefit can be read against hop count and
+/// oversubscription directly.
+pub fn extension_topology_sweep(r: &Runner) -> Table {
+    let mut t = Table::new(
+        "Extension: NetCrafter speedup vs fabric topology",
+        vec![
+            "Fabric", "GPUs", "Switches", "Hops", "Oversub", "GUPS", "SPMV", "PR", "Geomean",
+        ],
+    );
+    for (tag, cfg) in topology_sweep_points(r) {
+        let topo = Topology::new(&cfg.topology);
+        let label = if tag.is_empty() {
+            "mesh".to_owned()
+        } else {
+            tag.trim_start_matches("topo-").to_owned()
+        };
+        let mut cells = vec![
+            label,
+            cfg.topology.total_gpus().to_string(),
+            cfg.topology.num_switches().to_string(),
+            f2(topo.mean_cross_hops()),
+            f2(cfg.topology.oversubscription()),
+        ];
+        let mut speedups = Vec::new();
+        for w in TOPOLOGY_WORKLOADS {
+            let base = r.run_job(&topology_job(r, w, SystemVariant::Baseline, cfg, &tag));
+            let nc = r.run_job(&topology_job(r, w, SystemVariant::NetCrafter, cfg, &tag));
+            let s = base.exec_cycles as f64 / nc.exec_cycles as f64;
+            speedups.push(s);
+            cells.push(f2(s));
+        }
+        cells.push(f2(geomean(&speedups)));
+        t.row(cells);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,7 +994,7 @@ mod tests {
             let t = generate(id, &r);
             assert!(!t.rows.is_empty());
         }
-        assert_eq!(all_ids().len(), 21);
+        assert_eq!(all_ids().len(), 22);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use netcrafter_core::TrimEngine;
-use netcrafter_net::{EgressPort, FifoQueue, Reassembler, Segmenter};
+use netcrafter_net::{EgressPort, EgressWire, FifoQueue, Reassembler, Segmenter};
 use netcrafter_proto::config::SystemConfig;
 use netcrafter_proto::{
     Flit, GpuId, MemRsp, Message, Metrics, NodeId, Packet, PacketId, PacketKind, PacketPayload,
@@ -28,6 +28,9 @@ pub struct RdmaWiring {
     pub switch: ComponentId,
     /// Node id of that switch.
     pub switch_node: NodeId,
+    /// This GPU's port index at the switch (stamped as `link` on
+    /// everything sent to it).
+    pub switch_port: u16,
     /// Credits granted by the switch's input buffer.
     pub switch_credits: u32,
     /// The GPU's local L2 (arriving remote requests are served there).
@@ -108,13 +111,16 @@ impl Rdma {
     pub fn new(gpu: GpuId, node: NodeId, cfg: &SystemConfig, wiring: RdmaWiring) -> Self {
         let flits_per_cycle = cfg.topology.intra_bytes_per_cycle() / cfg.flit_bytes as f64;
         let egress = EgressPort::new(
-            wiring.switch,
-            node,
+            EgressWire {
+                peer: wiring.switch,
+                self_node: node,
+                peer_port: wiring.switch_port,
+                wire_latency: 1,
+            },
             Box::new(FifoQueue::new()),
             cfg.switch.buffer_entries as usize,
             flits_per_cycle,
             wiring.switch_credits,
-            1,
         );
         Self {
             gpu,
@@ -276,13 +282,14 @@ impl Component for Rdma {
             match msg {
                 Message::MemReq(req) => self.send_request(req, now, ctx.tracer()),
                 Message::MemRsp(rsp) => self.send_response(rsp, now, ctx.tracer()),
-                Message::Flit { flit, from } => {
+                Message::Flit { flit, from, .. } => {
                     debug_assert_eq!(from, self.wiring.switch_node);
                     ctx.send(
                         self.wiring.switch,
                         Message::Credit {
                             from: self.node,
                             count: 1,
+                            link: self.wiring.switch_port,
                         },
                         1,
                     );
@@ -361,6 +368,7 @@ mod tests {
                                 Message::Credit {
                                     from: self.node,
                                     count: 1,
+                                    link: 0,
                                 },
                                 1,
                             );
@@ -427,6 +435,7 @@ mod tests {
                 RdmaWiring {
                     switch: sw,
                     switch_node: NodeId(4),
+                    switch_port: 0,
                     switch_credits: 1024,
                     l2,
                     gmmu,
@@ -583,6 +592,7 @@ mod tests {
                 Message::Flit {
                     flit,
                     from: NodeId(4),
+                    link: 0,
                 },
                 1,
             );
@@ -623,6 +633,7 @@ mod tests {
                 Message::Flit {
                     flit,
                     from: NodeId(4),
+                    link: 0,
                 },
                 1,
             );

@@ -43,8 +43,18 @@ pub struct SystemIds {
     pub gmmus: Vec<ComponentId>,
     /// RDMA engines per GPU.
     pub rdmas: Vec<ComponentId>,
-    /// Cluster switches per cluster.
+    /// All switches, in topology order: edge switches per cluster first,
+    /// then any fat-tree core tier.
     pub switches: Vec<ComponentId>,
+}
+
+/// Human-readable name of switch `idx`: `"cluster<N>.switch"` for edge
+/// switches, `"core<K>.switch"` for fat-tree cores.
+fn switch_name(topo: &Topology, idx: usize) -> String {
+    match topo.switch_spec(idx).cluster {
+        Some(c) => format!("{c}.switch"),
+        None => format!("core{}.switch", idx - topo.clusters() as usize),
+    }
 }
 
 /// Per-CU wavefront batches for one kernel: `[gpu][cu] -> waves`.
@@ -152,7 +162,7 @@ impl System {
             ids.drams.push(b.reserve());
             ids.rdmas.push(b.reserve());
         }
-        for _c in 0..topo.clusters() {
+        for _s in 0..topo.num_switches() {
             ids.switches.push(b.reserve());
         }
 
@@ -229,6 +239,7 @@ impl System {
                     RdmaWiring {
                         switch: switch_comp,
                         switch_node,
+                        switch_port: topo.gpu_port_at_switch(gpu),
                         switch_credits: buf,
                         l2: ids.l2s[gix],
                         gmmu: ids.gmmus[gix],
@@ -238,61 +249,57 @@ impl System {
             );
         }
 
-        // Install cluster switches.
-        for cluster in topo.all_clusters() {
-            let node = topo.switch_node(cluster);
-            let mut specs = Vec::new();
-            let mut route = BTreeMap::new();
-            // Ports to local GPUs.
-            for gpu in topo.cluster_gpus(cluster) {
-                route.insert(topo.gpu_node(gpu), specs.len());
-                specs.push(SwitchPortSpec {
-                    peer: ids.rdmas[gpu.index()],
-                    peer_node: topo.gpu_node(gpu),
-                    flits_per_cycle: intra_fpc,
-                    initial_credits: buf,
-                    input_capacity: buf as usize,
-                    output_capacity: buf as usize,
-                    queue: Box::new(FifoQueue::new()),
-                    wire_latency: netcrafter_net::WIRE_LATENCY,
-                    is_inter: false,
-                });
-            }
-            // Ports to the other cluster switches (full mesh).
-            for other in topo.all_clusters() {
-                if other == cluster {
-                    continue;
-                }
-                let port = specs.len();
-                route.insert(topo.switch_node(other), port);
-                for gpu in topo.cluster_gpus(other) {
-                    route.insert(topo.gpu_node(gpu), port);
-                }
-                let queue: Box<dyn netcrafter_net::EgressQueue> = if cfg.netcrafter.any_enabled() {
-                    Box::new(ClusterQueue::new(cfg.netcrafter, topo.switch_node(other)))
-                } else {
-                    Box::new(FifoQueue::new())
-                };
-                specs.push(SwitchPortSpec {
-                    peer: ids.switches[other.index()],
-                    peer_node: topo.switch_node(other),
-                    flits_per_cycle: inter_fpc,
+        // Install switches straight from the topology's static specs:
+        // GPU ports first (edge switches only), then fabric links, with
+        // the deterministic multi-hop route tables. Each inter-cluster
+        // egress port carries its *own* NetCrafter controller instance
+        // (a ClusterQueue keyed to the adjacent switch), so pooling,
+        // stitching and sequencing state is per switch, not global.
+        for (s, spec) in topo.switch_specs().enumerate() {
+            let mut ports = Vec::with_capacity(spec.links.len());
+            for link in &spec.links {
+                let (peer, fpc, queue): (ComponentId, f64, Box<dyn netcrafter_net::EgressQueue>) =
+                    if link.is_inter {
+                        let queue: Box<dyn netcrafter_net::EgressQueue> =
+                            if cfg.netcrafter.any_enabled() {
+                                Box::new(ClusterQueue::new(cfg.netcrafter, link.peer))
+                            } else {
+                                Box::new(FifoQueue::new())
+                            };
+                        (
+                            ids.switches[topo.switch_index(link.peer)],
+                            inter_fpc * link.rate_scale,
+                            queue,
+                        )
+                    } else {
+                        let gpu = topo.node_gpu(link.peer).expect("GPU link peers a GPU");
+                        (
+                            ids.rdmas[gpu.index()],
+                            intra_fpc,
+                            Box::new(FifoQueue::new()),
+                        )
+                    };
+                ports.push(SwitchPortSpec {
+                    peer,
+                    peer_node: link.peer,
+                    peer_port: link.peer_port,
+                    flits_per_cycle: fpc,
                     initial_credits: buf,
                     input_capacity: buf as usize,
                     output_capacity: buf as usize,
                     queue,
-                    wire_latency: netcrafter_net::WIRE_LATENCY,
-                    is_inter: true,
+                    wire_latency: link.latency,
+                    is_inter: link.is_inter,
                 });
             }
             b.install(
-                ids.switches[cluster.index()],
+                ids.switches[s],
                 Box::new(Switch::new(
-                    node,
-                    format!("{cluster}.switch"),
+                    spec.node,
+                    switch_name(&topo, s),
                     cfg.switch.pipeline_cycles,
-                    specs,
-                    route,
+                    ports,
+                    spec.routes.clone(),
                 )),
             );
         }
@@ -346,15 +353,18 @@ impl System {
 
     /// Derives the conservative-parallel partition of the node from its
     /// topology: one domain per GPU cluster (that cluster's CUs, GMMUs,
-    /// caches, DRAM stacks and RDMA engines) plus one domain for the
-    /// switch fabric. Every message crossing a domain boundary rides a
-    /// GPU↔switch or switch↔switch wire, so the partition lookahead is
-    /// [`Topology::min_cross_link_latency`].
+    /// caches, DRAM stacks and RDMA engines) plus one domain *per
+    /// switch*. Every message crossing a domain boundary rides a
+    /// GPU↔switch or switch↔switch wire, so each domain pair's lookahead
+    /// is the minimum latency of the links joining them — a heterogeneous
+    /// fabric (4-cycle switch↔switch hops over 1-cycle GPU wires) keeps
+    /// its per-link bounds instead of collapsing to the global minimum.
     pub fn partition(&self) -> netcrafter_sim::Partition {
         let topo = Topology::new(&self.cfg.topology);
-        let switch_domain = topo.clusters() as usize;
+        let clusters = topo.clusters() as usize;
+        let domains = clusters + topo.num_switches() as usize;
         let total = self.ids.switches.last().expect("at least one switch").0 + 1;
-        let mut domain_of = vec![switch_domain; total];
+        let mut domain_of = vec![usize::MAX; total];
         for (g, cus) in self.ids.cus.iter().enumerate() {
             let dom = topo.gpu_cluster(GpuId(g as u16)).index();
             for &cu in cus {
@@ -365,7 +375,35 @@ impl System {
             domain_of[self.ids.drams[g].0] = dom;
             domain_of[self.ids.rdmas[g].0] = dom;
         }
-        netcrafter_sim::Partition::new(domain_of, topo.min_cross_link_latency())
+        for (s, &sw) in self.ids.switches.iter().enumerate() {
+            domain_of[sw.0] = clusters + s;
+        }
+        assert!(
+            domain_of.iter().all(|&d| d != usize::MAX),
+            "every component must belong to a domain"
+        );
+        // Pair matrix: GPU wires bound cluster↔edge-switch pairs, fabric
+        // links bound switch↔switch pairs; pairs with no direct link
+        // never exchange messages.
+        const NO_LINK: u64 = u64::MAX;
+        let mut pairs = vec![NO_LINK; domains * domains];
+        let bound = |pairs: &mut Vec<u64>, a: usize, b: usize, lat: u64| {
+            pairs[a * domains + b] = pairs[a * domains + b].min(lat);
+            pairs[b * domains + a] = pairs[b * domains + a].min(lat);
+        };
+        for (s, spec) in topo.switch_specs().enumerate() {
+            for link in &spec.links {
+                if link.is_inter {
+                    let peer = clusters + topo.switch_index(link.peer);
+                    bound(&mut pairs, clusters + s, peer, link.latency);
+                } else {
+                    let gpu = topo.node_gpu(link.peer).expect("GPU link peers a GPU");
+                    let dom = topo.gpu_cluster(gpu).index();
+                    bound(&mut pairs, clusters + s, dom, link.latency);
+                }
+            }
+        }
+        netcrafter_sim::Partition::with_pair_lookahead(domain_of, pairs)
     }
 
     /// Runs subsequent simulation on `threads` worker threads under the
@@ -410,15 +448,17 @@ impl System {
     /// Drains the per-link time series sampled since
     /// [`System::enable_link_sampling`], labelled `switch->peer`.
     pub fn take_link_series(&mut self) -> Vec<LinkSeries> {
+        let topo = Topology::new(&self.cfg.topology);
         let mut out = Vec::new();
-        for (c, &sw_id) in self.ids.switches.iter().enumerate() {
+        for (s, &sw_id) in self.ids.switches.iter().enumerate() {
+            let name = switch_name(&topo, s);
             let sw = self
                 .engine
                 .get_mut::<Switch>(sw_id)
                 .expect("switch installed");
             for (peer_node, is_inter, series) in sw.take_series() {
                 out.push(LinkSeries {
-                    link: format!("cluster{c}.switch->{peer_node}"),
+                    link: format!("{name}->{peer_node}"),
                     is_inter,
                     series,
                 });
@@ -577,12 +617,20 @@ impl System {
             sw.report(&mut m, &format!("switch{c}"));
             sw.report(&mut m, "net");
         }
-        // Inter-cluster link capacity over the run, for utilization.
-        let inter_ports = (topo.clusters() as u64) * (topo.clusters() as u64 - 1);
+        // Inter-cluster link capacity over the run, for utilization:
+        // sum the actual fabric egress ports' rate shares (a full mesh
+        // has clusters*(clusters-1) full-rate ports; torus VC pairs split
+        // one physical channel, so each counts its rate_scale).
+        let inter_weight: f64 = topo
+            .switch_specs()
+            .flat_map(|s| s.links.iter())
+            .filter(|l| l.is_inter)
+            .map(|l| l.rate_scale)
+            .sum();
         let inter_fpc = self.cfg.topology.inter_bytes_per_cycle() / self.cfg.flit_bytes as f64;
         m.set(
             "net.inter.capacity_flits",
-            (cycles as f64 * inter_fpc * inter_ports as f64) as u64,
+            (cycles as f64 * inter_fpc * inter_weight) as u64,
         );
         m.set("net.inter.flit_bytes", self.cfg.flit_bytes as u64);
         m

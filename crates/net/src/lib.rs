@@ -26,7 +26,7 @@ pub mod switch;
 pub mod synthetic;
 pub mod topology;
 
-pub use port::{EgressPort, EgressQueue, FifoQueue, PortSeries, PortStats};
+pub use port::{EgressPort, EgressQueue, EgressWire, FifoQueue, PortSeries, PortStats};
 pub use seg::{Reassembler, Segmenter};
 pub use switch::{Switch, SwitchPortSpec};
 pub use synthetic::{load_latency_sweep, LoadPoint, SyntheticConfig};

@@ -272,12 +272,31 @@ impl Snap for PortSeries {
     }
 }
 
+/// Identity and timing of the wire an [`EgressPort`] transmits on: who
+/// is on the other end, which of the peer's ports the wire lands on,
+/// and how long the signal takes to get there.
+#[derive(Debug, Clone, Copy)]
+pub struct EgressWire {
+    /// Engine address of the next hop's component.
+    pub peer: ComponentId,
+    /// The transmitting port's own node id.
+    pub self_node: NodeId,
+    /// The paired port's index at the peer (0 for single-port endpoints).
+    pub peer_port: u16,
+    /// Wire propagation latency in cycles.
+    pub wire_latency: u64,
+}
+
 /// A rate-limited, credit-flow-controlled transmit port.
 pub struct EgressPort {
     /// Engine address of the next hop's component.
     peer: ComponentId,
     /// This port's own node id (stamped as `from` on transmissions).
     self_node: NodeId,
+    /// The paired port's index at the peer, stamped as `link` on
+    /// transmissions so the receiver can index its port array directly
+    /// (0 for single-port endpoints).
+    peer_port: u16,
     /// Output buffer.
     queue: Box<dyn EgressQueue>,
     /// Output buffer capacity in flits (Table 2: 1024).
@@ -319,24 +338,23 @@ impl std::fmt::Debug for EgressPort {
 }
 
 impl EgressPort {
-    /// Creates a port transmitting to `peer`.
+    /// Creates a port transmitting over `wire`.
     ///
     /// * `flits_per_cycle` — link bandwidth over flit size (8.0 for the
     ///   128 GB/s intra links, 1.0 for the 16 GB/s inter links at 16 B
     ///   flits).
     /// * `initial_credits` — downstream input buffer capacity.
     pub fn new(
-        peer: ComponentId,
-        self_node: NodeId,
+        wire: EgressWire,
         queue: Box<dyn EgressQueue>,
         capacity: usize,
         flits_per_cycle: f64,
         initial_credits: u32,
-        wire_latency: u64,
     ) -> Self {
         Self {
-            peer,
-            self_node,
+            peer: wire.peer,
+            self_node: wire.self_node,
+            peer_port: wire.peer_port,
             queue,
             capacity,
             // Burst of rate+1 flit: fractional accrual is never clipped
@@ -344,7 +362,7 @@ impl EgressPort {
             // 3.125 flits/cycle link really sustains 3.125, not 3.
             rate: RateLimiter::new(flits_per_cycle, flits_per_cycle + 1.0),
             credits: initial_credits,
-            wire_latency,
+            wire_latency: wire.wire_latency,
             stats: PortStats::default(),
             series: None,
             last_tick: 0,
@@ -565,6 +583,7 @@ impl EgressPort {
                 Message::Flit {
                     flit,
                     from: self.self_node,
+                    link: self.peer_port,
                 },
                 self.wire_latency,
             );
@@ -700,6 +719,7 @@ mod tests {
                         Message::Credit {
                             from: NodeId(9),
                             count: 1,
+                            link: 0,
                         },
                         1,
                     );
@@ -714,19 +734,26 @@ mod tests {
         }
     }
 
+    fn wire_to(peer: ComponentId) -> EgressWire {
+        EgressWire {
+            peer,
+            self_node: NodeId(0),
+            peer_port: 0,
+            wire_latency: 1,
+        }
+    }
+
     #[test]
     fn transmits_at_configured_rate() {
         let mut b = EngineBuilder::new();
         let tx_id = b.reserve();
         let rx_id = b.reserve();
         let port = EgressPort::new(
-            rx_id,
-            NodeId(0),
+            wire_to(rx_id),
             Box::new(FifoQueue::new()),
             1024,
             1.0, // 1 flit/cycle
             1024,
-            1,
         );
         b.install(tx_id, Box::new(Tx { port, to_send: 10 }));
         b.install(
@@ -750,13 +777,11 @@ mod tests {
         let tx_id = b.reserve();
         let rx_id = b.reserve();
         let port = EgressPort::new(
-            rx_id,
-            NodeId(0),
+            wire_to(rx_id),
             Box::new(FifoQueue::new()),
             1024,
             4.0,
             2, // only 2 downstream slots
-            1,
         );
         b.install(tx_id, Box::new(Tx { port, to_send: 6 }));
         b.install(
@@ -817,7 +842,7 @@ mod tests {
         let mut b = EngineBuilder::new();
         let rx_id = b.reserve();
         drop(b);
-        let mut port = EgressPort::new(rx_id, NodeId(0), Box::new(FifoQueue::new()), 1, 1.0, 0, 1);
+        let mut port = EgressPort::new(wire_to(rx_id), Box::new(FifoQueue::new()), 1, 1.0, 0);
         port.push(flit(12, false), 0);
         assert!(!port.can_accept());
         port.push(flit(12, false), 0);

@@ -14,7 +14,7 @@ use netcrafter_proto::{Flit, Message, Metrics, NodeId};
 use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Tracer, Wake};
 
-use crate::port::{EgressPort, EgressQueue, PortSeries};
+use crate::port::{EgressPort, EgressQueue, EgressWire, PortSeries};
 
 /// Everything needed to wire one bidirectional switch port.
 pub struct SwitchPortSpec {
@@ -22,6 +22,11 @@ pub struct SwitchPortSpec {
     pub peer: ComponentId,
     /// Node id of that component (used to attribute arrivals and credits).
     pub peer_node: NodeId,
+    /// The paired port's index at the peer: the value stamped as `link`
+    /// on everything sent over this port, so the peer indexes its port
+    /// array directly even when several parallel links join the same two
+    /// nodes (torus virtual channels). 0 for single-port endpoints.
+    pub peer_port: u16,
     /// Link bandwidth in flits per cycle.
     pub flits_per_cycle: f64,
     /// Credits granted by the downstream input buffer.
@@ -43,6 +48,8 @@ pub struct SwitchPortSpec {
 struct Port {
     peer: ComponentId,
     peer_node: NodeId,
+    peer_port: u16,
+    wire_latency: u64,
     in_pipe: DelayQueue<Flit>,
     in_capacity: usize,
     stalled: Option<Flit>,
@@ -104,7 +111,6 @@ pub struct Switch {
     name: String,
     pipeline_cycles: u32,
     ports: Vec<Port>,
-    by_peer_node: BTreeMap<NodeId, usize>,
     route: BTreeMap<NodeId, usize>,
     /// Aggregate statistics.
     pub stats: SwitchStats,
@@ -121,23 +127,26 @@ impl Switch {
         route: BTreeMap<NodeId, usize>,
     ) -> Self {
         let mut ports = Vec::with_capacity(specs.len());
-        let mut by_peer_node = BTreeMap::new();
-        for (i, spec) in specs.into_iter().enumerate() {
-            by_peer_node.insert(spec.peer_node, i);
+        for spec in specs {
             ports.push(Port {
                 peer: spec.peer,
                 peer_node: spec.peer_node,
+                peer_port: spec.peer_port,
+                wire_latency: spec.wire_latency,
                 in_pipe: DelayQueue::new(),
                 in_capacity: spec.input_capacity,
                 stalled: None,
                 egress: EgressPort::new(
-                    spec.peer,
-                    node,
+                    EgressWire {
+                        peer: spec.peer,
+                        self_node: node,
+                        peer_port: spec.peer_port,
+                        wire_latency: spec.wire_latency,
+                    },
                     spec.queue,
                     spec.output_capacity,
                     spec.flits_per_cycle,
                     spec.initial_credits,
-                    spec.wire_latency,
                 ),
                 is_inter: spec.is_inter,
             });
@@ -153,7 +162,6 @@ impl Switch {
             name: name.into(),
             pipeline_cycles,
             ports,
-            by_peer_node,
             route,
             stats: SwitchStats::default(),
         }
@@ -162,13 +170,6 @@ impl Switch {
     /// This switch's node id.
     pub fn node(&self) -> NodeId {
         self.node
-    }
-
-    /// Input buffer capacity of the port facing `peer_node` (what the
-    /// upstream should use as its initial credit).
-    pub fn input_capacity_for(&self, peer_node: NodeId) -> usize {
-        let ix = self.by_peer_node[&peer_node];
-        self.ports[ix].in_capacity
     }
 
     /// Per-port egress statistics: `(peer_node, is_inter, stats)`.
@@ -296,12 +297,19 @@ impl Component for Switch {
         // 1. Accept arrivals and credits.
         while let Some(msg) = ctx.recv() {
             match msg {
-                Message::Flit { flit, from } => {
-                    let ix = *self
-                        .by_peer_node
-                        .get(&from)
-                        .unwrap_or_else(|| panic!("{}: flit from unknown node {from}", self.name));
+                Message::Flit { flit, from, link } => {
+                    let ix = link as usize;
+                    assert!(
+                        ix < self.ports.len(),
+                        "{}: flit from {from} on unknown port {link}",
+                        self.name
+                    );
                     let port = &mut self.ports[ix];
+                    debug_assert_eq!(
+                        port.peer_node, from,
+                        "{}: port {link} faces {}, flit claims {from}",
+                        self.name, port.peer_node
+                    );
                     assert!(
                         port.input_occupancy() < port.in_capacity,
                         "{}: input buffer overflow from {from} (credit protocol violated)",
@@ -315,10 +323,14 @@ impl Component for Switch {
                     }
                     port.in_pipe.push(now + self.pipeline_cycles as Cycle, flit);
                 }
-                Message::Credit { from, count } => {
-                    let ix = *self.by_peer_node.get(&from).unwrap_or_else(|| {
-                        panic!("{}: credit from unknown node {from}", self.name)
-                    });
+                Message::Credit { from, count, link } => {
+                    let ix = link as usize;
+                    assert!(
+                        ix < self.ports.len(),
+                        "{}: credit from {from} on unknown port {link}",
+                        self.name
+                    );
+                    debug_assert_eq!(self.ports[ix].peer_node, from);
                     self.ports[ix].egress.on_credit(count);
                 }
                 other => panic!("{}: unexpected message {}", self.name, other.label()),
@@ -331,15 +343,16 @@ impl Component for Switch {
             if let Some(flit) = self.ports[ix].stalled.take() {
                 match self.try_route(flit, now, ctx.tracer()) {
                     Ok(()) => {
-                        let (peer, peer_node) = (self.ports[ix].peer, self.ports[ix].peer_node);
-                        let _ = peer_node;
+                        let p = &self.ports[ix];
+                        let (peer, link, delay) = (p.peer, p.peer_port, p.wire_latency);
                         ctx.send(
                             peer,
                             Message::Credit {
                                 from: self.node,
                                 count: 1,
+                                link,
                             },
-                            1,
+                            delay,
                         );
                     }
                     Err(flit) => {
@@ -351,14 +364,16 @@ impl Component for Switch {
             while let Some(flit) = self.ports[ix].in_pipe.pop_ready(now) {
                 match self.try_route(flit, now, ctx.tracer()) {
                     Ok(()) => {
-                        let peer = self.ports[ix].peer;
+                        let p = &self.ports[ix];
+                        let (peer, link, delay) = (p.peer, p.peer_port, p.wire_latency);
                         ctx.send(
                             peer,
                             Message::Credit {
                                 from: self.node,
                                 count: 1,
+                                link,
                             },
-                            1,
+                            delay,
                         );
                     }
                     Err(flit) => {
@@ -447,6 +462,8 @@ mod tests {
     struct Endpoint {
         node: NodeId,
         switch: ComponentId,
+        /// This endpoint's port index at the switch (stamped as `link`).
+        switch_port: u16,
         outbound: Vec<Flit>,
         received: Arc<Mutex<Vec<Flit>>>,
         sent: bool,
@@ -457,13 +474,14 @@ mod tests {
         fn tick(&mut self, ctx: &mut Ctx<'_>) {
             while let Some(msg) = ctx.recv() {
                 match msg {
-                    Message::Flit { flit, from } => {
+                    Message::Flit { flit, from, .. } => {
                         self.received.lock().unwrap().push(flit);
                         ctx.send(
                             self.switch,
                             Message::Credit {
                                 from: self.node,
                                 count: 1,
+                                link: self.switch_port,
                             },
                             1,
                         );
@@ -481,6 +499,7 @@ mod tests {
                         Message::Flit {
                             flit,
                             from: self.node,
+                            link: self.switch_port,
                         },
                         1,
                     );
@@ -517,10 +536,11 @@ mod tests {
         }
     }
 
-    fn spec(peer: ComponentId, peer_node: NodeId, rate: f64) -> SwitchPortSpec {
+    fn spec(peer: ComponentId, peer_node: NodeId, peer_port: u16, rate: f64) -> SwitchPortSpec {
         SwitchPortSpec {
             peer,
             peer_node,
+            peer_port,
             flits_per_cycle: rate,
             initial_credits: 1024,
             input_capacity: 1024,
@@ -547,6 +567,7 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(0),
                 switch: sw,
+                switch_port: 0,
                 outbound: flits,
                 received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
@@ -558,6 +579,7 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(1),
                 switch: sw,
+                switch_port: 1,
                 outbound: vec![],
                 received: Arc::clone(&received),
                 sent: false,
@@ -571,7 +593,7 @@ mod tests {
                 NodeId(2),
                 "sw",
                 30,
-                vec![spec(e0, NodeId(0), 8.0), spec(e1, NodeId(1), 8.0)],
+                vec![spec(e0, NodeId(0), 0, 8.0), spec(e1, NodeId(1), 0, 8.0)],
                 route,
             )),
         );
@@ -606,6 +628,7 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(0),
                 switch: sw0,
+                switch_port: 0,
                 outbound,
                 received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
@@ -617,6 +640,7 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(1),
                 switch: sw1,
+                switch_port: 1,
                 outbound: vec![],
                 received: Arc::clone(&received),
                 sent: false,
@@ -630,7 +654,7 @@ mod tests {
                 NodeId(2),
                 "sw0",
                 30,
-                vec![spec(e0, NodeId(0), 8.0), spec(sw1, NodeId(3), 1.0)],
+                vec![spec(e0, NodeId(0), 0, 8.0), spec(sw1, NodeId(3), 0, 1.0)],
                 BTreeMap::from([(NodeId(0), 0), (NodeId(1), 1), (NodeId(3), 1)]),
             )),
         );
@@ -641,7 +665,7 @@ mod tests {
                 NodeId(3),
                 "sw1",
                 30,
-                vec![spec(sw0, NodeId(2), 1.0), spec(e1, NodeId(1), 8.0)],
+                vec![spec(sw0, NodeId(2), 1, 1.0), spec(e1, NodeId(1), 0, 8.0)],
                 BTreeMap::from([(NodeId(0), 0), (NodeId(2), 0), (NodeId(1), 1)]),
             )),
         );
@@ -673,6 +697,7 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(0),
                 switch: sw0,
+                switch_port: 0,
                 outbound,
                 received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
@@ -684,6 +709,7 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(1),
                 switch: sw1,
+                switch_port: 1,
                 outbound: vec![],
                 received: Arc::clone(&received),
                 sent: false,
@@ -691,9 +717,10 @@ mod tests {
             }),
         );
         // Tight buffers: output 4, input 4, credits 4, slow inter link.
-        let tight = |peer, peer_node, rate| SwitchPortSpec {
+        let tight = |peer, peer_node, peer_port, rate| SwitchPortSpec {
             peer,
             peer_node,
+            peer_port,
             flits_per_cycle: rate,
             initial_credits: 4,
             input_capacity: 4,
@@ -708,7 +735,7 @@ mod tests {
                 NodeId(2),
                 "sw0",
                 5,
-                vec![spec(e0, NodeId(0), 8.0), tight(sw1, NodeId(3), 0.25)],
+                vec![spec(e0, NodeId(0), 0, 8.0), tight(sw1, NodeId(3), 0, 0.25)],
                 BTreeMap::from([(NodeId(0), 0), (NodeId(1), 1), (NodeId(3), 1)]),
             )),
         );
@@ -718,7 +745,7 @@ mod tests {
                 NodeId(3),
                 "sw1",
                 5,
-                vec![tight(sw0, NodeId(2), 0.25), spec(e1, NodeId(1), 8.0)],
+                vec![tight(sw0, NodeId(2), 1, 0.25), spec(e1, NodeId(1), 0, 8.0)],
                 BTreeMap::from([(NodeId(0), 0), (NodeId(2), 0), (NodeId(1), 1)]),
             )),
         );
@@ -754,18 +781,20 @@ mod tests {
             Box::new(Endpoint {
                 node: NodeId(0),
                 switch: sw,
+                switch_port: 0,
                 outbound: vec![parent],
                 received: Arc::new(Mutex::new(Vec::new())),
                 sent: false,
                 switch_credits: 0,
             }),
         );
-        for (id, node, rx) in [(e1, NodeId(1), &r1), (e2, NodeId(2), &r2)] {
+        for (id, node, port, rx) in [(e1, NodeId(1), 1, &r1), (e2, NodeId(2), 2, &r2)] {
             b.install(
                 id,
                 Box::new(Endpoint {
                     node,
                     switch: sw,
+                    switch_port: port,
                     outbound: vec![],
                     received: Arc::clone(rx),
                     sent: false,
@@ -778,9 +807,9 @@ mod tests {
             "sw",
             10,
             vec![
-                spec(e0, NodeId(0), 8.0),
-                spec(e1, NodeId(1), 8.0),
-                spec(e2, NodeId(2), 8.0),
+                spec(e0, NodeId(0), 0, 8.0),
+                spec(e1, NodeId(1), 0, 8.0),
+                spec(e2, NodeId(2), 0, 8.0),
             ],
             BTreeMap::from([(NodeId(0), 0), (NodeId(1), 1), (NodeId(2), 2)]),
         );

@@ -37,6 +37,9 @@ pub struct LoadPoint {
 struct Source {
     node: NodeId,
     switch: ComponentId,
+    /// This endpoint's port index at its switch, stamped as `link` on
+    /// every flit so the switch can index the ingress port directly.
+    switch_port: u16,
     rate: RateLimiter,
     dsts: Vec<NodeId>,
     remaining: u64,
@@ -88,6 +91,7 @@ impl Component for Source {
                 Message::Flit {
                     flit,
                     from: self.node,
+                    link: self.switch_port,
                 },
                 1,
             );
@@ -137,6 +141,8 @@ struct SinkStats {
 struct Sink {
     node: NodeId,
     switch: ComponentId,
+    /// Port index of this endpoint at its switch (for credit returns).
+    switch_port: u16,
     /// The co-located source: the switch addresses all of this node's
     /// traffic (including returned input-buffer credits) to the sink, so
     /// the sink forwards credits to the source that actually needs them.
@@ -161,12 +167,21 @@ impl Component for Sink {
                         Message::Credit {
                             from: self.node,
                             count: 1,
+                            link: self.switch_port,
                         },
                         1,
                     );
                 }
-                Message::Credit { from, count } => {
-                    ctx.send(self.source, Message::Credit { from, count }, 1);
+                Message::Credit { from, count, .. } => {
+                    ctx.send(
+                        self.source,
+                        Message::Credit {
+                            from,
+                            count,
+                            link: 0,
+                        },
+                        1,
+                    );
                 }
                 other => panic!("sink got {}", other.label()),
             }
@@ -253,11 +268,14 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
 
     for i in 0..total_eps {
         let my_switch = if i < n as usize { sw0 } else { sw1 };
+        // Each switch's local endpoints occupy ports 0..n in node order.
+        let switch_port = u16::try_from(i % n as usize).expect("port fits in u16");
         b.install(
             ep_ids[2 * i],
             Box::new(Source {
                 node: all_nodes[i],
                 switch: my_switch,
+                switch_port,
                 // Burst of rate+1 so fractional accrual is never clipped
                 // before a whole-flit consume opportunity.
                 rate: RateLimiter::new(offered, offered + 1.0),
@@ -277,6 +295,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
             Box::new(Sink {
                 node: all_nodes[i],
                 switch: my_switch,
+                switch_port,
                 source: ep_ids[2 * i],
                 stats: Arc::clone(&stats),
             }),
@@ -295,6 +314,7 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
             specs.push(SwitchPortSpec {
                 peer: ep_ids[2 * i + 1], // deliver to the sink
                 peer_node: all_nodes[i],
+                peer_port: 0,
                 flits_per_cycle: cfg.intra_fpc,
                 initial_credits: cfg.buffer_entries,
                 input_capacity: cfg.buffer_entries as usize,
@@ -314,6 +334,9 @@ pub fn run_load_point(cfg: &SyntheticConfig, offered: f64) -> LoadPoint {
         specs.push(SwitchPortSpec {
             peer: other.0,
             peer_node: other.1,
+            // Both switches have n local ports, so the inter port sits at
+            // the same index n on each side.
+            peer_port: n,
             flits_per_cycle: cfg.inter_fpc,
             initial_credits: cfg.buffer_entries,
             input_capacity: cfg.buffer_entries as usize,

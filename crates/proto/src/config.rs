@@ -89,10 +89,53 @@ pub struct GmmuConfig {
     pub walkers: u32,
 }
 
+/// Switch-level fabric connecting the cluster (edge) switches.
+///
+/// The paper's node is a full mesh of two cluster switches (one link);
+/// the scale-out fabrics add a two-tier fat-tree and a 3D torus so the
+/// non-uniform-bandwidth mechanisms can be stress-tested across multi-hop
+/// paths and oversubscription ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricConfig {
+    /// Every cluster switch links directly to every other cluster switch
+    /// (the paper baseline: 2 switches, 1 inter link).
+    Mesh,
+    /// Two-tier fat-tree: every cluster (edge) switch uplinks to each of
+    /// `cores` core switches. Oversubscription ratio =
+    /// injection bandwidth / uplink bandwidth per edge switch.
+    FatTree {
+        /// Number of core-tier switches.
+        cores: u16,
+    },
+    /// 3D torus of cluster switches with deterministic dimension-order
+    /// routing (X, then Y, then Z) and dateline virtual channels for
+    /// deadlock freedom on the wrap links.
+    Torus {
+        /// Ring length in X (fastest-varying coordinate).
+        x: u16,
+        /// Ring length in Y.
+        y: u16,
+        /// Ring length in Z (slowest-varying coordinate).
+        z: u16,
+    },
+}
+
+impl FabricConfig {
+    /// Compact, stable token used in [`SystemConfig::stable_repr`].
+    pub fn stable_token(&self) -> String {
+        match self {
+            FabricConfig::Mesh => "mesh".to_string(),
+            FabricConfig::FatTree { cores } => format!("ft{cores}"),
+            FabricConfig::Torus { x, y, z } => format!("torus{x}x{y}x{z}"),
+        }
+    }
+}
+
 /// Shape and bandwidths of the hierarchical interconnect.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopologyConfig {
-    /// Number of GPU clusters (2 in the Frontier-inspired baseline).
+    /// Number of GPU clusters (2 in the Frontier-inspired baseline). Each
+    /// cluster owns one edge switch.
     pub clusters: u16,
     /// GPUs per cluster (2 in the baseline).
     pub gpus_per_cluster: u16,
@@ -101,6 +144,12 @@ pub struct TopologyConfig {
     pub intra_gbps: f64,
     /// Inter-cluster (lower-bandwidth) link rate in GB/s. Baseline: 16.
     pub inter_gbps: f64,
+    /// How the cluster switches are wired together.
+    pub fabric: FabricConfig,
+    /// Wire latency in cycles of every switch↔switch fabric link. The
+    /// paper-baseline mesh uses 1; the scale-out presets use 4 so the
+    /// per-link lookahead heterogeneity is real.
+    pub fabric_link_cycles: u32,
 }
 
 impl TopologyConfig {
@@ -133,6 +182,146 @@ impl TopologyConfig {
     #[inline]
     pub fn inter_bytes_per_cycle(&self) -> f64 {
         self.inter_gbps * CLOCK_GHZ
+    }
+
+    /// Total number of switches in the fabric: one edge switch per
+    /// cluster, plus the core tier for fat-trees.
+    #[inline]
+    pub fn num_switches(&self) -> u16 {
+        match self.fabric {
+            FabricConfig::Mesh | FabricConfig::Torus { .. } => self.clusters,
+            FabricConfig::FatTree { cores } => self.clusters + cores,
+        }
+    }
+
+    /// Distinct fabric neighbors of one edge switch (physical links, not
+    /// virtual channels). Used for oversubscription and capacity math.
+    pub fn fabric_links_per_edge(&self) -> u16 {
+        match self.fabric {
+            FabricConfig::Mesh => self.clusters.saturating_sub(1),
+            FabricConfig::FatTree { cores } => cores,
+            FabricConfig::Torus { x, y, z } => [x, y, z]
+                .iter()
+                .map(|&d| match d {
+                    0 | 1 => 0u16,
+                    2 => 1,
+                    _ => 2,
+                })
+                .sum(),
+        }
+    }
+
+    /// Injection-to-uplink bandwidth ratio at one edge switch: the
+    /// fat-tree oversubscription knob, generalized to all fabrics.
+    pub fn oversubscription(&self) -> f64 {
+        let uplinks = self.fabric_links_per_edge();
+        if uplinks == 0 {
+            return 0.0;
+        }
+        (self.gpus_per_cluster as f64 * self.intra_gbps) / (uplinks as f64 * self.inter_gbps)
+    }
+
+    /// Parses a `--topology` CLI spec into a topology with the paper's
+    /// baseline bandwidths (override via the returned struct's fields).
+    ///
+    /// Grammar (case-sensitive, `:`-separated options):
+    /// * `mesh` or `mesh:CxG` — full mesh of `C` clusters × `G` GPUs
+    ///   (default 2×2, fabric latency 1 — the paper baseline).
+    /// * `fat-tree:k=K[:g=G][:cores=N]` — `K` edge switches × `G` GPUs
+    ///   (default 2) with `N` cores (default `K/2`), fabric latency 4.
+    /// * `torus:XxYxZ[:g=G]` — `X·Y·Z` switches × `G` GPUs (default 1),
+    ///   fabric latency 4.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let baseline = TopologyConfig {
+            clusters: 2,
+            gpus_per_cluster: 2,
+            intra_gbps: 128.0,
+            inter_gbps: 16.0,
+            fabric: FabricConfig::Mesh,
+            fabric_link_cycles: 1,
+        };
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or("");
+        let opts: Vec<&str> = parts.collect();
+        let parse_u16 = |s: &str, what: &str| -> Result<u16, String> {
+            s.parse::<u16>()
+                .map_err(|_| format!("--topology: bad {what} {s:?} in {spec:?}"))
+        };
+        let parse_dims = |s: &str| -> Result<(u16, u16, u16), String> {
+            let d: Vec<&str> = s.split('x').collect();
+            if d.len() != 3 {
+                return Err(format!("--topology: expected XxYxZ, got {s:?} in {spec:?}"));
+            }
+            Ok((
+                parse_u16(d[0], "dimension")?,
+                parse_u16(d[1], "dimension")?,
+                parse_u16(d[2], "dimension")?,
+            ))
+        };
+        match kind {
+            "mesh" => {
+                let mut t = baseline;
+                if let Some(shape) = opts.first() {
+                    let d: Vec<&str> = shape.split('x').collect();
+                    if d.len() != 2 {
+                        return Err(format!("--topology: expected mesh:CxG, got {spec:?}"));
+                    }
+                    t.clusters = parse_u16(d[0], "cluster count")?;
+                    t.gpus_per_cluster = parse_u16(d[1], "GPUs per cluster")?;
+                }
+                Ok(t)
+            }
+            "fat-tree" => {
+                let mut k = None;
+                let mut g = 2u16;
+                let mut cores = None;
+                for o in &opts {
+                    if let Some(v) = o.strip_prefix("k=") {
+                        k = Some(parse_u16(v, "edge count")?);
+                    } else if let Some(v) = o.strip_prefix("g=") {
+                        g = parse_u16(v, "GPUs per cluster")?;
+                    } else if let Some(v) = o.strip_prefix("cores=") {
+                        cores = Some(parse_u16(v, "core count")?);
+                    } else {
+                        return Err(format!("--topology: unknown option {o:?} in {spec:?}"));
+                    }
+                }
+                let k = k.ok_or_else(|| format!("--topology: fat-tree needs k=K in {spec:?}"))?;
+                Ok(TopologyConfig {
+                    clusters: k,
+                    gpus_per_cluster: g,
+                    fabric: FabricConfig::FatTree {
+                        cores: cores.unwrap_or_else(|| (k / 2).max(1)),
+                    },
+                    fabric_link_cycles: 4,
+                    ..baseline
+                })
+            }
+            "torus" => {
+                let dims = opts
+                    .first()
+                    .ok_or_else(|| format!("--topology: torus needs XxYxZ in {spec:?}"))?;
+                let (x, y, z) = parse_dims(dims)?;
+                let mut g = 1u16;
+                for o in &opts[1..] {
+                    if let Some(v) = o.strip_prefix("g=") {
+                        g = parse_u16(v, "GPUs per cluster")?;
+                    } else {
+                        return Err(format!("--topology: unknown option {o:?} in {spec:?}"));
+                    }
+                }
+                Ok(TopologyConfig {
+                    clusters: x * y * z,
+                    gpus_per_cluster: g,
+                    fabric: FabricConfig::Torus { x, y, z },
+                    fabric_link_cycles: 4,
+                    ..baseline
+                })
+            }
+            _ => Err(format!(
+                "--topology: unknown fabric {kind:?} (mesh | fat-tree | torus) in {spec:?}"
+            )),
+        }
     }
 }
 
@@ -264,6 +453,8 @@ impl SystemConfig {
                 gpus_per_cluster: 2,
                 intra_gbps: 128.0,
                 inter_gbps: 16.0,
+                fabric: FabricConfig::Mesh,
+                fabric_link_cycles: 1,
             },
             cus_per_gpu: 64,
             max_waves_per_cu: 40,
@@ -325,6 +516,46 @@ impl SystemConfig {
             cus_per_gpu,
             ..Self::paper_baseline()
         }
+    }
+
+    /// Replaces the topology's shape, keeping the baseline bandwidths
+    /// and every non-network parameter.
+    fn with_fabric(mut self, clusters: u16, gpus_per_cluster: u16, fabric: FabricConfig) -> Self {
+        self.topology.clusters = clusters;
+        self.topology.gpus_per_cluster = gpus_per_cluster;
+        self.topology.fabric = fabric;
+        self.topology.fabric_link_cycles = 4;
+        self
+    }
+
+    /// 8-GPU fat-tree: 4 edge switches × 2 GPUs, 2 cores (2:1 fat-tree
+    /// stage, 8:1 with the bandwidth taper — `--topology fat-tree:k=4`).
+    pub fn fat_tree_8() -> Self {
+        Self::paper_baseline().with_fabric(4, 2, FabricConfig::FatTree { cores: 2 })
+    }
+
+    /// 16-GPU fat-tree: 8 edge switches × 2 GPUs, 4 cores
+    /// (`--topology fat-tree:k=8`).
+    pub fn fat_tree_16() -> Self {
+        Self::paper_baseline().with_fabric(8, 2, FabricConfig::FatTree { cores: 4 })
+    }
+
+    /// 64-GPU fat-tree: 16 edge switches × 4 GPUs, 8 cores
+    /// (`--topology fat-tree:k=16:g=4:cores=8`).
+    pub fn fat_tree_64() -> Self {
+        Self::paper_baseline().with_fabric(16, 4, FabricConfig::FatTree { cores: 8 })
+    }
+
+    /// 8-GPU 3D torus: 2×2×2 switches, one GPU each
+    /// (`--topology torus:2x2x2`).
+    pub fn torus_8() -> Self {
+        Self::paper_baseline().with_fabric(8, 1, FabricConfig::Torus { x: 2, y: 2, z: 2 })
+    }
+
+    /// 64-GPU 3D torus: 4×4×4 switches, one GPU each
+    /// (`--topology torus:4x4x4`).
+    pub fn torus_64() -> Self {
+        Self::paper_baseline().with_fabric(64, 1, FabricConfig::Torus { x: 4, y: 4, z: 4 })
     }
 
     /// The *ideal* configuration of Figure 3: every link runs at the
@@ -397,7 +628,7 @@ impl SystemConfig {
             SectorFillPolicy::Always => "always",
         };
         format!(
-            "topo:{}x{}x{:016x}x{:016x};cus:{};waves:{};outst:{};loads:{};\
+            "topo:{}x{}x{:016x}x{:016x};fab:{},{};cus:{};waves:{};outst:{};loads:{};\
              l1:{},{},{},{},{};l2:{},{},{},{},{};\
              l1tlb:{},{},{},{};l2tlb:{},{},{},{};gmmu:{},{},{};dram:{},{};\
              switch:{},{};flit:{};nc:{},{},{},{},{},{},{};fill:{};gran:{};\
@@ -406,6 +637,8 @@ impl SystemConfig {
             t.gpus_per_cluster,
             t.intra_gbps.to_bits(),
             t.inter_gbps.to_bits(),
+            t.fabric.stable_token(),
+            t.fabric_link_cycles,
             self.cus_per_gpu,
             self.max_waves_per_cu,
             self.max_outstanding_per_cu,
@@ -472,6 +705,28 @@ impl SystemConfig {
         }
         if self.topology.clusters == 0 || self.topology.gpus_per_cluster == 0 {
             return Err("topology must contain at least one GPU".into());
+        }
+        if self.topology.fabric_link_cycles == 0 {
+            return Err("fabric link latency must be at least one cycle".into());
+        }
+        match self.topology.fabric {
+            FabricConfig::Mesh => {}
+            FabricConfig::FatTree { cores } => {
+                if cores == 0 {
+                    return Err("fat-tree needs at least one core switch".into());
+                }
+            }
+            FabricConfig::Torus { x, y, z } => {
+                if x == 0 || y == 0 || z == 0 {
+                    return Err(format!("torus dimensions must be nonzero, got {x}x{y}x{z}"));
+                }
+                if (x as u32) * (y as u32) * (z as u32) != self.topology.clusters as u32 {
+                    return Err(format!(
+                        "torus {x}x{y}x{z} does not match {} clusters",
+                        self.topology.clusters
+                    ));
+                }
+            }
         }
         if self.cus_per_gpu == 0 {
             return Err("need at least one CU per GPU".into());
@@ -640,6 +895,17 @@ mod tests {
         c.topology.clusters = 3;
         variants.push(c);
         let mut c = base;
+        c.topology.fabric = FabricConfig::FatTree { cores: 1 };
+        variants.push(c);
+        let mut c = base;
+        c.topology.fabric_link_cycles = 4;
+        variants.push(c);
+        variants.push(SystemConfig::fat_tree_8());
+        variants.push(SystemConfig::fat_tree_16());
+        variants.push(SystemConfig::fat_tree_64());
+        variants.push(SystemConfig::torus_8());
+        variants.push(SystemConfig::torus_64());
+        let mut c = base;
         c.netcrafter.pooling_window = 64;
         variants.push(c);
         let mut c = base;
@@ -663,6 +929,74 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn scale_out_presets_validate() {
+        for (cfg, gpus, switches) in [
+            (SystemConfig::fat_tree_8(), 8, 6),
+            (SystemConfig::fat_tree_16(), 16, 12),
+            (SystemConfig::fat_tree_64(), 64, 24),
+            (SystemConfig::torus_8(), 8, 8),
+            (SystemConfig::torus_64(), 64, 64),
+        ] {
+            assert!(cfg.validate().is_ok(), "{:?}", cfg.topology.fabric);
+            assert_eq!(cfg.total_gpus(), gpus);
+            assert_eq!(cfg.topology.num_switches(), switches);
+        }
+        // fat_tree_8: 2 GPUs × 128 GB/s injected over 2 cores × 16 GB/s.
+        assert_eq!(SystemConfig::fat_tree_8().topology.oversubscription(), 8.0);
+        // torus_8 (2x2x2): 3 distinct neighbors per switch.
+        assert_eq!(SystemConfig::torus_8().topology.fabric_links_per_edge(), 3);
+        assert_eq!(SystemConfig::torus_64().topology.fabric_links_per_edge(), 6);
+    }
+
+    #[test]
+    fn topology_spec_parser() {
+        let t = TopologyConfig::parse_spec("mesh").unwrap();
+        assert_eq!(t, SystemConfig::paper_baseline().topology);
+        let t = TopologyConfig::parse_spec("mesh:3x2").unwrap();
+        assert_eq!((t.clusters, t.gpus_per_cluster), (3, 2));
+        assert_eq!(t.fabric, FabricConfig::Mesh);
+
+        let t = TopologyConfig::parse_spec("fat-tree:k=4").unwrap();
+        assert_eq!(t, SystemConfig::fat_tree_8().topology);
+        let t = TopologyConfig::parse_spec("fat-tree:k=16:g=4:cores=8").unwrap();
+        assert_eq!(t, SystemConfig::fat_tree_64().topology);
+
+        let t = TopologyConfig::parse_spec("torus:2x2x2").unwrap();
+        assert_eq!(t, SystemConfig::torus_8().topology);
+        let t = TopologyConfig::parse_spec("torus:4x2x1:g=2").unwrap();
+        assert_eq!((t.clusters, t.gpus_per_cluster), (8, 2));
+        assert_eq!(t.fabric, FabricConfig::Torus { x: 4, y: 2, z: 1 });
+
+        for bad in [
+            "ring",
+            "fat-tree",
+            "fat-tree:k=x",
+            "fat-tree:k=4:banana",
+            "torus",
+            "torus:2x2",
+            "torus:2x2x2:k=3",
+            "mesh:3",
+        ] {
+            assert!(TopologyConfig::parse_spec(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn fabric_validation() {
+        let mut c = SystemConfig::torus_8();
+        c.topology.clusters = 9; // 2x2x2 != 9
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::fat_tree_8();
+        c.topology.fabric = FabricConfig::FatTree { cores: 0 };
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::paper_baseline();
+        c.topology.fabric_link_cycles = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -138,21 +138,29 @@ pub enum Message {
     /// A translation response.
     TransRsp(TransRsp),
     /// A flit on a network link or inside a switch. `from` names the
-    /// sending hop so the receiver can attribute it to an input port and
-    /// return credit.
+    /// sending hop for attribution; `link` is the *receiver's* port index
+    /// for the link the flit arrived on, so fabrics with several parallel
+    /// links between the same node pair (torus virtual channels) stay
+    /// distinguishable.
     Flit {
         /// The flit itself.
         flit: Flit,
         /// Node that transmitted it (previous hop).
         from: NodeId,
+        /// The receiver's port index for this link.
+        link: u16,
     },
     /// Link-level credit return: the receiver freed `count` buffer slots
     /// on the link coming from the node that now receives this credit.
+    /// `link` is the *receiver's* (credit consumer's) port index for that
+    /// link — the port whose egress credits are replenished.
     Credit {
         /// Node returning the credit (the downstream buffer owner).
         from: NodeId,
         /// Number of freed flit slots.
         count: u32,
+        /// The credit receiver's port index for this link.
+        link: u16,
     },
 }
 
@@ -214,7 +222,8 @@ mod tests {
         assert_eq!(
             Message::Credit {
                 from: NodeId(0),
-                count: 1
+                count: 1,
+                link: 0
             }
             .label(),
             "credit"

@@ -1197,6 +1197,7 @@ mod tests {
         Message::Credit {
             from: netcrafter_proto::NodeId(0),
             count: n,
+            link: 0,
         }
     }
 
@@ -1377,6 +1378,7 @@ mod tests {
                         Message::Credit {
                             from: netcrafter_proto::NodeId(0),
                             count: 1,
+                            link: 0,
                         },
                         1,
                     );
@@ -1464,6 +1466,7 @@ mod tests {
                         Message::Credit {
                             from: netcrafter_proto::NodeId(0),
                             count: 1,
+                            link: 0,
                         },
                         0,
                     );

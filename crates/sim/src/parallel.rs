@@ -77,6 +77,13 @@ pub struct Partition {
     pub(crate) domain_of: Vec<usize>,
     pub(crate) domains: usize,
     pub(crate) lookahead: u64,
+    /// Optional per-domain-pair minimum send delay, row-major
+    /// `domains × domains`; `u64::MAX` marks pairs with no direct link.
+    /// When present, cross-domain sends are asserted against the pair's
+    /// own bound instead of the global minimum — a send over a
+    /// high-latency fabric link that undercuts *that link's* latency is
+    /// caught even though it clears the global minimum.
+    pub(crate) pair_lookahead: Option<Vec<u64>>,
 }
 
 impl Partition {
@@ -91,20 +98,70 @@ impl Partition {
             lookahead >= 1,
             "partition lookahead must be at least one cycle"
         );
+        let domains = Self::check_dense(&domain_of);
+        Partition {
+            domain_of,
+            domains,
+            lookahead,
+            pair_lookahead: None,
+        }
+    }
+
+    /// Builds a partition with a per-domain-pair lookahead matrix
+    /// (row-major `domains × domains`, `u64::MAX` = no direct link). The
+    /// epoch length is still the minimum over linked pairs — conservative
+    /// for every pair — but each cross-domain send is asserted against
+    /// its own pair's bound, so a heterogeneous fabric keeps per-link
+    /// latency contracts honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is wrong, a linked pair's bound is
+    /// zero, no pair is linked, or the domain table is not dense.
+    pub fn with_pair_lookahead(domain_of: Vec<usize>, pairs: Vec<u64>) -> Partition {
+        let domains = Self::check_dense(&domain_of);
+        assert_eq!(
+            pairs.len(),
+            domains * domains,
+            "pair lookahead matrix must be domains^2 = {}",
+            domains * domains
+        );
+        let mut min = NEVER;
+        for a in 0..domains {
+            for b in 0..domains {
+                if a == b {
+                    continue;
+                }
+                let v = pairs[a * domains + b];
+                if v < NEVER {
+                    assert!(
+                        v >= 1,
+                        "pair ({a},{b}) lookahead must be at least one cycle"
+                    );
+                    min = min.min(v);
+                }
+            }
+        }
+        assert!(min < NEVER, "pair lookahead matrix links no domain pair");
+        Partition {
+            domain_of,
+            domains,
+            lookahead: min,
+            pair_lookahead: Some(pairs),
+        }
+    }
+
+    fn check_dense(domain_of: &[usize]) -> usize {
         let domains = domain_of.iter().map(|&d| d + 1).max().unwrap_or(0);
         let mut seen = vec![false; domains];
-        for &d in &domain_of {
+        for &d in domain_of {
             seen[d] = true;
         }
         assert!(
             seen.iter().all(|&s| s),
             "partition domain indices must be dense (0..{domains})"
         );
-        Partition {
-            domain_of,
-            domains,
-            lookahead,
-        }
+        domains
     }
 
     /// Number of domains.
@@ -115,6 +172,15 @@ impl Partition {
     /// The proven minimum cross-domain send delay, in cycles.
     pub fn lookahead(&self) -> u64 {
         self.lookahead
+    }
+
+    /// The minimum send delay proven for the `(a, b)` domain pair: the
+    /// matrix entry when one was supplied, the global minimum otherwise.
+    pub fn pair_lookahead(&self, a: usize, b: usize) -> u64 {
+        match &self.pair_lookahead {
+            Some(m) => m[a * self.domains + b],
+            None => self.lookahead,
+        }
     }
 }
 
@@ -169,6 +235,9 @@ struct DomainState {
     /// Cross-domain sends staged during the current epoch.
     cross_out: Vec<CrossMsg>,
     lookahead: u64,
+    /// This domain's row of the pair-lookahead matrix (destination-domain
+    /// indexed minimum send delays); empty = uniform `lookahead`.
+    pair_row: Vec<u64>,
     /// Last executed cycle that delivered a message or saw a busy
     /// component — the domain's contribution to the global stop cycle.
     last_driving: Cycle,
@@ -206,6 +275,7 @@ impl DomainState {
             ring_log: Vec::new(),
             cross_out: Vec::new(),
             lookahead,
+            pair_row: Vec::new(),
             last_driving: start,
         }
     }
@@ -427,12 +497,18 @@ impl DomainState {
                     if dd == self.dom {
                         self.schedule_local(when, key, self.local_of[dst.0], msg);
                     } else {
-                        assert!(
-                            when - c >= self.lookahead,
-                            "cross-domain send comp{src} -> {dst} with delay {} \
-                             below the partition lookahead {}",
-                            when - c,
+                        let bound = if self.pair_row.is_empty() {
                             self.lookahead
+                        } else {
+                            self.pair_row[dd]
+                        };
+                        assert!(
+                            when - c >= bound,
+                            "cross-domain send comp{src} -> {dst} with delay {} \
+                             below the partition lookahead {bound} \
+                             (domain {} -> {dd})",
+                            when - c,
+                            self.dom
                         );
                         self.cross_out.push(CrossMsg {
                             when,
@@ -577,6 +653,9 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
     }
     for d in &mut domains {
         d.domain_of = part.domain_of.clone();
+        if let Some(m) = &part.pair_lookahead {
+            d.pair_row = m[d.dom * n_domains..(d.dom + 1) * n_domains].to_vec();
+        }
         d.tracer = engine.tracer.shard();
         d.ring_on = ring_on;
         // Every component gets a fresh tick at start+1 and re-arms itself
@@ -896,6 +975,7 @@ mod tests {
         Message::Credit {
             from: netcrafter_proto::NodeId(0),
             count: n,
+            link: 0,
         }
     }
 
@@ -964,6 +1044,46 @@ mod tests {
         e.set_parallel(Partition::new(vec![0, 0, 1, 1], 50), 2);
         e.inject(ids[0], credit(1), 1);
         e.run_to_quiescence(10_000);
+    }
+
+    /// A correct pair matrix reproduces the sequential run exactly, and
+    /// its min over linked pairs drives the epochs.
+    #[test]
+    fn pair_lookahead_matches_sequential() {
+        let run = |parallel: bool| {
+            let (mut e, ids) = ring(4, 5, 8);
+            if parallel {
+                let pairs = vec![NEVER, 5, 5, NEVER];
+                let p = Partition::with_pair_lookahead(vec![0, 0, 1, 1], pairs);
+                assert_eq!(p.lookahead(), 5);
+                assert_eq!(p.pair_lookahead(0, 1), 5);
+                e.set_parallel(p, 2);
+            }
+            e.inject(ids[0], credit(1), 1);
+            let end = e.run_to_quiescence(10_000);
+            (end, e.messages_delivered())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// The per-pair bound is stricter than the global minimum: a send
+    /// that clears the min but undercuts its own pair's claim is caught.
+    #[test]
+    #[should_panic(expected = "below the partition lookahead")]
+    fn pair_lookahead_catches_per_link_violation() {
+        let (mut e, ids) = ring(4, 5, 8);
+        // Pair (0,1) claims 7 cycles but the ring hops in 5; pair (1,0)
+        // claims 5, so the global minimum (5) alone would not trip.
+        let pairs = vec![NEVER, 7, 5, NEVER];
+        e.set_parallel(Partition::with_pair_lookahead(vec![0, 0, 1, 1], pairs), 2);
+        e.inject(ids[0], credit(1), 1);
+        e.run_to_quiescence(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "links no domain pair")]
+    fn unlinked_pair_matrix_is_rejected() {
+        let _ = Partition::with_pair_lookahead(vec![0, 1], vec![NEVER; 4]);
     }
 
     #[test]

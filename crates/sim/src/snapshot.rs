@@ -38,7 +38,7 @@ pub const SNAPSHOT_MAGIC: u32 = 0x5053_434E;
 /// Current snapshot format version. Bump whenever the encoding of any
 /// serialized structure changes; old snapshots then fail loudly with
 /// [`SnapshotError::VersionMismatch`] instead of restoring garbage.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -831,15 +831,17 @@ impl Snap for Message {
                 w.put_u8(3);
                 rsp.save(w);
             }
-            Message::Flit { flit, from } => {
+            Message::Flit { flit, from, link } => {
                 w.put_u8(4);
                 flit.save(w);
                 from.save(w);
+                link.save(w);
             }
-            Message::Credit { from, count } => {
+            Message::Credit { from, count, link } => {
                 w.put_u8(5);
                 from.save(w);
                 count.save(w);
+                link.save(w);
             }
         }
     }
@@ -852,10 +854,12 @@ impl Snap for Message {
             4 => Ok(Message::Flit {
                 flit: Snap::load(r)?,
                 from: Snap::load(r)?,
+                link: Snap::load(r)?,
             }),
             5 => Ok(Message::Credit {
                 from: Snap::load(r)?,
                 count: Snap::load(r)?,
+                link: Snap::load(r)?,
             }),
             tag => Err(SnapshotError::Corrupt(format!("Message tag {tag}"))),
         }
@@ -1114,6 +1118,7 @@ mod tests {
         round_trip(&Message::Credit {
             from: NodeId(3),
             count: 2,
+            link: 5,
         });
         let packet = Packet {
             id: PacketId(7),
@@ -1146,6 +1151,7 @@ mod tests {
                 dst: NodeId(3),
             },
             from: NodeId(1),
+            link: 2,
         });
     }
 

@@ -54,6 +54,20 @@ impl Scale {
         }
     }
 
+    /// Re-scales the kernel launch to a node of `total_gpus` GPUs,
+    /// keeping the *per-GPU* load of the 4-GPU paper node constant: the
+    /// presets above are calibrated for 4 GPUs, so handing the same CTA
+    /// count to a 16-GPU fat-tree spreads it four times thinner and
+    /// leaves the fabric idle. Topology sweeps grow the CTA count
+    /// proportionally instead.
+    pub fn for_gpus(self, total_gpus: u16) -> Self {
+        let factor = u32::from(total_gpus).div_ceil(4).max(1);
+        Self {
+            ctas: self.ctas * factor,
+            ..self
+        }
+    }
+
     /// Total wavefronts.
     pub fn total_waves(&self) -> u64 {
         self.ctas as u64 * self.waves_per_cta as u64
@@ -90,5 +104,19 @@ mod tests {
         let t = Scale::tiny();
         assert_eq!(t.total_waves(), 16);
         assert_eq!(t.approx_mem_ops(), 256);
+    }
+
+    #[test]
+    fn for_gpus_keeps_per_gpu_load_constant() {
+        let t = Scale::tiny();
+        // The 4-GPU calibration point is the identity.
+        assert_eq!(t.for_gpus(4), t);
+        assert_eq!(t.for_gpus(1), t);
+        assert_eq!(t.for_gpus(8).ctas, 2 * t.ctas);
+        assert_eq!(t.for_gpus(16).ctas, 4 * t.ctas);
+        assert_eq!(t.for_gpus(64).ctas, 16 * t.ctas);
+        // Only the launch width scales; per-wave shape is untouched.
+        assert_eq!(t.for_gpus(64).mem_ops_per_wave, t.mem_ops_per_wave);
+        assert_eq!(t.for_gpus(64).footprint_pages, t.footprint_pages);
     }
 }

@@ -37,6 +37,7 @@ impl Component for Blaster {
                 Message::Flit {
                     flit: flit(self.dst),
                     from: NodeId(0),
+                    link: 0,
                 },
                 1,
             );
@@ -60,6 +61,7 @@ fn switch_with_input_capacity(peer: ComponentId, cap: usize) -> Switch {
         vec![SwitchPortSpec {
             peer,
             peer_node: NodeId(0),
+            peer_port: 0,
             flits_per_cycle: 8.0,
             initial_credits: 1024,
             input_capacity: cap,
