@@ -26,7 +26,11 @@
 //! machines. To keep that soft gate out of the noise floor, `emit`
 //! times the sweep over `--reps` repetitions (default 3) and records
 //! the *median* rate as `cycles_per_sec`, with every repetition's rate
-//! kept in `rate_reps` and the min-to-max spread in `rate_spread_pct`. `--legacy-scheduler` runs the matrix under the legacy
+//! kept in `rate_reps` and the min-to-max spread in `rate_spread_pct`.
+//! Independently of the regression gate, both `emit` and `check` print
+//! the distance to the committed aspirational `target_cycles_per_sec`
+//! (never gated — it tracks the host-speed goal, not the floor).
+//! `--legacy-scheduler` runs the matrix under the legacy
 //! tick-everything engine scheduler (the numbers must not change);
 //! `--threads N` runs each simulation on N domain worker threads
 //! (ditto).
@@ -45,6 +49,13 @@ use netcrafter_multigpu::{JobSpec, SystemVariant};
 use netcrafter_proto::SystemConfig;
 use netcrafter_sim::trace::{json, json_string};
 use netcrafter_workloads::Workload;
+
+/// Aspirational host-throughput target (cycles/s on the quick fig14
+/// matrix). Never gated: `emit` stamps it into the report and both
+/// `emit` and `check` print the distance to it, so the remaining gap
+/// is visible in every CI log. Raise it when it is met — it tracks the
+/// ROADMAP's raw-host-speed goal, not the regression floor.
+const TARGET_CYCLES_PER_SEC: f64 = 1_000_000.0;
 
 /// The cumulative Figure 14 variants, in presentation order.
 const VARIANTS: [SystemVariant; 4] = [
@@ -273,9 +284,12 @@ fn emit(args: &[String]) -> ! {
     let rate_min = rate_reps.iter().copied().fold(f64::INFINITY, f64::min);
     let rate_max = rate_reps.iter().copied().fold(0.0, f64::max);
     let rate_spread_pct = 100.0 * (rate_max - rate_min) / rate_max.max(1e-9);
+    let rate = total_cycles as f64 / wall.max(1e-9);
+    print_target_delta(rate);
     let report = format!(
         "{{\n  \"schema\": 1,\n  \"scale\": \"quick\",\n  \
          \"wall_seconds\": {wall:.3},\n  \"cycles_per_sec\": {:.0},\n  \
+         \"target_cycles_per_sec\": {TARGET_CYCLES_PER_SEC:.0},\n  \
          \"rate_reps\": [{rate_reps_json}],\n  \
          \"rate_spread_pct\": {rate_spread_pct:.1},\n  \
          \"runs\": [\n    {runs}\n  ],\n  \"speedups\": [\n    {speedups}\n  ],\n  \
@@ -294,6 +308,22 @@ fn emit(args: &[String]) -> ! {
         jobs_list.len()
     );
     std::process::exit(0);
+}
+
+/// Prints the non-fatal distance to [`TARGET_CYCLES_PER_SEC`]. The
+/// `target` override lets `check` honour the target committed in the
+/// baseline file rather than this binary's (possibly newer) constant.
+fn print_target_delta_vs(rate: f64, target: f64) {
+    let pct = 100.0 * (rate - target) / target.max(1e-9);
+    let verdict = if rate >= target { "met" } else { "not yet met" };
+    eprintln!(
+        "bench_gate: aspirational target {target:.0} cycles/s: {verdict} \
+         ({rate:.0} cycles/s, {pct:+.1}%; informational, never gated)"
+    );
+}
+
+fn print_target_delta(rate: f64) {
+    print_target_delta_vs(rate, TARGET_CYCLES_PER_SEC);
 }
 
 /// Flattens a report's gated numbers into `(key, value)` pairs.
@@ -412,6 +442,11 @@ fn check(args: &[String]) -> ! {
             "bench_gate: host rate {c:.0} cycles/s vs baseline {b:.0} ({drift_pct:+.1}%, \
              gated at -{MAX_RATE_REGRESSION_PCT}%)",
         );
+        let target = base
+            .get("target_cycles_per_sec")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(TARGET_CYCLES_PER_SEC);
+        print_target_delta_vs(c, target);
         if drift_pct < -MAX_RATE_REGRESSION_PCT {
             let msg = format!(
                 "host throughput regressed {:.1}% (> {MAX_RATE_REGRESSION_PCT}%): \

@@ -1,0 +1,183 @@
+//! PDES scaling microbench: per-core efficiency of the parallel
+//! scheduler under dense and sparse cross-domain traffic.
+//!
+//! ```text
+//! pdes_scaling [OUT.json] [--reps N] [--threads LIST]
+//! ```
+//!
+//! CI's container is single-core, so it can assert determinism but not
+//! speedup; this bin exists so any multicore host can verify the
+//! `--threads 4` ≥ 2× goal. For each traffic profile (dense = GUPS, a
+//! uniform all-to-all flit storm; sparse = BS, mostly GPU-local work)
+//! it times the same simulation at each thread count (default 1, 2, 4),
+//! takes the best of `--reps` runs (default 3), checks that the
+//! simulated cycle count is bit-identical across thread counts, and
+//! writes a JSON artifact with per-thread-count throughput, speedup
+//! over the single-thread run, and per-core efficiency
+//! (`speedup / threads`). The exit code is always 0 — the artifact is
+//! informational; `goal_2x_at_4_threads` is only meaningful when
+//! `host_cores >= 4`.
+
+use std::time::Instant;
+
+use netcrafter_multigpu::{Experiment, SystemVariant};
+use netcrafter_sim::trace::{json, json_string};
+use netcrafter_workloads::Workload;
+
+fn usage() -> ! {
+    eprintln!("usage: pdes_scaling [OUT.json] [--reps N] [--threads LIST (e.g. 1,2,4)]");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct Profile {
+    name: &'static str,
+    workload: Workload,
+}
+
+/// Dense saturates every inter-domain link (the asymmetric-epoch win
+/// case); sparse leaves domains mostly independent (the lookahead win
+/// case). Together they bracket the scheduler's operating range.
+const PROFILES: [Profile; 2] = [
+    Profile {
+        name: "dense",
+        workload: Workload::Gups,
+    },
+    Profile {
+        name: "sparse",
+        workload: Workload::Bs,
+    },
+];
+
+struct Point {
+    threads: usize,
+    exec_cycles: u64,
+    best_wall: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let out_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "pdes_scaling.json".into());
+    let reps: usize = flag_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let threads: Vec<usize> = flag_value(&args, "--threads").map_or_else(
+        || vec![1, 2, 4],
+        |v| {
+            v.split(',')
+                .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                .collect()
+        },
+    );
+    if threads.is_empty() || threads[0] != 1 {
+        eprintln!("pdes_scaling: --threads must start with 1 (the efficiency anchor)");
+        std::process::exit(2);
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut profile_blocks = String::new();
+    for profile in &PROFILES {
+        // Full-size scheduler work: the default experiment scale (8-CU
+        // GPUs, Scale::small) keeps each run sub-second while leaving
+        // enough per-epoch work for the barrier cost to matter.
+        let exp = Experiment::new(profile.workload, SystemVariant::NetCrafter);
+        let mut points: Vec<Point> = Vec::new();
+        for &t in &threads {
+            let run = exp.clone().with_threads(t);
+            let mut exec_cycles = 0;
+            let mut best_wall = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r = run.run();
+                best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+                exec_cycles = r.exec_cycles;
+            }
+            points.push(Point {
+                threads: t,
+                exec_cycles,
+                best_wall,
+            });
+        }
+        // Determinism gate: thread count must never change the simulation.
+        for p in &points[1..] {
+            assert_eq!(
+                p.exec_cycles, points[0].exec_cycles,
+                "{}: --threads {} diverged from the single-thread run",
+                profile.name, p.threads
+            );
+        }
+
+        let base_rate = points[0].exec_cycles as f64 / points[0].best_wall.max(1e-9);
+        eprintln!(
+            "{} ({:?}, {} cycles):",
+            profile.name, profile.workload, points[0].exec_cycles
+        );
+        let mut rows = String::new();
+        let mut goal_met = false;
+        for p in &points {
+            let rate = p.exec_cycles as f64 / p.best_wall.max(1e-9);
+            let speedup = rate / base_rate.max(1e-9);
+            let efficiency = speedup / p.threads as f64;
+            if p.threads >= 4 && speedup >= 2.0 {
+                goal_met = true;
+            }
+            eprintln!(
+                "  threads {:>2}: {:>12.0} cycles/s  speedup {speedup:>5.2}x  \
+                 efficiency {:>5.1}%",
+                p.threads,
+                rate,
+                100.0 * efficiency
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n        ");
+            }
+            rows.push_str(&format!(
+                "{{\"threads\":{},\"wall_seconds\":{:.4},\"cycles_per_sec\":{:.0},\
+                 \"speedup\":{speedup:.3},\"efficiency\":{efficiency:.3}}}",
+                p.threads, p.best_wall, rate
+            ));
+        }
+        if !profile_blocks.is_empty() {
+            profile_blocks.push_str(",\n    ");
+        }
+        profile_blocks.push_str(&format!(
+            "{{\n      \"traffic\": {},\n      \"workload\": {},\n      \
+             \"exec_cycles\": {},\n      \"goal_2x_at_4_threads\": {goal_met},\n      \
+             \"points\": [\n        {rows}\n      ]\n    }}",
+            json_string(profile.name),
+            json_string(profile.workload.abbrev()),
+            points[0].exec_cycles
+        ));
+    }
+
+    let report = format!(
+        "{{\n  \"schema\": 1,\n  \"host_cores\": {host_cores},\n  \
+         \"reps\": {reps},\n  \"profiles\": [\n    {profile_blocks}\n  ]\n}}\n"
+    );
+    json::parse(&report).expect("emitted report is valid JSON");
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    if host_cores < 4 {
+        eprintln!(
+            "pdes_scaling: host has {host_cores} core(s) — speedup numbers are not \
+             meaningful here; run on a >= 4-core host to check the 2x goal"
+        );
+    }
+    eprintln!("pdes_scaling: written to {out_path}");
+}

@@ -20,7 +20,7 @@ use netcrafter_proto::{
     TransReq, PAGE_BYTES,
 };
 use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass, Wake};
+use netcrafter_sim::{BurstOutcome, Component, ComponentId, Ctx, Cycle, EventClass, Wake};
 use netcrafter_vm::Tlb;
 
 /// Where the CU's outgoing traffic goes.
@@ -227,6 +227,14 @@ pub struct Cu {
     read_waiters: BTreeMap<AccessId, usize>,
     issue_times: BTreeMap<AccessId, (Cycle, bool)>, // (issued, inter_cluster)
     outstanding: u32,
+    /// Cycle of the last tick, the anchor for arithmetic `idle_cycles`
+    /// catch-up after an event-driven scheduler skips blocked cycles.
+    last_tick: Cycle,
+    /// Whether the CU was busy at the end of the last tick. State is
+    /// frozen between ticks, so this is the busy value for every cycle
+    /// the scheduler skipped since (`load_waves` can flip it, but only
+    /// at a kernel barrier, which re-ticks the CU immediately).
+    was_busy: bool,
     /// Statistics.
     pub stats: CuStats,
 }
@@ -268,6 +276,8 @@ impl Cu {
             read_waiters: BTreeMap::new(),
             issue_times: BTreeMap::new(),
             outstanding: 0,
+            last_tick: 0,
+            was_busy: false,
             stats: CuStats::default(),
         }
     }
@@ -441,6 +451,39 @@ impl Cu {
         };
     }
 
+    /// The earliest cycle at which ticking the CU can do more than
+    /// increment `idle_cycles` (which `tick` catches up arithmetically
+    /// from `last_tick`, so blocked cycles need no tick at all). A wave
+    /// that can issue — `Ready`, retrying, or a `BusyUntil` deadline
+    /// already due — needs every cycle; a pure compute phase sleeps
+    /// until its deadline; memory- and translation-blocked waves sleep
+    /// until a response message arrives. A non-empty pending queue only
+    /// matters while a resident slot is free — except in the degenerate
+    /// all-retired-but-queue-nonempty state, where the legacy scheduler
+    /// spins, so we must spin too.
+    fn blocked_wake(&self, now: Cycle) -> Wake {
+        let mut wake = Wake::OnMessage;
+        let mut active = false;
+        for w in &self.resident {
+            match w.state {
+                WfState::Ready | WfState::RetryAccess(..) => return Wake::EveryCycle,
+                WfState::BusyUntil(t) => {
+                    if t <= now {
+                        return Wake::EveryCycle;
+                    }
+                    wake = wake.earliest(Wake::At(t));
+                    active = true;
+                }
+                WfState::WaitTranslation(_) | WfState::WaitMem => active = true,
+                WfState::Done => {}
+            }
+        }
+        if !self.pending.is_empty() && (self.resident.len() < self.max_waves || !active) {
+            return Wake::EveryCycle;
+        }
+        wake
+    }
+
     fn wake_read(&mut self, ctx: &mut Ctx<'_>, id: AccessId) {
         let now = ctx.cycle();
         let wf_ix = self
@@ -467,6 +510,15 @@ impl Cu {
 impl Component for Cu {
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.cycle();
+        // Catch up idle accounting for skipped cycles. `blocked_wake`
+        // only lets the scheduler skip spans where no wave can issue and
+        // no message arrives, and state is frozen between ticks — so the
+        // reference model would have spent every skipped cycle in the
+        // `!issued && busy` branch below, exactly when `was_busy` holds.
+        let skipped = now.saturating_sub(self.last_tick + 1);
+        if skipped > 0 && self.was_busy {
+            self.stats.idle_cycles += skipped;
+        }
         self.activate_pending();
 
         while let Some(msg) = ctx.recv() {
@@ -542,13 +594,16 @@ impl Component for Cu {
             issued = true;
             break;
         }
-        if !issued && self.busy() {
+        let busy = self.busy();
+        if !issued && busy {
             self.stats.idle_cycles += 1;
         }
 
         // Reap finished wavefronts so `busy` can settle — but only once
         // every in-flight load has returned (a Done wavefront may still
-        // have non-blocking loads outstanding).
+        // have non-blocking loads outstanding). Reaping only removes
+        // `Done` waves, which never contribute to `busy`, so the value
+        // computed above stays valid as the end-of-tick anchor.
         if self
             .resident
             .iter()
@@ -559,6 +614,8 @@ impl Component for Cu {
         {
             self.resident.clear();
         }
+        self.last_tick = now;
+        self.was_busy = busy;
     }
 
     fn busy(&self) -> bool {
@@ -575,15 +632,22 @@ impl Component for Cu {
         &self.name
     }
 
-    fn next_wake(&self, _now: Cycle) -> Wake {
-        // A busy CU counts idle_cycles on every non-issuing cycle, so its
-        // per-cycle tick is observable. A drained CU (all waves retired)
-        // changes state only on a message or a new kernel's `load_waves`
-        // (which re-ticks it via the engine's external-mutation tracking).
-        if self.busy() {
-            Wake::EveryCycle
-        } else {
-            Wake::OnMessage
+    fn next_wake(&self, now: Cycle) -> Wake {
+        // A drained CU changes state only on a message or a new kernel's
+        // `load_waves` (which re-ticks it via the engine's
+        // external-mutation tracking); a blocked CU sleeps until its
+        // earliest wave deadline, with `tick` catching up the skipped
+        // idle cycles arithmetically.
+        self.blocked_wake(now)
+    }
+
+    fn tick_burst(&mut self, ctx: &mut Ctx<'_>) -> BurstOutcome {
+        self.tick(ctx);
+        // `tick` just computed and cached its end-of-tick busy value —
+        // reuse it instead of re-scanning the resident waves and the L1.
+        BurstOutcome {
+            busy: self.was_busy,
+            wake: self.blocked_wake(ctx.cycle()),
         }
     }
 
@@ -598,6 +662,12 @@ impl Component for Cu {
         self.read_waiters.save(w);
         self.issue_times.save(w);
         self.outstanding.save(w);
+        // The idle-accounting anchor is part of the dynamic state: an
+        // event-driven snapshot may be taken mid-sleep, with the skipped
+        // cycles' idle credit still pending — the restored run finishes
+        // the catch-up from the same anchor under any scheduler.
+        self.last_tick.save(w);
+        self.was_busy.save(w);
         self.stats.save(w);
     }
 
@@ -612,6 +682,8 @@ impl Component for Cu {
         self.read_waiters = Snap::load(r)?;
         self.issue_times = Snap::load(r)?;
         self.outstanding = Snap::load(r)?;
+        self.last_tick = Snap::load(r)?;
+        self.was_busy = Snap::load(r)?;
         self.stats = Snap::load(r)?;
         let waves = self.resident.len();
         for (which, waiters) in [

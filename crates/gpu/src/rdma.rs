@@ -19,7 +19,7 @@ use netcrafter_proto::{
     TrafficClass, TrimInfo,
 };
 use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, EventClass, Tracer, Wake};
+use netcrafter_sim::{BurstOutcome, Component, ComponentId, Ctx, Cycle, EventClass, Tracer, Wake};
 
 /// Where the RDMA engine's traffic goes.
 #[derive(Debug, Clone)]
@@ -161,12 +161,8 @@ impl Rdma {
     }
 
     fn drain_staging(&mut self, now: netcrafter_sim::Cycle) {
-        while let Some(flit) = self.staging.front() {
-            if !self.egress.can_accept() {
-                break;
-            }
-            let flit = flit.clone();
-            self.staging.pop_front();
+        while !self.staging.is_empty() && self.egress.can_accept() {
+            let flit = self.staging.pop_front().expect("front checked non-empty");
             self.egress.push(flit, now);
         }
     }
@@ -303,6 +299,24 @@ impl Component for Rdma {
         }
         self.drain_staging(now);
         self.egress.tick(ctx);
+    }
+
+    /// Burst dispatch: the mailbox drains inside one `tick`, then one
+    /// fused status check replaces the separate `busy` + `next_wake`
+    /// virtual calls — the staging test answers both at once.
+    fn tick_burst(&mut self, ctx: &mut Ctx<'_>) -> BurstOutcome {
+        self.tick(ctx);
+        if !self.staging.is_empty() {
+            // Staged flits drain into the egress buffer as space frees.
+            return BurstOutcome {
+                busy: true,
+                wake: Wake::EveryCycle,
+            };
+        }
+        BurstOutcome {
+            busy: self.egress.busy(),
+            wake: self.egress.next_wake(ctx.cycle()),
+        }
     }
 
     fn busy(&self) -> bool {

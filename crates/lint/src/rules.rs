@@ -146,6 +146,15 @@ pub const RULES: &[Rule] = &[
         crates: Some(&["net", "core"]),
         check: check_tracer_threading,
     },
+    Rule {
+        name: "no-hot-path-alloc",
+        summary: "Box::new/Vec::new/to_vec banned inside `tick`/`tick_burst` \
+                  bodies in sim-facing crates; per-flit allocation there \
+                  defeats the arena/burst batching — preallocate, reuse a \
+                  scratch field, or waive with a reason",
+        crates: Some(SIM_CRATES),
+        check: check_hot_path_alloc,
+    },
 ];
 
 /// Looks a rule up by name.
@@ -604,6 +613,64 @@ fn check_ambient_state(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
             j += 1;
         }
         i = j + 1;
+    }
+}
+
+/// Scans `fn tick` / `fn tick_burst` bodies (component dispatch hot
+/// paths, including non-trait helpers like `EgressPort::tick`) for the
+/// allocator calls the burst/arena refactor was built to eliminate:
+/// `Box::new`, `Vec::new` and `.to_vec()`. Growth of a preallocated
+/// buffer (`push`, `with_capacity` at construction) is fine; minting a
+/// fresh heap object per tick is not.
+fn check_hot_path_alloc(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident_at(tokens, i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let is_tick = matches!(ident_at(tokens, i + 1), Some("tick" | "tick_burst"));
+        if !is_tick {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens[i..]
+            .iter()
+            .position(|t| t.tok == Tok::Punct('{'))
+            .map(|p| i + p)
+        else {
+            break;
+        };
+        let close = matching_brace(tokens, open);
+        for ix in open..close {
+            if let Some(ty @ ("Box" | "Vec")) = ident_at(tokens, ix) {
+                if punct_at(tokens, ix + 1, ':')
+                    && punct_at(tokens, ix + 2, ':')
+                    && ident_at(tokens, ix + 3) == Some("new")
+                {
+                    out.push((
+                        tokens[ix].line,
+                        format!(
+                            "{ty}::new inside a tick body allocates on the \
+                             dispatch hot path; the burst/arena design moves \
+                             payloads through recycled slots — preallocate \
+                             the buffer once (a scratch field) or reuse an \
+                             existing one"
+                        ),
+                    ));
+                }
+            }
+            if punct_at(tokens, ix, '.') && ident_at(tokens, ix + 1) == Some("to_vec") {
+                out.push((
+                    tokens[ix + 1].line,
+                    ".to_vec() inside a tick body copies into a fresh heap \
+                     allocation every call; move or borrow the data instead \
+                     (or stage it in a reusable scratch buffer)"
+                        .to_string(),
+                ));
+            }
+        }
+        i = close + 1;
     }
 }
 

@@ -1,0 +1,37 @@
+//! Fixture: a justified tick-body allocation is waived; preallocated
+//! buffers reused across ticks never fire.
+
+pub struct Widget {
+    scratch: Vec<u64>,
+}
+
+impl Component for Widget {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        // Reusing the preallocated scratch field: no finding.
+        self.scratch.clear();
+        while let Some(msg) = ctx.recv() {
+            self.scratch.push(msg.label_hash());
+        }
+        // lint:allow(no-hot-path-alloc) cold error path, runs at most once per simulation
+        let report = Box::new(self.scratch.len());
+        drop(report);
+    }
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "widget"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    fn save_state(&self, _w: &mut SnapshotWriter) {}
+
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
+}

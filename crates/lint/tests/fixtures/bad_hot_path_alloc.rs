@@ -1,0 +1,51 @@
+//! Fixture: allocator calls inside `tick`/`tick_burst` bodies must fire
+//! no-hot-path-alloc. Allocation outside tick bodies never fires.
+
+pub struct Widget {
+    staged: Vec<u64>,
+}
+
+impl Component for Widget {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        // A fresh per-tick buffer: exactly the churn the arena removes.
+        let mut scratch = Vec::new();
+        while let Some(msg) = ctx.recv() {
+            scratch.push(Box::new(msg));
+        }
+        self.staged = scratch.len() as u64;
+    }
+
+    fn tick_burst(&mut self, ctx: &mut Ctx<'_>) -> BurstOutcome {
+        let copied = self.staged.to_vec();
+        drop(copied);
+        BurstOutcome {
+            busy: false,
+            wake: Wake::OnMessage,
+        }
+    }
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "widget"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    fn save_state(&self, _w: &mut SnapshotWriter) {}
+
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
+}
+
+/// Construction-time allocation is fine: only tick bodies are hot.
+pub fn build() -> Widget {
+    Widget {
+        staged: Vec::new(),
+    }
+}

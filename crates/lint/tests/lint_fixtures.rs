@@ -93,6 +93,13 @@ fn bad_ambient_state_fires() {
 }
 
 #[test]
+fn bad_hot_path_alloc_fires() {
+    // Vec::new, Box::new (in tick) and .to_vec (in tick_burst) each
+    // fire; the constructor's Vec::new does not.
+    assert_fires("bad_hot_path_alloc.rs", "no-hot-path-alloc", 3);
+}
+
+#[test]
 fn unused_and_reasonless_allows_fire() {
     assert_fires("bad_unused_allow.rs", "unused-allow", 1);
     assert_fires("bad_unused_allow.rs", "allow-missing-reason", 1);
@@ -108,6 +115,7 @@ fn allowed_fixtures_are_fully_waived() {
         "allowed_narrowing.rs",
         "allowed_tracer_threading.rs",
         "allowed_ambient_state.rs",
+        "allowed_hot_path_alloc.rs",
     ] {
         assert_fully_waived(name);
     }
@@ -148,6 +156,7 @@ fn every_rule_has_bad_and_allowed_coverage() {
         "bad_narrowing.rs",
         "bad_tracer_threading.rs",
         "bad_ambient_state.rs",
+        "bad_hot_path_alloc.rs",
     ] {
         for f in lint(name) {
             if !covered.contains(&f.rule) {

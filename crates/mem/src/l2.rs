@@ -11,7 +11,9 @@ use std::collections::VecDeque;
 use netcrafter_proto::config::CacheConfig;
 use netcrafter_proto::{GpuId, MemReq, MemRsp, Message, Metrics, Origin, LINE_BYTES};
 use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake};
+use netcrafter_sim::{
+    BurstOutcome, Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake,
+};
 
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::tagstore::TagStore;
@@ -404,6 +406,28 @@ impl Component for L2Cache {
             }
         }
         wake
+    }
+
+    fn tick_burst(&mut self, ctx: &mut Ctx<'_>) -> BurstOutcome {
+        self.tick(ctx);
+        // Fused status pass: busy and the earliest wake come from the
+        // same per-bank fields, so one traversal answers both. Once a
+        // bank has queued input the outcome is saturated (busy, ticked
+        // every cycle) and the remaining banks cannot change it.
+        let mut busy = false;
+        let mut wake = Wake::OnMessage;
+        for bank in &self.banks {
+            busy |= !bank.input.is_empty() || !bank.pipe.is_empty() || !bank.mshr.is_empty();
+            if !bank.input.is_empty() {
+                wake = Wake::EveryCycle;
+            } else if let Some(t) = bank.pipe.next_ready() {
+                wake = wake.earliest(Wake::At(t));
+            }
+            if busy && wake == Wake::EveryCycle {
+                break;
+            }
+        }
+        BurstOutcome { busy, wake }
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {

@@ -266,6 +266,11 @@ pub struct Experiment {
     /// sequentially. Results are bit-identical either way, so this is
     /// host-side tuning, not a simulation input.
     pub threads: usize,
+    /// Drive woken components through `tick_burst` (the default). `false`
+    /// forces the scalar tick + busy + next_wake dispatch; results are
+    /// bit-identical either way (the burst-vs-scalar equivalence suite
+    /// pins this), so like `threads` it is host-side tuning only.
+    pub burst: bool,
 }
 
 impl Experiment {
@@ -279,6 +284,7 @@ impl Experiment {
             seed: 0xC0FFEE,
             max_cycles: 80_000_000,
             threads: 1,
+            burst: true,
         }
     }
 
@@ -293,6 +299,7 @@ impl Experiment {
             seed: 0xC0FFEE,
             max_cycles: 20_000_000,
             threads: 1,
+            burst: true,
         }
     }
 
@@ -317,6 +324,13 @@ impl Experiment {
     /// Replaces the worker-thread count (1 = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Toggles burst dispatch (`true` is the default; `false` selects the
+    /// scalar tick/busy/next_wake reference path).
+    pub fn with_burst_dispatch(mut self, on: bool) -> Self {
+        self.burst = on;
         self
     }
 
@@ -390,6 +404,7 @@ impl Experiment {
             }
         }
         sys.set_threads(self.threads);
+        sys.engine.set_burst_dispatch(self.burst);
         if let Some(bytes) = &plan.restore_from {
             sys.restore(bytes)?;
         }
@@ -581,6 +596,7 @@ impl JobSpec {
             seed: self.seed,
             max_cycles: self.max_cycles,
             threads: self.threads,
+            burst: true,
         }
     }
 

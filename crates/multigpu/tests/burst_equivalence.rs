@@ -1,0 +1,105 @@
+//! Burst-vs-scalar equivalence: dispatching woken components through
+//! `tick_burst` (the default since the batched hot path landed) must
+//! reproduce the scalar tick + busy + next_wake reference byte for byte
+//! — `Metrics`, chrome-trace JSON, and per-link time series — on the
+//! fig14 matrix and on a multi-hop fat-tree trace. Every natively
+//! ported component (Switch, Rdma, Dram, and the EgressPort/Cluster
+//! Queue machinery they drive) sits on these paths.
+
+use netcrafter_multigpu::{Experiment, RunResult, SystemVariant, TraceData, TraceOptions};
+use netcrafter_proto::SystemConfig;
+use netcrafter_sim::TraceConfig;
+use netcrafter_workloads::{Scale, Workload};
+
+fn traced(exp: &Experiment) -> (RunResult, TraceData) {
+    let opts = TraceOptions {
+        config: Some(TraceConfig::default()),
+        sample_window: Some(256),
+    };
+    exp.run_traced(&opts)
+}
+
+fn assert_identical(scalar: (RunResult, TraceData), burst: (RunResult, TraceData), what: &str) {
+    assert_eq!(
+        scalar.0.exec_cycles, burst.0.exec_cycles,
+        "{what}: cycle counts diverge"
+    );
+    assert_eq!(
+        scalar.0.metrics.to_kv(),
+        burst.0.metrics.to_kv(),
+        "{what}: metrics diverge"
+    );
+    assert_eq!(
+        scalar.1.trace.to_chrome_json(),
+        burst.1.trace.to_chrome_json(),
+        "{what}: chrome-trace JSON diverges"
+    );
+    assert_eq!(
+        scalar.1.links_to_jsonl(),
+        burst.1.links_to_jsonl(),
+        "{what}: per-link time series diverge"
+    );
+}
+
+#[test]
+fn burst_metrics_are_bit_identical_across_the_fig14_variants() {
+    // A slice of the fig14 matrix: every NetCrafter mechanism
+    // (stitching, pooling, sequencing, trimming) runs under both
+    // dispatch modes.
+    for variant in [
+        SystemVariant::Baseline,
+        SystemVariant::NetCrafter,
+        SystemVariant::StitchOnly,
+    ] {
+        for workload in [Workload::Gups, Workload::Atax] {
+            let scalar = Experiment::quick(workload, variant)
+                .with_burst_dispatch(false)
+                .run();
+            let burst = Experiment::quick(workload, variant).run();
+            assert_eq!(
+                scalar.exec_cycles, burst.exec_cycles,
+                "{workload:?}/{variant:?}: cycle counts diverge"
+            );
+            assert_eq!(
+                scalar.metrics.to_kv(),
+                burst.metrics.to_kv(),
+                "{workload:?}/{variant:?}: metrics diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn burst_trace_and_timeseries_bytes_are_identical() {
+    let exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+    let scalar = traced(&exp.clone().with_burst_dispatch(false));
+    let burst = traced(&exp);
+    assert_identical(scalar, burst, "fig14/gups");
+}
+
+#[test]
+fn burst_matches_scalar_on_a_fat_tree_8_trace() {
+    // Multi-hop traffic through six switches: the Switch burst path (and
+    // its fused status pass) carries every flit more than once.
+    let mut cfg = SystemConfig::fat_tree_8();
+    cfg.cus_per_gpu = 2;
+    let scale = Scale::tiny().for_gpus(cfg.total_gpus());
+    let exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter)
+        .with_base_cfg(cfg)
+        .with_scale(scale);
+    let scalar = traced(&exp.clone().with_burst_dispatch(false));
+    let burst = traced(&exp);
+    assert_identical(scalar, burst, "fat-tree-8/gups");
+}
+
+#[test]
+fn burst_dispatch_composes_with_the_parallel_scheduler() {
+    // Worker domains inherit the engine's burst flag; scalar-parallel
+    // must equal burst-parallel must equal burst-sequential.
+    let exp = Experiment::quick(Workload::Mt, SystemVariant::NetCrafter);
+    let seq_burst = exp.clone().run();
+    let par_scalar = exp.clone().with_threads(4).with_burst_dispatch(false).run();
+    let par_burst = exp.with_threads(4).run();
+    assert_eq!(seq_burst.metrics.to_kv(), par_scalar.metrics.to_kv());
+    assert_eq!(seq_burst.metrics.to_kv(), par_burst.metrics.to_kv());
+}

@@ -506,9 +506,21 @@ impl EgressPort {
                     if left == 0 {
                         break;
                     }
-                } else if n < 64 {
+                } else if n < seen.len() {
                     seen[n] = bits;
                     n += 1;
+                } else {
+                    // The orbit is longer than the history window (e.g. a
+                    // very slow fractional rate whose residue drifts for
+                    // hundreds of steps). Period detection cannot help;
+                    // replay the remaining span cycle by cycle instead of
+                    // scanning a full-but-useless window every iteration.
+                    while left > 0 {
+                        self.rate.accrue();
+                        self.rate.try_consume(1.0);
+                        left -= 1;
+                    }
+                    break;
                 }
                 self.rate.accrue();
                 self.rate.try_consume(1.0);
@@ -834,6 +846,26 @@ mod tests {
         assert_eq!(m.counter("p.stitched_flits"), 1);
         assert_eq!(m.counter("p.padding75"), 1);
         assert_eq!(m.counter("p.ptw_flits"), 2);
+    }
+
+    /// A 0.01 flits/cycle link walks ~100 distinct token residues before
+    /// the orbit closes — longer than the 64-entry period-detection
+    /// window — so `catch_up` must take the explicit per-cycle fallback
+    /// and still land on the exact token bits of a cycle-by-cycle replay.
+    #[test]
+    fn catch_up_handles_orbits_longer_than_history() {
+        let mut b = EngineBuilder::new();
+        let rx_id = b.reserve();
+        drop(b);
+        let mut port = EgressPort::new(wire_to(rx_id), Box::new(FifoQueue::new()), 4, 0.01, 3);
+        let mut reference = RateLimiter::new(0.01, 1.01);
+        for _ in 1..500u64 {
+            reference.accrue();
+            reference.try_consume(1.0);
+        }
+        port.catch_up(500);
+        assert_eq!(port.rate.tokens_bits(), reference.tokens_bits());
+        assert_eq!(port.last_tick, 499);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Generation-checked slab arena for message payloads.
+//!
+//! The engine's hot path moves a message three times: staged send →
+//! delay-wheel slot → destination mailbox. Storing [`Message`]s inline
+//! makes each move a memcpy of the full enum; storing them once in an
+//! [`Arena`] and moving an 8-byte [`Handle`] instead keeps the wheel
+//! slots and inboxes SoA-friendly and recycles payload slots without
+//! per-flit allocator traffic.
+//!
+//! Ownership rules (see DESIGN.md §3.6):
+//!
+//! * A handle is created by [`Arena::alloc`] and owns its slot until
+//!   [`Arena::take`] consumes it. Exactly one live handle refers to a
+//!   slot at any time — the engine threads handles linearly through
+//!   outbox → wheel → inbox → `Ctx::recv`.
+//! * Every slot carries a generation counter, bumped on free. Resolving
+//!   a stale handle (use-after-take, or a handle smuggled across arenas
+//!   with a recycled slot) panics instead of silently aliasing another
+//!   message.
+//!
+//! [`Message`]: netcrafter_proto::Message
+
+/// A generation-checked reference to a value in an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    idx: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// The slot index (for diagnostics only — never dereference manually).
+    pub fn index(self) -> u32 {
+        self.idx
+    }
+}
+
+/// A slab of `T` slots with a free list and per-slot generations.
+#[derive(Debug)]
+pub struct Arena<T> {
+    /// `(generation, payload)`; `None` payload = free slot.
+    slots: Vec<(u32, Option<T>)>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `val`, recycling a freed slot when one is available.
+    #[inline]
+    pub fn alloc(&mut self, val: T) -> Handle {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.1.is_none(), "free list pointed at a live slot");
+            slot.1 = Some(val);
+            Handle { idx, gen: slot.0 }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena exceeded u32::MAX slots");
+            self.slots.push((0, Some(val)));
+            Handle { idx, gen: 0 }
+        }
+    }
+
+    /// Borrows the value behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale (its slot was already taken and possibly
+    /// recycled) or belongs to a different arena.
+    #[inline]
+    pub fn get(&self, h: Handle) -> &T {
+        let slot = self
+            .slots
+            .get(h.idx as usize)
+            .unwrap_or_else(|| panic!("arena handle {} out of bounds", h.idx));
+        assert_eq!(
+            slot.0, h.gen,
+            "stale arena handle: slot {} is at generation {}, handle carries {}",
+            h.idx, slot.0, h.gen
+        );
+        slot.1
+            .as_ref()
+            .unwrap_or_else(|| panic!("arena handle {} points at a freed slot", h.idx))
+    }
+
+    /// Removes and returns the value behind `h`, freeing its slot for
+    /// reuse (the slot's generation is bumped, so `h` becomes stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale or belongs to a different arena.
+    #[inline]
+    pub fn take(&mut self, h: Handle) -> T {
+        let slot = self
+            .slots
+            .get_mut(h.idx as usize)
+            .unwrap_or_else(|| panic!("arena handle {} out of bounds", h.idx));
+        assert_eq!(
+            slot.0, h.gen,
+            "stale arena handle: slot {} is at generation {}, handle carries {}",
+            h.idx, slot.0, h.gen
+        );
+        let val = slot
+            .1
+            .take()
+            .unwrap_or_else(|| panic!("arena handle {} points at a freed slot", h.idx));
+        slot.0 = slot.0.wrapping_add(1);
+        self.free.push(h.idx);
+        val
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when no value is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slot capacity ever allocated (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_take_roundtrip() {
+        let mut a = Arena::new();
+        let h1 = a.alloc("one");
+        let h2 = a.alloc("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(*a.get(h1), "one");
+        assert_eq!(a.take(h2), "two");
+        assert_eq!(a.take(h1), "one");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo_without_growth() {
+        let mut a = Arena::new();
+        for round in 0..100u32 {
+            let h = a.alloc(round);
+            assert_eq!(a.take(h), round);
+        }
+        assert_eq!(a.capacity(), 1, "one slot recycled across all rounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn stale_handle_panics_after_recycle() {
+        let mut a = Arena::new();
+        let h = a.alloc(1u64);
+        a.take(h);
+        let _h2 = a.alloc(2u64); // recycles the slot at a new generation
+        let _ = a.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn double_take_panics() {
+        let mut a = Arena::new();
+        let h = a.alloc(7u8);
+        a.take(h);
+        let _ = a.take(h); // generation was bumped on the first take
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn foreign_handle_is_out_of_bounds() {
+        let mut a = Arena::new();
+        let h = a.alloc(1u8);
+        let b: Arena<u8> = Arena::new();
+        let _ = b.get(h);
+    }
+}

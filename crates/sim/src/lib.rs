@@ -23,15 +23,17 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod arena;
 pub mod engine;
 pub mod parallel;
 pub mod snapshot;
 pub mod timing;
 pub mod trace;
 
+pub use arena::{Arena, Handle};
 pub use engine::{
-    default_scheduler, set_default_scheduler, Component, ComponentId, Ctx, Engine, EngineBuilder,
-    SchedulerMode, TraceEvent, Wake,
+    default_scheduler, set_default_scheduler, BurstOutcome, Component, ComponentId, Ctx, Engine,
+    EngineBuilder, SchedulerMode, TraceEvent, Wake,
 };
 pub use parallel::Partition;
 pub use snapshot::{

@@ -4,14 +4,19 @@
 //! component set into *domains* (one per GPU cluster plus the switch/root
 //! domain, derived from the topology by `multigpu::system`), runs each
 //! domain's event-driven loop on a worker thread, and synchronizes at a
-//! conservative epoch barrier. The epoch length is the partition
-//! *lookahead* `L`: the minimum `Ctx::send` delay of any cross-domain
-//! message, asserted at partition build time and re-checked on every
-//! cross-domain send. Because an epoch starting at the globally earliest
-//! pending event `g` never executes past `g + L - 1`, and any message
-//! sent inside the epoch arrives at `>= g + L`, no domain can receive a
-//! message for a cycle it has already executed — causality is preserved
-//! without rollback.
+//! conservative epoch barrier with *asymmetric per-domain horizons*.
+//! Domain `d`'s horizon in an epoch starting at the globally earliest
+//! pending event `g` is `g + Lin(d) - 1`, where `Lin(d)` is the minimum
+//! *incoming* pair lookahead over every other domain `s` (the per-pair
+//! matrix of [`Partition::with_pair_lookahead`], or the global minimum
+//! `L` when no matrix was supplied — in which case every horizon equals
+//! the classic `g + L - 1`). Safety: a message sent by any domain `s`
+//! during the epoch is sent at some cycle `c >= g`, so it arrives at
+//! `c + L(s, d) >= g + Lin(d)` — strictly beyond `d`'s horizon. No
+//! domain can receive a message for a cycle it has already executed, so
+//! causality is preserved without rollback, while domains behind
+//! high-latency links run epochs their own slack allows (see DESIGN.md
+//! §3.6 for the full argument).
 //!
 //! **Bit-exactness.** Every delivery carries a canonical key
 //! `(send_cycle, src component id, per-src sequence)`. The sequential
@@ -20,9 +25,12 @@
 //! id — within a cycle, and the overflow refill is order-preserving), so
 //! sorting each slot by key before delivery reproduces the sequential
 //! delivery order no matter how the barrier interleaved cross-domain
-//! transfers. Tracer shards and delivery-ring logs are merged at each
-//! barrier in `(cycle, track)` / `(cycle, key)` order, which likewise
-//! equals the sequential emission order. See DESIGN.md §3.3 for the full
+//! transfers. Tracer shards and delivery-ring logs are merged in
+//! `(cycle, track)` / `(cycle, key)` order behind a *watermark*: with
+//! asymmetric horizons a fast domain may emit events for cycles a slow
+//! domain has not reached yet, so merged events are held back until
+//! every domain has fully executed past their cycle (the minimum
+//! per-domain completed cycle). See DESIGN.md §3.3 for the full
 //! determinism argument.
 //!
 //! **Quiescence.** Sampling components tick every cycle until *global*
@@ -42,6 +50,7 @@ use std::sync::mpsc;
 
 use netcrafter_proto::Message;
 
+use crate::arena::{Arena, Handle};
 use crate::engine::{Component, ComponentId, Ctx, Engine, TraceEvent, NEVER, WHEEL_SLOTS};
 use crate::trace::{Event, Tracer};
 use crate::Cycle;
@@ -201,22 +210,25 @@ struct DomainState {
     /// index equals ascending global id — the sequential tick order).
     ids: Vec<usize>,
     comps: Vec<Box<dyn Component>>,
-    inboxes: Vec<VecDeque<Message>>,
+    inboxes: Vec<VecDeque<Handle>>,
+    /// Backing store for this domain's message payloads (wheel slots and
+    /// mailboxes move 8-byte handles, mirroring the sequential engine).
+    arena: Arena<Message>,
     /// Global id -> local index (valid only for this domain's members).
     local_of: Vec<usize>,
     /// Global id -> owning domain (shared table, cloned per domain).
     domain_of: Vec<usize>,
     /// Keyed delay wheel: `(key, local dst, message)` per slot, sorted by
     /// key at delivery time.
-    wheel: Vec<Vec<(Key, usize, Message)>>,
-    overflow: Vec<(Cycle, Key, usize, Message)>,
-    overflow_scratch: Vec<(Cycle, Key, usize, Message)>,
+    wheel: Vec<Vec<(Key, usize, Handle)>>,
+    overflow: Vec<(Cycle, Key, usize, Handle)>,
+    overflow_scratch: Vec<(Cycle, Key, usize, Handle)>,
     overflow_min: Cycle,
-    slot_scratch: Vec<(Key, usize, Message)>,
+    slot_scratch: Vec<(Key, usize, Handle)>,
     cycle: Cycle,
     in_flight: usize,
     delivered: u64,
-    outbox: Vec<(Cycle, ComponentId, Message)>,
+    outbox: Vec<(Cycle, ComponentId, Handle)>,
     armed: Vec<Cycle>,
     wake_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
     active: Vec<usize>,
@@ -241,6 +253,8 @@ struct DomainState {
     /// Last executed cycle that delivered a message or saw a busy
     /// component — the domain's contribution to the global stop cycle.
     last_driving: Cycle,
+    /// Burst dispatch flag, copied from the engine at decomposition.
+    burst: bool,
 }
 
 impl DomainState {
@@ -250,6 +264,7 @@ impl DomainState {
             ids: Vec::new(),
             comps: Vec::new(),
             inboxes: Vec::new(),
+            arena: Arena::new(),
             local_of: vec![usize::MAX; n_global],
             domain_of: Vec::new(),
             wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
@@ -277,15 +292,11 @@ impl DomainState {
             lookahead,
             pair_row: Vec::new(),
             last_driving: start,
+            burst: true,
         }
     }
 
-    fn push_component(
-        &mut self,
-        global: usize,
-        comp: Box<dyn Component>,
-        inbox: VecDeque<Message>,
-    ) {
+    fn push_component(&mut self, global: usize, comp: Box<dyn Component>, inbox: VecDeque<Handle>) {
         let busy = comp.busy();
         self.local_of[global] = self.ids.len();
         self.ids.push(global);
@@ -318,14 +329,14 @@ impl DomainState {
         }
     }
 
-    fn schedule_local(&mut self, when: Cycle, key: Key, l: usize, msg: Message) {
+    fn schedule_local(&mut self, when: Cycle, key: Key, l: usize, h: Handle) {
         debug_assert!(when > self.cycle);
         self.in_flight += 1;
         if (when - self.cycle) < WHEEL_SLOTS as u64 {
-            self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((key, l, msg));
+            self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((key, l, h));
         } else {
             self.overflow_min = self.overflow_min.min(when);
-            self.overflow.push((when, key, l, msg));
+            self.overflow.push((when, key, l, h));
         }
     }
 
@@ -341,7 +352,8 @@ impl DomainState {
             self.cycle
         );
         let l = self.local_of[m.dst.0];
-        self.schedule_local(m.when, m.key, l, m.msg);
+        let h = self.arena.alloc(m.msg);
+        self.schedule_local(m.when, m.key, l, h);
     }
 
     /// Mirror of `Engine::next_event_cycle` over this domain's state.
@@ -394,12 +406,12 @@ impl DomainState {
                 std::mem::take(&mut self.overflow_scratch),
             );
             let mut min_left = NEVER;
-            for (when, key, l, msg) in pending.drain(..) {
+            for (when, key, l, h) in pending.drain(..) {
                 if when < horizon {
-                    self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((key, l, msg));
+                    self.wheel[(when % WHEEL_SLOTS as u64) as usize].push((key, l, h));
                 } else {
                     min_left = min_left.min(when);
-                    self.overflow.push((when, key, l, msg));
+                    self.overflow.push((when, key, l, h));
                 }
             }
             self.overflow_min = min_left;
@@ -417,19 +429,20 @@ impl DomainState {
         let delivered_now = due.len();
         self.in_flight -= delivered_now;
         self.delivered += delivered_now as u64;
-        for (key, l, msg) in due.drain(..) {
+        for (key, l, h) in due.drain(..) {
             if self.ring_on {
+                let kind = self.arena.get(h).label();
                 self.ring_log.push((
                     key,
                     TraceEvent {
                         cycle: c,
                         dst: ComponentId(self.ids[l]),
-                        kind: msg.label(),
+                        kind,
                     },
                 ));
             }
             self.arm(l, c);
-            self.inboxes[l].push_back(msg);
+            self.inboxes[l].push_back(h);
         }
         self.slot_scratch = due;
 
@@ -471,11 +484,17 @@ impl DomainState {
                 cycle: c,
                 inbox: &mut self.inboxes[l],
                 outbox: &mut self.outbox,
+                arena: &mut self.arena,
                 self_id: ComponentId(global),
                 tracer: &mut self.tracer,
             };
-            self.comps[l].tick(&mut ctx);
-            let busy = self.comps[l].busy();
+            let (busy, wake) = if self.burst {
+                let out = self.comps[l].tick_burst(&mut ctx);
+                (out.busy, out.wake)
+            } else {
+                self.comps[l].tick(&mut ctx);
+                (self.comps[l].busy(), self.comps[l].next_wake(c))
+            };
             if busy != self.busy_flags[l] {
                 self.busy_flags[l] = busy;
                 if busy {
@@ -490,12 +509,12 @@ impl DomainState {
             if !self.outbox.is_empty() {
                 let src = global as u32;
                 let mut staged = std::mem::take(&mut self.outbox);
-                for (when, dst, msg) in staged.drain(..) {
+                for (when, dst, h) in staged.drain(..) {
                     let key = (c, src, self.send_seq[l]);
                     self.send_seq[l] += 1;
                     let dd = self.domain_of[dst.0];
                     if dd == self.dom {
-                        self.schedule_local(when, key, self.local_of[dst.0], msg);
+                        self.schedule_local(when, key, self.local_of[dst.0], h);
                     } else {
                         let bound = if self.pair_row.is_empty() {
                             self.lookahead
@@ -510,6 +529,10 @@ impl DomainState {
                             when - c,
                             self.dom
                         );
+                        // Cross-domain messages travel by value: the
+                        // payload leaves this domain's arena here and is
+                        // re-interned by the receiving domain.
+                        let msg = self.arena.take(h);
                         self.cross_out.push(CrossMsg {
                             when,
                             key,
@@ -520,7 +543,7 @@ impl DomainState {
                 }
                 self.outbox = staged;
             }
-            match self.comps[l].next_wake(c) {
+            match wake {
                 crate::Wake::EveryCycle => {
                     if !self.every[l] {
                         self.every[l] = true;
@@ -590,14 +613,16 @@ impl DomainState {
 
 /// Worker commands, one barrier round = `Epoch` then `CatchUp`.
 enum Cmd {
-    /// Apply the routed cross-domain messages (one vec per owned domain,
-    /// in ownership order), then run every owned domain to `end`.
+    /// Apply the routed cross-domain messages, then run each owned
+    /// domain to its own horizon (both vecs in ownership order —
+    /// horizons differ per domain under the asymmetric epoch scheme).
     Epoch {
-        end: Cycle,
+        ends: Vec<Cycle>,
         incoming: Vec<Vec<CrossMsg>>,
     },
-    /// Replay deferred observation ticks through `through`.
-    CatchUp { through: Cycle },
+    /// Replay each owned domain's deferred observation ticks through its
+    /// own bound (ownership order).
+    CatchUp { throughs: Vec<Cycle> },
     /// Report busy component names (for the livelock panic message).
     Names,
     /// Return the domain states to the main thread and exit.
@@ -648,8 +673,14 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
         .collect();
     let components = std::mem::take(&mut engine.components);
     let inboxes = std::mem::take(&mut engine.inboxes);
+    let mut msgs = std::mem::take(&mut engine.msgs);
     for (g, (comp, inbox)) in components.into_iter().zip(inboxes).enumerate() {
-        domains[part.domain_of[g]].push_component(g, comp, inbox);
+        let dom = &mut domains[part.domain_of[g]];
+        let mut q = VecDeque::with_capacity(inbox.len());
+        for h in inbox {
+            q.push_back(dom.arena.alloc(msgs.take(h)));
+        }
+        dom.push_component(g, comp, q);
     }
     for d in &mut domains {
         d.domain_of = part.domain_of.clone();
@@ -658,6 +689,7 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
         }
         d.tracer = engine.tracer.shard();
         d.ring_on = ring_on;
+        d.burst = engine.burst;
         // Every component gets a fresh tick at start+1 and re-arms itself
         // from there — always bit-exact (ticking an idle component is
         // observable-effect-free by the next_wake contract).
@@ -676,23 +708,29 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
             + 1
             + ((s as u64 + WHEEL_SLOTS as u64 - ((start + 1) % WHEEL_SLOTS as u64))
                 % WHEEL_SLOTS as u64);
-        for (dst, msg) in engine.wheel[s].drain(..) {
+        for (dst, h) in engine.wheel[s].drain(..) {
             let key = (start, SRC_EXTERNAL, ext_seq);
             ext_seq += 1;
-            let d = part.domain_of[dst.0];
-            let l = domains[d].local_of[dst.0];
-            domains[d].schedule_local(when, key, l, msg);
+            let dom = &mut domains[part.domain_of[dst.0]];
+            let l = dom.local_of[dst.0];
+            let dh = dom.arena.alloc(msgs.take(h));
+            dom.schedule_local(when, key, l, dh);
         }
     }
-    for (when, dst, msg) in engine.overflow.drain(..) {
+    for (when, dst, h) in engine.overflow.drain(..) {
         let key = (start, SRC_EXTERNAL, ext_seq);
         ext_seq += 1;
-        let d = part.domain_of[dst.0];
-        let l = domains[d].local_of[dst.0];
-        domains[d].overflow_min = domains[d].overflow_min.min(when);
-        domains[d].overflow.push((when, key, l, msg));
-        domains[d].in_flight += 1;
+        let dom = &mut domains[part.domain_of[dst.0]];
+        let l = dom.local_of[dst.0];
+        let dh = dom.arena.alloc(msgs.take(h));
+        dom.overflow_min = dom.overflow_min.min(when);
+        dom.overflow.push((when, key, l, dh));
+        dom.in_flight += 1;
     }
+    // Every payload has moved to a domain arena; hand the (empty) arena
+    // back so its slot capacity is reused after reassembly.
+    debug_assert!(msgs.is_empty());
+    engine.msgs = msgs;
     engine.overflow_min = NEVER;
     engine.in_flight = 0;
 
@@ -720,9 +758,9 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
                 let mut doms = doms;
                 while let Ok(cmd) = cmd_rx.recv() {
                     let reply = match cmd {
-                        Cmd::Epoch { end, incoming } => {
+                        Cmd::Epoch { ends, incoming } => {
                             let mut reports = Vec::with_capacity(doms.len());
-                            for (d, inc) in doms.iter_mut().zip(incoming) {
+                            for ((d, inc), end) in doms.iter_mut().zip(incoming).zip(ends) {
                                 for m in inc {
                                     d.apply_cross(m);
                                 }
@@ -738,10 +776,10 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
                             }
                             Reply::Epoch(reports)
                         }
-                        Cmd::CatchUp { through } => {
+                        Cmd::CatchUp { throughs } => {
                             let mut next_events = Vec::with_capacity(doms.len());
                             let mut events = Vec::with_capacity(doms.len());
-                            for d in &mut doms {
+                            for (d, through) in doms.iter_mut().zip(throughs) {
                                 d.catch_up(through);
                                 next_events.push(d.next_event_cycle());
                                 events.push(d.tracer.drain_events());
@@ -774,18 +812,66 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
         // On any channel failure a worker has panicked: bail out quietly
         // and let `thread::scope` propagate the worker's own panic.
         let mut routed: Vec<Vec<CrossMsg>> = (0..n_domains).map(|_| Vec::new()).collect();
-        // Everything is armed at start+1, so the first epoch window is
-        // exactly one lookahead long.
-        let mut epoch_end = limit.min(start + lookahead);
+        // Per-domain *incoming* lookahead: the minimum pair bound over
+        // every other domain that can send here. A domain with no
+        // incoming link at all (`NEVER`) is bounded only by the run
+        // limit. Without a pair matrix every entry equals the global
+        // lookahead and the horizons degenerate to the classic symmetric
+        // epoch.
+        let lin: Vec<u64> = (0..n_domains)
+            .map(|d| {
+                (0..n_domains)
+                    .filter(|&s| s != d)
+                    .map(|s| part.pair_lookahead(s, d))
+                    .min()
+                    .unwrap_or(NEVER)
+            })
+            .collect();
+        let horizon_for = |g: Cycle| -> Vec<Cycle> {
+            lin.iter()
+                .map(|&l| {
+                    if l == NEVER {
+                        limit
+                    } else {
+                        limit.min(g.saturating_add(l - 1))
+                    }
+                })
+                .collect()
+        };
+        // Everything is armed at start+1, so domain `d`'s first window is
+        // exactly `Lin(d)` long.
+        let mut ends = horizon_for(start + 1);
+        // Cycle through which each domain's event stream is final
+        // (executed, including deferred observation ticks). The merge
+        // watermark is the minimum over domains: an event at or below it
+        // can never be preceded by anything a later round produces.
+        let mut completed: Vec<Cycle> = vec![start; n_domains];
+        // Events/ring entries held back until the watermark passes them.
+        let mut pending_events: Vec<Event> = Vec::new();
+        let mut pending_ring: Vec<(Key, TraceEvent)> = Vec::new();
+        // Per-domain local-quiescence after the last epoch (observation
+        // catch-up cannot change it, so the epoch report stays valid).
+        let mut lq: Vec<bool> = vec![false; n_domains];
+        // Observation floor: the highest cycle the sequential run is
+        // known to execute. Driving ticks raise it via `last_driving`;
+        // while the system is active it also advances to `global_next`,
+        // because the earliest pending event/delivery is certain to run
+        // (a pure observation wake cannot be what ends the simulation).
+        // Without the `global_next` leg a busy-but-sleeping domain (all
+        // blocked components waiting `OnMessage`/`At` with no local
+        // events) would freeze `last_driving` below a quiescent domain's
+        // deferred observation wake, and the rounds would spin forever.
+        let mut floor = start;
         'run: loop {
             for (w, tx) in cmd_txs.iter().enumerate() {
                 let incoming = owned[w]
                     .iter()
                     .map(|&d| std::mem::take(&mut routed[d]))
                     .collect();
+                let worker_ends = owned[w].iter().map(|&d| ends[d]).collect();
                 if tx
                     .send(Cmd::Epoch {
-                        end: epoch_end,
+                        ends: worker_ends,
                         incoming,
                     })
                     .is_err()
@@ -798,11 +884,13 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
             let mut last_driving = start;
             let mut round_events: Vec<Event> = Vec::new();
             let mut round_ring: Vec<(Key, TraceEvent)> = Vec::new();
-            for rx in &reply_rxs {
+            for (w, rx) in reply_rxs.iter().enumerate() {
                 let Ok(Reply::Epoch(reports)) = rx.recv() else {
                     break 'run;
                 };
-                for rep in reports {
+                for (i, rep) in reports.into_iter().enumerate() {
+                    let d = owned[w][i];
+                    lq[d] = rep.busy_count == 0 && rep.in_flight == 0;
                     any_busy |= rep.busy_count > 0;
                     any_flight |= rep.in_flight > 0;
                     last_driving = last_driving.max(rep.last_driving);
@@ -815,12 +903,30 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
             }
             let any_routed = routed.iter().any(|v| !v.is_empty());
             let active = any_busy || any_flight || any_routed;
-            // Deferred observation ticks run through the epoch end while
-            // the system is still active, or through the global stop
-            // cycle X on the final barrier.
-            let through = if active { epoch_end } else { last_driving };
-            for tx in &cmd_txs {
-                if tx.send(Cmd::CatchUp { through }).is_err() {
+            // Deferred observation ticks: on the final barrier every
+            // domain replays through the global stop cycle
+            // `X = last_driving`. While still active, a locally quiescent
+            // domain replays through its own horizon, clamped to the
+            // observation floor `<= X` — with asymmetric horizons a
+            // far-ahead domain's `ends[d]` may exceed the (unknown)
+            // final stop cycle, and observation ticks past `X` would
+            // sample cycles the sequential run never executes.
+            // Clamped ticks are not lost: they stay deferred and replay
+            // once the floor (or the final barrier) passes them.
+            floor = floor.max(last_driving);
+            let throughs: Vec<Cycle> = if active {
+                (0..n_domains).map(|d| ends[d].min(floor)).collect()
+            } else {
+                vec![last_driving; n_domains]
+            };
+            for (w, tx) in cmd_txs.iter().enumerate() {
+                let worker_throughs = owned[w].iter().map(|&d| throughs[d]).collect();
+                if tx
+                    .send(Cmd::CatchUp {
+                        throughs: worker_throughs,
+                    })
+                    .is_err()
+                {
                     break 'run;
                 }
             }
@@ -840,22 +946,41 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
                     round_events.extend(ev);
                 }
             }
-            // Merge this round's observability shards in canonical order.
-            // All events are <= `through` and later rounds only produce
-            // later cycles, so per-round appends keep the global order.
-            round_events.sort_by_key(|e| (e.cycle, e.track));
-            engine.tracer.absorb_events(round_events);
-            round_ring.sort_unstable_by_key(|&(key, ref ev)| (ev.cycle, key));
+            // Merge this round's observability shards in canonical
+            // `(cycle, track)` / `(cycle, key)` order behind the
+            // watermark. An active (non-locally-quiescent) domain has
+            // executed everything through its horizon; a locally
+            // quiescent one only through its catch-up bound. Nothing at
+            // or below the minimum of those can be emitted later, so the
+            // prefix up to the watermark is final; the rest waits.
+            for d in 0..n_domains {
+                let done = if lq[d] { throughs[d] } else { ends[d] };
+                completed[d] = completed[d].max(done);
+            }
+            let watermark = if active {
+                completed.iter().copied().min().unwrap_or(NEVER)
+            } else {
+                NEVER
+            };
+            pending_events.extend(round_events);
+            pending_events.sort_by_key(|e| (e.cycle, e.track));
+            let cut = pending_events.partition_point(|e| e.cycle <= watermark);
+            engine.tracer.absorb_events(pending_events.drain(..cut));
+            pending_ring.extend(round_ring);
+            pending_ring.sort_unstable_by_key(|&(key, ref ev)| (ev.cycle, key));
+            let cut = pending_ring.partition_point(|(_, ev)| ev.cycle <= watermark);
             if let Some((buf, cap)) = engine.trace.as_mut() {
-                for (_, ev) in round_ring {
+                for (_, ev) in pending_ring.drain(..cut) {
                     if buf.len() == *cap {
                         buf.pop_front();
                     }
                     buf.push_back(ev);
                 }
+            } else {
+                pending_ring.clear();
             }
             if !active {
-                end_cycle = through;
+                end_cycle = last_driving;
                 break 'run;
             }
             for msgs in &routed {
@@ -863,7 +988,8 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
                     global_next = global_next.min(m.when);
                 }
             }
-            if global_next == NEVER || global_next > limit || epoch_end == limit {
+            let min_end = ends.iter().copied().min().unwrap_or(limit);
+            if global_next == NEVER || global_next > limit || min_end == limit {
                 // The sequential scheduler would hit its cycle limit with
                 // work remaining: reproduce its panic, byte for byte.
                 let mut busy: Vec<(usize, String)> = Vec::new();
@@ -879,7 +1005,13 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
                 let names: Vec<String> = busy.into_iter().map(|(_, n)| n).collect();
                 panic!("simulation did not quiesce within {max_cycles} cycles; busy: {names:?}");
             }
-            epoch_end = limit.min(global_next + lookahead - 1);
+            // `global_next <= limit` here (checked above), and while
+            // active the sequential run cannot stop before it: every
+            // pending delivery or driving wake is at or after it, and an
+            // observation wake cannot be the last thing that runs. So
+            // next round's deferred observation ticks may replay up to it.
+            floor = floor.max(global_next);
+            ends = horizon_for(global_next);
         }
 
         for tx in &cmd_txs {
@@ -921,14 +1053,26 @@ pub(crate) fn run_parallel(engine: &mut Engine, cfg: &ParallelConfig, max_cycles
             state.dom
         );
         delivered += state.delivered;
+        // Resolve each mailbox's handles through the domain arena; the
+        // payloads are re-interned into the engine arena below. With
+        // `in_flight == 0` the wheel/overflow hold nothing, so draining
+        // the inboxes must leave the domain arena empty.
+        let mut arena = state.arena;
         for ((g, comp), inbox) in state.ids.into_iter().zip(state.comps).zip(state.inboxes) {
-            slots[g] = Some((comp, inbox));
+            let msgs: VecDeque<Message> = inbox.into_iter().map(|h| arena.take(h)).collect();
+            slots[g] = Some((comp, msgs));
         }
+        debug_assert!(
+            arena.is_empty(),
+            "domain arena retained payloads after reassembly"
+        );
     }
     for slot in slots {
         let (comp, inbox) = slot.expect("partition covered every component");
         engine.components.push(comp);
-        engine.inboxes.push(inbox);
+        engine
+            .inboxes
+            .push(inbox.into_iter().map(|m| engine.msgs.alloc(m)).collect());
     }
     engine.delivered += delivered;
     engine.cycle = end_cycle;

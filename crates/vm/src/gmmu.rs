@@ -18,7 +18,9 @@ use netcrafter_proto::{
     TransReq, TransRsp,
 };
 use netcrafter_sim::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
-use netcrafter_sim::{Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake};
+use netcrafter_sim::{
+    BurstOutcome, Component, ComponentId, Ctx, Cycle, DelayQueue, EventClass, Wake,
+};
 
 use crate::pagetable::PageTable;
 use crate::tlb::Tlb;
@@ -399,6 +401,31 @@ impl Component for TranslationUnit {
             wake = wake.earliest(Wake::At(t));
         }
         wake
+    }
+
+    fn tick_burst(&mut self, ctx: &mut Ctx<'_>) -> BurstOutcome {
+        self.tick(ctx);
+        // One pass over the queue/pipe fields instead of the separate
+        // `busy` + `next_wake` traversals.
+        let busy = !self.tlb_pipe.is_empty()
+            || !self.pwc_pipe.is_empty()
+            || !self.retry.is_empty()
+            || !self.active.is_empty()
+            || !self.pending_walks.is_empty()
+            || !self.waiters.is_empty();
+        let wake = if !self.retry.is_empty() {
+            Wake::EveryCycle
+        } else {
+            let mut wake = Wake::OnMessage;
+            if let Some(t) = self.tlb_pipe.next_ready() {
+                wake = wake.earliest(Wake::At(t));
+            }
+            if let Some(t) = self.pwc_pipe.next_ready() {
+                wake = wake.earliest(Wake::At(t));
+            }
+            wake
+        };
+        BurstOutcome { busy, wake }
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
