@@ -159,9 +159,11 @@ impl ClusterQueueStats {
 /// ```
 #[derive(Debug)]
 pub struct ClusterQueue {
+    // lint:allow(snapshot-field-parity) construction-time config; the restore target is built from the same config
     cfg: NetCrafterConfig,
     /// Node of the cluster switch on the far end of this port's link;
     /// stitched flits are addressed to it for un-stitching.
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     remote_switch: NodeId,
     queues: [VecDeque<Flit>; 6],
     /// Per-partition pooling side slot: a parent waiting (until the given
@@ -169,6 +171,7 @@ pub struct ClusterQueue {
     /// flowing — only the pooled flit pays the window.
     pooled: [Option<(Flit, Cycle)>; 6],
     rr: usize,
+    // lint:allow(snapshot-field-parity) derived occupancy; load_state recomputes it from the restored queues
     len: usize,
     /// Statistics.
     pub stats: ClusterQueueStats,
@@ -238,8 +241,6 @@ impl ClusterQueue {
 
     /// Absorbs every candidate that fits into `parent`, best-fit first.
     /// Returns the number of candidates stitched.
-    // lint:allow(tracer-threading) internal helper; the sole caller, EgressQueue::pop,
-    // reports every stitch decision through finish() at ejection time
     fn stitch_into(&mut self, parent: &mut Flit) -> u64 {
         let mut absorbed = 0;
         loop {

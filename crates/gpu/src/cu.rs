@@ -200,28 +200,41 @@ impl Snap for Wavefront {
 
 /// A compute unit component.
 pub struct Cu {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     gpu: GpuId,
     #[allow(dead_code)]
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     cu: CuId,
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     cu_raw: u16,
+    // lint:allow(snapshot-field-parity) construction-time identity; load_state only names it in decode error messages
     name: String,
     /// The CU's private L1 vector cache.
     pub l1: L1Cache,
     /// The CU's private L1 TLB.
     pub l1_tlb: Tlb,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     wiring: CuWiring,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     gpus_per_cluster: u16,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     frames_per_gpu: u64,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     hop_cycles: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     max_waves: usize,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     max_outstanding: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     max_loads_per_wave: u16,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     full_sector_mask: u16,
 
     resident: Vec<Wavefront>,
     pending: VecDeque<WavefrontTrace>,
     rr: usize,
     ids: IdAlloc<AccessId>,
+    // lint:allow(snapshot-field-parity) construction-time id-space base, derived from wiring
     id_base: u64,
     trans_waiters: BTreeMap<AccessId, usize>,
     read_waiters: BTreeMap<AccessId, usize>,

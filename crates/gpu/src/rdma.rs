@@ -86,14 +86,23 @@ impl RdmaStats {
 
 /// The RDMA engine component of one GPU.
 pub struct Rdma {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     gpu: GpuId,
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     node: NodeId,
+    // lint:allow(snapshot-field-parity) construction-time identity label; never serialized
     name: String,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     wiring: RdmaWiring,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     gpus_per_cluster: u16,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     hop_cycles: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     granularity: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     full_sector_mask: u16,
+    // lint:allow(snapshot-field-parity) stateless segmenter; holds only the configured flit size
     seg: Segmenter,
     reasm: Reassembler,
     /// The Trim Engine (stats live here; the decision uses the request's

@@ -1,0 +1,333 @@
+//! Same-crate call graph over the item index, and the interprocedural
+//! analyses built on it: hot-path allocation reachability and
+//! caller-aware tracer threading.
+//!
+//! Resolution is name-based (the lexer has no types), so it is
+//! deliberately conservative in the direction that cannot produce
+//! false negatives: a call site of name `f` edges to *every* same-crate
+//! function named `f`. Over-approximation can only add findings, and
+//! each extra finding is waivable at the call site; it can never hide
+//! an allocation that is really reachable. Cross-crate calls are out of
+//! scope — each crate's public surface is audited by its own rules.
+
+use crate::index::{ident_at, punct_at, FileIndex, FnDef};
+use crate::lexer::SpannedTok;
+
+/// Keywords and builtins that look like call syntax but are not calls
+/// to user functions (`if x (…)` never parses this way in Rust, but
+/// `matches!`-free token soup still produces `Some(`, `Ok(` etc.).
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "Some", "None", "Ok", "Err", "self", "Self", "fn",
+    "in", "as", "let", "else", "move", "loop", "box", "await",
+];
+
+/// One function node in a crate's call graph.
+#[derive(Debug, Clone, Copy)]
+pub struct FnNode {
+    /// Index into the driver's `FileIndex` slice.
+    pub file: usize,
+    /// `Some(impl index)` for methods, `None` for free functions.
+    pub impl_ix: Option<usize>,
+    /// Index into the impl's `fns` (or the file's `free_fns`).
+    pub fn_ix: usize,
+}
+
+/// A call edge, anchored at its call site.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: u32,
+}
+
+/// The call graph of one crate.
+#[derive(Debug)]
+pub struct CrateGraph {
+    /// Function nodes, in file-then-definition order.
+    pub nodes: Vec<FnNode>,
+    /// Outgoing edges per node.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CrateGraph {
+    /// Resolves a node back to its `FnDef`.
+    pub fn def<'a>(&self, files: &'a [FileIndex], n: usize) -> &'a FnDef {
+        let node = self.nodes[n];
+        match node.impl_ix {
+            Some(ix) => &files[node.file].impls[ix].fns[node.fn_ix],
+            None => &files[node.file].free_fns[node.fn_ix],
+        }
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug)]
+enum CalleeRef {
+    /// `recv.name(…)` — resolves by method name alone.
+    Method(String),
+    /// `Type::name(…)` — resolves by (type, name); `Self::` uses the
+    /// enclosing impl's type.
+    Qualified(String, String),
+    /// `name(…)` — resolves to free functions.
+    Bare(String),
+}
+
+/// Extracts call sites from a body token range. `self_ty` is the
+/// enclosing impl's type for `Self::` resolution.
+fn call_sites(
+    tokens: &[SpannedTok],
+    body: (usize, usize),
+    self_ty: Option<&str>,
+) -> Vec<(CalleeRef, u32)> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    for i in open..close {
+        let Some(name) = ident_at(tokens, i) else {
+            continue;
+        };
+        if !punct_at(tokens, i + 1, '(') || NON_CALL_IDENTS.contains(&name) {
+            continue;
+        }
+        // `fn name(` is a definition (closures have no name; nested fns
+        // do) — not a call.
+        if i > 0 && ident_at(tokens, i - 1) == Some("fn") {
+            continue;
+        }
+        let line = tokens[i].line;
+        let callee = if i > 0 && punct_at(tokens, i - 1, '.') {
+            CalleeRef::Method(name.to_string())
+        } else if i >= 3 && punct_at(tokens, i - 1, ':') && punct_at(tokens, i - 2, ':') {
+            match ident_at(tokens, i - 3) {
+                Some("Self") => match self_ty {
+                    Some(ty) => CalleeRef::Qualified(ty.to_string(), name.to_string()),
+                    None => CalleeRef::Bare(name.to_string()),
+                },
+                Some(ty) if ty.chars().next().is_some_and(char::is_uppercase) => {
+                    CalleeRef::Qualified(ty.to_string(), name.to_string())
+                }
+                // `module::func(…)` — the module may be same-crate;
+                // resolve by bare name so helpers in sibling modules
+                // stay visible.
+                Some(_) => CalleeRef::Bare(name.to_string()),
+                None => CalleeRef::Bare(name.to_string()),
+            }
+        } else {
+            CalleeRef::Bare(name.to_string())
+        };
+        out.push((callee, line));
+    }
+    out
+}
+
+/// Builds the call graph for the files of one crate (`files` must all
+/// share a crate; `file_ixs` are their indices in the driver's slice).
+pub fn build_crate_graph(files: &[FileIndex], file_ixs: &[usize]) -> CrateGraph {
+    let mut nodes = Vec::new();
+    for &f in file_ixs {
+        for (impl_ix, im) in files[f].impls.iter().enumerate() {
+            for fn_ix in 0..im.fns.len() {
+                nodes.push(FnNode {
+                    file: f,
+                    impl_ix: Some(impl_ix),
+                    fn_ix,
+                });
+            }
+        }
+        for fn_ix in 0..files[f].free_fns.len() {
+            nodes.push(FnNode {
+                file: f,
+                impl_ix: None,
+                fn_ix,
+            });
+        }
+    }
+
+    // Name maps for resolution.
+    let mut methods_by_name: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+    let mut methods_by_ty: std::collections::BTreeMap<(&str, &str), Vec<usize>> =
+        Default::default();
+    let mut free_by_name: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+    for (n, node) in nodes.iter().enumerate() {
+        let file = &files[node.file];
+        match node.impl_ix {
+            Some(ix) => {
+                let im = &file.impls[ix];
+                let name = im.fns[node.fn_ix].name.as_str();
+                methods_by_name.entry(name).or_default().push(n);
+                methods_by_ty
+                    .entry((im.self_ty.as_str(), name))
+                    .or_default()
+                    .push(n);
+            }
+            None => {
+                let name = file.free_fns[node.fn_ix].name.as_str();
+                free_by_name.entry(name).or_default().push(n);
+            }
+        }
+    }
+
+    let mut edges = vec![Vec::new(); nodes.len()];
+    for (n, node) in nodes.iter().enumerate() {
+        let file = &files[node.file];
+        let (self_ty, def) = match node.impl_ix {
+            Some(ix) => (
+                Some(file.impls[ix].self_ty.as_str()),
+                &file.impls[ix].fns[node.fn_ix],
+            ),
+            None => (None, &file.free_fns[node.fn_ix]),
+        };
+        let Some(body) = def.body else {
+            continue;
+        };
+        for (callee, line) in call_sites(&file.tokens, body, self_ty) {
+            let targets: &[usize] = match &callee {
+                CalleeRef::Method(name) => methods_by_name.get(name.as_str()).map_or(&[], |v| v),
+                CalleeRef::Qualified(ty, name) => methods_by_ty
+                    .get(&(ty.as_str(), name.as_str()))
+                    .map_or(&[], |v| v),
+                CalleeRef::Bare(name) => free_by_name.get(name.as_str()).map_or(&[], |v| v),
+            };
+            for &to in targets {
+                if to != n {
+                    edges[n].push(Edge { to, line });
+                }
+            }
+        }
+    }
+    CrateGraph { nodes, edges }
+}
+
+/// The allocation patterns banned on the hot path, found in a body
+/// range: `Box::new`, `Vec::new`, `.to_vec()`. Returns `(line, what)`.
+pub fn alloc_sites(tokens: &[SpannedTok], body: (usize, usize)) -> Vec<(u32, &'static str)> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    let mut ix = open;
+    while ix < close {
+        if let Some(ty @ ("Box" | "Vec")) = ident_at(tokens, ix) {
+            if punct_at(tokens, ix + 1, ':')
+                && punct_at(tokens, ix + 2, ':')
+                && ident_at(tokens, ix + 3) == Some("new")
+            {
+                out.push((
+                    tokens[ix].line,
+                    if ty == "Box" { "Box::new" } else { "Vec::new" },
+                ));
+                ix += 4;
+                continue;
+            }
+        }
+        if punct_at(tokens, ix, '.') && ident_at(tokens, ix + 1) == Some("to_vec") {
+            out.push((tokens[ix + 1].line, ".to_vec()"));
+            ix += 2;
+            continue;
+        }
+        ix += 1;
+    }
+    out
+}
+
+/// Transitive "can this function's call tree allocate" bit per node,
+/// computed as a reverse-propagation fixpoint (a node that allocates
+/// marks every caller, transitively). Waivers are ignored here — this
+/// answers reachability, the rule layer decides reportability.
+pub fn can_reach_alloc(files: &[FileIndex], g: &CrateGraph) -> Vec<bool> {
+    let mut reach: Vec<bool> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(n, node)| {
+            let def = g.def(files, n);
+            def.body
+                .is_some_and(|b| !alloc_sites(&files[node.file].tokens, b).is_empty())
+        })
+        .collect();
+    // Reverse edges once.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for (n, es) in g.edges.iter().enumerate() {
+        for e in es {
+            callers[e.to].push(n);
+        }
+    }
+    let mut work: Vec<usize> = (0..g.nodes.len()).filter(|&n| reach[n]).collect();
+    while let Some(n) = work.pop() {
+        for &c in &callers[n] {
+            if !reach[c] {
+                reach[c] = true;
+                work.push(c);
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+
+    fn graph(src: &str) -> (Vec<FileIndex>, CrateGraph) {
+        let files = vec![index_file("t.rs", src, Some("net"))];
+        let g = build_crate_graph(&files, &[0]);
+        (files, g)
+    }
+
+    fn name(files: &[FileIndex], g: &CrateGraph, n: usize) -> String {
+        g.def(files, n).name.clone()
+    }
+
+    #[test]
+    fn resolves_bare_method_and_qualified_calls() {
+        let (files, g) = graph(
+            "struct S;\nimpl S { fn a(&self) { self.b(); S::c(); helper(); } fn b(&self) {} fn \
+             c() {} }\nfn helper() {}",
+        );
+        let a = (0..g.nodes.len())
+            .find(|&n| name(&files, &g, n) == "a")
+            .unwrap();
+        let callees: Vec<String> = g.edges[a].iter().map(|e| name(&files, &g, e.to)).collect();
+        assert_eq!(callees, ["b", "c", "helper"]);
+    }
+
+    #[test]
+    fn self_calls_use_enclosing_type() {
+        let (files, g) = graph("struct S;\nimpl S { fn a(&self) { Self::c(); } fn c() {} }");
+        let a = (0..g.nodes.len())
+            .find(|&n| name(&files, &g, n) == "a")
+            .unwrap();
+        assert_eq!(g.edges[a].len(), 1);
+        assert_eq!(name(&files, &g, g.edges[a][0].to), "c");
+    }
+
+    #[test]
+    fn alloc_reachability_propagates_to_callers() {
+        let (files, g) = graph(
+            "struct S;\nimpl S { fn tick(&mut self) { self.mid(); } fn mid(&mut self) { \
+             self.deep(); } fn deep(&mut self) { let v = Vec::new(); v.len(); } fn clean(&self) \
+             {} }",
+        );
+        let reach = can_reach_alloc(&files, &g);
+        let by = |nm: &str| {
+            (0..g.nodes.len())
+                .find(|&n| name(&files, &g, n) == nm)
+                .unwrap()
+        };
+        assert!(reach[by("tick")]);
+        assert!(reach[by("mid")]);
+        assert!(reach[by("deep")]);
+        assert!(!reach[by("clean")]);
+    }
+
+    #[test]
+    fn definitions_are_not_call_sites() {
+        let (files, g) = graph("fn outer() { helper(); fn inner() {} }\nfn helper() {}");
+        let outer = (0..g.nodes.len())
+            .find(|&n| name(&files, &g, n) == "outer")
+            .unwrap();
+        // Exactly one edge — the call to helper; the nested `fn inner`
+        // definition is not a call site.
+        assert_eq!(g.edges[outer].len(), 1);
+        assert_eq!(name(&files, &g, g.edges[outer][0].to), "helper");
+    }
+}

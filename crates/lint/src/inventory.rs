@@ -1,0 +1,257 @@
+//! The snapshot field inventory: a committed JSON baseline of every
+//! snapshotted struct's field list, used by the `snapshot-version-bump`
+//! rule to make field-list changes diff-visible.
+//!
+//! The format is deliberately tiny (the workspace has no JSON crate):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "snapshot_version": 3,
+//!   "structs": {
+//!     "net::Switch": ["node", "name", "ports"]
+//!   }
+//! }
+//! ```
+//!
+//! Keys are `<crate>::<Struct>`, field arrays are in declaration order,
+//! and struct keys are sorted so regeneration is byte-stable. The
+//! parser below accepts exactly what [`Inventory::to_json`] emits (plus
+//! whitespace variations) — it is a baseline reader, not a general
+//! JSON library.
+
+/// The field inventory of every snapshotted struct in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Inventory {
+    /// The `SNAPSHOT_VERSION` constant's value at generation time.
+    pub snapshot_version: Option<u32>,
+    /// `(<crate>::<Struct>, fields in declaration order)`, sorted by
+    /// key.
+    pub structs: Vec<(String, Vec<String>)>,
+}
+
+impl Inventory {
+    /// Looks up a struct's baseline field list.
+    pub fn fields_of(&self, key: &str) -> Option<&[String]> {
+        self.structs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|ix| self.structs[ix].1.as_slice())
+    }
+
+    /// Serializes to the canonical (byte-stable) JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        match self.snapshot_version {
+            Some(v) => out.push_str(&format!("  \"snapshot_version\": {v},\n")),
+            None => out.push_str("  \"snapshot_version\": null,\n"),
+        }
+        out.push_str("  \"structs\": {");
+        for (ix, (key, fields)) in self.structs.iter().enumerate() {
+            if ix > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{key}\": ["));
+            for (fx, f) in fields.iter().enumerate() {
+                if fx > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{f}\""));
+            }
+            out.push(']');
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses the canonical form back. Returns a human-readable error
+    /// for anything malformed.
+    pub fn parse_json(src: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            s: src.as_bytes(),
+            i: 0,
+        };
+        p.expect(b'{')?;
+        let mut inv = Inventory::default();
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "version" => {
+                    let v = p.number_or_null()?.ok_or("\"version\" must be a number")?;
+                    if v != 1 {
+                        return Err(format!("unsupported inventory version {v}"));
+                    }
+                }
+                "snapshot_version" => inv.snapshot_version = p.number_or_null()?,
+                "structs" => {
+                    p.expect(b'{')?;
+                    if !p.peek_is(b'}') {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(b':')?;
+                            p.expect(b'[')?;
+                            let mut fields = Vec::new();
+                            if !p.peek_is(b']') {
+                                loop {
+                                    fields.push(p.string()?);
+                                    if !p.comma_or(b']')? {
+                                        break;
+                                    }
+                                }
+                            } else {
+                                p.expect(b']')?;
+                            }
+                            inv.structs.push((name, fields));
+                            if !p.comma_or(b'}')? {
+                                break;
+                            }
+                        }
+                    } else {
+                        p.expect(b'}')?;
+                    }
+                }
+                other => return Err(format!("unknown inventory key \"{other}\"")),
+            }
+            if !p.comma_or(b'}')? {
+                break;
+            }
+        }
+        inv.structs.sort();
+        Ok(inv)
+    }
+}
+
+/// Cursor over the inventory JSON bytes.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        self.s.get(self.i) == Some(&c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    /// Consumes either `,` (returns true: another element follows) or
+    /// the closing delimiter (returns false).
+    fn comma_or(&mut self, close: u8) -> Result<bool, String> {
+        self.skip_ws();
+        match self.s.get(self.i) {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(c) if *c == close => {
+                self.i += 1;
+                Ok(false)
+            }
+            _ => Err(format!(
+                "expected ',' or '{}' at byte {}",
+                close as char, self.i
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i] != b'"' {
+            if self.s[self.i] == b'\\' {
+                return Err("escapes are not used in inventory keys".to_string());
+            }
+            self.i += 1;
+        }
+        if self.i >= self.s.len() {
+            return Err("unterminated string".to_string());
+        }
+        let out = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.i += 1;
+        Ok(out)
+    }
+
+    fn number_or_null(&mut self) -> Result<Option<u32>, String> {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(b"null") {
+            self.i += 4;
+            return Ok(None);
+        }
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        String::from_utf8_lossy(&self.s[start..self.i])
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Inventory {
+        Inventory {
+            snapshot_version: Some(3),
+            structs: vec![
+                (
+                    "core::ClusterQueue".into(),
+                    vec!["cfg".into(), "queues".into()],
+                ),
+                ("net::Switch".into(), vec!["ports".into()]),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let inv = sample();
+        let json = inv.to_json();
+        let back = Inventory::parse_json(&json).expect("parses");
+        assert_eq!(inv, back);
+    }
+
+    #[test]
+    fn empty_struct_map_round_trips() {
+        let inv = Inventory {
+            snapshot_version: None,
+            structs: Vec::new(),
+        };
+        let back = Inventory::parse_json(&inv.to_json()).expect("parses");
+        assert_eq!(inv, back);
+    }
+
+    #[test]
+    fn lookup_by_key() {
+        let inv = sample();
+        assert_eq!(inv.fields_of("net::Switch").map(<[String]>::len), Some(1));
+        assert!(inv.fields_of("net::Missing").is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Inventory::parse_json("not json").is_err());
+        assert!(Inventory::parse_json("{\"version\": 2, \"structs\": {}}").is_err());
+    }
+}

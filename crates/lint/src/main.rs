@@ -2,17 +2,27 @@
 //!
 //! ```text
 //! cargo run -p netcrafter-lint                      # lint the workspace
+//! cargo run -p netcrafter-lint -- --jobs 4          # parallel indexing
 //! cargo run -p netcrafter-lint -- --report out.json # + JSON report
+//! cargo run -p netcrafter-lint -- --baseline ci/lint-field-inventory.json
+//! cargo run -p netcrafter-lint -- --emit-inventory ci/lint-field-inventory.json
 //! cargo run -p netcrafter-lint -- --as-crate net f.rs  # lint one file
 //! cargo run -p netcrafter-lint -- --list-rules
 //! ```
+//!
+//! `--baseline` activates the `snapshot-version-bump` rule against the
+//! given field-inventory JSON; `--emit-inventory` writes the current
+//! inventory there (the regeneration step after an intentional change).
 //!
 //! Exit codes: 0 clean, 1 unwaived violations, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use netcrafter_lint::{check_path, check_workspace, render_json, render_text, summarize, RULES};
+use netcrafter_lint::{
+    analyze_units, analyze_workspace, crate_of, render_json, render_text, summarize, Analysis,
+    Inventory, SourceUnit, RULES,
+};
 
 struct Args {
     root: PathBuf,
@@ -20,6 +30,9 @@ struct Args {
     as_crate: Option<String>,
     paths: Vec<PathBuf>,
     list_rules: bool,
+    jobs: usize,
+    baseline: Option<PathBuf>,
+    emit_inventory: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +42,9 @@ fn parse_args() -> Result<Args, String> {
         as_crate: None,
         paths: Vec::new(),
         list_rules: false,
+        jobs: 1,
+        baseline: None,
+        emit_inventory: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -38,10 +54,25 @@ fn parse_args() -> Result<Args, String> {
             "--as-crate" => {
                 args.as_crate = Some(it.next().ok_or("--as-crate needs a value")?);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs needs a positive integer, got {v}"))?
+                    .max(1);
+            }
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a value")?.into());
+            }
+            "--emit-inventory" => {
+                args.emit_inventory =
+                    Some(it.next().ok_or("--emit-inventory needs a value")?.into());
+            }
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 return Err("usage: netcrafter-lint [--root DIR] [--report FILE] \
-                     [--as-crate NAME] [--list-rules] [FILES...]"
+                     [--as-crate NAME] [--jobs N] [--baseline FILE] \
+                     [--emit-inventory FILE] [--list-rules] [FILES...]"
                     .to_string())
             }
             p if !p.starts_with('-') => args.paths.push(p.into()),
@@ -49,6 +80,28 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+fn run(args: &Args, baseline: Option<(&str, &Inventory)>) -> std::io::Result<Analysis> {
+    if args.paths.is_empty() {
+        return analyze_workspace(&args.root, args.jobs, baseline);
+    }
+    let mut units = Vec::new();
+    for path in &args.paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        let rel = path.strip_prefix(&args.root).unwrap_or(path);
+        let crate_name = match &args.as_crate {
+            Some(name) => Some(name.clone()),
+            None => crate_of(rel),
+        };
+        units.push(SourceUnit {
+            path: rel.to_string_lossy().into_owned(),
+            src,
+            crate_name,
+        });
+    }
+    Ok(analyze_units(&units, baseline))
 }
 
 fn main() -> ExitCode {
@@ -70,43 +123,52 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let result = if args.paths.is_empty() {
-        check_workspace(&args.root)
-    } else {
-        let mut findings = Vec::new();
-        let mut err = None;
-        for path in &args.paths {
-            match check_path(path, &args.root, args.as_crate.as_deref()) {
-                Ok(fs) => findings.extend(fs),
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
                 Err(e) => {
-                    err = Some(std::io::Error::new(
-                        e.kind(),
-                        format!("{}: {e}", path.display()),
-                    ));
+                    eprintln!("netcrafter-lint: reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Inventory::parse_json(&text) {
+                Ok(inv) => Some((path.to_string_lossy().into_owned(), inv)),
+                Err(e) => {
+                    eprintln!("netcrafter-lint: parsing {}: {e}", path.display());
+                    return ExitCode::from(2);
                 }
             }
         }
-        match err {
-            Some(e) => Err(e),
-            None => Ok(findings),
-        }
+        None => None,
     };
-    let findings = match result {
-        Ok(f) => f,
+    let analysis = match run(&args, baseline.as_ref().map(|(p, inv)| (p.as_str(), inv))) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("netcrafter-lint: {e}");
             return ExitCode::from(2);
         }
     };
 
-    print!("{}", render_text(&findings));
+    print!("{}", render_text(&analysis.findings));
     if let Some(report) = &args.report {
-        if let Err(e) = std::fs::write(report, render_json(&findings)) {
+        if let Err(e) = std::fs::write(report, render_json(&analysis.findings)) {
             eprintln!("netcrafter-lint: writing {}: {e}", report.display());
             return ExitCode::from(2);
         }
     }
-    if summarize(&findings).violations > 0 {
+    if let Some(path) = &args.emit_inventory {
+        if let Err(e) = std::fs::write(path, analysis.inventory.to_json()) {
+            eprintln!("netcrafter-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "netcrafter-lint: wrote field inventory ({} structs) to {}",
+            analysis.inventory.structs.len(),
+            path.display()
+        );
+    }
+    if summarize(&analysis.findings).violations > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

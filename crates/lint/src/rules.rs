@@ -1,5 +1,5 @@
-//! The determinism & invariant rules, and the engine that runs them
-//! over a lexed file.
+//! The determinism & invariant rules and the local (single-file) rule
+//! implementations.
 //!
 //! Each rule is grounded in a real hazard this workspace has hit (or is
 //! one contributor away from hitting); DESIGN.md §"Determinism rules"
@@ -9,8 +9,13 @@
 //! must carry a non-empty reason, and an annotation that suppresses
 //! nothing is itself reported (`unused-allow`), so stale waivers cannot
 //! accumulate.
+//!
+//! Rules with `check: None` are semantic: they need the whole-workspace
+//! item index and live in [`crate::semantic`], dispatched by the driver
+//! in `lib.rs`.
 
-use crate::lexer::{lex, SpannedTok, Tok};
+use crate::index::{ident_at, matching_brace, punct_at, FileIndex};
+use crate::lexer::Tok;
 
 /// Crates whose state feeds simulation outcomes: iteration order,
 /// timing or dropped invariants here silently invalidate cross-run
@@ -77,6 +82,9 @@ pub struct Finding {
     pub allowed: Option<String>,
 }
 
+/// A single-file rule body: pushes `(line, message)` raw findings.
+pub(crate) type LocalCheck = fn(&FileIndex, &mut Vec<(u32, String)>);
+
 /// Static description of one rule.
 pub struct Rule {
     /// Kebab-case name used in reports and allow-annotations.
@@ -85,8 +93,14 @@ pub struct Rule {
     pub summary: &'static str,
     /// Crates the rule applies to; `None` applies everywhere.
     pub crates: Option<&'static [&'static str]>,
-    check: fn(&[SpannedTok], &mut Vec<(u32, String)>),
+    /// Single-file check, or `None` for whole-workspace semantic rules
+    /// implemented in [`crate::semantic`].
+    pub(crate) check: Option<LocalCheck>,
 }
+
+/// Crates the Component trait-contract rules cover (`proto` holds no
+/// components).
+const COMPONENT_CRATES: &[&str] = &["sim", "net", "mem", "vm", "gpu", "core", "multigpu"];
 
 /// The rule registry, in report order.
 pub const RULES: &[Rule] = &[
@@ -96,22 +110,22 @@ pub const RULES: &[Rule] = &[
                   iteration order leaks host randomness into simulation \
                   state — use proto::collections::OrderedMap",
         crates: Some(SIM_CRATES),
-        check: check_unordered_iteration,
+        check: Some(check_unordered_iteration),
     },
     Rule {
         name: "no-wall-clock",
         summary: "std::time::{Instant,SystemTime} banned outside bench; \
                   wall-clock reads in sim logic break bit-exact replay",
         crates: Some(SIM_CRATES),
-        check: check_wall_clock,
+        check: Some(check_wall_clock),
     },
     Rule {
         name: "wake-contract",
         summary: "every non-test `impl Component` must define `next_wake` \
                   explicitly; relying on the EveryCycle default silently \
                   forfeits the event-driven scheduler's contract audit",
-        crates: Some(&["sim", "net", "mem", "vm", "gpu", "core", "multigpu"]),
-        check: check_wake_contract,
+        crates: Some(COMPONENT_CRATES),
+        check: Some(check_wake_contract),
     },
     Rule {
         name: "snapshot-coverage",
@@ -119,15 +133,35 @@ pub const RULES: &[Rule] = &[
                   `save_state`/`load_state` pair; a component the trait \
                   defaults would panic for makes every checkpoint of a \
                   system containing it abort at snapshot time",
-        crates: Some(&["sim", "net", "mem", "vm", "gpu", "core", "multigpu"]),
-        check: check_snapshot_coverage,
+        crates: Some(COMPONENT_CRATES),
+        check: Some(check_snapshot_coverage),
+    },
+    Rule {
+        name: "snapshot-field-parity",
+        summary: "every field of a snapshotted struct must be referenced \
+                  in both halves of its save/load pair, in the same \
+                  order; an unsnapshotted field silently resets on \
+                  restore — waive per field with the reason it is \
+                  restore-invariant",
+        crates: Some(SIM_CRATES),
+        check: None,
+    },
+    Rule {
+        name: "snapshot-version-bump",
+        summary: "a diff-visible change to a snapshotted struct's field \
+                  list must come with a SNAPSHOT_VERSION bump; checked \
+                  against the committed field-inventory baseline \
+                  (regenerate with --emit-inventory); active only when \
+                  --baseline is given",
+        crates: Some(SIM_CRATES),
+        check: None,
     },
     Rule {
         name: "no-unchecked-narrowing",
         summary: "bare `as u16`/`as u8` narrowing banned in net/sim hot \
                   paths; use try_into/try_from with an expect message",
         crates: Some(&["net", "sim"]),
-        check: check_narrowing,
+        check: Some(check_narrowing),
     },
     Rule {
         name: "no-ambient-state",
@@ -136,24 +170,26 @@ pub const RULES: &[Rule] = &[
                   bypasses the engine and silently breaks domain \
                   partitioning under the parallel scheduler",
         crates: Some(SIM_CRATES),
-        check: check_ambient_state,
+        check: Some(check_ambient_state),
     },
     Rule {
         name: "tracer-threading",
         summary: "event-emission entry points (pop, push_flit, stitch/\
                   trim/seq) must take a Tracer or Ctx so scheduling \
-                  decisions stay visible in traces",
+                  decisions stay visible in traces; a helper is exempt \
+                  when every same-crate caller threads one",
         crates: Some(&["net", "core"]),
-        check: check_tracer_threading,
+        check: None,
     },
     Rule {
         name: "no-hot-path-alloc",
         summary: "Box::new/Vec::new/to_vec banned inside `tick`/`tick_burst` \
-                  bodies in sim-facing crates; per-flit allocation there \
-                  defeats the arena/burst batching — preallocate, reuse a \
-                  scratch field, or waive with a reason",
+                  bodies and every same-crate helper they reach (call-graph \
+                  fixpoint); per-flit allocation there defeats the arena/\
+                  burst batching — preallocate, reuse a scratch field, or \
+                  waive at the call site with a reason",
         crates: Some(SIM_CRATES),
-        check: check_hot_path_alloc,
+        check: Some(check_hot_path_alloc),
     },
 ];
 
@@ -162,219 +198,17 @@ pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.name == name)
 }
 
-/// Runs every applicable rule over one file's source text.
-///
-/// `crate_name` is the workspace crate the file belongs to (`None`
-/// applies every rule — used for fixtures). Returns findings with
-/// allow-annotations already resolved, plus `unused-allow` /
-/// `allow-missing-reason` meta-findings.
-pub fn check_file(path: &str, src: &str, crate_name: Option<&str>) -> Vec<Finding> {
-    let lexed = lex(src);
-    let tokens = strip_test_modules(&lexed.tokens);
-
-    let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
-    for rule in RULES {
-        let applies = match (rule.crates, crate_name) {
-            (Some(crates), Some(name)) => crates.contains(&name),
-            _ => true,
-        };
-        if !applies {
-            continue;
-        }
-        let mut hits = Vec::new();
-        (rule.check)(&tokens, &mut hits);
-        for (line, message) in hits {
-            raw.push((line, rule.name, message));
-        }
-    }
-    raw.sort_by_key(|&(line, rule, _)| (line, rule));
-
-    let mut used_allows = vec![false; lexed.allows.len()];
-    let mut findings: Vec<Finding> = raw
-        .into_iter()
-        .map(|(line, rule, message)| Finding {
-            rule,
-            file: path.to_string(),
-            line,
-            message,
-            allowed: match_allow(&lexed, line, rule, &mut used_allows),
-        })
-        .collect();
-
-    // Meta-findings: annotations must be justified and must be load-
-    // bearing. Neither can itself be allow-annotated away.
-    for (ix, allow) in lexed.allows.iter().enumerate() {
-        if allow.reason.is_empty() {
-            findings.push(Finding {
-                rule: "allow-missing-reason",
-                file: path.to_string(),
-                line: allow.line,
-                message: format!(
-                    "lint:allow({}) has no justification; write \
-                     `// lint:allow({}) <why this site is safe>`",
-                    allow.rule, allow.rule
-                ),
-                allowed: None,
-            });
-        } else if !used_allows[ix] {
-            findings.push(Finding {
-                rule: "unused-allow",
-                file: path.to_string(),
-                line: allow.line,
-                message: format!(
-                    "lint:allow({}) suppresses nothing on this or the \
-                     next code line; remove the stale annotation",
-                    allow.rule
-                ),
-                allowed: None,
-            });
-        }
-    }
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
-}
-
-/// Resolves the allow-annotation for a finding of `rule` at `line`, if
-/// any: an annotation counts when it sits on the finding's own line or
-/// on a comment line directly above it (further comment-only lines may
-/// stack in between). Annotations without a reason never match — they
-/// are reported separately.
-fn match_allow(
-    lexed: &crate::lexer::Lexed,
-    line: u32,
-    rule: &str,
-    used: &mut [bool],
-) -> Option<String> {
-    let candidate = |l: u32, used: &mut [bool]| -> Option<String> {
-        for (ix, a) in lexed.allows.iter().enumerate() {
-            if a.line == l && a.rule == rule && !a.reason.is_empty() {
-                used[ix] = true;
-                return Some(a.reason.clone());
-            }
-        }
-        None
-    };
-    if let Some(reason) = candidate(line, used) {
-        return Some(reason);
-    }
-    let mut l = line.saturating_sub(1);
-    while l >= 1 && lexed.comment_only_lines.binary_search(&l).is_ok() {
-        if let Some(reason) = candidate(l, used) {
-            return Some(reason);
-        }
-        l -= 1;
-    }
-    None
-}
-
-/// Removes the token ranges of `#[cfg(test)] mod … { … }` blocks: the
-/// rules guard simulation logic, not its test harnesses (which freely
-/// use unwrap, wall-clock-free defaults, etc.). Removing a balanced
-/// brace region keeps the surrounding structure intact.
-fn strip_test_modules(tokens: &[SpannedTok]) -> Vec<SpannedTok> {
-    let mut drop = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_cfg_test_attr(tokens, i) {
-            // `#` `[` `cfg` `(` `test` `)` `]` is 7 tokens; then allow
-            // further attributes, then expect `mod name {`.
-            let mut j = i + 7;
-            while j < tokens.len() && tokens[j].tok == Tok::Punct('#') {
-                j = skip_attr(tokens, j);
-            }
-            if matches!(&tokens[j].tok, Tok::Ident(k) if k == "mod") {
-                if let Some(open) = tokens[j..]
-                    .iter()
-                    .position(|t| t.tok == Tok::Punct('{'))
-                    .map(|p| j + p)
-                {
-                    let close = matching_brace(tokens, open);
-                    for flag in &mut drop[i..=close.min(tokens.len() - 1)] {
-                        *flag = true;
-                    }
-                    i = close + 1;
-                    continue;
-                }
-            }
-        }
-        i += 1;
-    }
-    tokens
-        .iter()
-        .zip(&drop)
-        .filter(|(_, &d)| !d)
-        .map(|(t, _)| t.clone())
-        .collect()
-}
-
-/// True if `#` at index `i` begins exactly `#[cfg(test)]`.
-fn is_cfg_test_attr(tokens: &[SpannedTok], i: usize) -> bool {
-    let pat: [&Tok; 7] = [
-        &Tok::Punct('#'),
-        &Tok::Punct('['),
-        &Tok::Ident("cfg".into()),
-        &Tok::Punct('('),
-        &Tok::Ident("test".into()),
-        &Tok::Punct(')'),
-        &Tok::Punct(']'),
-    ];
-    tokens.len() >= i + pat.len() && pat.iter().zip(&tokens[i..]).all(|(p, t)| **p == t.tok)
-}
-
-/// Skips one `#[...]` attribute starting at the `#`; returns the index
-/// just past its closing `]`.
-fn skip_attr(tokens: &[SpannedTok], i: usize) -> usize {
-    let mut j = i + 1;
-    if j < tokens.len() && tokens[j].tok == Tok::Punct('[') {
-        let mut depth = 0i32;
-        while j < tokens.len() {
-            match tokens[j].tok {
-                Tok::Punct('[') => depth += 1,
-                Tok::Punct(']') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return j + 1;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-    }
-    j
-}
-
-/// Index of the `}` matching the `{` at `open` (or the last token).
-fn matching_brace(tokens: &[SpannedTok], open: usize) -> usize {
-    let mut depth = 0i32;
-    for (ix, t) in tokens.iter().enumerate().skip(open) {
-        match t.tok {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    return ix;
-                }
-            }
-            _ => {}
-        }
-    }
-    tokens.len() - 1
-}
-
-fn ident_at(tokens: &[SpannedTok], i: usize) -> Option<&str> {
-    match tokens.get(i).map(|t| &t.tok) {
-        Some(Tok::Ident(s)) => Some(s),
-        _ => None,
+/// Whether `rule` applies to a file of `crate_name` (`None` — fixtures,
+/// ad-hoc files — activates every rule).
+pub(crate) fn rule_applies(rule: &Rule, crate_name: Option<&str>) -> bool {
+    match (rule.crates, crate_name) {
+        (Some(crates), Some(name)) => crates.contains(&name),
+        _ => true,
     }
 }
 
-fn punct_at(tokens: &[SpannedTok], i: usize, c: char) -> bool {
-    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
-}
-
-fn check_unordered_iteration(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
-    for t in tokens {
+fn check_unordered_iteration(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    for t in &fi.tokens {
         if let Tok::Ident(name) = &t.tok {
             if name == "HashMap" || name == "HashSet" {
                 out.push((
@@ -391,7 +225,8 @@ fn check_unordered_iteration(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>
     }
 }
 
-fn check_wall_clock(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+fn check_wall_clock(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    let tokens = &fi.tokens;
     let mut i = 0;
     while i < tokens.len() {
         let hit = match ident_at(tokens, i) {
@@ -427,76 +262,14 @@ fn check_wall_clock(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
     }
 }
 
-/// Finds every `impl … Component for … { … }` block, yielding the
-/// `impl` keyword's line and the body's `{`/`}` token range. Shared by
-/// the trait-contract rules (`wake-contract`, `snapshot-coverage`).
-fn component_impl_bodies(tokens: &[SpannedTok]) -> Vec<(u32, usize, usize)> {
-    let mut found = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if ident_at(tokens, i) != Some("impl") {
-            i += 1;
+fn check_wake_contract(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    for im in &fi.impls {
+        if im.trait_name.as_deref() != Some("Component") {
             continue;
         }
-        let impl_line = tokens[i].line;
-        // Skip optional `<generics>`.
-        let mut j = i + 1;
-        if punct_at(tokens, j, '<') {
-            let mut depth = 0i32;
-            while j < tokens.len() {
-                match tokens[j].tok {
-                    Tok::Punct('<') => depth += 1,
-                    Tok::Punct('>') => {
-                        depth -= 1;
-                        if depth == 0 {
-                            j += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        // Collect the path up to `for`; the trait is its last segment.
-        let mut last_seg: Option<&str> = None;
-        while let Some(id) = ident_at(tokens, j) {
-            if id == "for" {
-                break;
-            }
-            last_seg = Some(id);
-            j += 1;
-            while punct_at(tokens, j, ':') {
-                j += 1;
-            }
-        }
-        if last_seg != Some("Component") || ident_at(tokens, j) != Some("for") {
-            i += 1;
-            continue;
-        }
-        let Some(open) = tokens[j..]
-            .iter()
-            .position(|t| t.tok == Tok::Punct('{'))
-            .map(|p| j + p)
-        else {
-            i += 1;
-            continue;
-        };
-        let close = matching_brace(tokens, open);
-        found.push((impl_line, open, close));
-        i = close + 1;
-    }
-    found
-}
-
-fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
-    for (impl_line, open, close) in component_impl_bodies(tokens) {
-        let defines_next_wake = (open..close).any(|ix| {
-            ident_at(tokens, ix) == Some("fn") && ident_at(tokens, ix + 1) == Some("next_wake")
-        });
-        if !defines_next_wake {
+        if !im.fns.iter().any(|f| f.name == "next_wake") {
             out.push((
-                impl_line,
+                im.line,
                 "impl Component without an explicit `next_wake`: the \
                  EveryCycle default is correct but hides the component \
                  from the wake-contract audit — state the wake policy \
@@ -507,20 +280,18 @@ fn check_wake_contract(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
     }
 }
 
-fn check_snapshot_coverage(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
-    for (impl_line, open, close) in component_impl_bodies(tokens) {
-        let defines = |name: &str| {
-            (open..close).any(|ix| {
-                ident_at(tokens, ix) == Some("fn") && ident_at(tokens, ix + 1) == Some(name)
-            })
-        };
+fn check_snapshot_coverage(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    for im in &fi.impls {
+        if im.trait_name.as_deref() != Some("Component") {
+            continue;
+        }
         let missing: Vec<&str> = ["save_state", "load_state"]
             .into_iter()
-            .filter(|n| !defines(n))
+            .filter(|n| !im.fns.iter().any(|f| &f.name == n))
             .collect();
         if !missing.is_empty() {
             out.push((
-                impl_line,
+                im.line,
                 format!(
                     "impl Component without {}: the trait defaults panic, \
                      so any checkpoint of a system containing this \
@@ -535,7 +306,8 @@ fn check_snapshot_coverage(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) 
     }
 }
 
-fn check_narrowing(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+fn check_narrowing(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    let tokens = &fi.tokens;
     for i in 0..tokens.len() {
         if ident_at(tokens, i) == Some("as") {
             if let Some(ty @ ("u8" | "u16")) = ident_at(tokens, i + 1) {
@@ -553,7 +325,8 @@ fn check_narrowing(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
     }
 }
 
-fn check_ambient_state(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+fn check_ambient_state(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    let tokens = &fi.tokens;
     let mut i = 0;
     while i < tokens.len() {
         if ident_at(tokens, i) == Some("thread_local") && punct_at(tokens, i + 1, '!') {
@@ -616,13 +389,15 @@ fn check_ambient_state(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
     }
 }
 
-/// Scans `fn tick` / `fn tick_burst` bodies (component dispatch hot
-/// paths, including non-trait helpers like `EgressPort::tick`) for the
-/// allocator calls the burst/arena refactor was built to eliminate:
+/// The local half of `no-hot-path-alloc`: scans `fn tick` /
+/// `fn tick_burst` bodies wherever they appear in the token stream
+/// (including trait default bodies, which the item index skips) for
 /// `Box::new`, `Vec::new` and `.to_vec()`. Growth of a preallocated
 /// buffer (`push`, `with_capacity` at construction) is fine; minting a
-/// fresh heap object per tick is not.
-fn check_hot_path_alloc(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
+/// fresh heap object per tick is not. The interprocedural half in
+/// [`crate::semantic`] extends the ban through the call graph.
+fn check_hot_path_alloc(fi: &FileIndex, out: &mut Vec<(u32, String)>) {
+    let tokens = &fi.tokens;
     let mut i = 0;
     while i < tokens.len() {
         if ident_at(tokens, i) != Some("fn") {
@@ -642,83 +417,22 @@ fn check_hot_path_alloc(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
             break;
         };
         let close = matching_brace(tokens, open);
-        for ix in open..close {
-            if let Some(ty @ ("Box" | "Vec")) = ident_at(tokens, ix) {
-                if punct_at(tokens, ix + 1, ':')
-                    && punct_at(tokens, ix + 2, ':')
-                    && ident_at(tokens, ix + 3) == Some("new")
-                {
-                    out.push((
-                        tokens[ix].line,
-                        format!(
-                            "{ty}::new inside a tick body allocates on the \
-                             dispatch hot path; the burst/arena design moves \
-                             payloads through recycled slots — preallocate \
-                             the buffer once (a scratch field) or reuse an \
-                             existing one"
-                        ),
-                    ));
-                }
-            }
-            if punct_at(tokens, ix, '.') && ident_at(tokens, ix + 1) == Some("to_vec") {
-                out.push((
-                    tokens[ix + 1].line,
-                    ".to_vec() inside a tick body copies into a fresh heap \
-                     allocation every call; move or borrow the data instead \
-                     (or stage it in a reusable scratch buffer)"
-                        .to_string(),
-                ));
-            }
+        for (line, what) in crate::callgraph::alloc_sites(tokens, (open, close)) {
+            let detail = match what {
+                ".to_vec()" => ".to_vec() inside a tick body copies into a fresh \
+                     heap allocation every call; move or borrow the data \
+                     instead (or stage it in a reusable scratch buffer)"
+                    .to_string(),
+                _ => format!(
+                    "{what} inside a tick body allocates on the \
+                     dispatch hot path; the burst/arena design moves \
+                     payloads through recycled slots — preallocate \
+                     the buffer once (a scratch field) or reuse an \
+                     existing one"
+                ),
+            };
+            out.push((line, detail));
         }
         i = close + 1;
-    }
-}
-
-fn check_tracer_threading(tokens: &[SpannedTok], out: &mut Vec<(u32, String)>) {
-    let mut i = 0;
-    while i + 2 < tokens.len() {
-        if ident_at(tokens, i) != Some("fn") {
-            i += 1;
-            continue;
-        }
-        let Some(name) = ident_at(tokens, i + 1) else {
-            i += 1;
-            continue;
-        };
-        if !TRACED_ENTRY_POINTS.contains(&name) || !punct_at(tokens, i + 2, '(') {
-            i += 1;
-            continue;
-        }
-        let name = name.to_string();
-        // Scan the parameter list for a Tracer or Ctx.
-        let mut depth = 0i32;
-        let mut j = i + 2;
-        let mut has_tracer = false;
-        while j < tokens.len() {
-            match &tokens[j].tok {
-                Tok::Punct('(') => depth += 1,
-                Tok::Punct(')') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                Tok::Ident(id) if id == "Tracer" || id == "Ctx" => has_tracer = true,
-                _ => {}
-            }
-            j += 1;
-        }
-        if !has_tracer {
-            out.push((
-                tokens[i].line,
-                format!(
-                    "`fn {name}` is a traced event-emission entry point but \
-                     its signature drops the Tracer: decisions made here \
-                     become invisible in traces — take `&mut Tracer` (or a \
-                     `Ctx`, which carries one)"
-                ),
-            ));
-        }
-        i = j + 1;
     }
 }

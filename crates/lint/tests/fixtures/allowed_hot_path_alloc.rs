@@ -29,9 +29,12 @@ impl Component for Widget {
         Wake::OnMessage
     }
 
-    fn save_state(&self, _w: &mut SnapshotWriter) {}
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64_slice(&self.scratch);
+    }
 
-    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.scratch = r.u64_slice()?;
         Ok(())
     }
 }

@@ -1,0 +1,45 @@
+//! Fixture: a call-site waiver accepts the allocation cost of a reached
+//! helper and cuts the interprocedural walk there — the waived call is
+//! still reported (as waived) so the annotation registers as used.
+
+pub struct Spiller {
+    held: Vec<u64>,
+}
+
+impl Component for Spiller {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        // lint:allow(no-hot-path-alloc) spill is a cold overflow path, hit only when the arena is exhausted
+        self.spill(ctx);
+    }
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "spiller"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64_slice(&self.held);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.held = r.u64_slice()?;
+        Ok(())
+    }
+}
+
+impl Spiller {
+    fn spill(&mut self, ctx: &mut Ctx<'_>) {
+        let overflow = self.held.to_vec();
+        for word in overflow {
+            ctx.send_word(word);
+        }
+        self.held.clear();
+    }
+}

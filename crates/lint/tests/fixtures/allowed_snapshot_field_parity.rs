@@ -1,0 +1,34 @@
+//! Fixture: restore-invariant fields are waived per field, at the
+//! declaration; snapshotted fields never fire.
+
+pub struct Meter {
+    /// Construction-time config: legitimately not serialized.
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
+    rate: u64,
+    count: u64,
+}
+
+impl Component for Meter {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "meter"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.count);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.count = r.u64()?;
+        Ok(())
+    }
+}

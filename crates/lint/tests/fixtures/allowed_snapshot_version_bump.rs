@@ -1,0 +1,28 @@
+//! Fixture: a deliberate layout change whose compatibility story lives
+//! outside SNAPSHOT_VERSION (here: a struct that has never shipped in a
+//! checkpoint) is waived at the declaration.
+
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+// lint:allow(snapshot-version-bump) prototype struct; no checkpoint containing it has ever been written
+pub struct Frame {
+    pub id: u64,
+    pub bytes: u64,
+    pub ecc: u64,
+}
+
+impl Snap for Frame {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.id);
+        w.u64(self.bytes);
+        w.u64(self.ecc);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Frame {
+            id: r.u64()?,
+            bytes: r.u64()?,
+            ecc: r.u64()?,
+        })
+    }
+}

@@ -1,0 +1,52 @@
+//! Fixture: the interprocedural half of no-hot-path-alloc — an
+//! allocation in a helper reached from tick fires at the allocation
+//! site, with the call chain named.
+
+pub struct Pump {
+    staged: Vec<u64>,
+}
+
+impl Component for Pump {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain(ctx);
+    }
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "pump"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64_slice(&self.staged);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.staged = r.u64_slice()?;
+        Ok(())
+    }
+}
+
+impl Pump {
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        self.flush(ctx);
+    }
+
+    // Two levels below tick: the fixpoint still reaches it.
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        // Fires: reachable via tick -> drain -> flush.
+        let mut batch = Vec::new();
+        while let Some(msg) = ctx.recv() {
+            batch.push(msg);
+        }
+        for msg in batch {
+            ctx.send(msg);
+        }
+    }
+}

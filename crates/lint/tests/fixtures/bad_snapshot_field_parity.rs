@@ -1,0 +1,44 @@
+//! Fixture: snapshot-field-parity — every declared field must round-trip
+//! through both save_state and load_state, in matching order.
+
+pub struct Gadget {
+    /// Fires: referenced in neither body — silently resets on restore.
+    credits: u64,
+    /// Fires: saved but never loaded — desynchronizes the decode stream.
+    inflight: u64,
+    /// Fires: loaded but never saved — reads bytes that were never written.
+    backlog: u64,
+    head: u64,
+    tail: u64,
+}
+
+impl Component for Gadget {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn busy(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "gadget"
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::OnMessage
+    }
+
+    // Fires: head/tail are written here in the opposite order to the one
+    // load_state consumes them in — the byte stream is positional.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.inflight);
+        w.u64(self.tail);
+        w.u64(self.head);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.backlog = r.u64()?;
+        self.head = r.u64()?;
+        self.tail = r.u64()?;
+        Ok(())
+    }
+}

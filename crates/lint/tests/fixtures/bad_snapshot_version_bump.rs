@@ -1,0 +1,29 @@
+//! Fixture: snapshot-version-bump — the field list diverged from the
+//! committed baseline (`bad_snapshot_version_bump.baseline.json`, which
+//! records `Frame` as [id, bytes] at the same version) without bumping
+//! SNAPSHOT_VERSION, so old checkpoints would decode as garbage.
+
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+pub struct Frame {
+    pub id: u64,
+    pub bytes: u64,
+    /// Added since the baseline was generated — fires.
+    pub ecc: u64,
+}
+
+impl Snap for Frame {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.id);
+        w.u64(self.bytes);
+        w.u64(self.ecc);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Frame {
+            id: r.u64()?,
+            bytes: r.u64()?,
+            ecc: r.u64()?,
+        })
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::path::{Path, PathBuf};
 
-use netcrafter_lint::{check_path, summarize, Finding};
+use netcrafter_lint::{analyze_units, check_path, summarize, Finding, Inventory, SourceUnit};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -18,6 +18,26 @@ fn fixture(name: &str) -> PathBuf {
 /// for every rule.
 fn lint(name: &str) -> Vec<Finding> {
     check_path(&fixture(name), Path::new("."), Some("net")).expect("fixture readable")
+}
+
+/// Lints a fixture against its `<name>.baseline.json` companion, which
+/// activates the snapshot-version-bump rule.
+fn lint_with_baseline(name: &str) -> Vec<Finding> {
+    let path = fixture(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let baseline_path = path.with_extension("baseline.json");
+    let baseline_text = std::fs::read_to_string(&baseline_path).expect("baseline readable");
+    let baseline = Inventory::parse_json(&baseline_text).expect("baseline parses");
+    let units = [SourceUnit {
+        path: path.to_string_lossy().into_owned(),
+        src,
+        crate_name: Some("net".to_string()),
+    }];
+    analyze_units(
+        &units,
+        Some((baseline_path.to_string_lossy().as_ref(), &baseline)),
+    )
+    .findings
 }
 
 fn violations(findings: &[Finding]) -> Vec<&Finding> {
@@ -100,6 +120,56 @@ fn bad_hot_path_alloc_fires() {
 }
 
 #[test]
+fn bad_snapshot_field_parity_fires() {
+    // credits (never referenced), inflight (save-only), backlog
+    // (load-only) fire at their declarations; the head/tail order
+    // mismatch fires at save_state.
+    assert_fires("bad_snapshot_field_parity.rs", "snapshot-field-parity", 4);
+}
+
+#[test]
+fn bad_hot_path_alloc_interproc_fires() {
+    // The Vec::new in flush, two calls below tick, fires with the chain
+    // tick -> drain -> flush named in the message.
+    let findings = lint("bad_hot_path_alloc_interproc.rs");
+    let hit = violations(&findings)
+        .into_iter()
+        .find(|f| f.rule == "no-hot-path-alloc")
+        .unwrap_or_else(|| panic!("no interprocedural finding: {findings:?}"));
+    assert!(
+        hit.message.contains("tick -> drain -> flush"),
+        "chain missing from message: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn bad_snapshot_version_bump_fires() {
+    let findings = lint_with_baseline("bad_snapshot_version_bump.rs");
+    let hits: Vec<_> = violations(&findings)
+        .into_iter()
+        .filter(|f| f.rule == "snapshot-version-bump")
+        .collect();
+    assert_eq!(hits.len(), 1, "expected one version-bump hit: {findings:?}");
+    assert!(
+        hits[0].message.contains("added ecc"),
+        "message should name the added field: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn allowed_snapshot_version_bump_is_fully_waived() {
+    let findings = lint_with_baseline("allowed_snapshot_version_bump.rs");
+    let summary = summarize(&findings);
+    assert_eq!(summary.violations, 0, "expected waived: {findings:?}");
+    assert!(
+        summary.allowed > 0,
+        "waiver must be exercised: {findings:?}"
+    );
+}
+
+#[test]
 fn unused_and_reasonless_allows_fire() {
     assert_fires("bad_unused_allow.rs", "unused-allow", 1);
     assert_fires("bad_unused_allow.rs", "allow-missing-reason", 1);
@@ -116,6 +186,8 @@ fn allowed_fixtures_are_fully_waived() {
         "allowed_tracer_threading.rs",
         "allowed_ambient_state.rs",
         "allowed_hot_path_alloc.rs",
+        "allowed_snapshot_field_parity.rs",
+        "allowed_hot_path_alloc_interproc.rs",
     ] {
         assert_fully_waived(name);
     }
@@ -157,11 +229,18 @@ fn every_rule_has_bad_and_allowed_coverage() {
         "bad_tracer_threading.rs",
         "bad_ambient_state.rs",
         "bad_hot_path_alloc.rs",
+        "bad_snapshot_field_parity.rs",
+        "bad_hot_path_alloc_interproc.rs",
     ] {
         for f in lint(name) {
             if !covered.contains(&f.rule) {
                 covered.push(f.rule);
             }
+        }
+    }
+    for f in lint_with_baseline("bad_snapshot_version_bump.rs") {
+        if !covered.contains(&f.rule) {
+            covered.push(f.rule);
         }
     }
     for rule in netcrafter_lint::RULES {

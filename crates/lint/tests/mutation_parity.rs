@@ -1,0 +1,131 @@
+//! Mutation test for `snapshot-field-parity`: for every field a real
+//! component's save body references, erase those references (rename the
+//! identifier within the save-body line span — the linter lexes, it
+//! never compiles) and assert the rule catches the now load-only field.
+//! This is the guarantee the rule exists for: no single dropped field
+//! write can slip through a restore silently.
+
+use std::path::Path;
+
+use netcrafter_lint::index::index_file;
+use netcrafter_lint::lexer::Tok;
+use netcrafter_lint::{analyze_units, crate_of, workspace_files, SourceUnit};
+
+/// The save/load naming convention per impl kind, as the parity rule
+/// pairs them.
+fn pair_names(trait_name: Option<&str>) -> (&'static str, &'static str) {
+    match trait_name {
+        Some("Snap") => ("save", "load"),
+        _ => ("save_state", "load_state"),
+    }
+}
+
+/// Renames word-boundary occurrences of `field` to `__mutated__` on
+/// 1-based lines `span.0..=span.1` of `src`.
+fn rename_in_span(src: &str, field: &str, span: (u32, u32)) -> String {
+    let mut out = Vec::new();
+    for (ix, line) in src.lines().enumerate() {
+        let ln = ix as u32 + 1;
+        if ln < span.0 || ln > span.1 {
+            out.push(line.to_string());
+            continue;
+        }
+        let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+        let mut rewritten = String::with_capacity(line.len());
+        let mut rest = line;
+        while let Some(pos) = rest.find(field) {
+            let before_ok = rest[..pos]
+                .chars()
+                .last()
+                .or_else(|| rewritten.chars().last())
+                .is_none_or(|c| !is_word(c));
+            let end = pos + field.len();
+            let after_ok = rest[end..].chars().next().is_none_or(|c| !is_word(c));
+            if before_ok && after_ok {
+                rewritten.push_str(&rest[..pos]);
+                rewritten.push_str("__mutated__");
+                rest = &rest[end..];
+            } else {
+                let step = rest[pos..].chars().next().map_or(1, char::len_utf8);
+                rewritten.push_str(&rest[..pos + step]);
+                rest = &rest[pos + step..];
+            }
+        }
+        rewritten.push_str(rest);
+        out.push(rewritten);
+    }
+    out.join("\n")
+}
+
+#[test]
+fn every_saved_field_write_is_load_bearing() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let mut mutations = 0usize;
+    for path in workspace_files(&root).expect("workspace walk") {
+        let rel = path.strip_prefix(&root).unwrap_or(&path);
+        let crate_name = crate_of(rel);
+        let src = std::fs::read_to_string(&path).expect("source readable");
+        let rel_str = rel.to_string_lossy().into_owned();
+        let fi = index_file(&rel_str, &src, crate_name.as_deref());
+
+        for im in &fi.impls {
+            let (save_name, load_name) = pair_names(im.trait_name.as_deref());
+            let Some(save) = im.fns.iter().find(|f| f.name == save_name) else {
+                continue;
+            };
+            let Some(load) = im.fns.iter().find(|f| f.name == load_name) else {
+                continue;
+            };
+            let (Some(save_body), Some(_)) = (save.body, load.body) else {
+                continue;
+            };
+            // Same-file struct resolution keeps the mutated unit
+            // self-contained for re-analysis.
+            let Some(st) = fi.structs.iter().find(|s| s.name == im.self_ty && s.named) else {
+                continue;
+            };
+            let span = (
+                fi.tokens[save_body.0].line,
+                fi.tokens[save_body.1.min(fi.tokens.len() - 1)].line,
+            );
+            for field in &st.fields {
+                let referenced = (save_body.0..save_body.1)
+                    .any(|i| matches!(&fi.tokens[i].tok, Tok::Ident(name) if name == &field.name));
+                if !referenced {
+                    continue;
+                }
+                let mutated = rename_in_span(&src, &field.name, span);
+                let units = [SourceUnit {
+                    path: rel_str.clone(),
+                    src: mutated,
+                    crate_name: crate_name.clone(),
+                }];
+                let findings = analyze_units(&units, None).findings;
+                let caught = findings.iter().any(|f| {
+                    f.rule == "snapshot-field-parity"
+                        && f.allowed.is_none()
+                        && f.message.contains(&format!("`{}`", field.name))
+                });
+                assert!(
+                    caught,
+                    "dropping the {} write of `{}::{}.{}` went undetected; findings: {:#?}",
+                    save_name,
+                    crate_name.as_deref().unwrap_or("?"),
+                    st.name,
+                    field.name,
+                    findings
+                );
+                mutations += 1;
+            }
+        }
+    }
+    // The floor keeps this test honest: if indexing regresses and stops
+    // seeing real components, zero mutations would vacuously pass.
+    assert!(
+        mutations >= 15,
+        "expected to mutate at least 15 field writes across the workspace, got {mutations}"
+    );
+}

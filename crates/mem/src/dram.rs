@@ -54,10 +54,13 @@ impl DramStats {
 
 /// One GPU's DRAM stack.
 pub struct Dram {
+    // lint:allow(snapshot-field-parity) construction-time identity label; never serialized
     name: String,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     l2: ComponentId,
     queue: VecDeque<(u64, MemReq)>, // (arrival cycle, request)
     rate: RateLimiter,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     latency: u32,
     /// Cycle of the last executed tick; idle cycles skipped by the
     /// event-driven scheduler are replayed as pure token accrual.

@@ -117,9 +117,13 @@ impl L1Stats {
 pub struct L1Cache {
     tags: TagStore<u16>,
     mshr: Mshr<AccessId>,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     policy: SectorFillPolicy,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     granularity: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     full_mask: u16,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     lookup_cycles: u32,
     /// Statistics.
     pub stats: L1Stats,

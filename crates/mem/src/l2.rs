@@ -128,12 +128,18 @@ pub struct L2Wiring {
 
 /// The banked shared L2 component of one GPU.
 pub struct L2Cache {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     gpu: GpuId,
+    // lint:allow(snapshot-field-parity) construction-time identity; load_state only names it in decode error messages
     name: String,
     banks: Vec<Bank>,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     wiring: L2Wiring,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     lookup_cycles: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     hop_cycles: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     full_sector_mask: u16,
     /// Statistics.
     pub stats: L2Stats,

@@ -290,22 +290,27 @@ pub struct EgressWire {
 /// A rate-limited, credit-flow-controlled transmit port.
 pub struct EgressPort {
     /// Engine address of the next hop's component.
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     peer: ComponentId,
     /// This port's own node id (stamped as `from` on transmissions).
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     self_node: NodeId,
     /// The paired port's index at the peer, stamped as `link` on
     /// transmissions so the receiver can index its port array directly
     /// (0 for single-port endpoints).
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     peer_port: u16,
     /// Output buffer.
     queue: Box<dyn EgressQueue>,
     /// Output buffer capacity in flits (Table 2: 1024).
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     capacity: usize,
     /// Link bandwidth in flits/cycle (may be fractional).
     rate: RateLimiter,
     /// Remaining downstream buffer slots.
     credits: u32,
     /// Wire propagation latency in cycles.
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     wire_latency: u64,
     /// Transmit statistics.
     pub stats: PortStats,

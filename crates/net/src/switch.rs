@@ -48,14 +48,20 @@ pub struct SwitchPortSpec {
 }
 
 struct Port {
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     peer: ComponentId,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     peer_node: NodeId,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     peer_port: u16,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     wire_latency: u64,
     in_pipe: DelayQueue<Flit>,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     in_capacity: usize,
     stalled: Option<Flit>,
     egress: EgressPort,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     is_inter: bool,
 }
 
@@ -109,14 +115,19 @@ impl Snap for SwitchStats {
 
 /// A cluster switch component.
 pub struct Switch {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     node: NodeId,
+    // lint:allow(snapshot-field-parity) construction-time identity; load_state only names it in decode error messages
     name: String,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     pipeline_cycles: u32,
     ports: Vec<Port>,
+    // lint:allow(snapshot-field-parity) static routing table derived from the topology at build time
     route: BTreeMap<NodeId, usize>,
     /// Per-port chunk counters reused by the un-stitching admission check
     /// in [`Switch::try_route`]; always all-zero between calls. A scratch
     /// field (not a local) so the routing hot path allocates nothing.
+    // lint:allow(snapshot-field-parity) per-tick scratch, all-zero between ticks (debug-asserted); nothing to restore
     unstitch_needed: Vec<u32>,
     /// Aggregate statistics.
     pub stats: SwitchStats,

@@ -35,16 +35,21 @@ pub struct LoadPoint {
 /// rate. The injection timestamp rides in the packet id, so the sink can
 /// compute end-to-end latency without side tables.
 struct Source {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     node: NodeId,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     switch: ComponentId,
     /// This endpoint's port index at its switch, stamped as `link` on
     /// every flit so the switch can index the ingress port directly.
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     switch_port: u16,
     rate: RateLimiter,
+    // lint:allow(snapshot-field-parity) construction-time destination set from the config
     dsts: Vec<NodeId>,
     remaining: u64,
     credits: u32,
     rng_state: u64,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     flit_bytes: u32,
 }
 
@@ -139,13 +144,17 @@ struct SinkStats {
 }
 
 struct Sink {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     node: NodeId,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     switch: ComponentId,
     /// Port index of this endpoint at its switch (for credit returns).
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     switch_port: u16,
     /// The co-located source: the switch addresses all of this node's
     /// traffic (including returned input-buffer credits) to the sink, so
     /// the sink forwards credits to the source that actually needs them.
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     source: ComponentId,
     stats: Arc<Mutex<SinkStats>>,
 }

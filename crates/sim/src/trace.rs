@@ -251,8 +251,10 @@ pub struct Tracer {
     last_cycle: Cycle,
     now: Cycle,
     /// Track currently being ticked; events are attributed to it.
+    // lint:allow(snapshot-field-parity) transient per-tick focus; the engine re-establishes it before the next tick, so load resets it
     focus: u32,
     /// Cached `track_enabled[focus] && on`: makes `wants` one load + mask.
+    // lint:allow(snapshot-field-parity) transient per-tick focus; the engine re-establishes it before the next tick, so load resets it
     focus_live: bool,
     tracks: Vec<String>,
     track_enabled: Vec<bool>,

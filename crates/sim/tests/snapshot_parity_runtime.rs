@@ -1,0 +1,103 @@
+//! Runtime demonstration of the failure class the
+//! `snapshot-field-parity` lint rule closes statically: a component
+//! whose `save_state` omits one evolving field restores cleanly, hashes
+//! identically at the restore point — and then silently diverges from
+//! the original run. The complete twin stays bit-identical.
+//!
+//! (This file lives in `tests/`, outside the linter's `src/` scan, so
+//! the deliberately leaky component does not need a waiver.)
+
+use netcrafter_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+use netcrafter_sim::{Component, Ctx, EngineBuilder};
+
+/// Accumulator whose `sum` trajectory depends on the tick counter. With
+/// `complete: false` the counter is left out of the snapshot pair —
+/// exactly the single-field omission the parity rule rejects.
+struct Drifter {
+    ticks: u64,
+    sum: u64,
+    horizon: u64,
+    complete: bool,
+}
+
+impl Drifter {
+    fn boxed(complete: bool) -> Box<dyn Component> {
+        Box::new(Drifter {
+            ticks: 0,
+            sum: 0,
+            horizon: 200,
+            complete,
+        })
+    }
+}
+
+impl Component for Drifter {
+    fn tick(&mut self, _ctx: &mut Ctx<'_>) {
+        if self.ticks < self.horizon {
+            self.ticks += 1;
+            // `sum` depends on `ticks`, so a restore that resets `ticks`
+            // bends the `sum` trajectory from here on.
+            self.sum += self.ticks * 3 + 1;
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.ticks < self.horizon
+    }
+
+    fn name(&self) -> &str {
+        "drifter"
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.sum);
+        if self.complete {
+            w.put_u64(self.ticks);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.sum = r.get_u64()?;
+        if self.complete {
+            self.ticks = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs to cycle 50, snapshots, and compares the original at cycle 150
+/// with a restored replica run over the same span.
+fn divergence_after_restore(complete: bool) -> (u64, u64) {
+    let mut b = EngineBuilder::new();
+    b.add(Drifter::boxed(complete));
+    let mut original = b.build();
+    original.run_until(50);
+    let snapshot = original.save_snapshot();
+    original.run_until(150);
+
+    let mut b = EngineBuilder::new();
+    b.add(Drifter::boxed(complete));
+    let mut replica = b.build();
+    replica.restore(&snapshot).expect("snapshot restores");
+    replica.run_until(150);
+    (original.state_hash(), replica.state_hash())
+}
+
+#[test]
+fn complete_snapshot_pair_is_restore_equivalent() {
+    let (original, replica) = divergence_after_restore(true);
+    assert_eq!(
+        original, replica,
+        "a component that snapshots every field replays bit-identically"
+    );
+}
+
+#[test]
+fn omitting_one_field_write_diverges_silently() {
+    let (original, replica) = divergence_after_restore(false);
+    assert_ne!(
+        original, replica,
+        "dropping a single field from save_state must show up as \
+         post-restore divergence (else the parity rule guards nothing)"
+    );
+}

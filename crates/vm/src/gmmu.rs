@@ -143,21 +143,29 @@ type PendingWalk = (u64, Vec<(GpuId, netcrafter_proto::LineAddr)>, Cycle);
 
 /// The per-GPU shared L2 TLB + GMMU component.
 pub struct TranslationUnit {
+    // lint:allow(snapshot-field-parity) construction-time wiring identity
     gpu: GpuId,
+    // lint:allow(snapshot-field-parity) construction-time identity label; never serialized
     name: String,
     /// Shared L2 TLB (hit path).
     pub l2_tlb: Tlb,
     pwc: netcrafter_mem::TagStore<()>,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     pwc_cycles: u32,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     max_walkers: usize,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     hop_cycles: u32,
+    // lint:allow(snapshot-field-parity) immutable shared page table installed at construction
     page_table: Arc<PageTable>,
+    // lint:allow(snapshot-field-parity) construction-time wiring; the restore target is built with the same topology
     wiring: TranslationWiring,
 
     tlb_pipe: DelayQueue<TransReq>,
     pwc_pipe: DelayQueue<u64>,
     retry: VecDeque<TransReq>,
     waiters: BTreeMap<u64, Vec<TransReq>>,
+    // lint:allow(snapshot-field-parity) construction-time config; identical in the restore target by construction
     waiter_cap: usize,
     active: BTreeMap<u64, Walk>,
     pending_walks: VecDeque<PendingWalk>,
