@@ -13,6 +13,9 @@
 #   ./ci.sh topology    # scale-out fabrics: fat-tree-8/torus-8 smoke
 #                       # sweeps, three-way scheduler + checkpoint
 #                       # equivalence, PDES scaling, topology perf gate
+#   ./ci.sh sweep       # prefix-sharing sweeps: cold vs shared byte
+#                       # diff under all three schedulers, sweep perf
+#                       # gate (hit ratio), wall-clock speedup floor
 #   ./ci.sh all         # everything (default)
 #
 # Artifacts (fig14 trace + time series, checkpoint snapshot, fresh bench
@@ -24,9 +27,9 @@ cd "$(dirname "$0")"
 
 mode=${1:-all}
 case "$mode" in
-    lint | build-test | figures | topology | all) ;;
+    lint | build-test | figures | topology | sweep | all) ;;
     *)
-        echo "usage: ./ci.sh [lint|build-test|figures|topology|all]" >&2
+        echo "usage: ./ci.sh [lint|build-test|figures|topology|sweep|all]" >&2
         exit 2
         ;;
 esac
@@ -478,6 +481,86 @@ step_topology_scaling() {
     fi
 }
 
+# Prefix sharing is a pure host-speed optimisation: a warmup-window
+# fig14 sweep resolved through in-memory snapshot forks must render
+# byte-identically to the cold (--no-prefix-share) sweep, under the
+# event-driven, legacy, and 4-thread conservative-parallel schedulers.
+step_sweep_equivalence() {
+    local warmup=2800 cold_out shared_out sched
+    if ! cold_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+        --quick fig14 --warmup "$warmup" --no-prefix-share 2>"$seq_err"); then
+        echo "FAIL: cold warmup-window figures run failed:" >&2
+        cat "$seq_err" >&2
+        exit 1
+    fi
+    for sched in "" "--legacy-scheduler" "--threads 4"; do
+        local tag="event"
+        [[ -n "$sched" ]] && tag="${sched#--}"
+        # shellcheck disable=SC2086  # $sched is intentionally word-split
+        if ! shared_out=$(cargo run --release --offline -q -p netcrafter-bench --bin figures -- \
+            --quick fig14 --warmup "$warmup" --jobs 4 $sched 2>"$par_err"); then
+            echo "FAIL ($tag): prefix-shared figures run failed:" >&2
+            cat "$par_err" >&2
+            exit 1
+        fi
+        if [[ "$cold_out" != "$shared_out" ]]; then
+            echo "FAIL ($tag): prefix-shared figure output differs from cold" >&2
+            diff <(echo "$cold_out") <(echo "$shared_out") >&2 || true
+            echo "--- prefix-shared stderr ---" >&2
+            cat "$par_err" >&2
+            exit 1
+        fi
+        if ! grep -q "prefix-hit ratio" "$par_err"; then
+            echo "FAIL ($tag): prefix-shared sweep reported no prefix stats:" >&2
+            cat "$par_err" >&2
+            exit 1
+        fi
+    done
+}
+
+# The sweep matrix's exec cycles and its deterministic prefix-hit ratio
+# are hard-gated against the committed baseline; the measured hit ratio
+# also lands in the step summary.
+step_sweep_perf_gate() {
+    cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+        emit "$artifact_dir/BENCH_sweep.json" --matrix sweep --jobs 4
+    cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
+        check ci/BENCH_sweep.baseline.json "$artifact_dir/BENCH_sweep.json"
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        local ratio
+        ratio=$(grep -o '"prefix_hit_ratio": [0-9.]*' "$artifact_dir/BENCH_sweep.json" | awk '{print $2}')
+        echo "| sweep prefix-hit ratio | ${ratio:-?} |" >>"$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+# Wall-clock win of prefix sharing on the 30-job sweep matrix. The
+# numbers always land in the artifacts; the 1.5x floor at --jobs 4 is
+# only enforced when the host really has >= 4 cores (a 1-core container
+# measures worker oversubscription, not the tree).
+step_sweep_speedup() {
+    cargo bench --offline -q -p netcrafter-bench --features criterion-bench \
+        --bench sweep_prefix | tee "$artifact_dir/sweep-prefix-bench.txt"
+    local cores speedup
+    cores=$(nproc)
+    speedup=$(awk '/jobs4/ { for (i = 1; i < NF; i++) if ($i == "speedup") print $(i + 1) }' \
+        "$artifact_dir/sweep-prefix-bench.txt" | tr -d 'x')
+    if [[ -z "$speedup" ]]; then
+        echo "FAIL: cannot parse the jobs4 speedup from the sweep_prefix bench" >&2
+        exit 1
+    fi
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        echo "| sweep prefix-share speedup (--jobs 4, $cores cores) | ${speedup}x |" >>"$GITHUB_STEP_SUMMARY"
+    fi
+    if ((cores >= 4)); then
+        if awk -v s="$speedup" 'BEGIN { exit !(s < 1.5) }'; then
+            echo "FAIL: prefix-shared sweep speedup ${speedup}x < 1.5x on a $cores-core host" >&2
+            exit 1
+        fi
+    else
+        echo "note: $cores core(s) < 4 — recording sweep speedup, skipping the 1.5x floor"
+    fi
+}
+
 step_topology_perf_gate() {
     cargo run --release --offline -q -p netcrafter-bench --bin bench_gate -- \
         emit "$artifact_dir/BENCH_topology.json" --matrix topology --jobs 4
@@ -513,6 +596,12 @@ if [[ "$mode" == topology || "$mode" == all ]]; then
     run_step "topology checkpoint equivalence: fat-tree-8 midpoint checkpoint + restore" step_checkpoint_equivalence topology-checkpoint.bin --topology fat-tree:k=4
     run_step "PDES scaling: per-core efficiency on fat-tree-8" step_topology_scaling
     run_step "perf-regression gate: topology matrix vs committed baseline" step_topology_perf_gate
+fi
+
+if [[ "$mode" == sweep || "$mode" == all ]]; then
+    run_step "sweep equivalence: cold vs prefix-shared fig14 under all three schedulers" step_sweep_equivalence
+    run_step "perf-regression gate: sweep matrix + prefix-hit ratio vs committed baseline" step_sweep_perf_gate
+    run_step "sweep speedup: prefix-sharing wall-clock floor" step_sweep_speedup
 fi
 
 echo "CI OK ($mode)"

@@ -1,0 +1,98 @@
+//! Sweep-execution microbenchmark: wall-clock of a policy-variant sweep
+//! resolved cold vs through the prefix-sharing plan tree (in-memory
+//! snapshot forks, DESIGN.md §3.7), at one and at four sweep workers.
+//! The matrix mirrors `bench_gate --matrix sweep`: three workloads ×
+//! baseline + nine policy variants under a 2800-cycle warmup window,
+//! where the seven full-line variants share one warmup prefix per
+//! workload and the two trimming variants a second (each group's
+//! representative forks its paused warmup state in flight).
+//!
+//! Runs with the in-tree harness (no criterion — the workspace builds
+//! offline): `cargo bench -p netcrafter-bench --features criterion-bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use netcrafter_bench::Runner;
+use netcrafter_multigpu::{JobSpec, SystemVariant};
+use netcrafter_workloads::Workload;
+
+/// Knob-activation cycle; before it every variant's trajectory within a
+/// fill-roster group is identical, which is what the plan tree shares.
+const WARMUP: u64 = 2_800;
+
+fn variants() -> Vec<SystemVariant> {
+    vec![
+        SystemVariant::Baseline,
+        SystemVariant::StitchOnly,
+        SystemVariant::SeqOnly,
+        SystemVariant::DataPrio,
+        SystemVariant::StitchPool {
+            window: 16,
+            selective: true,
+        },
+        SystemVariant::StitchPool {
+            window: 32,
+            selective: true,
+        },
+        SystemVariant::StitchPool {
+            window: 64,
+            selective: true,
+        },
+        SystemVariant::StitchPool {
+            window: 32,
+            selective: false,
+        },
+        SystemVariant::StitchTrim,
+        SystemVariant::NetCrafter,
+    ]
+}
+
+fn fresh_runner(jobs: usize, share: bool) -> Runner {
+    let mut r = Runner::quick().with_jobs(jobs).with_prefix_share(share);
+    r.base_cfg.netcrafter.warmup_cycles = WARMUP;
+    r
+}
+
+fn matrix(r: &Runner) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for w in [Workload::Gups, Workload::Spmv, Workload::Pr] {
+        for v in variants() {
+            jobs.push(r.job(w, v));
+        }
+    }
+    jobs
+}
+
+/// Best-of-N sweep wall-clock on fresh (memo-cold) runners, plus the
+/// prefix-hit ratio of the last repetition (deterministic across reps).
+fn measure(jobs: usize, share: bool) -> (Duration, f64) {
+    let mut best = Duration::MAX;
+    let mut ratio = 0.0;
+    let mut runs = 0u32;
+    let t_all = Instant::now();
+    while runs < 10 && (runs < 3 || t_all.elapsed() < Duration::from_millis(2000)) {
+        let r = fresh_runner(jobs, share);
+        let js = matrix(&r);
+        let t0 = Instant::now();
+        black_box(r.sweep(&js));
+        best = best.min(t0.elapsed());
+        ratio = r.prefix_stats().hit_ratio();
+        runs += 1;
+    }
+    (best, ratio)
+}
+
+fn main() {
+    for jobs in [1usize, 4] {
+        let (cold, _) = measure(jobs, false);
+        let (shared, ratio) = measure(jobs, true);
+        println!(
+            "sweep/30_jobs_warmup2800_jobs{jobs}        cold {:>8.1?}   \
+             prefix-shared {:>8.1?}   speedup {:>5.2}x   hit ratio {ratio:.2}",
+            cold,
+            shared,
+            cold.as_secs_f64() / shared.as_secs_f64().max(1e-9),
+        );
+    }
+}

@@ -2,8 +2,8 @@
 //! scale-out topology matrix.
 //!
 //! ```text
-//! bench_gate emit OUT.json [--matrix fig14|topology] [--jobs N]
-//!            [--threads N] [--reps N]
+//! bench_gate emit OUT.json [--matrix fig14|topology|sweep] [--jobs N]
+//!            [--threads N] [--reps N] [--no-prefix-share]
 //! bench_gate check BASELINE.json CURRENT.json [--tolerance PCT]
 //!            [--no-throughput-gate]
 //! ```
@@ -15,7 +15,13 @@
 //! workload × the cumulative NetCrafter variants on the paper's 2×2
 //! mesh; `--matrix topology` drives baseline vs full NetCrafter across
 //! the fat-tree-8 and torus-8 scale-out fabrics, keying each run as
-//! `WORKLOAD@FABRIC`. The simulator is deterministic, so
+//! `WORKLOAD@FABRIC`. `--matrix sweep` exercises the prefix-sharing
+//! sweep engine (DESIGN.md §3.7): three workloads × baseline + nine
+//! policy variants under a 2800-cycle warmup window, with the runner's
+//! in-memory snapshot forks on (unless `--no-prefix-share`); its report
+//! carries an extra `prefix` block — host `wall_ms` and `jobs_per_sec`
+//! (informational) plus the deterministic `prefix_hit_ratio`, which IS
+//! gated. The simulator is deterministic, so
 //! cycles and speedups are exactly reproducible; `check` compares two
 //! reports and fails (exit 1) with a readable diff when any gated number
 //! drifts beyond `--tolerance` percent (default 0, i.e. exact). The
@@ -70,8 +76,8 @@ const VARIANTS: [SystemVariant; 4] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate emit OUT.json [--matrix fig14|topology] [--jobs N] [--threads N] \
-         [--reps N] [--legacy-scheduler]\n\
+        "usage: bench_gate emit OUT.json [--matrix fig14|topology|sweep] [--jobs N] \
+         [--threads N] [--reps N] [--no-prefix-share] [--legacy-scheduler]\n\
          \u{20}      bench_gate check BASELINE.json CURRENT.json [--tolerance PCT] \
          [--no-throughput-gate]"
     );
@@ -132,6 +138,58 @@ fn topology_cells(r: &Runner) -> Vec<Cell> {
     cells
 }
 
+/// Warmup window (cycles) of the `sweep` matrix: late enough that every
+/// prefix covers most of a quick-scale run (the shortest run executes
+/// ~3100 cycles), early enough that every run is still going when the
+/// knobs activate.
+const SWEEP_WARMUP: u64 = 2_800;
+
+/// The prefix-sharing sweep matrix: three bandwidth-sensitive workloads
+/// × baseline + nine policy variants, all under a [`SWEEP_WARMUP`]-cycle
+/// warmup window. The seven full-line variants share one warmup prefix
+/// per workload and the two trimming variants a second (trimming changes
+/// L1 fills from cycle 0, so it keys the prefix); baseline has no knob
+/// to delay and runs cold. Each group's representative runs cold and
+/// forks in flight, so 21 of the 30 runs fork — a deterministic
+/// prefix-hit ratio of 0.7.
+fn sweep_cells(r: &Runner) -> Vec<Cell> {
+    const SWEEP_VARIANTS: [SystemVariant; 9] = [
+        SystemVariant::StitchOnly,
+        SystemVariant::SeqOnly,
+        SystemVariant::DataPrio,
+        SystemVariant::StitchPool {
+            window: 16,
+            selective: true,
+        },
+        SystemVariant::StitchPool {
+            window: 32,
+            selective: true,
+        },
+        SystemVariant::StitchPool {
+            window: 64,
+            selective: true,
+        },
+        SystemVariant::StitchPool {
+            window: 32,
+            selective: false,
+        },
+        SystemVariant::StitchTrim,
+        SystemVariant::NetCrafter,
+    ];
+    let mut cells = Vec::new();
+    for w in [Workload::Gups, Workload::Spmv, Workload::Pr] {
+        for v in std::iter::once(SystemVariant::Baseline).chain(SWEEP_VARIANTS) {
+            cells.push(Cell {
+                workload: w.abbrev().to_owned(),
+                variant: v.label(),
+                job: r.job(w, v),
+                speedup_base: v == SystemVariant::Baseline,
+            });
+        }
+    }
+    cells
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--legacy-scheduler") {
@@ -168,16 +226,30 @@ fn emit(args: &[String]) -> ! {
     let matrix: fn(&Runner) -> Vec<Cell> = match matrix_name.as_str() {
         "fig14" => fig14_cells,
         "topology" => topology_cells,
+        "sweep" => sweep_cells,
         other => {
-            eprintln!("bench_gate: unknown matrix {other:?} (fig14 | topology)");
+            eprintln!("bench_gate: unknown matrix {other:?} (fig14 | topology | sweep)");
             std::process::exit(2);
         }
+    };
+    let sweep_matrix = matrix_name == "sweep";
+    let no_prefix_share = args.iter().any(|a| a == "--no-prefix-share");
+    // The sweep matrix configures its warmup window *before* cells are
+    // built: each JobSpec snapshots the runner's base config, and the
+    // warmup is part of the job's physical identity.
+    let mk_runner = || {
+        let mut r = Runner::quick().with_jobs(jobs).with_threads(threads);
+        if sweep_matrix {
+            r.base_cfg.netcrafter.warmup_cycles = SWEEP_WARMUP;
+            r = r.with_prefix_share(!no_prefix_share);
+        }
+        r
     };
 
     // Host throughput is noisy, so the sweep is timed `reps` times on
     // fresh (memo-cold) runners and the gate uses the median. The first
     // repetition's runner also supplies the deterministic numbers below.
-    let runner = Runner::quick().with_jobs(jobs).with_threads(threads);
+    let runner = mk_runner();
     let cells = matrix(&runner);
     let jobs_list: Vec<JobSpec> = cells.iter().map(|c| c.job.clone()).collect();
     let mut walls = Vec::with_capacity(reps);
@@ -185,7 +257,7 @@ fn emit(args: &[String]) -> ! {
     runner.sweep(&jobs_list);
     walls.push(t0.elapsed().as_secs_f64());
     for _ in 1..reps {
-        let rep = Runner::quick().with_jobs(jobs).with_threads(threads);
+        let rep = mk_runner();
         let rep_jobs: Vec<JobSpec> = matrix(&rep).into_iter().map(|c| c.job).collect();
         let t = Instant::now();
         rep.sweep(&rep_jobs);
@@ -286,6 +358,23 @@ fn emit(args: &[String]) -> ! {
     let rate_spread_pct = 100.0 * (rate_max - rate_min) / rate_max.max(1e-9);
     let rate = total_cycles as f64 / wall.max(1e-9);
     print_target_delta(rate);
+    // Only the sweep matrix carries the prefix block; `wall_ms` and
+    // `jobs_per_sec` describe the host (informational), while
+    // `prefix_hit_ratio` is a deterministic function of the plan tree
+    // and is gated exactly by `check`.
+    let prefix_block = if sweep_matrix {
+        let ps = runner.prefix_stats();
+        eprint!("{}", ps.report());
+        format!(
+            ",\n  \"prefix\": {{\"wall_ms\": {:.0}, \"jobs_per_sec\": {:.1}, \
+             \"prefix_hit_ratio\": {:.6}}}",
+            ps.sweep_wall.as_secs_f64() * 1e3,
+            ps.jobs_per_sec(),
+            ps.hit_ratio(),
+        )
+    } else {
+        String::new()
+    };
     let report = format!(
         "{{\n  \"schema\": 1,\n  \"scale\": \"quick\",\n  \
          \"wall_seconds\": {wall:.3},\n  \"cycles_per_sec\": {:.0},\n  \
@@ -293,7 +382,7 @@ fn emit(args: &[String]) -> ! {
          \"rate_reps\": [{rate_reps_json}],\n  \
          \"rate_spread_pct\": {rate_spread_pct:.1},\n  \
          \"runs\": [\n    {runs}\n  ],\n  \"speedups\": [\n    {speedups}\n  ],\n  \
-         \"geomean\": [\n    {geo}\n  ]\n}}\n",
+         \"geomean\": [\n    {geo}\n  ]{prefix_block}\n}}\n",
         total_cycles as f64 / wall.max(1e-9),
     );
     // Sanity: the report must parse with our own reader before it can gate.
@@ -362,6 +451,15 @@ fn gated_numbers(report: &json::Value) -> Result<Vec<(String, f64)>, String> {
                 .ok_or("geomean entry missing `speedup`")?;
             out.push((format!("geomean:{variant}"), value));
         }
+    }
+    // Sweep-matrix reports gate the plan-tree hit ratio too (its host
+    // timings stay informational).
+    if let Some(prefix) = report.get("prefix") {
+        let value = prefix
+            .get("prefix_hit_ratio")
+            .and_then(json::Value::as_f64)
+            .ok_or("prefix block missing `prefix_hit_ratio`")?;
+        out.push(("prefix:hit_ratio".into(), value));
     }
     Ok(out)
 }

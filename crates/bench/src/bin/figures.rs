@@ -5,6 +5,7 @@
 //!         [--cache-dir DIR] [--checkpoint-at CYCLE] [--checkpoint-dir DIR]
 //!         [--restore-from FILE] [--trace FILE] [--timeseries FILE]
 //!         [--trace-filter SPEC] [--sample-window N] [--legacy-scheduler]
+//!         [--warmup CYCLES] [--no-prefix-share]
 //!         <id>... | all
 //! ```
 //!
@@ -29,6 +30,13 @@
 //! via `--checkpoint-at CYCLE`; `--restore-from FILE` resumes the traced
 //! re-run from a specific snapshot. All checkpointed paths stay
 //! byte-identical to uninterrupted runs.
+//!
+//! `--warmup CYCLES` keeps every NetCrafter policy knob inert until the
+//! given cycle, which lets the sweep share one simulated warmup prefix
+//! across all policy variants of a workload (in-memory snapshot forks;
+//! DESIGN.md §3.7). `--no-prefix-share` disables the sharing while
+//! keeping the warmup semantics — output stays byte-identical, only
+//! host-side wall-clock changes.
 
 use std::time::Instant;
 
@@ -74,6 +82,13 @@ fn main() {
     });
     let checkpoint_dir = flag_value(&args, "--checkpoint-dir");
     let restore_path = flag_value(&args, "--restore-from");
+    let warmup: Option<u64> = flag_value(&args, "--warmup").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--warmup expects a cycle count, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let no_prefix_share = args.iter().any(|a| a == "--no-prefix-share");
 
     // Everything that is not a flag (or a flag's value) is a figure id.
     let mut ids: Vec<String> = Vec::new();
@@ -89,6 +104,7 @@ fn main() {
             || arg == "--checkpoint-at"
             || arg == "--checkpoint-dir"
             || arg == "--restore-from"
+            || arg == "--warmup"
             || TRACE_VALUE_FLAGS.contains(&arg.as_str())
         {
             skip_next = true;
@@ -123,7 +139,13 @@ fn main() {
         runner.scale.mem_ops_per_wave *= 2;
     }
     runner.verbose = verbose;
-    runner = runner.with_jobs(jobs).with_threads(threads);
+    runner = runner
+        .with_jobs(jobs)
+        .with_threads(threads)
+        .with_prefix_share(!no_prefix_share);
+    if let Some(w) = warmup {
+        runner.base_cfg.netcrafter.warmup_cycles = w;
+    }
     if let Some(dir) = &cache_dir {
         runner = runner.with_cache_dir(dir).unwrap_or_else(|e| {
             eprintln!("cannot open cache dir {dir}: {e}");
@@ -180,6 +202,7 @@ fn main() {
     }
     eprintln!("[total {:.1?}]", t0.elapsed());
     eprint!("{}", stats_report(&runner.job_stats()));
+    eprint!("{}", runner.prefix_stats().report());
 
     if trace_args.active() {
         let opts = trace_args.options().unwrap_or_else(|e| {
@@ -202,6 +225,8 @@ fn main() {
                     std::process::exit(1);
                 })
             }),
+            fork_at: None,
+            fork: None,
         };
         let (run, data) = job
             .to_experiment()

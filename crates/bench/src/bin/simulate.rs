@@ -244,6 +244,8 @@ fn main() {
                     std::process::exit(1);
                 })
             }),
+            fork_at: None,
+            fork: None,
         };
         let job = runner.job(workload, variant);
         let exp = job.to_experiment();

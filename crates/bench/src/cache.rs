@@ -59,6 +59,16 @@ impl DiskCache {
             .join(format!("{:016x}.run", fnv1a64(cache_key.as_bytes())))
     }
 
+    /// Cheap existence probe used by the sweep planner: `true` when a
+    /// cache file for `cache_key` is present. A `true` here can still
+    /// turn into a [`DiskCache::load`] miss (collision, corruption) —
+    /// the planner only uses it to decide which jobs are worth grouping
+    /// under a shared simulation prefix, where a rare false positive
+    /// merely costs one cold run.
+    pub fn contains(&self, cache_key: &str) -> bool {
+        self.path_for(cache_key).exists()
+    }
+
     /// Looks `cache_key` up; `None` on miss, hash collision, version
     /// mismatch or any corruption (all of which just mean re-simulate).
     pub fn load(&self, cache_key: &str) -> Option<RunResult> {
@@ -206,8 +216,11 @@ mod tests {
         assert!(cache.is_empty());
         assert!(cache.load("some-key").is_none());
 
+        assert!(!cache.contains("some-key"));
         cache.store("some-key", &sample()).unwrap();
         assert_eq!(cache.len(), 1);
+        assert!(cache.contains("some-key"));
+        assert!(!cache.contains("other-key"));
         let back = cache.load("some-key").expect("hit");
         assert_eq!(back.exec_cycles, 12345);
         assert_eq!(back.metrics.counter("net.inter.flits"), 42);

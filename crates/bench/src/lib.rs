@@ -27,12 +27,12 @@ pub mod traceio;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use netcrafter_multigpu::{CheckpointPlan, JobSpec, RunResult, SystemVariant};
 use netcrafter_proto::SystemConfig;
+use netcrafter_sim::ForkSnapshot;
 use netcrafter_workloads::{Scale, Workload};
 
 pub use cache::{CheckpointStore, DiskCache};
@@ -126,10 +126,17 @@ impl fmt::Display for Table {
 /// Where a job's result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobSource {
-    /// Simulated in this process.
+    /// Simulated in this process from cycle 0 (possibly warm-started
+    /// from a persistent checkpoint).
     Fresh,
+    /// Simulated in this process from an in-memory prefix fork shared
+    /// with other jobs of the same sweep.
+    Forked,
     /// Replayed from the persistent on-disk cache.
     DiskHit,
+    /// Aliased to another job of the same sweep batch with an identical
+    /// physical identity ([`JobSpec::cache_key`]); no execution at all.
+    Shared,
 }
 
 /// Wall-clock/throughput record for one resolved job (memo replays are
@@ -167,13 +174,17 @@ impl JobStat {
 pub fn stats_report(stats: &[JobStat]) -> String {
     let mut out = String::new();
     let mut fresh = 0usize;
+    let mut forked = 0usize;
     let mut replayed = 0usize;
+    let mut shared = 0usize;
     let mut total_wall = Duration::ZERO;
     let mut total_cycles = 0u64;
     for s in stats {
         let src = match s.source {
             JobSource::Fresh => "sim",
+            JobSource::Forked => "fork",
             JobSource::DiskHit => "disk",
+            JobSource::Shared => "dup",
         };
         let warm = if s.resumed_at > 0 {
             format!("  warm-start from cycle {}", s.resumed_at)
@@ -188,12 +199,16 @@ pub fn stats_report(stats: &[JobStat]) -> String {
             s.cycles_per_sec() / 1e6,
         ));
         match s.source {
-            JobSource::Fresh => {
+            JobSource::Fresh | JobSource::Forked => {
                 fresh += 1;
+                if s.source == JobSource::Forked {
+                    forked += 1;
+                }
                 total_wall += s.wall;
                 total_cycles += s.exec_cycles;
             }
             JobSource::DiskHit => replayed += 1,
+            JobSource::Shared => shared += 1,
         }
     }
     let rate = if total_wall.is_zero() {
@@ -205,7 +220,81 @@ pub fn stats_report(stats: &[JobStat]) -> String {
         "  {fresh} simulated ({total_cycles} cycles in {total_wall:.1?} cpu-time, \
          {rate:.1} Mcyc/s), {replayed} replayed from disk\n",
     ));
+    if forked + shared > 0 {
+        out.push_str(&format!(
+            "  {forked} of the simulations resumed from an in-memory prefix fork, \
+             {shared} duplicate job(s) shared one execution\n",
+        ));
+    }
     out
+}
+
+/// Counters describing how a [`Runner`]'s sweeps exploited shared work:
+/// prefix groups, in-memory forks, duplicate aliasing, and the wall-clock
+/// the sweeps took end to end. Retrieved via [`Runner::prefix_stats`];
+/// all counters accumulate across every [`Runner::sweep`] call on the
+/// runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefixStats {
+    /// Prefix groups planned (two or more jobs sharing a warmup window).
+    pub groups: usize,
+    /// Representative runs that captured a shared fork in flight
+    /// (≤ `groups`; a representative that produced no fork — e.g. it
+    /// warm-started past the warmup cycle — leaves its group mates cold
+    /// and still counts a group).
+    pub prefix_runs: usize,
+    /// Wall-clock of the fork-capturing representative runs (full runs,
+    /// not just their warmup windows).
+    pub prefix_wall: Duration,
+    /// Jobs that resumed from an in-memory fork instead of cycle 0.
+    pub forked_jobs: usize,
+    /// Duplicate jobs (identical cache key) aliased to one execution.
+    pub shared_jobs: usize,
+    /// Fresh simulations executed (cold and forked alike).
+    pub simulated_jobs: usize,
+    /// Jobs requested across all sweeps (memo hits included).
+    pub swept_jobs: usize,
+    /// End-to-end wall-clock of all sweeps.
+    pub sweep_wall: Duration,
+}
+
+impl PrefixStats {
+    /// Fraction of fresh simulations that resumed from a shared prefix
+    /// fork — the sweep matrix's prefix-hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.simulated_jobs == 0 {
+            0.0
+        } else {
+            self.forked_jobs as f64 / self.simulated_jobs as f64
+        }
+    }
+
+    /// Jobs resolved per wall-clock second of sweeping.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.sweep_wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.swept_jobs as f64 / secs
+        }
+    }
+
+    /// One-line footer for the `figures` stats report.
+    pub fn report(&self) -> String {
+        format!(
+            "  sweep wall-clock {:.1?} ({:.1} jobs/s): {} prefix group(s), \
+             {} fork-capturing representative(s) in {:.1?}, {} forked, {} deduped \
+             (prefix-hit ratio {:.2})\n",
+            self.sweep_wall,
+            self.jobs_per_sec(),
+            self.groups,
+            self.prefix_runs,
+            self.prefix_wall,
+            self.forked_jobs,
+            self.shared_jobs,
+            self.hit_ratio(),
+        )
+    }
 }
 
 /// Memoizing experiment executor shared by all figure generators.
@@ -241,11 +330,18 @@ pub struct Runner {
     /// which parallelizes across simulations. Excluded from cache keys:
     /// results are bit-identical at any thread count.
     pub threads: usize,
+    /// Group sweep jobs by [`JobSpec::prefix_key`] and execute each
+    /// group's warmup window once, forking the paused state in memory to
+    /// every member (the default). `false` runs every job from cycle 0 —
+    /// results are byte-identical either way, so this is host-side
+    /// tuning, not a simulation input.
+    pub prefix_share: bool,
     memo: Mutex<HashMap<String, Arc<RunResult>>>,
     disk: Option<DiskCache>,
     ckpt: Option<CheckpointStore>,
     checkpoint_at: Option<u64>,
     stats: Mutex<Vec<JobStat>>,
+    prefix: Mutex<PrefixStats>,
 }
 
 impl Runner {
@@ -271,12 +367,21 @@ impl Runner {
             verbose: false,
             jobs: 1,
             threads: 1,
+            prefix_share: true,
             memo: Mutex::new(HashMap::new()),
             disk: None,
             ckpt: None,
             checkpoint_at: None,
             stats: Mutex::new(Vec::new()),
+            prefix: Mutex::new(PrefixStats::default()),
         }
+    }
+
+    /// Enables or disables prefix-sharing in [`Runner::sweep`] (on by
+    /// default; results are byte-identical either way).
+    pub fn with_prefix_share(mut self, on: bool) -> Self {
+        self.prefix_share = on;
+        self
     }
 
     /// Sets the worker-thread count for [`Runner::sweep`] (0 is treated
@@ -372,16 +477,33 @@ impl Runner {
 
     /// Resolves one job through memo → disk → simulation.
     pub fn run_job(&self, job: &JobSpec) -> Arc<RunResult> {
+        self.run_job_forked(job, None, None).0
+    }
+
+    /// [`Runner::run_job`] with the sweep tree's two fork roles: when
+    /// `fork` is `Some`, a fresh simulation restores it and resumes from
+    /// the warmup cycle instead of stepping from 0; when `fork_at` is
+    /// `Some` (a group representative), the simulation pauses there,
+    /// captures an in-memory fork for its group mates — returned
+    /// alongside the result — and continues. Memo and disk lookups are
+    /// unchanged: the forks only shortcut the simulations themselves, so
+    /// results stay byte-identical to cold runs.
+    fn run_job_forked(
+        &self,
+        job: &JobSpec,
+        fork: Option<&ForkSnapshot>,
+        fork_at: Option<u64>,
+    ) -> (Arc<RunResult>, Option<ForkSnapshot>) {
         let memo_key = job.memo_key();
         if let Some(hit) = self.memo.lock().unwrap().get(&memo_key) {
-            return Arc::clone(hit);
+            return (Arc::clone(hit), None);
         }
         let t0 = Instant::now();
         if let Some(disk) = &self.disk {
             if let Some(result) = disk.load(&job.cache_key()) {
                 let result = Arc::new(result);
                 self.finish(memo_key, JobSource::DiskHit, t0.elapsed(), &result);
-                return result;
+                return (result, None);
             }
         }
         if self.verbose {
@@ -389,11 +511,19 @@ impl Runner {
         }
         let mut plan = CheckpointPlan {
             checkpoint_at: self.checkpoint_at,
+            fork_at,
             restore_from: None,
+            fork: fork.cloned(),
         };
-        if let Some(store) = &self.ckpt {
-            if let Some((_, bytes)) = store.load_longest_prefix(&job.cache_key()) {
-                plan.restore_from = Some(bytes);
+        // The persistent checkpoint tier is only consulted when no
+        // in-memory fork is at hand: the fork is already resident and at
+        // least as deep, and skipping the store keeps corrupt on-disk
+        // snapshots out of the forked path entirely.
+        if plan.fork.is_none() {
+            if let Some(store) = &self.ckpt {
+                if let Some((_, bytes)) = store.load_longest_prefix(&job.cache_key()) {
+                    plan.restore_from = Some(bytes);
+                }
             }
         }
         let exp = job.to_experiment();
@@ -404,11 +534,17 @@ impl Runner {
                 // component roster) is a cache miss, not a fatal error.
                 eprintln!("warning: unusable checkpoint for {memo_key} ({e}); simulating cold");
                 plan.restore_from = None;
+                plan.fork = None;
                 exp.run_checkpointed(&plan)
                     .expect("cold run restores nothing")
             }
         };
-        if run.resumed_at > 0 {
+        let forked = plan.fork.is_some();
+        // Disk warm-starts are rare enough to always announce; forked
+        // resumptions happen for most of a shared sweep and are already
+        // summarized by the prefix report, so per-job lines are
+        // verbose-only.
+        if run.resumed_at > 0 && (self.verbose || !forked) {
             eprintln!(
                 "  warm-start {memo_key}: simulated from cycle {} instead of 0",
                 run.resumed_at
@@ -429,8 +565,20 @@ impl Runner {
             }
         }
         let result = Arc::new(result);
-        self.finish_at(memo_key, JobSource::Fresh, wall, &result, run.resumed_at);
-        result
+        {
+            let mut prefix = self.prefix.lock().unwrap();
+            prefix.simulated_jobs += 1;
+            if forked {
+                prefix.forked_jobs += 1;
+            }
+        }
+        let source = if forked {
+            JobSource::Forked
+        } else {
+            JobSource::Fresh
+        };
+        self.finish_at(memo_key, source, wall, &result, run.resumed_at);
+        (result, run.fork)
     }
 
     fn finish(&self, memo_key: String, source: JobSource, wall: Duration, result: &Arc<RunResult>) {
@@ -458,42 +606,197 @@ impl Runner {
             .insert(memo_key, Arc::clone(result));
     }
 
-    /// Resolves a batch of jobs, fanning unresolved work out across
-    /// [`Runner::jobs`] worker threads, and returns the results in input
-    /// order. Duplicate specs (same memo key) are simulated once.
+    /// Resolves a batch of jobs and returns the results in input order.
+    ///
+    /// The batch is planned as a *prefix-sharing tree* before anything
+    /// runs (DESIGN.md §3.7):
+    ///
+    /// 1. Memo hits are dropped; duplicate memo keys collapse to one
+    ///    entry; jobs whose memo keys differ but whose physical identity
+    ///    ([`JobSpec::cache_key`]) is identical collapse to one
+    ///    *execution* — the extras are aliased afterwards.
+    /// 2. Jobs that will not replay from disk are grouped by
+    ///    [`JobSpec::prefix_key`]; each group of two or more becomes an
+    ///    internal tree node whose *representative* (the group's first
+    ///    job in canonical order) runs from cycle 0, pauses at the warmup
+    ///    cycle to capture an in-memory [`ForkSnapshot`], and continues
+    ///    to completion. The other members restore the fork — no cycle of
+    ///    the shared warmup window is ever simulated twice.
+    /// 3. A deque of ready tasks is drained by [`Runner::jobs`] workers;
+    ///    a completing representative pushes its group mates along with
+    ///    the fork it captured, so divergent suffixes start the moment
+    ///    their prefix unblocks them, with no barrier between tree
+    ///    levels.
+    ///
+    /// Results are byte-identical to cold execution no matter how the
+    /// tree was shaped or how many workers drained it; retrieval from the
+    /// memo by key keeps output in canonical input order.
     pub fn sweep(&self, jobs: &[JobSpec]) -> Vec<Arc<RunResult>> {
+        let t0 = Instant::now();
+        // -- plan: dedupe, then group shareable jobs by prefix key --
         let mut pending: Vec<&JobSpec> = Vec::new();
+        let mut aliases: Vec<(String, usize)> = Vec::new();
         {
             let memo = self.memo.lock().unwrap();
             let mut queued = HashSet::new();
+            let mut physical: HashMap<String, usize> = HashMap::new();
             for job in jobs {
                 let key = job.memo_key();
-                if !memo.contains_key(&key) && queued.insert(key) {
-                    pending.push(job);
+                if memo.contains_key(&key) || !queued.insert(key.clone()) {
+                    continue;
+                }
+                match physical.entry(job.cache_key()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        aliases.push((key, *e.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(pending.len());
+                        pending.push(job);
+                    }
                 }
             }
         }
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        if self.prefix_share {
+            let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
+            for (i, job) in pending.iter().enumerate() {
+                // A disk replay never simulates, so its prefix is not
+                // worth paying for.
+                if self
+                    .disk
+                    .as_ref()
+                    .is_some_and(|d| d.contains(&job.cache_key()))
+                {
+                    continue;
+                }
+                if let Some(key) = job.prefix_key() {
+                    by_key.entry(key).or_default().push(i);
+                }
+            }
+            groups = by_key.into_values().filter(|g| g.len() >= 2).collect();
+            // Deterministic planning order (HashMap iteration is not).
+            groups.sort_by_key(|g| g[0]);
+        }
+        let grouped: HashSet<usize> = groups.iter().flatten().copied().collect();
+        {
+            let mut prefix = self.prefix.lock().unwrap();
+            prefix.groups += groups.len();
+            prefix.swept_jobs += jobs.len();
+            prefix.shared_jobs += aliases.len();
+        }
+
+        // -- execute: work-stealing deque over tree nodes --
+        enum Task {
+            /// Run group `g`'s representative from cycle 0, capturing a
+            /// fork of its paused warmup state in flight, then release
+            /// the remaining members.
+            Rep(usize),
+            /// Resolve `pending[idx]`, restoring `fork` when present.
+            Job(usize, Option<ForkSnapshot>),
+        }
+        struct Queue {
+            tasks: std::collections::VecDeque<Task>,
+            /// Unresolved leaf jobs, *including* members still deferred
+            /// behind an unfinished representative — workers wait (rather
+            /// than exit) while this is nonzero and the deque is empty.
+            remaining: usize,
+        }
+        let mut tasks = std::collections::VecDeque::new();
+        for g in 0..groups.len() {
+            tasks.push_back(Task::Rep(g));
+        }
+        for i in 0..pending.len() {
+            if !grouped.contains(&i) {
+                tasks.push_back(Task::Job(i, None));
+            }
+        }
+        let queue = Mutex::new(Queue {
+            tasks,
+            remaining: pending.len(),
+        });
+        let ready = Condvar::new();
+        let worker = || loop {
+            let task = {
+                let mut q = queue.lock().unwrap();
+                loop {
+                    if q.remaining == 0 {
+                        return;
+                    }
+                    if let Some(t) = q.tasks.pop_front() {
+                        break t;
+                    }
+                    q = ready.wait(q).unwrap();
+                }
+            };
+            match task {
+                Task::Rep(g) => {
+                    let rep = pending[groups[g][0]];
+                    let t0 = Instant::now();
+                    let (_, fork) = self.run_job_forked(rep, None, Some(rep.warmup_cycles()));
+                    if fork.is_some() {
+                        let mut prefix = self.prefix.lock().unwrap();
+                        prefix.prefix_runs += 1;
+                        prefix.prefix_wall += t0.elapsed();
+                    } else if self.verbose {
+                        // Legitimate, not an error: e.g. the representative
+                        // warm-started from a disk checkpoint past the
+                        // warmup cycle. The members simply run cold.
+                        eprintln!(
+                            "  no fork captured for {} group; members run cold",
+                            rep.memo_key()
+                        );
+                    }
+                    let mut q = queue.lock().unwrap();
+                    for &idx in &groups[g][1..] {
+                        q.tasks.push_back(Task::Job(idx, fork.clone()));
+                    }
+                    q.remaining -= 1;
+                    drop(q);
+                    ready.notify_all();
+                }
+                Task::Job(idx, fork) => {
+                    self.run_job_forked(pending[idx], fork.as_ref(), None);
+                    let mut q = queue.lock().unwrap();
+                    q.remaining -= 1;
+                    let done = q.remaining == 0;
+                    drop(q);
+                    if done {
+                        ready.notify_all();
+                    } else {
+                        ready.notify_one();
+                    }
+                }
+            }
+        };
         let workers = self.jobs.max(1).min(pending.len());
         if workers <= 1 {
-            for job in &pending {
-                self.run_job(job);
-            }
+            worker();
         } else {
-            let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = pending.get(i) else { break };
-                        self.run_job(job);
-                    });
+                    scope.spawn(worker);
                 }
             });
         }
+
+        // -- alias duplicates to their primary's result --
+        for (alias_key, idx) in aliases {
+            let result = {
+                let memo = self.memo.lock().unwrap();
+                Arc::clone(&memo[&pending[idx].memo_key()])
+            };
+            self.finish(alias_key, JobSource::Shared, Duration::ZERO, &result);
+        }
+        self.prefix.lock().unwrap().sweep_wall += t0.elapsed();
         let memo = self.memo.lock().unwrap();
         jobs.iter()
             .map(|job| Arc::clone(&memo[&job.memo_key()]))
             .collect()
+    }
+
+    /// Accumulated prefix-sharing counters (see [`PrefixStats`]).
+    pub fn prefix_stats(&self) -> PrefixStats {
+        *self.prefix.lock().unwrap()
     }
 
     /// Number of completed (cached) runs.
@@ -568,6 +871,128 @@ mod tests {
         let again = r.sweep(&jobs);
         assert!(Arc::ptr_eq(&results[0], &again[0]));
         assert_eq!(r.job_stats().len(), 2);
+    }
+
+    #[test]
+    fn prefix_shared_sweep_matches_cold_results() {
+        // The tentpole oracle at runner granularity: a warmup-window
+        // sweep over several policy variants must produce byte-identical
+        // results with and without prefix sharing — and the shared run
+        // must actually fork.
+        let variants = [
+            SystemVariant::NetCrafter,
+            SystemVariant::StitchTrim,
+            SystemVariant::StitchOnly,
+            SystemVariant::SeqOnly,
+            SystemVariant::Baseline, // FIFO roster: never forked
+        ];
+        let mut shared = Runner::quick().with_jobs(3);
+        shared.base_cfg.netcrafter.warmup_cycles = 400;
+        let mut cold = Runner::quick().with_prefix_share(false);
+        cold.base_cfg.netcrafter.warmup_cycles = 400;
+
+        let jobs = |r: &Runner| -> Vec<JobSpec> {
+            variants.iter().map(|&v| r.job(Workload::Gups, v)).collect()
+        };
+        let a = shared.sweep(&jobs(&shared));
+        let b = cold.sweep(&jobs(&cold));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.exec_cycles, y.exec_cycles);
+            assert_eq!(x.metrics.to_kv(), y.metrics.to_kv());
+        }
+
+        let ps = shared.prefix_stats();
+        // NetCrafter+StitchTrim share an OnTrim-fill prefix; StitchOnly+
+        // SeqOnly share a FullLine one; Baseline runs cold. Each group's
+        // representative (NetCrafter, StitchOnly) runs from cycle 0 and
+        // forks in flight, so only the non-representative member of each
+        // pair resumes from the fork.
+        assert_eq!(ps.groups, 2, "{ps:?}");
+        assert_eq!(ps.prefix_runs, 2, "{ps:?}");
+        assert_eq!(ps.forked_jobs, 2, "{ps:?}");
+        assert_eq!(ps.simulated_jobs, 5, "{ps:?}");
+        assert!((ps.hit_ratio() - 0.4).abs() < 1e-9);
+        assert!(ps.sweep_wall > Duration::ZERO);
+        assert!(ps.prefix_wall > Duration::ZERO);
+        assert_eq!(cold.prefix_stats().forked_jobs, 0);
+
+        // Stats record the forked jobs as such.
+        let forked = shared
+            .job_stats()
+            .iter()
+            .filter(|s| s.source == JobSource::Forked)
+            .count();
+        assert_eq!(forked, 2);
+        assert!(shared
+            .job_stats()
+            .iter()
+            .filter(|s| s.source == JobSource::Forked)
+            .all(|s| s.resumed_at > 0 && s.resumed_at <= 400));
+    }
+
+    #[test]
+    fn sweep_aliases_identical_physical_jobs() {
+        // Two specs with different memo keys but one physical identity
+        // (tag is display-only) share a single execution.
+        let r = Runner::quick().with_jobs(2);
+        let mut tagged = r.job(Workload::Gups, SystemVariant::Baseline);
+        tagged.tag = "alias".into();
+        let jobs = vec![r.job(Workload::Gups, SystemVariant::Baseline), tagged];
+        let results = r.sweep(&jobs);
+        assert!(Arc::ptr_eq(&results[0], &results[1]));
+        assert_eq!(r.prefix_stats().shared_jobs, 1);
+        let stats = r.job_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            stats
+                .iter()
+                .filter(|s| s.source == JobSource::Shared)
+                .count(),
+            1
+        );
+        assert_eq!(
+            stats
+                .iter()
+                .filter(|s| s.source == JobSource::Fresh)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn no_sharing_without_warmup_window() {
+        // warmup_cycles == 0 (the default): knobs act from cycle 0, so
+        // nothing can group and the sweep runs exactly as before.
+        let r = Runner::quick().with_jobs(2);
+        let jobs = vec![
+            r.job(Workload::Gups, SystemVariant::NetCrafter),
+            r.job(Workload::Gups, SystemVariant::StitchTrim),
+        ];
+        r.sweep(&jobs);
+        let ps = r.prefix_stats();
+        assert_eq!(ps.groups, 0);
+        assert_eq!(ps.forked_jobs, 0);
+        assert_eq!(ps.simulated_jobs, 2);
+    }
+
+    #[test]
+    fn prefix_stats_reports_render() {
+        let mut ps = PrefixStats::default();
+        assert_eq!(ps.hit_ratio(), 0.0);
+        assert_eq!(ps.jobs_per_sec(), 0.0);
+        ps.groups = 2;
+        ps.prefix_runs = 2;
+        ps.forked_jobs = 9;
+        ps.simulated_jobs = 10;
+        ps.shared_jobs = 1;
+        ps.swept_jobs = 12;
+        ps.sweep_wall = Duration::from_secs(2);
+        assert!((ps.hit_ratio() - 0.9).abs() < 1e-9);
+        assert!((ps.jobs_per_sec() - 6.0).abs() < 1e-9);
+        let line = ps.report();
+        assert!(line.contains("prefix-hit ratio 0.90"), "{line}");
+        assert!(line.contains("2 prefix group(s)"), "{line}");
     }
 
     #[test]

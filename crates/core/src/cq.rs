@@ -203,11 +203,14 @@ impl ClusterQueue {
     }
 
     /// Service order for this pop: PTW partitions first under Sequencing,
-    /// then data partitions in round-robin order.
-    fn service_order(&self) -> [usize; 6] {
+    /// then data partitions in round-robin order. `active` is false while
+    /// the controller is still inside its warmup window (see
+    /// [`NetCrafterConfig::active_at`]): every policy falls back to plain
+    /// round-robin so warmup behaviour is knob-independent.
+    fn service_order(&self, active: bool) -> [usize; 6] {
         let mut order = [0usize; 6];
         let mut n = 0;
-        if self.cfg.sequencing {
+        if self.cfg.sequencing && active {
             // Figure 8's counterfactual prioritizes data reads instead of
             // PTW traffic; the real design prioritizes PTW (§4.3).
             let priority: [usize; 2] = if self.cfg.prioritize_data_instead {
@@ -278,8 +281,9 @@ impl ClusterQueue {
     }
 
     /// Final bookkeeping for an ejecting flit: statistics, re-addressing
-    /// of stitched parents, and round-robin advance.
-    fn finish(&mut self, mut parent: Flit, qi: usize, tracer: &mut Tracer) -> Flit {
+    /// of stitched parents, and round-robin advance. `active` gates the
+    /// Sequencing accounting the same way it gates `service_order`.
+    fn finish(&mut self, mut parent: Flit, qi: usize, active: bool, tracer: &mut Tracer) -> Flit {
         if parent.is_stitched() {
             self.stats.stitched_parents += 1;
             parent.dst = self.remote_switch;
@@ -296,7 +300,7 @@ impl ClusterQueue {
         } else {
             Self::is_ptw_partition(qi)
         };
-        if self.cfg.sequencing && prioritized {
+        if self.cfg.sequencing && active && prioritized {
             self.stats.ptw_priority_pops += 1;
             tracer.instant(
                 EventClass::Seq,
@@ -341,7 +345,7 @@ impl EgressQueue for ClusterQueue {
         // and make the parent ready to eject — the wait ends the moment
         // its purpose is served, rather than at timer expiry when
         // transient candidates have long drained.
-        if self.cfg.stitching {
+        if self.cfg.stitching && self.cfg.active_at(now) {
             for qi in 0..6 {
                 if let Some((parent, until)) = self.pooled[qi].as_mut() {
                     if parent.stitch_cost(&flit).is_some() {
@@ -359,7 +363,13 @@ impl EgressQueue for ClusterQueue {
     }
 
     fn pop(&mut self, now: Cycle, tracer: &mut Tracer) -> Option<Flit> {
-        for qi in self.service_order() {
+        // Inside the warmup window every policy is inert: plain round-robin
+        // service, no stitching, no pooling, no sequencing. This makes the
+        // pre-activation trajectory identical across all knob settings that
+        // share a roster, which is what lets sweep jobs share one simulated
+        // prefix (see DESIGN.md §3.7).
+        let active = self.cfg.active_at(now);
+        for qi in self.service_order(active) {
             // 1. A ripe pooled flit leaves first: its window expired (or
             //    a candidate arrived and cleared the timer). One last
             //    candidate search runs before ejection (§4.4 step 4f).
@@ -369,7 +379,7 @@ impl EgressQueue for ClusterQueue {
             {
                 let (mut parent, _) = self.pooled[qi].take().expect("checked above");
                 self.len -= 1;
-                let absorbed = if self.cfg.stitching {
+                let absorbed = if self.cfg.stitching && active {
                     self.stitch_into(&mut parent)
                 } else {
                     0
@@ -379,19 +389,20 @@ impl EgressQueue for ClusterQueue {
                     tracer.instant(EventClass::Pool, "pool.expired", Self::flit_id(&parent), 0);
                 }
                 self.stats.absorbed_candidates += absorbed;
-                return Some(self.finish(parent, qi, tracer));
+                return Some(self.finish(parent, qi, active, tracer));
             }
             // 2. The regular front of the partition. If the front moves
             //    to the pooling side slot, the next flit behind it is
             //    considered in the same turn — pooling never stalls the
             //    partition, only the pooled flit.
             while let Some(mut parent) = self.queues[qi].pop_front() {
-                let absorbed = if self.cfg.stitching {
+                let absorbed = if self.cfg.stitching && active {
                     self.stitch_into(&mut parent)
                 } else {
                     0
                 };
                 if absorbed == 0
+                    && active
                     && self.poolable(qi)
                     && parent.empty_bytes() >= MIN_POOL_BYTES
                     && self.pooled[qi].is_none()
@@ -409,7 +420,7 @@ impl EgressQueue for ClusterQueue {
                 }
                 self.len -= 1;
                 self.stats.absorbed_candidates += absorbed;
-                return Some(self.finish(parent, qi, tracer));
+                return Some(self.finish(parent, qi, active, tracer));
             }
         }
         None
@@ -726,6 +737,87 @@ mod tests {
         assert_eq!(q.pop(1).unwrap().chunks[0].packet, PacketId(1));
         assert_eq!(q.pop(1).unwrap().chunks[0].packet, PacketId(2));
         assert!(q.pop(1).is_none());
+    }
+
+    #[test]
+    fn warmup_window_makes_every_knob_inert() {
+        // Before `warmup_cycles` the full NetCrafter config must behave
+        // exactly like the disabled roster: round-robin service, no
+        // stitching, no pooling, no sequencing priority.
+        let mut cfg = NetCrafterConfig::full();
+        cfg.warmup_cycles = 1_000;
+        let mut q = cq(cfg);
+        q.push(rsp_tail(1), 0); // would stitch/pool if active
+        q.push(rsp_tail(2), 0);
+        q.push(pt_rsp(3), 0); // would jump the queue under sequencing
+        let a = q.pop(10).unwrap();
+        let b = q.pop(10).unwrap();
+        let c = q.pop(10).unwrap();
+        assert!(!a.is_stitched() && !b.is_stitched() && !c.is_stitched());
+        // Round-robin starting at partition 0 serves ReadRsp then PtRsp.
+        assert_eq!(a.chunks[0].packet, PacketId(1));
+        assert_eq!(b.chunks[0].packet, PacketId(3));
+        assert_eq!(c.chunks[0].packet, PacketId(2));
+        assert_eq!(q.stats.pool_events, 0);
+        assert_eq!(q.stats.absorbed_candidates, 0);
+        assert_eq!(q.stats.ptw_priority_pops, 0);
+        assert_eq!(q.stats.stitched_parents, 0);
+    }
+
+    #[test]
+    fn policies_activate_at_warmup_boundary() {
+        let mut cfg = NetCrafterConfig::stitching_only();
+        cfg.warmup_cycles = 100;
+        let mut q = cq(cfg);
+        // At cycle 99 the two tails eject separately…
+        q.push(rsp_tail(1), 99);
+        q.push(rsp_tail(2), 99);
+        assert!(!q.pop(99).unwrap().is_stitched());
+        assert!(!q.pop(99).unwrap().is_stitched());
+        // …at cycle 100 they stitch.
+        q.push(rsp_tail(3), 100);
+        q.push(rsp_tail(4), 100);
+        let parent = q.pop(100).unwrap();
+        assert!(parent.is_stitched());
+        assert_eq!(parent.chunks.len(), 2);
+        assert!(q.pop(100).is_none());
+    }
+
+    #[test]
+    fn warmup_trajectory_matches_across_roster_members() {
+        // Two configs in the same prefix group (ClusterQueue roster, same
+        // trimming, different policy knobs) must produce byte-identical
+        // pop sequences while the warmup window is open.
+        let mut a_cfg = NetCrafterConfig::full();
+        a_cfg.warmup_cycles = 1_000;
+        let mut b_cfg = NetCrafterConfig::stitching_only();
+        b_cfg.sequencing = true;
+        b_cfg.warmup_cycles = 1_000;
+        let mut a = cq(a_cfg);
+        let mut b = cq(b_cfg);
+        for id in 0..12u64 {
+            let f = match id % 3 {
+                0 => read_req(id),
+                1 => rsp_tail(id),
+                _ => pt_rsp(id),
+            };
+            a.push(f.clone(), id);
+            b.push(f, id);
+        }
+        for now in 12..40u64 {
+            let fa = a.pop(now);
+            let fb = b.pop(now);
+            match (&fa, &fb) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.chunks[0].packet, y.chunks[0].packet);
+                    assert_eq!(x.is_stitched(), y.is_stitched());
+                }
+                (None, None) => {}
+                _ => panic!("divergent pop at cycle {now}: {fa:?} vs {fb:?}"),
+            }
+        }
+        assert_eq!(a.occupancy(), 0);
+        assert_eq!(b.occupancy(), 0);
     }
 
     #[test]

@@ -686,7 +686,7 @@ impl Component for Cu {
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         self.l1.load_state(r)?;
-        self.l1_tlb = Snap::load(r)?;
+        self.l1_tlb.load_into(r)?;
         self.resident = Snap::load(r)?;
         self.pending = Snap::load(r)?;
         self.rr = Snap::load(r)?;

@@ -280,9 +280,10 @@ impl L1Cache {
     }
 
     /// Restores the state written by [`L1Cache::save_state`] into this
-    /// (identically configured) cache.
+    /// (identically configured) cache. The tag array is decoded in place
+    /// ([`TagStore::load_into`]) — restore is a sweep hot path.
     pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        self.tags = Snap::load(r)?;
+        self.tags.load_into(r)?;
         self.mshr = Snap::load(r)?;
         self.stats = Snap::load(r)?;
         Ok(())

@@ -113,6 +113,19 @@ impl Snap for Bank {
     }
 }
 
+impl Bank {
+    /// In-place [`Snap::load`]: the bank's queues are small, but its tag
+    /// array is the L2's bulk state, so restoring it in place turns the
+    /// dominant restore cost into a plain decode.
+    fn load_into(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.input = Snap::load(r)?;
+        self.pipe = Snap::load(r)?;
+        self.tags.load_into(r)?;
+        self.mshr = Snap::load(r)?;
+        Ok(())
+    }
+}
+
 /// Reply-routing table: where responses to each origin go.
 #[derive(Debug, Clone)]
 pub struct L2Wiring {
@@ -442,16 +455,19 @@ impl Component for L2Cache {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        let banks: Vec<Bank> = Snap::load(r)?;
-        if banks.len() != self.banks.len() {
+        // Same bytes as `Vec<Bank>`'s save (length prefix + each bank),
+        // decoded bank-by-bank into the existing allocations.
+        let n = r.get_len()?;
+        if n != self.banks.len() {
             return Err(SnapshotError::Corrupt(format!(
-                "{}: snapshot has {} banks, cache has {}",
+                "{}: snapshot has {n} banks, cache has {}",
                 self.name,
-                banks.len(),
                 self.banks.len()
             )));
         }
-        self.banks = banks;
+        for bank in &mut self.banks {
+            bank.load_into(r)?;
+        }
         self.stats = Snap::load(r)?;
         Ok(())
     }

@@ -145,6 +145,49 @@ impl<T> TagStore<T> {
         Some(self.sets[set].swap_remove(pos).data)
     }
 
+    /// In-place [`Snap::load`]: decodes a store saved by [`Snap::save`]
+    /// into `self`, reusing every set's existing allocation. This is the
+    /// snapshot-restore hot path — a store holds one `Vec` per set, so
+    /// `Snap::load` pays thousands of small allocations per cache while
+    /// this pays none. The snapshot's geometry must match `self` (restore
+    /// targets are built from the same configuration).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input, a geometry mismatch, or an overfull set.
+    pub fn load_into(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError>
+    where
+        T: Snap,
+    {
+        let ways = r.get_len()?;
+        let n_sets = r.get_len()?;
+        if ways != self.ways || n_sets != self.sets.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "TagStore geometry mismatch: snapshot {n_sets} sets x {ways} ways, \
+                 target {} x {}",
+                self.sets.len(),
+                self.ways
+            )));
+        }
+        for set in &mut self.sets {
+            let len = r.get_len()?;
+            if len > ways {
+                return Err(SnapshotError::Corrupt(format!(
+                    "TagStore set holds {len} slots but has only {ways} ways"
+                )));
+            }
+            set.clear();
+            for _ in 0..len {
+                set.push(Slot {
+                    tag: Snap::load(r)?,
+                    last_used: Snap::load(r)?,
+                    data: Snap::load(r)?,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates over all resident `(key, &data)` pairs (diagnostics only;
     /// order is unspecified).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {

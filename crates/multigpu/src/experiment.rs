@@ -2,7 +2,7 @@
 //! the paper's evaluation section (§5).
 
 use netcrafter_proto::{Metrics, NetCrafterConfig, SectorFillPolicy, SystemConfig};
-use netcrafter_sim::snapshot::SnapshotError;
+use netcrafter_sim::snapshot::{ForkSnapshot, SnapshotError};
 use netcrafter_sim::{Trace, TraceConfig};
 use netcrafter_workloads::{Scale, Workload};
 
@@ -45,8 +45,13 @@ pub enum SystemVariant {
 }
 
 impl SystemVariant {
-    /// Applies the variant to a base configuration.
+    /// Applies the variant to a base configuration. The base config's
+    /// `netcrafter.warmup_cycles` survives the variant's knob overwrite:
+    /// the warmup window is a sweep-level lever (it makes every variant's
+    /// pre-activation trajectory identical for prefix sharing), not part
+    /// of any variant's identity.
     pub fn apply(self, mut cfg: SystemConfig) -> SystemConfig {
+        let warmup = cfg.netcrafter.warmup_cycles;
         match self {
             SystemVariant::Baseline => {
                 cfg.netcrafter = NetCrafterConfig::disabled();
@@ -109,6 +114,7 @@ impl SystemVariant {
                 cfg = cfg.with_sector_cache();
             }
         }
+        cfg.netcrafter.warmup_cycles = warmup;
         cfg
     }
 
@@ -385,6 +391,33 @@ impl Experiment {
         Ok((run, data.expect("tracing requested")))
     }
 
+    /// Runs the experiment forward to `until` (or quiescence, whichever
+    /// comes first) and returns an in-memory [`ForkSnapshot`] of the
+    /// paused state — a standalone prefix simulation, discarded after the
+    /// fork. Sweeps prefer [`CheckpointPlan::fork_at`], which captures
+    /// the same fork from a run that then continues to completion.
+    /// Every job whose configuration is warmup-equivalent to this one
+    /// (same [`JobSpec::prefix_key`]) can restore the fork via
+    /// [`CheckpointPlan::fork`] and continue byte-identically to its own
+    /// cold run, because no policy knob has acted before `until` when
+    /// `until <= warmup_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (the fork is serialized, never parsed); the
+    /// `Result` keeps the signature uniform with the restore paths.
+    pub fn run_prefix(&self, until: u64) -> Result<ForkSnapshot, SnapshotError> {
+        let cfg = self.variant.apply(self.base_cfg);
+        let kernel = self
+            .workload
+            .generate(&self.scale, cfg.total_gpus(), self.seed);
+        let mut sys = System::build(cfg, &kernel);
+        sys.set_threads(self.threads);
+        sys.engine.set_burst_dispatch(self.burst);
+        sys.run_until(until);
+        Ok(sys.fork_snapshot())
+    }
+
     fn run_inner(
         &self,
         opts: Option<&TraceOptions>,
@@ -405,19 +438,42 @@ impl Experiment {
         }
         sys.set_threads(self.threads);
         sys.engine.set_burst_dispatch(self.burst);
-        if let Some(bytes) = &plan.restore_from {
+        if let Some(fork) = &plan.fork {
+            // In-memory fork takes precedence over the persistent tier:
+            // it is already resident and always at least as deep into the
+            // run as any disk snapshot the planner would have chosen.
+            sys.restore(fork.bytes())?;
+            debug_assert_eq!(
+                sys.state_hash(),
+                fork.state_hash(),
+                "fork restore must reproduce the paused state byte-exactly"
+            );
+        } else if let Some(bytes) = &plan.restore_from {
             sys.restore(bytes)?;
         }
         let resumed_at = sys.engine.cycle();
-        let snapshot = match plan.checkpoint_at {
-            Some(at) if at > resumed_at => {
-                sys.run_until(at);
-                // The run may quiesce before the requested cycle; the
-                // snapshot is tagged with the cycle actually paused at.
-                Some((sys.engine.cycle(), sys.save_snapshot()))
+        // Apply the pause points in ascending cycle order, skipping any
+        // the restore already moved past.
+        let mut pauses: Vec<(u64, bool)> = Vec::new();
+        if let Some(at) = plan.fork_at.filter(|&at| at > resumed_at) {
+            pauses.push((at, true));
+        }
+        if let Some(at) = plan.checkpoint_at.filter(|&at| at > resumed_at) {
+            pauses.push((at, false));
+        }
+        pauses.sort_unstable();
+        let mut snapshot = None;
+        let mut fork = None;
+        for (at, is_fork) in pauses {
+            sys.run_until(at);
+            // The run may quiesce before the requested cycle; the
+            // snapshot is tagged with the cycle actually paused at.
+            if is_fork {
+                fork = Some(sys.fork_snapshot());
+            } else {
+                snapshot = Some((sys.engine.cycle(), sys.save_snapshot()));
             }
-            _ => None,
-        };
+        }
         let exec_cycles = sys.run(self.max_cycles);
         let result = RunResult {
             exec_cycles,
@@ -431,6 +487,7 @@ impl Experiment {
             CheckpointedRun {
                 result,
                 snapshot,
+                fork,
                 resumed_at,
             },
             data,
@@ -445,10 +502,23 @@ pub struct CheckpointPlan {
     /// Pause at this cycle and snapshot the state. No snapshot is taken
     /// when the run quiesces first or a restore already starts past it.
     pub checkpoint_at: Option<u64>,
+    /// Pause at this cycle and capture an in-memory [`ForkSnapshot`] into
+    /// [`CheckpointedRun::fork`], then continue to completion — how a
+    /// prefix-sharing sweep's *representative* job produces the fork its
+    /// group mates restore, without a separate warmup-only simulation.
+    /// No fork is captured when the run quiesces first or a restore
+    /// already starts past it.
+    pub fork_at: Option<u64>,
     /// Snapshot bytes (from [`CheckpointedRun::snapshot`]) to warm-start
     /// from; the experiment's configuration must match the run that
     /// produced them.
     pub restore_from: Option<Vec<u8>>,
+    /// In-memory fork (from [`CheckpointedRun::fork`] or
+    /// [`Experiment::run_prefix`]) to warm-start from. Takes precedence
+    /// over `restore_from`; the experiment's configuration must be
+    /// warmup-equivalent to the run that produced the fork (same
+    /// [`JobSpec::prefix_key`]).
+    pub fork: Option<ForkSnapshot>,
 }
 
 /// Outcome of [`Experiment::run_checkpointed`].
@@ -460,6 +530,9 @@ pub struct CheckpointedRun {
     /// one was requested (the cycle is earlier when the run quiesced
     /// before the requested pause point).
     pub snapshot: Option<(u64, Vec<u8>)>,
+    /// The in-memory fork captured at `fork_at`, when one was requested
+    /// and the run reached the pause point.
+    pub fork: Option<ForkSnapshot>,
     /// Cycle the simulation actually started stepping from: 0 for a cold
     /// run, the snapshot's cycle after a warm start.
     pub resumed_at: u64,
@@ -622,6 +695,48 @@ impl JobSpec {
             self.max_cycles,
         )
     }
+
+    /// Prefix-sharing group key: jobs with equal keys evolve
+    /// byte-identically up to their NetCrafter warmup cycle, so one
+    /// simulated prefix (an in-memory [`ForkSnapshot`]) serves them all.
+    ///
+    /// The key is the variant-applied configuration's
+    /// [`SystemConfig::warmup_repr`] — the stable representation with the
+    /// warmup-inert policy knobs masked, plus the component-roster token —
+    /// combined with the workload identity. `max_cycles` is deliberately
+    /// excluded: a prefix paused at the warmup cycle is valid for any
+    /// watchdog deeper than it (the planner enforces that per job).
+    ///
+    /// `None` means this job cannot share a prefix:
+    /// * no warmup window (`warmup_cycles == 0`) — knobs act from cycle 0;
+    /// * no NetCrafter knob enabled — the build uses the plain FIFO
+    ///   egress roster, whose snapshot layout differs from the
+    ///   ClusterQueue roster (and an all-off run has nothing to share a
+    ///   warmup *with*);
+    /// * the watchdog is not strictly deeper than the warmup window.
+    pub fn prefix_key(&self) -> Option<String> {
+        let applied = self.variant.apply(self.base_cfg);
+        let warmup = applied.netcrafter.warmup_cycles;
+        if warmup == 0 || !applied.netcrafter.any_enabled() || warmup >= self.max_cycles {
+            return None;
+        }
+        Some(format!(
+            "p1;wl={:?};{};scale={}x{}x{}x{};wlseed={:016x}",
+            self.workload,
+            applied.warmup_repr(),
+            self.scale.ctas,
+            self.scale.waves_per_cta,
+            self.scale.mem_ops_per_wave,
+            self.scale.footprint_pages,
+            self.seed,
+        ))
+    }
+
+    /// The variant-applied warmup cycle — the pause point of this job's
+    /// shared prefix when [`JobSpec::prefix_key`] is `Some`.
+    pub fn warmup_cycles(&self) -> u64 {
+        self.variant.apply(self.base_cfg).netcrafter.warmup_cycles
+    }
 }
 
 #[cfg(test)]
@@ -729,6 +844,174 @@ mod tests {
         let mut longer = JobSpec::new(exp, "");
         longer.max_cycles += 1;
         assert_ne!(a.cache_key(), longer.cache_key());
+    }
+
+    #[test]
+    fn variant_apply_preserves_warmup_cycles() {
+        let mut base = SystemConfig::paper_baseline();
+        base.netcrafter.warmup_cycles = 1_234;
+        for v in [
+            SystemVariant::Baseline,
+            SystemVariant::Ideal,
+            SystemVariant::NetCrafter,
+            SystemVariant::StitchOnly,
+            SystemVariant::StitchTrim,
+            SystemVariant::SeqOnly,
+            SystemVariant::SectorCache,
+        ] {
+            assert_eq!(
+                v.apply(base).netcrafter.warmup_cycles,
+                1_234,
+                "variant {v:?} must not clobber the warmup window"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_key_groups_warmup_equivalent_jobs() {
+        let mut exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+        // No warmup window: nothing to share.
+        assert!(JobSpec::new(exp.clone(), "").prefix_key().is_none());
+
+        exp.base_cfg.netcrafter.warmup_cycles = 500;
+        let nc = JobSpec::new(exp.clone(), "");
+        let key = nc.prefix_key().expect("warmup window set");
+        assert_eq!(nc.warmup_cycles(), 500);
+
+        // Policy variants on the same ClusterQueue roster + fill policy
+        // share the prefix with full NetCrafter.
+        let mut st = exp.clone();
+        st.variant = SystemVariant::StitchTrim;
+        assert_eq!(JobSpec::new(st, "").prefix_key().as_ref(), Some(&key));
+
+        // Different display tag never splits a group.
+        assert_eq!(
+            JobSpec::new(exp.clone(), "other-tag").prefix_key().as_ref(),
+            Some(&key)
+        );
+
+        // Different max_cycles does not split the group either (the
+        // prefix is valid under any deeper watchdog).
+        let mut deeper = exp.clone();
+        deeper.max_cycles *= 2;
+        assert_eq!(JobSpec::new(deeper, "").prefix_key().as_ref(), Some(&key));
+
+        // FullLine-fill variants share a *different* prefix: trimming's
+        // sectored fills change warmup state.
+        let mut so = exp.clone();
+        so.variant = SystemVariant::StitchOnly;
+        let so_key = JobSpec::new(so.clone(), "")
+            .prefix_key()
+            .expect("shareable");
+        assert_ne!(so_key, key);
+        let mut seq = exp.clone();
+        seq.variant = SystemVariant::SeqOnly;
+        assert_eq!(JobSpec::new(seq, "").prefix_key().as_ref(), Some(&so_key));
+
+        // Baseline runs the FIFO roster: no sharing.
+        let mut baseline = exp.clone();
+        baseline.variant = SystemVariant::Baseline;
+        assert!(JobSpec::new(baseline, "").prefix_key().is_none());
+
+        // A watchdog at or below the warmup window disables sharing.
+        let mut shallow = exp.clone();
+        shallow.max_cycles = 500;
+        assert!(JobSpec::new(shallow, "").prefix_key().is_none());
+
+        // Physical divergence splits the group.
+        let mut reseeded = exp;
+        reseeded.seed = 7;
+        assert_ne!(JobSpec::new(reseeded, "").prefix_key().unwrap(), key);
+    }
+
+    #[test]
+    fn forked_run_is_byte_identical_to_cold() {
+        // The tentpole oracle at experiment granularity: run a shared
+        // prefix once, fork it in memory, and finish two *different*
+        // policy variants from the fork. Each must match its own cold run
+        // byte-for-byte (exec cycles and every metric).
+        let mut exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+        exp.base_cfg.netcrafter.warmup_cycles = 400;
+        let fork = exp.run_prefix(400).expect("prefix run is infallible");
+        assert!(fork.cycle() <= 400);
+        assert!(!fork.bytes().is_empty());
+
+        for variant in [SystemVariant::NetCrafter, SystemVariant::StitchTrim] {
+            let mut member = exp.clone();
+            member.variant = variant;
+            let cold = member.run();
+            let plan = CheckpointPlan {
+                checkpoint_at: None,
+                fork_at: None,
+                restore_from: None,
+                fork: Some(fork.clone()),
+            };
+            let warm = member.run_checkpointed(&plan).expect("fork restores");
+            assert_eq!(warm.resumed_at, fork.cycle());
+            assert_eq!(warm.result.exec_cycles, cold.exec_cycles, "{variant:?}");
+            assert_eq!(
+                warm.result.metrics.to_kv(),
+                cold.metrics.to_kv(),
+                "{variant:?} metrics diverged after fork restore"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_at_captures_mid_run_without_perturbing_the_run() {
+        // A representative job pauses at the warmup cycle, forks, and
+        // continues. Its own result must match an uninterrupted run, and
+        // the captured fork must be byte-identical to a standalone
+        // prefix simulation's.
+        let mut exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+        exp.base_cfg.netcrafter.warmup_cycles = 400;
+        let cold = exp.run();
+        let plan = CheckpointPlan {
+            checkpoint_at: None,
+            fork_at: Some(400),
+            restore_from: None,
+            fork: None,
+        };
+        let run = exp.run_checkpointed(&plan).expect("nothing to restore");
+        assert_eq!(run.result.exec_cycles, cold.exec_cycles);
+        assert_eq!(run.result.metrics.to_kv(), cold.metrics.to_kv());
+        let fork = run.fork.expect("fork captured at cycle 400");
+        let standalone = exp.run_prefix(400).expect("prefix run");
+        assert_eq!(fork.cycle(), standalone.cycle());
+        assert_eq!(fork.state_hash(), standalone.state_hash());
+        assert_eq!(fork.bytes(), standalone.bytes());
+
+        // A sibling restoring the mid-run fork matches its own cold run.
+        let mut member = exp.clone();
+        member.variant = SystemVariant::StitchTrim;
+        let member_cold = member.run();
+        let restore = CheckpointPlan {
+            checkpoint_at: None,
+            fork_at: None,
+            restore_from: None,
+            fork: Some(fork),
+        };
+        let warm = member.run_checkpointed(&restore).expect("fork restores");
+        assert_eq!(warm.resumed_at, 400);
+        assert_eq!(warm.result.exec_cycles, member_cold.exec_cycles);
+        assert_eq!(warm.result.metrics.to_kv(), member_cold.metrics.to_kv());
+    }
+
+    #[test]
+    fn fork_takes_precedence_over_disk_restore() {
+        let mut exp = Experiment::quick(Workload::Gups, SystemVariant::NetCrafter);
+        exp.base_cfg.netcrafter.warmup_cycles = 400;
+        let fork = exp.run_prefix(400).expect("prefix run");
+        let plan = CheckpointPlan {
+            checkpoint_at: None,
+            fork_at: None,
+            // Garbage in the persistent slot: if the fork really wins,
+            // these bytes are never parsed.
+            restore_from: Some(vec![0xde, 0xad, 0xbe, 0xef]),
+            fork: Some(fork),
+        };
+        let warm = exp.run_checkpointed(&plan).expect("fork wins");
+        assert_eq!(warm.result.exec_cycles, exp.run().exec_cycles);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use netcrafter_proto::config::PA_GPU_REGION_BITS;
 use netcrafter_proto::WavefrontTrace;
 use netcrafter_proto::{GpuId, KernelSpec, Metrics, SystemConfig};
 use netcrafter_sim::snapshot::{
-    read_header, write_header, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+    read_header, write_header, ForkSnapshot, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use netcrafter_sim::{ComponentId, Cycle, Engine, EngineBuilder, Trace, TraceConfig};
 use netcrafter_vm::{TranslationUnit, TranslationWiring};
@@ -535,6 +535,28 @@ impl System {
         self.kernel_cycles.save(&mut w);
         self.engine.save_state_into(&mut w);
         netcrafter_proto::fnv1a64(&w.into_bytes())
+    }
+
+    /// Serializes the paused node into an in-memory [`ForkSnapshot`] for
+    /// prefix-sharing sweeps: the same bytes as [`System::save_snapshot`]
+    /// behind an `Arc`, tagged with the pause cycle and the body's
+    /// [`System::state_hash`]. One serialization pass produces both the
+    /// bytes and the fingerprint; restoring the fork N times costs N
+    /// pointer clones, not N encodes. Restore with [`System::restore`] on
+    /// a node built from the same config and kernels.
+    pub fn fork_snapshot(&mut self) -> ForkSnapshot {
+        let mut body = SnapshotWriter::new();
+        self.kernel_name.save(&mut body);
+        self.pending_kernels.save(&mut body);
+        self.kernel_cycles.save(&mut body);
+        self.engine.save_state_into(&mut body);
+        let body = body.into_bytes();
+        let hash = netcrafter_proto::fnv1a64(&body);
+        let mut w = SnapshotWriter::new();
+        write_header(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&body);
+        ForkSnapshot::new(self.engine.cycle(), bytes, hash)
     }
 
     /// Total flits transmitted so far on inter-cluster egress ports.

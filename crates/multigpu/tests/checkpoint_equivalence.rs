@@ -44,6 +44,8 @@ fn checkpoint_restore_continue_is_bit_identical() {
     let plan = CheckpointPlan {
         checkpoint_at: Some(mid),
         restore_from: None,
+        fork_at: None,
+        fork: None,
     };
     let (ckpt, ckpt_data) = experiment()
         .run_traced_checkpointed(&trace_opts(), &plan)
@@ -62,6 +64,8 @@ fn checkpoint_restore_continue_is_bit_identical() {
     let plan = CheckpointPlan {
         checkpoint_at: None,
         restore_from: Some(bytes),
+        fork_at: None,
+        fork: None,
     };
     let (warm, warm_data) = experiment()
         .run_traced_checkpointed(&trace_opts(), &plan)
@@ -87,6 +91,8 @@ fn snapshot_is_portable_to_the_parallel_scheduler() {
     let take = CheckpointPlan {
         checkpoint_at: Some(mid),
         restore_from: None,
+        fork_at: None,
+        fork: None,
     };
     // Snapshot under the sequential event-driven scheduler …
     let ckpt = experiment().run_checkpointed(&take).expect("no restore");
@@ -96,6 +102,8 @@ fn snapshot_is_portable_to_the_parallel_scheduler() {
     let restore = CheckpointPlan {
         checkpoint_at: None,
         restore_from: Some(bytes),
+        fork_at: None,
+        fork: None,
     };
     let warm = experiment()
         .with_threads(4)

@@ -19,6 +19,8 @@ fn snapshot_taken_under_legacy_scheduler_round_trips() {
     let take = CheckpointPlan {
         checkpoint_at: Some(mid),
         restore_from: None,
+        fork_at: None,
+        fork: None,
     };
     let ckpt = exp().run_checkpointed(&take).expect("no restore involved");
     let (cycle, bytes) = ckpt.snapshot.expect("checkpoint requested");
@@ -28,6 +30,8 @@ fn snapshot_taken_under_legacy_scheduler_round_trips() {
     let restore = CheckpointPlan {
         checkpoint_at: None,
         restore_from: Some(bytes),
+        fork_at: None,
+        fork: None,
     };
     let warm = exp().run_checkpointed(&restore).expect("snapshot restores");
     assert_eq!(warm.resumed_at, mid);

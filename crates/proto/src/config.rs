@@ -351,6 +351,20 @@ pub struct NetCrafterConfig {
     /// CAM. The paper does not specify this; 16 is our default and the
     /// ablation harness sweeps it.
     pub stitch_search_depth: u32,
+    /// Policy activation cycle: the Cluster Queue knobs (stitching,
+    /// pooling, sequencing and their refinements) stay inert until this
+    /// cycle, so every configuration that differs only in those knobs
+    /// evolves identically through the warmup window. 0 (the default)
+    /// activates everything from cycle 0 — the historical behavior.
+    ///
+    /// This is the lever behind prefix-sharing sweeps: jobs whose
+    /// [`SystemConfig::warmup_repr`] match can execute the shared
+    /// `[0, warmup_cycles)` prefix once and fork the snapshot into each
+    /// divergent suffix. Note the knobs that act through *construction*
+    /// (`trimming`'s coupling with [`SystemConfig::sector_fill`], the
+    /// trim granularity) are NOT gated and therefore stay part of the
+    /// prefix identity.
+    pub warmup_cycles: u64,
 }
 
 impl NetCrafterConfig {
@@ -364,6 +378,7 @@ impl NetCrafterConfig {
             sequencing: false,
             prioritize_data_instead: false,
             stitch_search_depth: 16,
+            warmup_cycles: 0,
         }
     }
 
@@ -378,6 +393,7 @@ impl NetCrafterConfig {
             sequencing: true,
             prioritize_data_instead: false,
             stitch_search_depth: 16,
+            warmup_cycles: 0,
         }
     }
 
@@ -391,8 +407,39 @@ impl NetCrafterConfig {
     }
 
     /// True if any mechanism is active (a controller must be instantiated).
+    /// `warmup_cycles` deliberately does not count: it delays mechanisms,
+    /// it is not one, and the component roster must not depend on it.
     pub const fn any_enabled(&self) -> bool {
         self.stitching || self.trimming || self.sequencing
+    }
+
+    /// True once the policy knobs have activated at `now`. Warmup-gated
+    /// components (the Cluster Queue) consult this at every knob decision
+    /// point; before activation they behave exactly like a disabled
+    /// configuration.
+    #[inline]
+    pub const fn active_at(&self, now: u64) -> bool {
+        now >= self.warmup_cycles
+    }
+
+    /// This configuration with every warmup-gated knob forced to its
+    /// inert value. Two configurations with equal `inert()` (and equal
+    /// `warmup_cycles`, which is preserved) are byte-identical through
+    /// the warmup window — the property the prefix-sharing planner keys
+    /// on. `trimming` is NOT masked: its effect flows through the
+    /// construction-time L1 sector-fill policy, not a cycle-gated
+    /// decision point.
+    pub const fn inert(&self) -> Self {
+        Self {
+            stitching: false,
+            pooling_window: 0,
+            selective_pooling: false,
+            trimming: self.trimming,
+            sequencing: false,
+            prioritize_data_instead: false,
+            stitch_search_depth: 16,
+            warmup_cycles: self.warmup_cycles,
+        }
     }
 }
 
@@ -631,7 +678,7 @@ impl SystemConfig {
             "topo:{}x{}x{:016x}x{:016x};fab:{},{};cus:{};waves:{};outst:{};loads:{};\
              l1:{},{},{},{},{};l2:{},{},{},{},{};\
              l1tlb:{},{},{},{};l2tlb:{},{},{},{};gmmu:{},{},{};dram:{},{};\
-             switch:{},{};flit:{};nc:{},{},{},{},{},{},{};fill:{};gran:{};\
+             switch:{},{};flit:{};nc:{},{},{},{},{},{},{},{};fill:{};gran:{};\
              hop:{};seed:{:016x}",
             t.clusters,
             t.gpus_per_cluster,
@@ -676,6 +723,7 @@ impl SystemConfig {
             nc.sequencing as u8,
             nc.prioritize_data_instead as u8,
             nc.stitch_search_depth,
+            nc.warmup_cycles,
             fill,
             self.trim_granularity,
             self.on_chip_hop_cycles,
@@ -687,6 +735,30 @@ impl SystemConfig {
     /// for this configuration.
     pub fn config_hash(&self) -> u64 {
         fnv1a64(self.stable_repr().as_bytes())
+    }
+
+    /// The *warmup identity* of this configuration: [`Self::stable_repr`]
+    /// with every warmup-gated NetCrafter knob masked to its inert value
+    /// (see [`NetCrafterConfig::inert`]), plus a roster token recording
+    /// whether a NetCrafter controller is instantiated at all.
+    ///
+    /// Two configurations with equal `warmup_repr` — and a nonzero,
+    /// therefore equal, `warmup_cycles` — produce byte-identical
+    /// simulation state through cycle `warmup_cycles`, and their
+    /// snapshots are mutually restorable (identical component rosters).
+    /// This string is the internal-node key of the prefix-sharing plan
+    /// tree.
+    pub fn warmup_repr(&self) -> String {
+        let mut masked = *self;
+        masked.netcrafter = self.netcrafter.inert();
+        // The roster differs between "some mechanism on" (ClusterQueue)
+        // and "all off" (FifoQueue) even though the masked knobs agree,
+        // so it must be part of the key.
+        format!(
+            "roster={};{}",
+            u8::from(self.netcrafter.any_enabled()),
+            masked.stable_repr()
+        )
     }
 
     /// Validates internal consistency; called by the system builder.
@@ -909,6 +981,9 @@ mod tests {
         c.netcrafter.pooling_window = 64;
         variants.push(c);
         let mut c = base;
+        c.netcrafter.warmup_cycles = 5_000;
+        variants.push(c);
+        let mut c = base;
         c.l1.mshr_entries = 16;
         variants.push(c);
 
@@ -921,6 +996,61 @@ mod tests {
                 v.stable_repr()
             );
         }
+    }
+
+    #[test]
+    fn warmup_repr_masks_policy_knobs_but_keys_roster_and_fill() {
+        // Two configs that differ only in warmup-inert policy knobs must share
+        // a prefix key: both run the full ClusterQueue roster with every knob
+        // gated off until `warmup_cycles`.
+        let mut full = SystemConfig::paper_baseline().with_netcrafter();
+        full.netcrafter.warmup_cycles = 2_000;
+        let mut variant = full;
+        variant.netcrafter.sequencing = false;
+        variant.netcrafter.pooling_window = 0;
+        variant.netcrafter.selective_pooling = false;
+        variant.netcrafter.stitch_search_depth = 4;
+        assert_ne!(full.stable_repr(), variant.stable_repr());
+        assert_eq!(full.warmup_repr(), variant.warmup_repr());
+
+        // Baseline (all knobs off) builds a FifoQueue roster: its snapshot
+        // layout is incompatible, so the key must differ even though the
+        // masked knob values match.
+        let mut baseline = SystemConfig::paper_baseline();
+        baseline.netcrafter.warmup_cycles = 2_000;
+        assert_ne!(baseline.warmup_repr(), full.warmup_repr());
+
+        // Trimming changes construction-time L1 fill behaviour, so it is NOT
+        // masked out of the prefix key.
+        let mut no_trim = full;
+        no_trim.netcrafter.trimming = false;
+        assert_ne!(no_trim.warmup_repr(), full.warmup_repr());
+
+        // Different warmup horizons simulate different prefixes.
+        let mut longer = full;
+        longer.netcrafter.warmup_cycles = 4_000;
+        assert_ne!(longer.warmup_repr(), full.warmup_repr());
+
+        // Physical divergence (scale, seed) always splits the key.
+        let mut scaled = full;
+        scaled.cus_per_gpu = 8;
+        assert_ne!(scaled.warmup_repr(), full.warmup_repr());
+    }
+
+    #[test]
+    fn active_at_respects_warmup() {
+        let mut nc = NetCrafterConfig::full();
+        assert!(nc.active_at(0));
+        nc.warmup_cycles = 100;
+        assert!(!nc.active_at(0));
+        assert!(!nc.active_at(99));
+        assert!(nc.active_at(100));
+        // `inert()` keeps trimming and the warmup horizon, drops the rest.
+        let inert = nc.inert();
+        assert!(!inert.stitching && !inert.sequencing && !inert.selective_pooling);
+        assert_eq!(inert.pooling_window, 0);
+        assert_eq!(inert.trimming, nc.trimming);
+        assert_eq!(inert.warmup_cycles, nc.warmup_cycles);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use netcrafter_proto::Message;
 
 use crate::arena::{Arena, Handle};
 use crate::snapshot::{
-    read_header, write_header, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+    read_header, write_header, ForkSnapshot, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use crate::trace::{Trace, TraceConfig, Tracer};
 use crate::Cycle;
@@ -1138,16 +1138,19 @@ impl Engine {
         }
         let cycle = r.get_u64()?;
         let delivered = r.get_u64()?;
-        let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(n);
+        // Borrow every component blob from the snapshot buffer (restore
+        // is a sweep hot path — no per-component copies or name allocs).
+        let mut bodies: Vec<&[u8]> = Vec::with_capacity(n);
         for comp in &self.components {
-            let name = r.get_str()?;
-            if name != comp.name() {
+            let name = r.get_bytes()?;
+            if name != comp.name().as_bytes() {
                 return Err(SnapshotError::Corrupt(format!(
-                    "component mismatch: snapshot has `{name}`, engine has `{}`",
+                    "component mismatch: snapshot has `{}`, engine has `{}`",
+                    String::from_utf8_lossy(name),
                     comp.name()
                 )));
             }
-            bodies.push(r.get_bytes()?.to_vec());
+            bodies.push(r.get_bytes()?);
         }
         let mut inboxes: Vec<VecDeque<Message>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1253,6 +1256,24 @@ impl Engine {
     pub fn checkpoint_at(&mut self, cycle: Cycle) -> Vec<u8> {
         self.run_until(cycle);
         self.save_snapshot()
+    }
+
+    /// Serializes the paused engine into an in-memory [`ForkSnapshot`]:
+    /// the versioned snapshot bytes behind an `Arc`, tagged with the pause
+    /// cycle and the body's state hash. One serialization pass produces
+    /// both the bytes and the fingerprint (the body is hashed before the
+    /// header is prepended), so forking costs exactly one encode no matter
+    /// how many children later restore from it.
+    pub fn fork_snapshot(&mut self) -> ForkSnapshot {
+        let mut body = SnapshotWriter::new();
+        self.save_state_into(&mut body);
+        let body = body.into_bytes();
+        let hash = netcrafter_proto::fnv1a64(&body);
+        let mut w = SnapshotWriter::new();
+        write_header(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&body);
+        ForkSnapshot::new(self.cycle, bytes, hash)
     }
 }
 

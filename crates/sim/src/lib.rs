@@ -37,8 +37,8 @@ pub use engine::{
 };
 pub use parallel::Partition;
 pub use snapshot::{
-    read_header, write_header, Snap, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    read_header, write_header, ForkSnapshot, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use timing::{DelayQueue, RateLimiter, Ticker};
 pub use trace::{Event, EventClass, Phase, Trace, TraceConfig, Tracer};

@@ -298,6 +298,53 @@ pub fn read_header(r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
     Ok(())
 }
 
+/// An in-memory snapshot taken to *fork* a paused simulation: one prefix
+/// execution amortized across N divergent continuations.
+///
+/// The bytes are a complete versioned snapshot (header included, exactly
+/// what [`crate::Engine::save_snapshot`] / a system-level saver emits)
+/// behind an `Arc`, so handing a fork to N children is N pointer clones —
+/// no disk round-trip and no buffer copies. `state_hash` fingerprints the
+/// snapshot *body* at the moment the fork was taken; restore paths use it
+/// as the byte-identity oracle (a restored engine must hash to the same
+/// value before it steps).
+///
+/// `ForkSnapshot` is the in-RAM sibling of the bench crate's persistent
+/// `CheckpointStore` tier: forks never touch disk and die with the
+/// process; the store covers cross-invocation warm starts.
+#[derive(Debug, Clone)]
+pub struct ForkSnapshot {
+    cycle: u64,
+    bytes: std::sync::Arc<Vec<u8>>,
+    state_hash: u64,
+}
+
+impl ForkSnapshot {
+    /// Wraps freshly serialized snapshot bytes taken at `cycle`.
+    pub fn new(cycle: u64, bytes: Vec<u8>, state_hash: u64) -> Self {
+        Self {
+            cycle,
+            bytes: std::sync::Arc::new(bytes),
+            state_hash,
+        }
+    }
+
+    /// Cycle the forked simulation was paused at.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The full snapshot encoding (header + body).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// FNV-1a fingerprint of the paused state's canonical body encoding.
+    pub fn state_hash(&self) -> u64 {
+        self.state_hash
+    }
+}
+
 /// A value with a canonical binary snapshot encoding.
 ///
 /// `load(save(x)) == x` for every observable aspect of the value; the

@@ -451,8 +451,8 @@ impl Component for TranslationUnit {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        self.l2_tlb = Snap::load(r)?;
-        self.pwc = Snap::load(r)?;
+        self.l2_tlb.load_into(r)?;
+        self.pwc.load_into(r)?;
         self.tlb_pipe = Snap::load(r)?;
         self.pwc_pipe = Snap::load(r)?;
         self.retry = Snap::load(r)?;

@@ -118,6 +118,19 @@ impl Tlb {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// In-place [`Snap::load`] for the snapshot-restore hot path: decodes
+    /// the same bytes into `self`, reusing the entry store's allocations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or an entry-store geometry mismatch.
+    pub fn load_into(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.entries.load_into(r)?;
+        self.lookup_cycles = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 /// The lookup latency is builder-time configuration; it is saved and

@@ -120,6 +120,7 @@ fn cluster_queue_conserves_chunks() {
             sequencing: rng.flip(),
             prioritize_data_instead: false,
             stitch_search_depth: 16,
+            warmup_cycles: 0,
         };
         let push_gap = rng.below(4);
 
